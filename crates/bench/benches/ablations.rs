@@ -1,0 +1,108 @@
+//! Criterion benches for the reproduction's ablation studies — the
+//! design choices DESIGN.md calls out: eq. 6 ECN1 accounting, the
+//! eq. 19 hop approximation, and the §5.2 exponential-service
+//! assumption. Each bench prints its regenerated comparison table once
+//! and then measures the analysis cost of the ablation grid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hmcs_bench::experiments::{
+    run_ablation_accounting, run_ablation_hops, run_ablation_service, RunOptions,
+};
+use std::hint::black_box;
+
+fn fast_opts() -> RunOptions {
+    RunOptions { messages: 3_000, warmup: 600, ..Default::default() }
+}
+
+fn accounting(c: &mut Criterion) {
+    let rows = run_ablation_accounting(&fast_opts()).expect("ablation runs");
+    println!("\n=== ablation-accounting: eq. 6 ECN1 occupancy ===");
+    println!("clusters  literal(ms)  single(ms)  sim(ms)  lit.err  sgl.err");
+    for r in &rows {
+        println!(
+            "{:8}  {:11.3}  {:10.3}  {:7.3}  {:6.1}%  {:6.1}%",
+            r.clusters,
+            r.literal_ms,
+            r.single_ms,
+            r.sim_ms,
+            r.literal_error() * 100.0,
+            r.single_error() * 100.0
+        );
+    }
+    c.bench_function("ablation/accounting_analysis_grid", |b| {
+        let opts = RunOptions { with_simulation: false, ..Default::default() };
+        b.iter(|| {
+            // Analysis-only halves of the ablation (both accountings).
+            use hmcs_core::config::{QueueAccounting, SystemConfig};
+            use hmcs_core::model::AnalyticalModel;
+            use hmcs_core::scenario::{Scenario, PAPER_CLUSTER_COUNTS};
+            use hmcs_topology::transmission::Architecture;
+            for &cl in &PAPER_CLUSTER_COUNTS {
+                let sys = SystemConfig::paper_preset(
+                    Scenario::Case1,
+                    cl,
+                    Architecture::NonBlocking,
+                )
+                .unwrap()
+                .with_lambda(opts.lambda_per_us);
+                for acc in [QueueAccounting::PaperLiteral, QueueAccounting::SingleQueue] {
+                    black_box(
+                        AnalyticalModel::evaluate(&sys.with_accounting(acc)).unwrap(),
+                    );
+                }
+            }
+        })
+    });
+}
+
+fn hops(c: &mut Criterion) {
+    let rows = run_ablation_hops(&fast_opts()).expect("ablation runs");
+    println!("\n=== ablation-hops: eq. 19 (k+1)/3 vs exact mean ===");
+    println!("clusters  paper.an  exact.an  paper.sim  exact.sim  (ms)");
+    for r in &rows {
+        println!(
+            "{:8}  {:8.3}  {:8.3}  {:9.3}  {:9.3}",
+            r.clusters, r.paper_analysis_ms, r.exact_analysis_ms, r.paper_sim_ms, r.exact_sim_ms
+        );
+    }
+    c.bench_function("ablation/hops_exact_mean", |b| {
+        use hmcs_topology::linear_array::LinearArray;
+        use hmcs_topology::switch::SwitchFabric;
+        let la = LinearArray::new(4096, SwitchFabric::paper_default()).unwrap();
+        b.iter(|| black_box(la.exact_mean_switch_traversals()))
+    });
+}
+
+fn service(c: &mut Criterion) {
+    let rows = run_ablation_service(&fast_opts()).expect("ablation runs");
+    println!("\n=== ablation-service: §5.2 exponential assumption ===");
+    println!("model                 SCV    analysis(ms)  sim(ms)");
+    for r in &rows {
+        println!("{:<20}  {:4.2}  {:12.3}  {:7.3}", r.model, r.scv, r.analysis_ms, r.sim_ms);
+    }
+    c.bench_function("ablation/service_grid_analysis", |b| {
+        use hmcs_core::config::{ServiceTimeModel, SystemConfig};
+        use hmcs_core::model::AnalyticalModel;
+        use hmcs_core::scenario::Scenario;
+        use hmcs_topology::transmission::Architecture;
+        let base =
+            SystemConfig::paper_preset(Scenario::Case1, 16, Architecture::NonBlocking).unwrap();
+        b.iter(|| {
+            for m in [
+                ServiceTimeModel::Deterministic,
+                ServiceTimeModel::Erlang(4),
+                ServiceTimeModel::Exponential,
+                ServiceTimeModel::HyperExponential(4.0),
+            ] {
+                black_box(AnalyticalModel::evaluate(&base.with_service_model(m)).unwrap());
+            }
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = accounting, hops, service
+}
+criterion_main!(benches);

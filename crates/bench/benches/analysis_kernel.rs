@@ -1,0 +1,76 @@
+//! Micro-benchmarks of the analytical model's kernels: a single
+//! evaluation, the fixed-point solver across load levels, and the
+//! Cluster-of-Clusters generalisation. These quantify the paper's core
+//! pitch — "an accurate analytical model can provide quick performance
+//! estimates" — in wall-clock terms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hmcs_core::cluster_of_clusters::{self, ClusterSpec, CocConfig};
+use hmcs_core::config::{QueueAccounting, ServiceTimeModel, SystemConfig};
+use hmcs_core::model::AnalyticalModel;
+use hmcs_core::scenario::Scenario;
+use hmcs_topology::switch::SwitchFabric;
+use hmcs_topology::technology::NetworkTechnology;
+use hmcs_topology::transmission::Architecture;
+use std::hint::black_box;
+
+fn single_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis/evaluate");
+    for clusters in [1usize, 16, 256] {
+        let cfg =
+            SystemConfig::paper_preset(Scenario::Case1, clusters, Architecture::NonBlocking)
+                .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(clusters), &cfg, |b, cfg| {
+            b.iter(|| black_box(AnalyticalModel::evaluate(black_box(cfg)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn solver_under_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis/solver_load");
+    for (label, lambda) in [("light", 2.5e-7), ("figure", 2.5e-4), ("overload", 2.5e-2)] {
+        let cfg = SystemConfig::paper_preset(Scenario::Case1, 32, Architecture::Blocking)
+            .unwrap()
+            .with_lambda(lambda);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
+            b.iter(|| black_box(hmcs_core::solver::solve(black_box(cfg)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn coc_evaluation(c: &mut Criterion) {
+    let cfg = CocConfig {
+        clusters: vec![
+            ClusterSpec {
+                nodes: 128,
+                icn1: NetworkTechnology::MYRINET,
+                ecn1: NetworkTechnology::GIGABIT_ETHERNET,
+            },
+            ClusterSpec {
+                nodes: 96,
+                icn1: NetworkTechnology::GIGABIT_ETHERNET,
+                ecn1: NetworkTechnology::GIGABIT_ETHERNET,
+            },
+            ClusterSpec {
+                nodes: 32,
+                icn1: NetworkTechnology::FAST_ETHERNET,
+                ecn1: NetworkTechnology::FAST_ETHERNET,
+            },
+        ],
+        icn2: NetworkTechnology::GIGABIT_ETHERNET,
+        switch: SwitchFabric::paper_default(),
+        architecture: Architecture::NonBlocking,
+        message_bytes: 1024,
+        lambda_per_us: 2.5e-4,
+        accounting: QueueAccounting::SingleQueue,
+        service_model: ServiceTimeModel::Exponential,
+    };
+    c.bench_function("analysis/cluster_of_clusters", |b| {
+        b.iter(|| black_box(cluster_of_clusters::evaluate(black_box(&cfg)).unwrap()))
+    });
+}
+
+criterion_group!(benches, single_evaluation, solver_under_load, coc_evaluation);
+criterion_main!(benches);

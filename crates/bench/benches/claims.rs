@@ -1,0 +1,38 @@
+//! Criterion bench regenerating the §6 **blocking/non-blocking ratio
+//! claim** ("the average message latency of blocking network is larger,
+//! something between 1.4 to 3.1 times").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hmcs_bench::experiments::{run_claims, RunOptions};
+use std::hint::black_box;
+
+fn claims(c: &mut Criterion) {
+    let opts = RunOptions { with_simulation: false, ..Default::default() };
+    let rows = run_claims(&opts).expect("claims run");
+    println!("\n=== §6 claim: blocking/non-blocking latency ratio ===");
+    let (mut min, mut max) = (f64::INFINITY, 0.0f64);
+    for row in &rows {
+        println!(
+            "{:<14} C={:>3}  nb={:>9.3} ms  bl={:>9.3} ms  ratio={:>6.2}x",
+            row.scenario.label(),
+            row.clusters,
+            row.nonblocking_ms,
+            row.blocking_ms,
+            row.ratio()
+        );
+        min = min.min(row.ratio());
+        max = max.max(row.ratio());
+    }
+    println!("measured ratio band: {min:.2}x – {max:.2}x (paper: 1.4x – 3.1x)");
+
+    c.bench_function("claims/ratio_grid", |b| {
+        b.iter(|| black_box(run_claims(&opts).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = claims
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Shared helpers for the per-figure Criterion benches.
+
+use criterion::Criterion;
+use hmcs_bench::experiments::{run_figure, FigureSpec, RunOptions};
+use std::hint::black_box;
+
+/// Regenerates `spec` once (printing its rows so the bench log doubles
+/// as the figure's data), then benchmarks the analysis series and one
+/// simulated point.
+pub fn bench_figure(c: &mut Criterion, spec: FigureSpec) {
+    let opts = RunOptions { messages: 4_000, warmup: 1_000, ..Default::default() };
+    let data = run_figure(spec, &opts).expect("figure runs");
+    println!("\n=== {} — {} ===", spec.id, spec.caption);
+    println!("clusters  analysis512  sim512  analysis1024  sim1024   (ms)");
+    for r in &data.rows {
+        println!(
+            "{:8}  {:11.3}  {:6.3}  {:12.3}  {:7.3}",
+            r.clusters,
+            r.analysis_512_ms,
+            r.sim_512_ms.unwrap_or(f64::NAN),
+            r.analysis_1024_ms,
+            r.sim_1024_ms.unwrap_or(f64::NAN),
+        );
+    }
+
+    // The analysis series: the model's selling point is quick estimates
+    // compared to simulation.
+    let analysis_only = RunOptions { with_simulation: false, ..Default::default() };
+    c.bench_function(&format!("{}/analysis_series", spec.id), |b| {
+        b.iter(|| black_box(run_figure(black_box(spec), &analysis_only).unwrap()))
+    });
+
+    // One simulated point (C = 16, M = 1024, 2,000 messages).
+    c.bench_function(&format!("{}/simulation_point_c16", spec.id), |b| {
+        b.iter(|| {
+            let sys = hmcs_core::config::SystemConfig::paper_preset(
+                spec.scenario,
+                16,
+                spec.architecture,
+            )
+            .unwrap();
+            let cfg = hmcs_sim::config::SimConfig::new(sys)
+                .with_messages(2_000)
+                .with_warmup(500)
+                .with_seed(7);
+            black_box(hmcs_sim::flow::FlowSimulator::run(&cfg).unwrap())
+        })
+    });
+}

@@ -1,0 +1,18 @@
+//! Criterion bench regenerating **Figure 4**: average message latency
+//! vs. number of clusters, non-blocking networks, Case-1 system.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hmcs_bench::experiments::FIG4;
+
+fn fig4(c: &mut Criterion) {
+    common::bench_figure(c, FIG4);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig4
+}
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion bench regenerating **Figure 5**: average message latency
+//! vs. number of clusters, non-blocking networks, Case-2 system.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hmcs_bench::experiments::FIG5;
+
+fn fig5(c: &mut Criterion) {
+    common::bench_figure(c, FIG5);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig5
+}
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion bench regenerating **Figure 6**: average message latency
+//! vs. number of clusters, blocking networks, Case-1 system.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hmcs_bench::experiments::FIG6;
+
+fn fig6(c: &mut Criterion) {
+    common::bench_figure(c, FIG6);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig6
+}
+criterion_main!(benches);

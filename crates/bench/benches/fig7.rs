@@ -1,0 +1,18 @@
+//! Criterion bench regenerating **Figure 7**: average message latency
+//! vs. number of clusters, blocking networks, Case-2 system.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hmcs_bench::experiments::FIG7;
+
+fn fig7(c: &mut Criterion) {
+    common::bench_figure(c, FIG7);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig7
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench for the packet-level validation experiment: all
+//! three fidelity levels (analysis / flow sim / packet sim) side by
+//! side, plus the packet simulator's event-processing cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hmcs_bench::experiments::{run_packet_validation, RunOptions};
+use hmcs_core::config::SystemConfig;
+use hmcs_core::scenario::Scenario;
+use hmcs_sim::config::SimConfig;
+use hmcs_sim::packet::PacketSimulator;
+use hmcs_topology::transmission::Architecture;
+use std::hint::black_box;
+
+fn packet_validation(c: &mut Criterion) {
+    let opts = RunOptions { messages: 3_000, warmup: 600, ..Default::default() };
+    let rows = run_packet_validation(&opts).expect("experiment runs");
+    println!("\n=== packet-validation: analysis vs flow vs packet (ms) ===");
+    println!("clusters  analysis    flow    packet");
+    for r in &rows {
+        println!(
+            "{:8}  {:8.3}  {:6.3}  {:8.3}",
+            r.clusters, r.analysis_ms, r.flow_ms, r.packet_ms
+        );
+    }
+
+    let sys =
+        SystemConfig::paper_preset(Scenario::Case1, 16, Architecture::NonBlocking).unwrap();
+    let cfg = SimConfig::new(sys).with_messages(2_000).with_warmup(400).with_seed(3);
+    c.bench_function("packet/simulate_2k_messages_c16", |b| {
+        b.iter(|| black_box(PacketSimulator::run(black_box(&cfg)).unwrap()))
+    });
+
+    let bl = SystemConfig::paper_preset(Scenario::Case1, 64, Architecture::Blocking).unwrap();
+    let bl_cfg = SimConfig::new(bl).with_messages(1_000).with_warmup(200).with_seed(3);
+    c.bench_function("packet/simulate_1k_messages_blocking_c64", |b| {
+        b.iter(|| black_box(PacketSimulator::run(black_box(&bl_cfg)).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = packet_validation
+}
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Micro-benchmarks of the substrate crates: queueing kernels, the
+//! topology constructors (incl. the max-flow bisection verifier) and
+//! the DES event queue.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hmcs_des::event::EventQueue;
+use hmcs_des::rng::RngStream;
+use hmcs_des::time::SimTime;
+use hmcs_queueing::closed::{mva, MvaStation};
+use hmcs_queueing::jackson::{JacksonNetwork, Station};
+use hmcs_topology::fat_tree::FatTree;
+use hmcs_topology::switch::SwitchFabric;
+use std::hint::black_box;
+
+fn queueing_kernels(c: &mut Criterion) {
+    c.bench_function("queueing/jackson_solve_16_stations", |b| {
+        let stations: Vec<Station> =
+            (0..16).map(|i| Station::single(10.0, 0.1 + 0.01 * i as f64)).collect();
+        let mut routing = vec![vec![0.0; 16]; 16];
+        for (i, row) in routing.iter_mut().enumerate() {
+            row[(i + 1) % 16] = 0.5;
+        }
+        let net = JacksonNetwork::new(stations, routing).unwrap();
+        b.iter(|| black_box(net.solve().unwrap()))
+    });
+
+    let mut group = c.benchmark_group("queueing/mva");
+    for population in [16u32, 256] {
+        let stations = [
+            MvaStation::Delay { demand: 4000.0 },
+            MvaStation::Queueing { demand: 120.0 },
+            MvaStation::Queueing { demand: 160.0 },
+            MvaStation::Queueing { demand: 180.0 },
+        ];
+        group.bench_with_input(
+            BenchmarkId::from_parameter(population),
+            &population,
+            |b, &n| b.iter(|| black_box(mva(&stations, n).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+fn topology_kernels(c: &mut Criterion) {
+    let sw = SwitchFabric::paper_default();
+    c.bench_function("topology/fat_tree_mean_traversals_4096", |b| {
+        let ft = FatTree::new(4096, sw).unwrap();
+        b.iter(|| black_box(ft.mean_switch_traversals()))
+    });
+    c.bench_function("topology/fat_tree_bisection_maxflow_256", |b| {
+        let ft = FatTree::new(256, sw).unwrap();
+        let g = ft.build_graph();
+        b.iter(|| black_box(g.natural_bisection_width()))
+    });
+}
+
+fn des_kernels(c: &mut Criterion) {
+    c.bench_function("des/event_queue_push_pop_10k", |b| {
+        let mut rng = RngStream::new(42, 0);
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u32 {
+                q.push(SimTime::from_us(rng.uniform() * 1e6), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc += v as u64;
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("des/exponential_sampling_100k", |b| {
+        let mut rng = RngStream::new(7, 1);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..100_000 {
+                acc += rng.exponential(0.25);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = queueing_kernels, topology_kernels, des_kernels
+}
+criterion_main!(benches);

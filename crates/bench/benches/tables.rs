@@ -1,0 +1,39 @@
+//! Criterion bench regenerating **Tables 1 and 2** and benchmarking the
+//! preset construction they exercise.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hmcs_bench::experiments::{table1, table2};
+use hmcs_core::config::SystemConfig;
+use hmcs_core::scenario::Scenario;
+use hmcs_topology::transmission::Architecture;
+use std::hint::black_box;
+
+fn tables(c: &mut Criterion) {
+    // Emit the regenerated tables once.
+    println!("\n=== Table 1 — Two Scenarios of Communication Networks ===");
+    for row in table1() {
+        println!("{:<14} ICN1={:<18} ECN1/ICN2={}", row.case, row.icn1, row.ecn1_icn2);
+    }
+    println!("\n=== Table 2 — Model Parameters ===");
+    for row in table2() {
+        println!("{:<34} {:>8} {}", row.item, row.quantity, row.unit);
+    }
+
+    c.bench_function("table1/regenerate", |b| b.iter(|| black_box(table1())));
+    c.bench_function("table2/regenerate", |b| b.iter(|| black_box(table2())));
+    c.bench_function("table1/preset_construction", |b| {
+        b.iter(|| {
+            for scenario in [Scenario::Case1, Scenario::Case2] {
+                for c in [1usize, 16, 256] {
+                    black_box(
+                        SystemConfig::paper_preset(scenario, c, Architecture::NonBlocking)
+                            .unwrap(),
+                    );
+                }
+            }
+        })
+    });
+}
+
+criterion_group!(benches, tables);
+criterion_main!(benches);

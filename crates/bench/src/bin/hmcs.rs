@@ -1,0 +1,201 @@
+//! `hmcs` — evaluate one multi-cluster system from the command line.
+//!
+//! ```text
+//! hmcs --clusters 8 --nodes 32 --bytes 1024 --lambda-ms 0.25 \
+//!      --scenario case1 --arch nonblocking --simulate
+//! ```
+//!
+//! Prints the analytical report and, with `--simulate`, the flow-level
+//! simulation alongside it.
+
+use hmcs_core::config::SystemConfig;
+use hmcs_core::model::AnalyticalModel;
+use hmcs_core::qna;
+use hmcs_core::scenario::Scenario;
+use hmcs_sim::config::SimConfig;
+use hmcs_sim::flow::FlowSimulator;
+use hmcs_topology::transmission::Architecture;
+use std::process::ExitCode;
+
+#[derive(Debug)]
+struct Args {
+    clusters: usize,
+    nodes: usize,
+    bytes: u64,
+    lambda_per_ms: f64,
+    scenario: Scenario,
+    arch: Architecture,
+    simulate: bool,
+    messages: u64,
+    seed: u64,
+    qna: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            clusters: 16,
+            nodes: 16,
+            bytes: 1024,
+            lambda_per_ms: 0.25,
+            scenario: Scenario::Case1,
+            arch: Architecture::NonBlocking,
+            simulate: false,
+            messages: 10_000,
+            seed: 2005,
+            qna: false,
+        }
+    }
+}
+
+const HELP: &str = "hmcs — analytical model for heterogeneous multi-cluster systems\n\
+Options:\n\
+  --clusters N      number of clusters [16]\n\
+  --nodes N         processors per cluster [16]\n\
+  --bytes N         message size in bytes [1024]\n\
+  --lambda-ms X     per-processor rate in msg/ms [0.25]\n\
+  --scenario S      case1 | case2 [case1]\n\
+  --arch A          nonblocking | blocking [nonblocking]\n\
+  --simulate        also run the flow-level simulator\n\
+  --messages N      simulated messages [10000]\n\
+  --seed N          simulation seed [2005]\n\
+  --qna             also print the QNA-refined latency";
+
+fn parse() -> Result<Args, String> {
+    let mut a = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut val = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--clusters" => a.clusters = val("--clusters")?.parse().map_err(|e| format!("{e}"))?,
+            "--nodes" => a.nodes = val("--nodes")?.parse().map_err(|e| format!("{e}"))?,
+            "--bytes" => a.bytes = val("--bytes")?.parse().map_err(|e| format!("{e}"))?,
+            "--lambda-ms" => {
+                a.lambda_per_ms = val("--lambda-ms")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--scenario" => {
+                a.scenario = match val("--scenario")?.as_str() {
+                    "case1" => Scenario::Case1,
+                    "case2" => Scenario::Case2,
+                    other => return Err(format!("unknown scenario {other}")),
+                }
+            }
+            "--arch" => {
+                a.arch = match val("--arch")?.as_str() {
+                    "nonblocking" => Architecture::NonBlocking,
+                    "blocking" => Architecture::Blocking,
+                    other => return Err(format!("unknown architecture {other}")),
+                }
+            }
+            "--simulate" => a.simulate = true,
+            "--qna" => a.qna = true,
+            "--messages" => a.messages = val("--messages")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => a.seed = val("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--help" | "-h" => {
+                println!("{HELP}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(a)
+}
+
+fn run(a: &Args) -> Result<(), String> {
+    let cfg = SystemConfig::new(
+        a.clusters,
+        a.nodes,
+        a.bytes,
+        a.lambda_per_ms / 1e3,
+        a.scenario,
+        a.arch,
+    )
+    .map_err(|e| e.to_string())?;
+    let report = AnalyticalModel::evaluate(&cfg).map_err(|e| e.to_string())?;
+
+    println!(
+        "system   : {} x {} nodes, {} ({}), M = {} B, lambda = {} msg/ms",
+        a.clusters,
+        a.nodes,
+        a.scenario.label(),
+        a.arch.name(),
+        a.bytes,
+        a.lambda_per_ms
+    );
+    let st = report.service_times;
+    println!(
+        "service  : ICN1 {:.2} µs | ECN1 {:.2} µs | ICN2 {:.2} µs",
+        st.icn1_us, st.ecn1_us, st.icn2_us
+    );
+    let eq = report.equilibrium;
+    println!(
+        "equilib. : lambda_eff {:.4e}/µs ({:.1}% retained), waiting {:.1}/{}",
+        eq.lambda_eff,
+        eq.retained_fraction * 100.0,
+        eq.total_waiting,
+        cfg.total_nodes()
+    );
+    println!(
+        "util     : ICN1 {:.3} | ECN1 {:.3} | ICN2 {:.3}",
+        eq.icn1.utilization, eq.ecn1.utilization, eq.icn2.utilization
+    );
+    println!(
+        "latency  : {:.3} ms mean (P_ext {:.3}; internal {:.3} ms, external {:.3} ms)",
+        report.latency.mean_message_latency_ms(),
+        report.latency.external_probability,
+        report.latency.internal_latency_us / 1e3,
+        report.latency.external_latency_us / 1e3
+    );
+    if a.qna {
+        let q = qna::evaluate(&cfg).map_err(|e| e.to_string())?;
+        println!(
+            "qna      : {:.3} ms mean (arrival SCVs: ECN1 {:.3}, ICN2 {:.3})",
+            q.latency.mean_message_latency_us / 1e3,
+            q.scv.ecn1_ca2,
+            q.scv.icn2_ca2
+        );
+    }
+    if a.simulate {
+        let sim_cfg = SimConfig::new(cfg)
+            .with_messages(a.messages)
+            .with_warmup(a.messages / 5)
+            .with_seed(a.seed);
+        let sim = FlowSimulator::run(&sim_cfg).map_err(|e| e.to_string())?;
+        let err = (report.latency.mean_message_latency_us - sim.mean_latency_us).abs()
+            / sim.mean_latency_us;
+        println!(
+            "simulated: {:.3} ms mean ± {:.3} (95% CI) over {} messages — model off by {:.1}%",
+            sim.mean_latency_ms(),
+            sim.latency_ci95_us() / 1e3,
+            sim.messages,
+            err * 100.0
+        );
+        if let Some(q) = sim.quantiles {
+            println!(
+                "tails    : p50 {:.3} ms | p95 {:.3} ms | p99 {:.3} ms",
+                q.p50_us / 1e3,
+                q.p95_us / 1e3,
+                q.p99_us / 1e3
+            );
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match parse() {
+        Ok(args) => match run(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n{HELP}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,436 @@
+//! `reproduce` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! reproduce <artefact> [options]
+//!
+//! Artefacts:
+//!   table1 table2 fig4 fig5 fig6 fig7 figs claims
+//!   ablation-accounting ablation-hops ablation-service packet coc bounds all
+//!
+//! Options:
+//!   --messages N      measured messages per simulation run   [10000]
+//!   --warmup N        warm-up messages discarded             [2000]
+//!   --seed N          master RNG seed                        [2005]
+//!   --lambda-literal  use Table 2's literal 0.25 msg/s
+//!                     (default: 0.25 msg/ms, the figure-scale reading)
+//!   --no-sim          analysis only (skip simulation columns)
+//!   --csv DIR         also write CSV files into DIR
+//! ```
+
+use hmcs_bench::experiments::{
+    self, FigureData, FigureSpec, RunOptions, ALL_FIGURES, FIG4, FIG5, FIG6, FIG7,
+};
+use hmcs_bench::report::{ms, opt_ms, ratio, render_table, write_csv};
+use hmcs_core::scenario::PAPER_LAMBDA_LITERAL_PER_US;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Cli {
+    artefacts: Vec<String>,
+    opts: RunOptions,
+    csv_dir: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut artefacts = Vec::new();
+    let mut opts = RunOptions::default();
+    let mut csv_dir = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--messages" => {
+                opts.messages = args
+                    .next()
+                    .ok_or("--messages needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--messages: {e}"))?;
+            }
+            "--warmup" => {
+                opts.warmup = args
+                    .next()
+                    .ok_or("--warmup needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--warmup: {e}"))?;
+            }
+            "--seed" => {
+                opts.seed = args
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--lambda-literal" => opts.lambda_per_us = PAPER_LAMBDA_LITERAL_PER_US,
+            "--no-sim" => opts.with_simulation = false,
+            "--csv" => {
+                csv_dir = Some(PathBuf::from(args.next().ok_or("--csv needs a directory")?));
+            }
+            "--help" | "-h" => {
+                println!("{}", HELP);
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other}"));
+            }
+            other => artefacts.push(other.to_string()),
+        }
+    }
+    if artefacts.is_empty() {
+        return Err("no artefact given; try --help".to_string());
+    }
+    Ok(Cli { artefacts, opts, csv_dir })
+}
+
+const HELP: &str = "reproduce — regenerate the ICPPW'05 paper's tables and figures\n\
+  artefacts: table1 table2 fig4 fig5 fig6 fig7 figs claims\n\
+             ablation-accounting ablation-hops ablation-service packet coc bounds all\n\
+  options:   --messages N --warmup N --seed N --lambda-literal --no-sim --csv DIR";
+
+fn figure_rows(data: &FigureData) -> Vec<Vec<String>> {
+    data.rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.clusters.to_string(),
+                ms(r.analysis_512_ms),
+                opt_ms(r.sim_512_ms),
+                ms(r.analysis_1024_ms),
+                opt_ms(r.sim_1024_ms),
+                r.worst_relative_error()
+                    .map(|e| format!("{:.1}%", e * 100.0))
+                    .unwrap_or_else(|| "-".to_string()),
+            ]
+        })
+        .collect()
+}
+
+fn emit_figure(spec: FigureSpec, cli: &Cli) -> Result<(), String> {
+    let data = experiments::run_figure(spec, &cli.opts).map_err(|e| e.to_string())?;
+    let headers = [
+        "clusters",
+        "analysis M=512 (ms)",
+        "sim M=512 (ms)",
+        "analysis M=1024 (ms)",
+        "sim M=1024 (ms)",
+        "worst err",
+    ];
+    let rows = figure_rows(&data);
+    println!(
+        "{}",
+        render_table(&format!("{} — {}", spec.id, spec.caption), &headers, &rows)
+    );
+    if let Some(dir) = &cli.csv_dir {
+        write_csv(&dir.join(format!("{}.csv", spec.id)), &headers, &rows)
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+fn emit_tables(cli: &Cli) -> Result<(), String> {
+    let t1 = experiments::table1();
+    let rows: Vec<Vec<String>> = t1
+        .iter()
+        .map(|r| vec![r.case.to_string(), r.icn1.to_string(), r.ecn1_icn2.to_string()])
+        .collect();
+    let headers = ["Cases", "ICN1", "ECN1 and ICN2"];
+    println!(
+        "{}",
+        render_table("Table 1 — Two Scenarios of Communication Networks", &headers, &rows)
+    );
+    if let Some(dir) = &cli.csv_dir {
+        write_csv(&dir.join("table1.csv"), &headers, &rows).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+fn emit_table2(cli: &Cli) -> Result<(), String> {
+    let t2 = experiments::table2();
+    let rows: Vec<Vec<String>> = t2
+        .iter()
+        .map(|r| vec![r.item.to_string(), r.quantity.clone(), r.unit.to_string()])
+        .collect();
+    let headers = ["Items", "Quantity", "Unit"];
+    println!("{}", render_table("Table 2 — Model Parameters", &headers, &rows));
+    if let Some(dir) = &cli.csv_dir {
+        write_csv(&dir.join("table2.csv"), &headers, &rows).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+fn emit_claims(cli: &Cli) -> Result<(), String> {
+    let rows_data = experiments::run_claims(&cli.opts).map_err(|e| e.to_string())?;
+    let headers = ["scenario", "clusters", "non-blocking (ms)", "blocking (ms)", "ratio"];
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|r| {
+            vec![
+                r.scenario.label().to_string(),
+                r.clusters.to_string(),
+                ms(r.nonblocking_ms),
+                ms(r.blocking_ms),
+                ratio(r.ratio()),
+            ]
+        })
+        .collect();
+    let min = rows_data.iter().map(|r| r.ratio()).fold(f64::INFINITY, f64::min);
+    let max = rows_data.iter().map(|r| r.ratio()).fold(0.0f64, f64::max);
+    println!(
+        "{}",
+        render_table(
+            &format!(
+                "Claim (§6): blocking/non-blocking latency ratio — measured {min:.2}x to \
+                 {max:.2}x (paper: 1.4x to 3.1x)"
+            ),
+            &headers,
+            &rows
+        )
+    );
+    if let Some(dir) = &cli.csv_dir {
+        write_csv(&dir.join("claims.csv"), &headers, &rows).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+fn emit_accounting(cli: &Cli) -> Result<(), String> {
+    let data = experiments::run_ablation_accounting(&cli.opts).map_err(|e| e.to_string())?;
+    let headers =
+        ["clusters", "literal (ms)", "single (ms)", "sim (ms)", "literal err", "single err"];
+    let rows: Vec<Vec<String>> = data
+        .iter()
+        .map(|r| {
+            vec![
+                r.clusters.to_string(),
+                ms(r.literal_ms),
+                ms(r.single_ms),
+                ms(r.sim_ms),
+                format!("{:.1}%", r.literal_error() * 100.0),
+                format!("{:.1}%", r.single_error() * 100.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Ablation: eq. 6 ECN1 accounting (paper-literal 2*L_E1 vs single queue)",
+            &headers,
+            &rows
+        )
+    );
+    if let Some(dir) = &cli.csv_dir {
+        write_csv(&dir.join("ablation_accounting.csv"), &headers, &rows)
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+fn emit_hops(cli: &Cli) -> Result<(), String> {
+    let data = experiments::run_ablation_hops(&cli.opts).map_err(|e| e.to_string())?;
+    let headers = [
+        "clusters",
+        "analysis (k+1)/3 (ms)",
+        "analysis exact (ms)",
+        "sim (k+1)/3 (ms)",
+        "sim exact (ms)",
+    ];
+    let rows: Vec<Vec<String>> = data
+        .iter()
+        .map(|r| {
+            vec![
+                r.clusters.to_string(),
+                ms(r.paper_analysis_ms),
+                ms(r.exact_analysis_ms),
+                ms(r.paper_sim_ms),
+                ms(r.exact_sim_ms),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table("Ablation: blocking hop model (eq. 19 average vs exact mean)", &headers, &rows)
+    );
+    if let Some(dir) = &cli.csv_dir {
+        write_csv(&dir.join("ablation_hops.csv"), &headers, &rows).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+fn emit_service(cli: &Cli) -> Result<(), String> {
+    let data = experiments::run_ablation_service(&cli.opts).map_err(|e| e.to_string())?;
+    let headers = ["service model", "SCV", "analysis (ms)", "sim (ms)"];
+    let rows: Vec<Vec<String>> = data
+        .iter()
+        .map(|r| {
+            vec![r.model.to_string(), format!("{:.2}", r.scv), ms(r.analysis_ms), ms(r.sim_ms)]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Ablation: network service-time distribution (C=16, Case 1, non-blocking)",
+            &headers,
+            &rows
+        )
+    );
+    if let Some(dir) = &cli.csv_dir {
+        write_csv(&dir.join("ablation_service.csv"), &headers, &rows)
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+fn emit_packet(cli: &Cli) -> Result<(), String> {
+    let data = experiments::run_packet_validation(&cli.opts).map_err(|e| e.to_string())?;
+    let headers = ["clusters", "analysis (ms)", "flow sim (ms)", "packet sim (ms)"];
+    let rows: Vec<Vec<String>> = data
+        .iter()
+        .map(|r| {
+            vec![r.clusters.to_string(), ms(r.analysis_ms), ms(r.flow_ms), ms(r.packet_ms)]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Packet-level validation (Case 1, non-blocking, M=1024)",
+            &headers,
+            &rows
+        )
+    );
+    if let Some(dir) = &cli.csv_dir {
+        write_csv(&dir.join("packet_validation.csv"), &headers, &rows)
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+fn emit_coc(cli: &Cli) -> Result<(), String> {
+    let data = experiments::run_coc_validation(&cli.opts).map_err(|e| e.to_string())?;
+    let headers = [
+        "system",
+        "analysis (ms)",
+        "sim (ms)",
+        "err",
+        "lambda_eff analysis",
+        "lambda_eff sim",
+    ];
+    let rows: Vec<Vec<String>> = data
+        .iter()
+        .map(|r| {
+            vec![
+                r.system.to_string(),
+                ms(r.analysis_ms),
+                ms(r.sim_ms),
+                format!("{:.1}%", r.latency_error() * 100.0),
+                format!("{:.3e}", r.analysis_lambda_eff),
+                format!("{:.3e}", r.sim_lambda_eff),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Cluster-of-Clusters validation (the paper's §7 future work, implemented)",
+            &headers,
+            &rows
+        )
+    );
+    if let Some(dir) = &cli.csv_dir {
+        write_csv(&dir.join("coc_validation.csv"), &headers, &rows)
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+fn emit_bounds(cli: &Cli) -> Result<(), String> {
+    let data = experiments::run_bounds(&cli.opts).map_err(|e| e.to_string())?;
+    let headers = [
+        "clusters",
+        "d_total (µs)",
+        "d_max (µs)",
+        "N*",
+        "bound λ_eff",
+        "model λ_eff",
+        "sim λ_eff",
+    ];
+    let rows: Vec<Vec<String>> = data
+        .iter()
+        .map(|r| {
+            vec![
+                r.clusters.to_string(),
+                format!("{:.1}", r.d_total_us),
+                format!("{:.1}", r.d_max_us),
+                format!("{:.1}", r.saturation_population),
+                format!("{:.3e}", r.bound_lambda_eff),
+                format!("{:.3e}", r.model_lambda_eff),
+                format!("{:.3e}", r.sim_lambda_eff),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Operational bounds (asymptotic bound analysis) vs model vs simulation",
+            &headers,
+            &rows
+        )
+    );
+    if let Some(dir) = &cli.csv_dir {
+        write_csv(&dir.join("bounds.csv"), &headers, &rows).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+fn run(cli: &Cli) -> Result<(), String> {
+    for artefact in &cli.artefacts {
+        match artefact.as_str() {
+            "table1" => emit_tables(cli)?,
+            "table2" => emit_table2(cli)?,
+            "fig4" => emit_figure(FIG4, cli)?,
+            "fig5" => emit_figure(FIG5, cli)?,
+            "fig6" => emit_figure(FIG6, cli)?,
+            "fig7" => emit_figure(FIG7, cli)?,
+            "figs" => {
+                for spec in ALL_FIGURES {
+                    emit_figure(spec, cli)?;
+                }
+            }
+            "claims" => emit_claims(cli)?,
+            "ablation-accounting" => emit_accounting(cli)?,
+            "ablation-hops" => emit_hops(cli)?,
+            "ablation-service" => emit_service(cli)?,
+            "packet" => emit_packet(cli)?,
+            "coc" => emit_coc(cli)?,
+            "bounds" => emit_bounds(cli)?,
+            "all" => {
+                emit_tables(cli)?;
+                emit_table2(cli)?;
+                for spec in ALL_FIGURES {
+                    emit_figure(spec, cli)?;
+                }
+                emit_claims(cli)?;
+                emit_accounting(cli)?;
+                emit_hops(cli)?;
+                emit_service(cli)?;
+                emit_packet(cli)?;
+                emit_coc(cli)?;
+                emit_bounds(cli)?;
+            }
+            other => return Err(format!("unknown artefact {other}; try --help")),
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match parse_args() {
+        Ok(cli) => match run(&cli) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n{HELP}");
+            ExitCode::FAILURE
+        }
+    }
+}

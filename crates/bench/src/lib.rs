@@ -1,0 +1,26 @@
+//! # hmcs-bench
+//!
+//! The experiment harness that regenerates **every table and figure**
+//! of *Performance Analysis of Heterogeneous Multi-Cluster Systems*
+//! (ICPPW 2005), plus the reproduction's ablation studies.
+//!
+//! * [`experiments`] — one runner per paper artefact: Table 1, Table 2,
+//!   Figures 4–7, the §6 blocking/non-blocking ratio claim, and the
+//!   `ablation-*` studies described in DESIGN.md.
+//! * [`report`] — plain-text table rendering and CSV export.
+//!
+//! The `reproduce` binary drives everything:
+//!
+//! ```text
+//! cargo run --release -p hmcs-bench --bin reproduce -- fig4
+//! cargo run --release -p hmcs-bench --bin reproduce -- all --csv out/
+//! ```
+//!
+//! Criterion benches (one per figure, plus kernel micro-benches) live in
+//! `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;

@@ -1,0 +1,134 @@
+//! Plain-text table rendering and CSV export for experiment results.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Renders an aligned plain-text table.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the header's.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "ragged table row");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let rule: String = widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
+    let _ = writeln!(out, "{rule}");
+    let header_line: Vec<String> = headers
+        .iter()
+        .zip(&widths)
+        .map(|(h, w)| format!(" {h:<w$} "))
+        .collect();
+    let _ = writeln!(out, "{}", header_line.join("|"));
+    let _ = writeln!(out, "{rule}");
+    for row in rows {
+        let line: Vec<String> =
+            row.iter().zip(&widths).map(|(c, w)| format!(" {c:>w$} ")).collect();
+        let _ = writeln!(out, "{}", line.join("|"));
+    }
+    let _ = writeln!(out, "{rule}");
+    out
+}
+
+/// Writes rows as CSV (simple quoting: fields containing commas or
+/// quotes are double-quoted).
+pub fn write_csv(
+    path: &Path,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) -> io::Result<()> {
+    fn field(s: &str) -> String {
+        if s.contains(',') || s.contains('"') || s.contains('\n') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&headers.iter().map(|h| field(h)).collect::<Vec<_>>().join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, out)
+}
+
+/// Formats a latency in ms with 3 decimals.
+pub fn ms(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats an optional latency, rendering `None` as "-".
+pub fn opt_ms(v: Option<f64>) -> String {
+    v.map(ms).unwrap_or_else(|| "-".to_string())
+}
+
+/// Formats a ratio or percentage-like value with 2 decimals.
+pub fn ratio(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let s = render_table(
+            "Demo",
+            &["C", "latency"],
+            &[
+                vec!["1".into(), "10.123".into()],
+                vec!["256".into(), "9.000".into()],
+            ],
+        );
+        assert!(s.contains("Demo"));
+        assert!(s.contains("C"));
+        assert!(s.contains("256"));
+        // All data lines share the same width.
+        let lines: Vec<&str> = s.lines().filter(|l| l.contains('|')).collect();
+        assert!(lines.windows(2).all(|w| w[0].len() == w[1].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn table_rejects_ragged_rows() {
+        render_table("x", &["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn csv_quotes_fields() {
+        let dir = std::env::temp_dir().join("hmcs_report_test");
+        let path = dir.join("t.csv");
+        write_csv(
+            &path,
+            &["a", "b"],
+            &[vec!["1,2".into(), "say \"hi\"".into()]],
+        )
+        .unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "a,b\n\"1,2\",\"say \"\"hi\"\"\"\n");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(ms(1.23456), "1.235");
+        assert_eq!(opt_ms(None), "-");
+        assert_eq!(opt_ms(Some(2.0)), "2.000");
+        assert_eq!(ratio(1.23456), "1.23");
+    }
+}

@@ -1,0 +1,126 @@
+//! Mean message latency — eqs. 9, 15, 16.
+//!
+//! An internal message (probability `1−P`) crosses its cluster's ICN1
+//! once; an external message (probability `P`) crosses its ECN1, the
+//! global ICN2, and the destination ECN1 (two ECN1 passes in the
+//! symmetric model). Each crossing costs the centre's mean sojourn time
+//! `W = 1/(µ−λ)` (eq. 16 under exponential service; the M/G/1
+//! generalisation applies under the other service models):
+//!
+//! ```text
+//! T_W = (1−P)·W_I1 + P·(W_I2 + 2·W_E1)     (eq. 15)
+//! ```
+
+use crate::solver::Equilibrium;
+
+/// Mean-latency report in µs (helpers convert to ms for the figures).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyReport {
+    /// Probability a message is external (eq. 8).
+    pub external_probability: f64,
+    /// Latency of an intra-cluster message: `W_I1`.
+    pub internal_latency_us: f64,
+    /// Latency of an inter-cluster message: `W_I2 + 2·W_E1`.
+    pub external_latency_us: f64,
+    /// Mean message latency `T_W` (eq. 15).
+    pub mean_message_latency_us: f64,
+    /// Per-centre sojourn times (µs): ICN1, ECN1 (per pass), ICN2.
+    pub sojourn_icn1_us: f64,
+    /// ECN1 per-pass sojourn (µs).
+    pub sojourn_ecn1_us: f64,
+    /// ICN2 sojourn (µs).
+    pub sojourn_icn2_us: f64,
+}
+
+impl LatencyReport {
+    /// Composes eq. 15 from a converged equilibrium.
+    pub fn from_equilibrium(eq: &Equilibrium) -> Self {
+        let p = eq.rates.external_probability;
+        let internal = eq.icn1.sojourn_us;
+        let external = eq.icn2.sojourn_us + 2.0 * eq.ecn1.sojourn_us;
+        LatencyReport {
+            external_probability: p,
+            internal_latency_us: internal,
+            external_latency_us: external,
+            mean_message_latency_us: (1.0 - p) * internal + p * external,
+            sojourn_icn1_us: eq.icn1.sojourn_us,
+            sojourn_ecn1_us: eq.ecn1.sojourn_us,
+            sojourn_icn2_us: eq.icn2.sojourn_us,
+        }
+    }
+
+    /// Mean message latency in milliseconds (the figures' y-axis unit).
+    #[inline]
+    pub fn mean_message_latency_ms(&self) -> f64 {
+        self.mean_message_latency_us / 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use crate::scenario::Scenario;
+    use crate::solver;
+    use hmcs_topology::transmission::Architecture;
+
+    fn report(clusters: usize, arch: Architecture) -> LatencyReport {
+        let cfg = SystemConfig::paper_preset(Scenario::Case1, clusters, arch).unwrap();
+        LatencyReport::from_equilibrium(&solver::solve(&cfg).unwrap())
+    }
+
+    #[test]
+    fn eq15_composition() {
+        let r = report(8, Architecture::NonBlocking);
+        let expect = (1.0 - r.external_probability) * r.internal_latency_us
+            + r.external_probability * r.external_latency_us;
+        assert!((r.mean_message_latency_us - expect).abs() < 1e-9);
+        let ext = r.sojourn_icn2_us + 2.0 * r.sojourn_ecn1_us;
+        assert!((r.external_latency_us - ext).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_cluster_latency_is_pure_icn1() {
+        let r = report(1, Architecture::NonBlocking);
+        assert_eq!(r.external_probability, 0.0);
+        assert!((r.mean_message_latency_us - r.internal_latency_us).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_node_clusters_latency_is_pure_external() {
+        let r = report(256, Architecture::NonBlocking);
+        assert!((r.external_probability - 1.0).abs() < 1e-12);
+        assert!((r.mean_message_latency_us - r.external_latency_us).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blocking_latency_exceeds_nonblocking() {
+        for c in [2usize, 8, 32, 128, 256] {
+            let nb = report(c, Architecture::NonBlocking);
+            let bl = report(c, Architecture::Blocking);
+            assert!(
+                bl.mean_message_latency_us > nb.mean_message_latency_us,
+                "C={c}: blocking {} <= non-blocking {}",
+                bl.mean_message_latency_us,
+                nb.mean_message_latency_us
+            );
+        }
+    }
+
+    #[test]
+    fn sojourns_exceed_service_times() {
+        let cfg =
+            SystemConfig::paper_preset(Scenario::Case1, 16, Architecture::NonBlocking).unwrap();
+        let eq = solver::solve(&cfg).unwrap();
+        let r = LatencyReport::from_equilibrium(&eq);
+        assert!(r.sojourn_icn1_us >= eq.icn1.service_time_us);
+        assert!(r.sojourn_ecn1_us >= eq.ecn1.service_time_us);
+        assert!(r.sojourn_icn2_us >= eq.icn2.service_time_us);
+    }
+
+    #[test]
+    fn ms_conversion() {
+        let r = report(4, Architecture::NonBlocking);
+        assert!((r.mean_message_latency_ms() * 1e3 - r.mean_message_latency_us).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,191 @@
+//! Request routing probabilities.
+//!
+//! Under assumption 3 (uniform destinations over all other nodes), a
+//! request leaves its cluster with probability
+//!
+//! ```text
+//! P = (C−1)·N₀ / (C·N₀ − 1)          (eq. 8)
+//! ```
+//!
+//! — of the `C·N₀ − 1` possible destinations, `(C−1)·N₀` live in other
+//! clusters. The locality extension mixes the uniform pattern with a
+//! cluster-local pattern, modelling applications with communication
+//! locality (the paper's §5.3 remarks that linear arrays suit localized
+//! traffic; this hook lets that be studied quantitatively).
+
+use crate::error::ModelError;
+
+/// External-request probability under uniform traffic — eq. 8.
+///
+/// Degenerate cases: a single cluster (`C = 1`) never sends outside
+/// (`P = 0`); the formula's `0/0` at `C·N₀ = 1` is defined as 0.
+pub fn external_probability(clusters: usize, nodes_per_cluster: usize) -> f64 {
+    let total = clusters * nodes_per_cluster;
+    if total <= 1 || clusters <= 1 {
+        return 0.0;
+    }
+    ((clusters - 1) * nodes_per_cluster) as f64 / (total - 1) as f64
+}
+
+/// A traffic pattern: how destinations are selected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TrafficPattern {
+    /// Uniform over all other nodes (assumption 3; the paper's only
+    /// pattern).
+    Uniform,
+    /// With probability `locality` the destination is drawn uniformly
+    /// from the source's own cluster; otherwise uniformly from all other
+    /// nodes. `locality = 0` reduces to `Uniform`.
+    Localized {
+        /// Probability of forcing a cluster-local destination.
+        locality: f64,
+    },
+    /// With probability `fraction` the destination is a fixed hot node
+    /// (e.g. a file server or coordinator); otherwise uniform. A
+    /// classic stress pattern the paper's symmetric model cannot
+    /// represent — the simulators capture the resulting asymmetric
+    /// contention, and the model hook below only preserves the *mean*
+    /// external fraction.
+    Hotspot {
+        /// The hot node's global index.
+        node: usize,
+        /// Probability a message targets the hot node.
+        fraction: f64,
+    },
+}
+
+impl TrafficPattern {
+    /// Validates pattern parameters.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        match *self {
+            TrafficPattern::Localized { locality } => {
+                if !(0.0..=1.0).contains(&locality) || !locality.is_finite() {
+                    return Err(ModelError::InvalidConfig {
+                        name: "locality",
+                        reason: "must lie in [0, 1]",
+                    });
+                }
+            }
+            TrafficPattern::Hotspot { fraction, .. } => {
+                if !(0.0..=1.0).contains(&fraction) || !fraction.is_finite() {
+                    return Err(ModelError::InvalidConfig {
+                        name: "fraction",
+                        reason: "must lie in [0, 1]",
+                    });
+                }
+            }
+            TrafficPattern::Uniform => {}
+        }
+        Ok(())
+    }
+
+    /// External-request probability under this pattern.
+    ///
+    /// For `Localized`, the uniform component contributes
+    /// `(1 − locality)·P_uniform`; the local component contributes
+    /// nothing (requires `N₀ ≥ 2` to have any local destination — with
+    /// `N₀ = 1` the local draw is impossible and the pattern falls back
+    /// to uniform).
+    pub fn external_probability(&self, clusters: usize, nodes_per_cluster: usize) -> f64 {
+        let uniform = external_probability(clusters, nodes_per_cluster);
+        match *self {
+            TrafficPattern::Uniform => uniform,
+            TrafficPattern::Localized { locality } => {
+                if nodes_per_cluster < 2 {
+                    uniform
+                } else {
+                    (1.0 - locality) * uniform
+                }
+            }
+            TrafficPattern::Hotspot { fraction, .. } => {
+                // A hotspot message is external iff the (uniformly
+                // distributed) source sits outside the hot node's
+                // cluster: probability (N - N0)/N, averaged over
+                // sources. Captures only the mean — the asymmetric
+                // per-cluster load is simulator territory.
+                let n = (clusters * nodes_per_cluster) as f64;
+                let hot_external = (n - nodes_per_cluster as f64) / n;
+                fraction * hot_external + (1.0 - fraction) * uniform
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq8_examples() {
+        // C=2, N0=2: P = 2/3.
+        assert!((external_probability(2, 2) - 2.0 / 3.0).abs() < 1e-12);
+        // Paper platform C=16, N0=16: P = 15*16/255 = 240/255.
+        assert!((external_probability(16, 16) - 240.0 / 255.0).abs() < 1e-12);
+        // C=256, N0=1: P = 255/255 = 1 (all traffic external).
+        assert!((external_probability(256, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases_are_zero() {
+        assert_eq!(external_probability(1, 256), 0.0);
+        assert_eq!(external_probability(1, 1), 0.0);
+    }
+
+    #[test]
+    fn p_is_monotone_in_cluster_count_for_fixed_total() {
+        // Splitting 256 nodes into more clusters increases P.
+        let mut prev = -1.0;
+        for c in [1usize, 2, 4, 8, 16, 32, 64, 128, 256] {
+            let p = external_probability(c, 256 / c);
+            assert!(p > prev, "P must grow with C, got {p} after {prev}");
+            assert!((0.0..=1.0).contains(&p));
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn locality_scales_external_traffic() {
+        let uniform = TrafficPattern::Uniform.external_probability(8, 32);
+        let half = TrafficPattern::Localized { locality: 0.5 }.external_probability(8, 32);
+        let full = TrafficPattern::Localized { locality: 1.0 }.external_probability(8, 32);
+        assert!((half - uniform / 2.0).abs() < 1e-12);
+        assert_eq!(full, 0.0);
+        let zero = TrafficPattern::Localized { locality: 0.0 }.external_probability(8, 32);
+        assert!((zero - uniform).abs() < 1e-15);
+    }
+
+    #[test]
+    fn locality_with_singleton_clusters_falls_back_to_uniform() {
+        let p = TrafficPattern::Localized { locality: 0.9 }.external_probability(256, 1);
+        assert!((p - 1.0).abs() < 1e-12, "no local destinations exist");
+    }
+
+    #[test]
+    fn pattern_validation() {
+        assert!(TrafficPattern::Uniform.validate().is_ok());
+        assert!(TrafficPattern::Localized { locality: 0.3 }.validate().is_ok());
+        assert!(TrafficPattern::Localized { locality: -0.1 }.validate().is_err());
+        assert!(TrafficPattern::Localized { locality: 1.5 }.validate().is_err());
+        assert!(TrafficPattern::Localized { locality: f64::NAN }.validate().is_err());
+        assert!(TrafficPattern::Hotspot { node: 0, fraction: 0.2 }.validate().is_ok());
+        assert!(TrafficPattern::Hotspot { node: 0, fraction: 1.1 }.validate().is_err());
+        assert!(TrafficPattern::Hotspot { node: 0, fraction: f64::NAN }
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn hotspot_external_probability_mixes() {
+        // 8 clusters x 32 nodes: uniform P, hot external = 224/256.
+        let uniform = external_probability(8, 32);
+        let hot = TrafficPattern::Hotspot { node: 5, fraction: 1.0 }
+            .external_probability(8, 32);
+        assert!((hot - 224.0 / 256.0).abs() < 1e-12);
+        let half = TrafficPattern::Hotspot { node: 5, fraction: 0.5 }
+            .external_probability(8, 32);
+        assert!((half - 0.5 * (224.0 / 256.0) - 0.5 * uniform).abs() < 1e-12);
+        let none = TrafficPattern::Hotspot { node: 5, fraction: 0.0 }
+            .external_probability(8, 32);
+        assert!((none - uniform).abs() < 1e-15);
+    }
+}

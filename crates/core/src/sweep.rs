@@ -1,0 +1,306 @@
+//! Parameter sweeps — the x-axes of the paper's figures and of the
+//! design-space exploration the introduction motivates.
+
+use crate::config::SystemConfig;
+use crate::error::ModelError;
+use crate::model::{AnalyticalModel, PerformanceReport};
+use crate::scenario::{Scenario, PAPER_CLUSTER_COUNTS, PAPER_TOTAL_NODES};
+use hmcs_topology::switch::SwitchFabric;
+use hmcs_topology::transmission::Architecture;
+
+/// One point of a sweep: the varied value and the model output.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepPoint<T> {
+    /// The swept parameter's value at this point.
+    pub x: T,
+    /// The model evaluation at this point.
+    pub report: PerformanceReport,
+}
+
+/// Sweeps the cluster count at fixed total node count (the figures'
+/// x-axis). Each `clusters` entry must divide `total_nodes`.
+pub fn cluster_sweep(
+    base: &SystemConfig,
+    total_nodes: usize,
+    cluster_counts: &[usize],
+) -> Result<Vec<SweepPoint<usize>>, ModelError> {
+    let mut out = Vec::with_capacity(cluster_counts.len());
+    for &c in cluster_counts {
+        if c == 0 || !total_nodes.is_multiple_of(c) {
+            return Err(ModelError::InvalidConfig {
+                name: "cluster_counts",
+                reason: "every cluster count must divide the total node count",
+            });
+        }
+        let mut cfg = *base;
+        cfg.clusters = c;
+        cfg.nodes_per_cluster = total_nodes / c;
+        out.push(SweepPoint { x: c, report: AnalyticalModel::evaluate(&cfg)? });
+    }
+    Ok(out)
+}
+
+/// The paper's figure sweep: 256 nodes, `C ∈ {1, 2, …, 256}`.
+pub fn paper_cluster_sweep(
+    scenario: Scenario,
+    architecture: Architecture,
+    message_bytes: u64,
+    lambda_per_us: f64,
+) -> Result<Vec<SweepPoint<usize>>, ModelError> {
+    let base = SystemConfig::paper_preset(scenario, 1, architecture)?
+        .with_message_bytes(message_bytes)
+        .with_lambda(lambda_per_us);
+    cluster_sweep(&base, PAPER_TOTAL_NODES, &PAPER_CLUSTER_COUNTS)
+}
+
+/// Sweeps the message size at a fixed shape.
+pub fn message_size_sweep(
+    base: &SystemConfig,
+    sizes: &[u64],
+) -> Result<Vec<SweepPoint<u64>>, ModelError> {
+    sizes
+        .iter()
+        .map(|&m| {
+            let cfg = base.with_message_bytes(m);
+            Ok(SweepPoint { x: m, report: AnalyticalModel::evaluate(&cfg)? })
+        })
+        .collect()
+}
+
+/// Sweeps the per-processor generation rate (λ) at a fixed shape —
+/// useful for locating the saturation knee.
+pub fn lambda_sweep(
+    base: &SystemConfig,
+    lambdas_per_us: &[f64],
+) -> Result<Vec<SweepPoint<f64>>, ModelError> {
+    lambdas_per_us
+        .iter()
+        .map(|&l| {
+            let cfg = base.with_lambda(l);
+            Ok(SweepPoint { x: l, report: AnalyticalModel::evaluate(&cfg)? })
+        })
+        .collect()
+}
+
+/// Sweeps the switch port count (design-space exploration: how big a
+/// switch fabric is worth buying?).
+pub fn switch_ports_sweep(
+    base: &SystemConfig,
+    port_counts: &[u32],
+) -> Result<Vec<SweepPoint<u32>>, ModelError> {
+    port_counts
+        .iter()
+        .map(|&p| {
+            let switch = SwitchFabric::new(p, base.switch.latency_us())?;
+            let cfg = base.with_switch(switch);
+            Ok(SweepPoint { x: p, report: AnalyticalModel::evaluate(&cfg)? })
+        })
+        .collect()
+}
+
+/// Sweeps a technology assignment over the three tiers (the paper's
+/// "technology heterogeneity" future work): evaluates every combination
+/// of the given technologies for ICN1 and for the ECN1/ICN2 pair.
+pub fn technology_sweep(
+    base: &SystemConfig,
+    technologies: &[hmcs_topology::technology::NetworkTechnology],
+) -> Result<Vec<SweepPoint<(&'static str, &'static str)>>, ModelError> {
+    let mut out = Vec::with_capacity(technologies.len() * technologies.len());
+    for &intra in technologies {
+        for &inter in technologies {
+            let mut cfg = *base;
+            cfg.icn1 = intra;
+            cfg.ecn1 = inter;
+            cfg.icn2 = inter;
+            out.push(SweepPoint {
+                x: (intra.name, inter.name),
+                report: AnalyticalModel::evaluate(&cfg)?,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Finds the largest per-processor rate (messages/µs) whose predicted
+/// mean latency stays at or below `latency_budget_us`, by bisection over
+/// `[lo, hi]`. Returns `None` when even `lo` violates the budget.
+///
+/// Capacity-planning helper: "how much traffic can this design absorb
+/// within an SLO?"
+pub fn max_lambda_within_latency(
+    base: &SystemConfig,
+    latency_budget_us: f64,
+    lo: f64,
+    hi: f64,
+    iterations: u32,
+) -> Result<Option<f64>, ModelError> {
+    let latency_at = |lam: f64| -> Result<f64, ModelError> {
+        Ok(AnalyticalModel::evaluate(&base.with_lambda(lam))?
+            .latency
+            .mean_message_latency_us)
+    };
+    if latency_at(lo)? > latency_budget_us {
+        return Ok(None);
+    }
+    let (mut lo, mut hi) = (lo, hi);
+    if latency_at(hi)? <= latency_budget_us {
+        return Ok(Some(hi));
+    }
+    for _ in 0..iterations {
+        let mid = 0.5 * (lo + hi);
+        if latency_at(mid)? <= latency_budget_us {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(Some(lo))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::PAPER_LAMBDA_PER_US;
+
+    #[test]
+    fn paper_sweep_covers_all_cluster_counts() {
+        let pts = paper_cluster_sweep(
+            Scenario::Case1,
+            Architecture::NonBlocking,
+            1024,
+            PAPER_LAMBDA_PER_US,
+        )
+        .unwrap();
+        assert_eq!(pts.len(), 9);
+        assert_eq!(pts[0].x, 1);
+        assert_eq!(pts[8].x, 256);
+        for p in &pts {
+            assert!(p.report.latency.mean_message_latency_us > 0.0);
+        }
+    }
+
+    #[test]
+    fn cluster_sweep_rejects_non_divisors() {
+        let base =
+            SystemConfig::paper_preset(Scenario::Case1, 1, Architecture::NonBlocking).unwrap();
+        assert!(cluster_sweep(&base, 256, &[3]).is_err());
+        assert!(cluster_sweep(&base, 256, &[0]).is_err());
+    }
+
+    #[test]
+    fn message_sweep_is_monotone() {
+        let base =
+            SystemConfig::paper_preset(Scenario::Case1, 16, Architecture::NonBlocking).unwrap();
+        let pts = message_size_sweep(&base, &[128, 256, 512, 1024, 2048]).unwrap();
+        for w in pts.windows(2) {
+            assert!(
+                w[1].report.latency.mean_message_latency_us
+                    > w[0].report.latency.mean_message_latency_us
+            );
+        }
+    }
+
+    #[test]
+    fn lambda_sweep_is_monotone() {
+        let base =
+            SystemConfig::paper_preset(Scenario::Case2, 8, Architecture::NonBlocking).unwrap();
+        let pts = lambda_sweep(&base, &[1e-6, 1e-5, 1e-4, 5e-4]).unwrap();
+        for w in pts.windows(2) {
+            assert!(
+                w[1].report.latency.mean_message_latency_us
+                    >= w[0].report.latency.mean_message_latency_us
+            );
+        }
+    }
+
+    #[test]
+    fn bigger_switches_never_hurt_lightly_loaded_latency() {
+        // At light load, fewer fat-tree stages mean strictly fewer switch
+        // hops and hence lower latency.
+        let base = SystemConfig::paper_preset(Scenario::Case1, 8, Architecture::NonBlocking)
+            .unwrap()
+            .with_lambda(crate::scenario::PAPER_LAMBDA_LITERAL_PER_US);
+        let pts = switch_ports_sweep(&base, &[8, 16, 24, 48, 64]).unwrap();
+        for w in pts.windows(2) {
+            assert!(
+                w[1].report.latency.mean_message_latency_us
+                    <= w[0].report.latency.mean_message_latency_us + 1e-9,
+                "more ports should not increase lightly-loaded fat-tree latency"
+            );
+        }
+    }
+
+    #[test]
+    fn bigger_switches_raise_throughput_under_saturation() {
+        // Under heavy load the system is ICN2-bound; faster access tiers
+        // release throttled sources, so throughput must not decrease —
+        // even though mean latency can *increase* as the bottleneck
+        // absorbs the extra offered load. This is a real property of the
+        // flow-blocking feedback worth pinning down.
+        let base =
+            SystemConfig::paper_preset(Scenario::Case1, 8, Architecture::NonBlocking).unwrap();
+        let pts = switch_ports_sweep(&base, &[8, 24, 48]).unwrap();
+        for w in pts.windows(2) {
+            assert!(
+                w[1].report.throughput_per_us >= w[0].report.throughput_per_us - 1e-12,
+                "more ports should not reduce delivered throughput"
+            );
+        }
+    }
+
+    #[test]
+    fn technology_sweep_covers_the_grid_and_orders_sanely() {
+        use hmcs_topology::technology::NetworkTechnology;
+        let base = SystemConfig::paper_preset(Scenario::Case1, 16, Architecture::NonBlocking)
+            .unwrap()
+            .with_lambda(crate::scenario::PAPER_LAMBDA_LITERAL_PER_US);
+        let techs = [
+            NetworkTechnology::FAST_ETHERNET,
+            NetworkTechnology::GIGABIT_ETHERNET,
+            NetworkTechnology::MYRINET,
+        ];
+        let pts = technology_sweep(&base, &techs).unwrap();
+        assert_eq!(pts.len(), 9);
+        // At light load the all-Myrinet system must beat the all-FE one.
+        let lat = |intra: &str, inter: &str| {
+            pts.iter()
+                .find(|p| p.x == (intra, inter))
+                .unwrap()
+                .report
+                .latency
+                .mean_message_latency_us
+        };
+        assert!(lat("Myrinet", "Myrinet") < lat("Fast Ethernet", "Fast Ethernet"));
+        // With mostly-external traffic at C=16, upgrading the inter tier
+        // helps more than upgrading the intra tier.
+        let upgrade_inter = lat("Fast Ethernet", "Myrinet");
+        let upgrade_intra = lat("Myrinet", "Fast Ethernet");
+        assert!(upgrade_inter < upgrade_intra);
+    }
+
+    #[test]
+    fn capacity_planning_finds_a_feasible_rate() {
+        let base =
+            SystemConfig::paper_preset(Scenario::Case1, 16, Architecture::NonBlocking).unwrap();
+        // Budget comfortably above the zero-load latency.
+        let budget = 5_000.0; // 5 ms
+        let best = max_lambda_within_latency(&base, budget, 1e-8, 1e-2, 60)
+            .unwrap()
+            .expect("low rate must fit the budget");
+        // The found rate meets the budget...
+        let at_best = AnalyticalModel::evaluate(&base.with_lambda(best)).unwrap();
+        assert!(at_best.latency.mean_message_latency_us <= budget * 1.001);
+        // ...and slightly more violates it.
+        let above = AnalyticalModel::evaluate(&base.with_lambda(best * 1.05)).unwrap();
+        assert!(above.latency.mean_message_latency_us > budget * 0.999);
+    }
+
+    #[test]
+    fn capacity_planning_detects_impossible_budgets() {
+        let base =
+            SystemConfig::paper_preset(Scenario::Case1, 16, Architecture::NonBlocking).unwrap();
+        // Budget below the zero-load service time: impossible.
+        let none = max_lambda_within_latency(&base, 1.0, 1e-9, 1e-3, 40).unwrap();
+        assert!(none.is_none());
+    }
+}

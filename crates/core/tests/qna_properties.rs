@@ -1,0 +1,108 @@
+//! Property tests for the QNA refinement: structural guarantees that
+//! must hold for any valid configuration.
+
+use hmcs_core::config::{ServiceTimeModel, SystemConfig};
+use hmcs_core::model::AnalyticalModel;
+use hmcs_core::qna;
+use hmcs_core::scenario::Scenario;
+use hmcs_topology::transmission::Architecture;
+use proptest::prelude::*;
+
+fn any_scenario() -> impl Strategy<Value = Scenario> {
+    prop_oneof![Just(Scenario::Case1), Just(Scenario::Case2)]
+}
+
+fn any_architecture() -> impl Strategy<Value = Architecture> {
+    prop_oneof![Just(Architecture::NonBlocking), Just(Architecture::Blocking)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Under exponential service the QNA model must coincide with the
+    /// base model: cd² = 1 is a fixed point of the SCV propagation.
+    #[test]
+    fn qna_is_exact_superset_of_base_for_exponential_service(
+        clusters in 1usize..20,
+        n0 in 1usize..20,
+        scenario in any_scenario(),
+        arch in any_architecture(),
+        lambda_exp in -6.0f64..-3.0,
+    ) {
+        prop_assume!(clusters * n0 >= 2);
+        let cfg = SystemConfig::new(
+            clusters,
+            n0,
+            1024,
+            10f64.powf(lambda_exp),
+            scenario,
+            arch,
+        )
+        .unwrap();
+        let base = AnalyticalModel::evaluate(&cfg).unwrap();
+        let refined = qna::evaluate(&cfg).unwrap();
+        let rel = (refined.latency.mean_message_latency_us
+            - base.latency.mean_message_latency_us)
+            .abs()
+            / base.latency.mean_message_latency_us;
+        prop_assert!(rel < 1e-6, "divergence {rel} at C={clusters} N0={n0}");
+        prop_assert!((refined.scv.ecn1_ca2 - 1.0).abs() < 1e-6);
+        prop_assert!((refined.scv.icn2_ca2 - 1.0).abs() < 1e-6);
+    }
+
+    /// Under deterministic service, departures are smoother than
+    /// Poisson: propagated SCVs stay in [0, 1] and QNA's latency never
+    /// exceeds the base (P–K already captures service SCV; QNA also
+    /// lowers arrival SCVs).
+    #[test]
+    fn qna_smooths_under_deterministic_service(
+        clusters in 2usize..20,
+        n0 in 2usize..20,
+        lambda_exp in -5.0f64..-3.2,
+    ) {
+        let cfg = SystemConfig::new(
+            clusters,
+            n0,
+            1024,
+            10f64.powf(lambda_exp),
+            Scenario::Case1,
+            Architecture::NonBlocking,
+        )
+        .unwrap()
+        .with_service_model(ServiceTimeModel::Deterministic);
+        let base = AnalyticalModel::evaluate(&cfg).unwrap();
+        let refined = qna::evaluate(&cfg).unwrap();
+        prop_assert!(refined.scv.ecn1_ca2 <= 1.0 + 1e-9);
+        prop_assert!(refined.scv.icn2_ca2 <= 1.0 + 1e-9);
+        prop_assert!(refined.scv.ecn1_ca2 >= 0.0);
+        prop_assert!(
+            refined.latency.mean_message_latency_us
+                <= base.latency.mean_message_latency_us * (1.0 + 1e-9)
+        );
+    }
+
+    /// Under hyper-exponential service, departures of loaded centres are
+    /// burstier than Poisson and QNA predicts more waiting than the base
+    /// model at the downstream centres (or equal when those centres are
+    /// idle).
+    #[test]
+    fn qna_amplifies_under_bursty_service(
+        clusters in 2usize..16,
+        lambda_exp in -4.2f64..-3.4,
+    ) {
+        let cfg = SystemConfig::new(
+            clusters,
+            16,
+            1024,
+            10f64.powf(lambda_exp),
+            Scenario::Case1,
+            Architecture::NonBlocking,
+        )
+        .unwrap()
+        .with_service_model(ServiceTimeModel::HyperExponential(4.0));
+        let refined = qna::evaluate(&cfg).unwrap();
+        prop_assert!(refined.scv.icn2_ca2 >= 1.0 - 1e-9);
+        prop_assert!(refined.latency.mean_message_latency_us.is_finite());
+        prop_assert!(refined.lambda_eff > 0.0);
+    }
+}

@@ -1,0 +1,267 @@
+//! The event loop.
+//!
+//! A [`Model`] owns all simulation state and processes one event at a
+//! time; the [`Engine`] advances the clock, dispatches events, and
+//! enforces stop conditions. Follow-up events are scheduled through the
+//! [`Scheduler`], which wraps the future-event list.
+
+use crate::event::EventQueue;
+use crate::time::SimTime;
+
+/// Scheduling interface handed to the model while it processes an event.
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    queue: EventQueue<E>,
+    events_scheduled: u64,
+}
+
+impl<E> Scheduler<E> {
+    fn new() -> Self {
+        Scheduler { queue: EventQueue::new(), events_scheduled: 0 }
+    }
+
+    /// Schedules `event` at the absolute time `at`.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        self.events_scheduled += 1;
+        self.queue.push(at, event);
+    }
+
+    /// Schedules `event` at `now + delay`.
+    pub fn schedule_in(&mut self, now: SimTime, delay: SimTime, event: E) {
+        self.schedule_at(now + delay, event);
+    }
+
+    /// Number of events scheduled so far (lifetime counter).
+    pub fn events_scheduled(&self) -> u64 {
+        self.events_scheduled
+    }
+
+    /// Number of currently pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// A simulation model: state plus an event handler.
+pub trait Model {
+    /// The event payload type.
+    type Event;
+
+    /// Processes one event at simulation time `now`. Follow-up events go
+    /// through `scheduler`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, scheduler: &mut Scheduler<Self::Event>);
+}
+
+/// Reason the engine stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The future-event list drained.
+    Exhausted,
+    /// The configured event budget was reached.
+    EventLimit,
+    /// The configured time horizon was reached (the offending event is
+    /// left unprocessed).
+    TimeLimit,
+    /// The model's stop predicate returned true.
+    Predicate,
+}
+
+/// The DES event loop driving a [`Model`].
+#[derive(Debug)]
+pub struct Engine<M: Model> {
+    model: M,
+    scheduler: Scheduler<M::Event>,
+    now: SimTime,
+    events_processed: u64,
+}
+
+impl<M: Model> Engine<M> {
+    /// Creates an engine at time zero with an empty event list.
+    pub fn new(model: M) -> Self {
+        Engine {
+            model,
+            scheduler: Scheduler::new(),
+            now: SimTime::ZERO,
+            events_processed: 0,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Immutable access to the model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Mutable access to the model (e.g. to read statistics out).
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Mutable access to the scheduler (e.g. to seed initial events).
+    pub fn scheduler_mut(&mut self) -> &mut Scheduler<M::Event> {
+        &mut self.scheduler
+    }
+
+    /// Consumes the engine, returning the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Processes a single event. Returns `false` when the event list is
+    /// empty.
+    pub fn step(&mut self) -> bool {
+        match self.scheduler.queue.pop() {
+            Some((time, event)) => {
+                debug_assert!(time >= self.now, "time must not run backwards");
+                self.now = time;
+                self.events_processed += 1;
+                self.model.handle(time, event, &mut self.scheduler);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until the event list drains.
+    pub fn run_to_completion(&mut self) -> StopReason {
+        while self.step() {}
+        StopReason::Exhausted
+    }
+
+    /// Runs until the event list drains, `max_events` have been
+    /// processed, the clock would pass `horizon`, or `stop(model)`
+    /// becomes true (checked after each event).
+    pub fn run_until(
+        &mut self,
+        max_events: Option<u64>,
+        horizon: Option<SimTime>,
+        mut stop: impl FnMut(&M) -> bool,
+    ) -> StopReason {
+        loop {
+            if let Some(limit) = max_events {
+                if self.events_processed >= limit {
+                    return StopReason::EventLimit;
+                }
+            }
+            if let Some(h) = horizon {
+                match self.scheduler.queue.peek_time() {
+                    Some(t) if t > h => return StopReason::TimeLimit,
+                    _ => {}
+                }
+            }
+            if !self.step() {
+                return StopReason::Exhausted;
+            }
+            if stop(&self.model) {
+                return StopReason::Predicate;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A model producing a chain of events with a fixed spacing.
+    struct Chain {
+        remaining: u32,
+        spacing: SimTime,
+        fired_at: Vec<SimTime>,
+    }
+
+    impl Model for Chain {
+        type Event = ();
+        fn handle(&mut self, now: SimTime, _e: (), s: &mut Scheduler<()>) {
+            self.fired_at.push(now);
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                s.schedule_in(now, self.spacing, ());
+            }
+        }
+    }
+
+    fn chain(n: u32) -> Engine<Chain> {
+        let mut e = Engine::new(Chain {
+            remaining: n,
+            spacing: SimTime::from_us(10.0),
+            fired_at: Vec::new(),
+        });
+        e.scheduler_mut().schedule_at(SimTime::ZERO, ());
+        e
+    }
+
+    #[test]
+    fn runs_to_completion() {
+        let mut e = chain(4);
+        assert_eq!(e.run_to_completion(), StopReason::Exhausted);
+        assert_eq!(e.events_processed(), 5);
+        assert_eq!(e.now(), SimTime::from_us(40.0));
+        assert_eq!(e.model().fired_at.len(), 5);
+    }
+
+    #[test]
+    fn event_limit_stops_early() {
+        let mut e = chain(100);
+        assert_eq!(e.run_until(Some(3), None, |_| false), StopReason::EventLimit);
+        assert_eq!(e.events_processed(), 3);
+    }
+
+    #[test]
+    fn time_horizon_leaves_future_events_unprocessed() {
+        let mut e = chain(100);
+        assert_eq!(
+            e.run_until(None, Some(SimTime::from_us(25.0)), |_| false),
+            StopReason::TimeLimit
+        );
+        // Events at 0, 10, 20 fire; 30 is beyond the horizon.
+        assert_eq!(e.events_processed(), 3);
+        assert_eq!(e.now(), SimTime::from_us(20.0));
+        assert_eq!(e.scheduler_mut().pending(), 1);
+    }
+
+    #[test]
+    fn predicate_stops_the_run() {
+        let mut e = chain(100);
+        let reason = e.run_until(None, None, |m| m.fired_at.len() >= 7);
+        assert_eq!(reason, StopReason::Predicate);
+        assert_eq!(e.model().fired_at.len(), 7);
+    }
+
+    #[test]
+    fn empty_engine_exhausts_immediately() {
+        let mut e = Engine::new(Chain {
+            remaining: 0,
+            spacing: SimTime::ZERO,
+            fired_at: Vec::new(),
+        });
+        assert_eq!(e.run_to_completion(), StopReason::Exhausted);
+        assert!(!e.step());
+        assert_eq!(e.events_processed(), 0);
+    }
+
+    #[test]
+    fn scheduler_counters() {
+        let mut e = chain(2);
+        e.run_to_completion();
+        assert_eq!(e.scheduler_mut().events_scheduled(), 3);
+        assert_eq!(e.scheduler_mut().pending(), 0);
+    }
+
+    #[test]
+    fn into_model_returns_state() {
+        let mut e = chain(1);
+        e.run_to_completion();
+        let m = e.into_model();
+        assert_eq!(m.fired_at, vec![SimTime::ZERO, SimTime::from_us(10.0)]);
+    }
+}

@@ -1,0 +1,251 @@
+//! Streaming quantile estimation with the P² algorithm
+//! (Jain & Chlamtac, 1985).
+//!
+//! Latency *tails* matter as much as means for interconnect evaluation,
+//! but storing every observation of a long simulation run is wasteful.
+//! P² maintains five markers and estimates an arbitrary quantile in
+//! O(1) memory with piecewise-parabolic marker adjustment — the classic
+//! tool for exactly this job.
+
+/// A P² estimator for a single quantile `q ∈ (0, 1)`.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights (estimates of the quantile positions).
+    heights: [f64; 5],
+    /// Actual marker positions (1-based observation ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments per observation.
+    increments: [f64; 5],
+    count: u64,
+    /// Initial observations buffered until five are available.
+    initial: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for the `q`-quantile.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < q < 1`.
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must lie strictly in (0,1), got {q}");
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+            initial: Vec::with_capacity(5),
+        }
+    }
+
+    /// The targeted quantile level.
+    pub fn level(&self) -> f64 {
+        self.q
+    }
+
+    /// Number of observations seen.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Adds one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        if self.initial.len() < 5 {
+            self.initial.push(x);
+            if self.initial.len() == 5 {
+                self.initial.sort_by(|a, b| a.partial_cmp(b).expect("NaN observation"));
+                self.heights.copy_from_slice(&self.initial);
+            }
+            return;
+        }
+
+        // Locate the cell containing x and update extreme heights.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x < self.heights[1] {
+            0
+        } else if x < self.heights[2] {
+            1
+        } else if x < self.heights[3] {
+            2
+        } else if x <= self.heights[4] {
+            3
+        } else {
+            self.heights[4] = x;
+            3
+        };
+
+        for p in self.positions.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(&self.increments) {
+            *d += inc;
+        }
+
+        // Adjust interior markers.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right_gap = self.positions[i + 1] - self.positions[i];
+            let left_gap = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
+                let sign = d.signum();
+                let parabolic = self.parabolic(i, sign);
+                let new_height = if self.heights[i - 1] < parabolic
+                    && parabolic < self.heights[i + 1]
+                {
+                    parabolic
+                } else {
+                    self.linear(i, sign)
+                };
+                self.heights[i] = new_height;
+                self.positions[i] += sign;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, sign: f64) -> f64 {
+        let n = &self.positions;
+        let h = &self.heights;
+        h[i] + sign / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + sign) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - sign) * (h[i] - h[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, sign: f64) -> f64 {
+        let j = if sign > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + sign * (self.heights[j] - self.heights[i])
+                / (self.positions[j] - self.positions[i]).abs().max(1.0)
+    }
+
+    /// Current quantile estimate. `None` before any observation; exact
+    /// (from the sorted buffer) for fewer than five observations.
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.initial.len() < 5 {
+            let mut sorted = self.initial.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN observation"));
+            let rank =
+                ((self.q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            return Some(sorted[rank - 1]);
+        }
+        Some(self.heights[2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::RngStream;
+
+    fn exact_quantile(data: &mut [f64], q: f64) -> f64 {
+        data.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((q * data.len() as f64).ceil() as usize).clamp(1, data.len());
+        data[rank - 1]
+    }
+
+    #[test]
+    fn small_samples_are_exact() {
+        let mut p = P2Quantile::new(0.5);
+        assert_eq!(p.estimate(), None);
+        p.record(3.0);
+        assert_eq!(p.estimate(), Some(3.0));
+        p.record(1.0);
+        p.record(2.0);
+        assert_eq!(p.estimate(), Some(2.0));
+        assert_eq!(p.count(), 3);
+    }
+
+    #[test]
+    fn median_of_uniform_stream() {
+        let mut p = P2Quantile::new(0.5);
+        let mut rng = RngStream::new(42, 0);
+        let mut data = Vec::new();
+        for _ in 0..50_000 {
+            let x = rng.uniform();
+            p.record(x);
+            data.push(x);
+        }
+        let exact = exact_quantile(&mut data, 0.5);
+        let est = p.estimate().unwrap();
+        assert!((est - exact).abs() < 0.01, "P2 {est} vs exact {exact}");
+    }
+
+    #[test]
+    fn p95_of_exponential_stream() {
+        let mut p = P2Quantile::new(0.95);
+        let mut rng = RngStream::new(7, 1);
+        let mut data = Vec::new();
+        for _ in 0..80_000 {
+            let x = rng.exponential_mean(10.0);
+            p.record(x);
+            data.push(x);
+        }
+        let exact = exact_quantile(&mut data, 0.95);
+        let est = p.estimate().unwrap();
+        // Theory: p95 of Exp(mean 10) = -10 ln(0.05) ~ 29.96.
+        assert!((est - exact).abs() / exact < 0.05, "P2 {est} vs exact {exact}");
+        assert!((est - 29.96).abs() < 2.0);
+    }
+
+    #[test]
+    fn p99_of_bimodal_stream() {
+        let mut p = P2Quantile::new(0.99);
+        let mut rng = RngStream::new(9, 2);
+        let mut data = Vec::new();
+        for _ in 0..60_000 {
+            let x = if rng.bernoulli(0.9) {
+                rng.uniform() // fast path
+            } else {
+                100.0 + rng.uniform() * 50.0 // slow tail
+            };
+            p.record(x);
+            data.push(x);
+        }
+        let exact = exact_quantile(&mut data, 0.99);
+        let est = p.estimate().unwrap();
+        assert!(
+            (est - exact).abs() / exact < 0.10,
+            "bimodal tail: P2 {est} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn monotone_increasing_stream() {
+        let mut p = P2Quantile::new(0.5);
+        for i in 0..10_001 {
+            p.record(i as f64);
+        }
+        let est = p.estimate().unwrap();
+        assert!((est - 5000.0).abs() < 250.0, "median of 0..10000 ~ 5000, got {est}");
+    }
+
+    #[test]
+    fn constant_stream() {
+        let mut p = P2Quantile::new(0.9);
+        for _ in 0..1000 {
+            p.record(7.5);
+        }
+        assert_eq!(p.estimate(), Some(7.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly in (0,1)")]
+    fn rejects_degenerate_levels() {
+        P2Quantile::new(1.0);
+    }
+
+    #[test]
+    fn level_accessor() {
+        assert_eq!(P2Quantile::new(0.25).level(), 0.25);
+    }
+}

@@ -1,0 +1,204 @@
+//! An instrumented FCFS single-server queue component.
+//!
+//! Each of the paper's communication networks (ICN1, ECN1, ICN2) behaves
+//! as a single server with a FIFO queue: a message arriving at a busy
+//! network waits; service times are drawn by the caller (exponential in
+//! the paper's model). The component is engine-agnostic: the caller
+//! decides what "time" is and schedules the completion events; the
+//! component tracks ordering and statistics.
+
+use crate::stats::{OnlineStats, TimeWeighted};
+use std::collections::VecDeque;
+
+/// What the caller must do after notifying the queue of an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceDirective<T> {
+    /// Start serving this customer now (schedule its completion).
+    StartService(T),
+    /// Nothing to do (customer queued behind others, or queue empty).
+    Idle,
+}
+
+/// An FCFS single-server queue with waiting-time and queue-length
+/// instrumentation.
+#[derive(Debug, Clone)]
+pub struct FcfsServer<T> {
+    waiting: VecDeque<(T, f64)>, // (customer, arrival time)
+    in_service: Option<(T, f64)>,
+    waiting_times: OnlineStats,
+    queue_length: TimeWeighted,
+    arrivals: u64,
+    departures: u64,
+    busy_area: TimeWeighted,
+}
+
+impl<T: Clone> Default for FcfsServer<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Clone> FcfsServer<T> {
+    /// Creates an idle, empty server.
+    pub fn new() -> Self {
+        FcfsServer {
+            waiting: VecDeque::new(),
+            in_service: None,
+            waiting_times: OnlineStats::new(),
+            queue_length: TimeWeighted::new(),
+            arrivals: 0,
+            departures: 0,
+            busy_area: TimeWeighted::new(),
+        }
+    }
+
+    /// Number of customers present (waiting + in service).
+    pub fn len(&self) -> usize {
+        self.waiting.len() + usize::from(self.in_service.is_some())
+    }
+
+    /// True when no customer is present.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when the server is serving someone.
+    pub fn is_busy(&self) -> bool {
+        self.in_service.is_some()
+    }
+
+    /// A customer arrives at `now`. If the server is idle the caller
+    /// receives `StartService` and must schedule the completion.
+    pub fn arrive(&mut self, now: f64, customer: T) -> ServiceDirective<T> {
+        self.arrivals += 1;
+        let directive = if self.in_service.is_none() {
+            self.in_service = Some((customer.clone(), now));
+            self.waiting_times.record(0.0);
+            ServiceDirective::StartService(customer)
+        } else {
+            self.waiting.push_back((customer, now));
+            ServiceDirective::Idle
+        };
+        self.record_state(now);
+        directive
+    }
+
+    /// The customer in service completes at `now`; returns the customer
+    /// and, if someone was waiting, the next customer to start serving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server was idle (a completion without a service is a
+    /// simulation logic error).
+    pub fn complete(&mut self, now: f64) -> (T, ServiceDirective<T>) {
+        let (done, _started) =
+            self.in_service.take().expect("completion on an idle server");
+        self.departures += 1;
+        let directive = match self.waiting.pop_front() {
+            Some((next, arrived)) => {
+                self.waiting_times.record(now - arrived);
+                self.in_service = Some((next.clone(), now));
+                ServiceDirective::StartService(next)
+            }
+            None => ServiceDirective::Idle,
+        };
+        self.record_state(now);
+        (done, directive)
+    }
+
+    fn record_state(&mut self, now: f64) {
+        self.queue_length.update(now, self.len() as f64);
+        self.busy_area.update(now, if self.is_busy() { 1.0 } else { 0.0 });
+    }
+
+    /// Statistics of time spent waiting before service starts.
+    pub fn waiting_time_stats(&self) -> &OnlineStats {
+        &self.waiting_times
+    }
+
+    /// Time-weighted mean number in system up to `now`.
+    pub fn mean_number_in_system(&self, now: f64) -> f64 {
+        self.queue_length.mean_until(now)
+    }
+
+    /// Fraction of time the server was busy up to `now`.
+    pub fn utilization(&self, now: f64) -> f64 {
+        self.busy_area.mean_until(now)
+    }
+
+    /// Total arrivals so far.
+    pub fn arrivals(&self) -> u64 {
+        self.arrivals
+    }
+
+    /// Total service completions so far.
+    pub fn departures(&self) -> u64 {
+        self.departures
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_server_starts_immediately() {
+        let mut s: FcfsServer<u32> = FcfsServer::new();
+        assert_eq!(s.arrive(0.0, 1), ServiceDirective::StartService(1));
+        assert!(s.is_busy());
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn busy_server_queues_fifo() {
+        let mut s: FcfsServer<u32> = FcfsServer::new();
+        s.arrive(0.0, 1);
+        assert_eq!(s.arrive(1.0, 2), ServiceDirective::Idle);
+        assert_eq!(s.arrive(2.0, 3), ServiceDirective::Idle);
+        assert_eq!(s.len(), 3);
+        let (done, next) = s.complete(5.0);
+        assert_eq!(done, 1);
+        assert_eq!(next, ServiceDirective::StartService(2));
+        let (done, next) = s.complete(9.0);
+        assert_eq!(done, 2);
+        assert_eq!(next, ServiceDirective::StartService(3));
+        let (done, next) = s.complete(12.0);
+        assert_eq!(done, 3);
+        assert_eq!(next, ServiceDirective::Idle);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn waiting_times_are_tracked() {
+        let mut s: FcfsServer<u32> = FcfsServer::new();
+        s.arrive(0.0, 1); // waits 0
+        s.arrive(1.0, 2); // served at 5 => waited 4
+        s.complete(5.0);
+        s.complete(8.0);
+        let w = s.waiting_time_stats();
+        assert_eq!(w.count(), 2);
+        assert!((w.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(w.max(), Some(4.0));
+    }
+
+    #[test]
+    fn utilization_and_queue_length() {
+        let mut s: FcfsServer<u32> = FcfsServer::new();
+        s.arrive(0.0, 1);
+        s.complete(4.0); // busy [0,4]
+        // idle [4,10]
+        s.arrive(10.0, 2);
+        s.complete(12.0); // busy [10,12]
+        assert!((s.utilization(20.0) - 6.0 / 20.0).abs() < 1e-12);
+        assert!((s.mean_number_in_system(20.0) - 6.0 / 20.0).abs() < 1e-12);
+        assert_eq!(s.arrivals(), 2);
+        assert_eq!(s.departures(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "idle server")]
+    fn completion_on_idle_server_is_a_bug() {
+        let mut s: FcfsServer<u32> = FcfsServer::new();
+        s.complete(1.0);
+    }
+}

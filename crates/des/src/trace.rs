@@ -1,0 +1,167 @@
+//! Bounded event tracing for simulation debugging and auditing.
+//!
+//! A [`Tracer`] keeps the last `capacity` trace records in a ring
+//! buffer — enough to reconstruct "what led up to this" when an
+//! invariant fires deep into a run, without unbounded memory. Records
+//! carry the simulation time, a static category, and a formatted
+//! detail string; the tracer counts everything it ever saw, including
+//! records that have since been evicted.
+
+use crate::time::SimTime;
+use std::collections::VecDeque;
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Simulation time of the event.
+    pub time: SimTime,
+    /// Static category label (e.g. "arrival", "service-start").
+    pub category: &'static str,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+/// A bounded, always-on event trace.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    capacity: usize,
+    records: VecDeque<TraceRecord>,
+    total_recorded: u64,
+    enabled: bool,
+}
+
+impl Tracer {
+    /// Creates a tracer retaining the last `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` (disable with [`Tracer::set_enabled`]
+    /// instead).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "tracer capacity must be positive");
+        Tracer {
+            capacity,
+            records: VecDeque::with_capacity(capacity),
+            total_recorded: 0,
+            enabled: true,
+        }
+    }
+
+    /// Turns recording on or off (counting stops too when off).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// True when recording.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one event (no-op when disabled).
+    pub fn record(&mut self, time: SimTime, category: &'static str, detail: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        self.total_recorded += 1;
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+        }
+        self.records.push_back(TraceRecord { time, category, detail: detail.into() });
+    }
+
+    /// Records seen over the tracer's lifetime (including evicted ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.total_recorded
+    }
+
+    /// Currently retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Retained records of one category, oldest first.
+    pub fn by_category<'a>(
+        &'a self,
+        category: &'static str,
+    ) -> impl Iterator<Item = &'a TraceRecord> {
+        self.records.iter().filter(move |r| r.category == category)
+    }
+
+    /// Renders the retained trace as one line per record.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&format!("[{}] {}: {}\n", r.time, r.category, r.detail));
+        }
+        out
+    }
+
+    /// Clears retained records (the lifetime counter is kept).
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: f64) -> SimTime {
+        SimTime::from_us(us)
+    }
+
+    #[test]
+    fn retains_only_the_tail() {
+        let mut tr = Tracer::new(3);
+        for i in 0..10 {
+            tr.record(t(i as f64), "tick", format!("event {i}"));
+        }
+        assert_eq!(tr.total_recorded(), 10);
+        let kept: Vec<&str> = tr.records().map(|r| r.detail.as_str()).collect();
+        assert_eq!(kept, vec!["event 7", "event 8", "event 9"]);
+    }
+
+    #[test]
+    fn category_filtering() {
+        let mut tr = Tracer::new(10);
+        tr.record(t(1.0), "arrival", "msg 1");
+        tr.record(t(2.0), "departure", "msg 1");
+        tr.record(t(3.0), "arrival", "msg 2");
+        assert_eq!(tr.by_category("arrival").count(), 2);
+        assert_eq!(tr.by_category("departure").count(), 1);
+        assert_eq!(tr.by_category("unknown").count(), 0);
+    }
+
+    #[test]
+    fn disable_stops_recording() {
+        let mut tr = Tracer::new(4);
+        tr.record(t(1.0), "a", "kept");
+        tr.set_enabled(false);
+        assert!(!tr.is_enabled());
+        tr.record(t(2.0), "a", "dropped");
+        assert_eq!(tr.total_recorded(), 1);
+        assert_eq!(tr.records().count(), 1);
+        tr.set_enabled(true);
+        tr.record(t(3.0), "a", "kept again");
+        assert_eq!(tr.total_recorded(), 2);
+    }
+
+    #[test]
+    fn render_and_clear() {
+        let mut tr = Tracer::new(4);
+        tr.record(t(1500.0), "service", "start msg 7");
+        let s = tr.render();
+        assert!(s.contains("1.500 ms"));
+        assert!(s.contains("service"));
+        assert!(s.contains("start msg 7"));
+        tr.clear();
+        assert_eq!(tr.records().count(), 0);
+        assert_eq!(tr.total_recorded(), 1, "lifetime counter survives clear");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        Tracer::new(0);
+    }
+}

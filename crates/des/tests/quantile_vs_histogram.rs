@@ -1,0 +1,56 @@
+//! Cross-validation of the two tail-estimation tools: the P² streaming
+//! estimator against the binned histogram quantiles, on identical
+//! streams.
+
+use hmcs_des::quantile::P2Quantile;
+use hmcs_des::rng::RngStream;
+use hmcs_des::stats::Histogram;
+
+fn stream(seed: u64, n: usize, f: impl Fn(&mut RngStream) -> f64) -> Vec<f64> {
+    let mut rng = RngStream::new(seed, 0);
+    (0..n).map(|_| f(&mut rng)).collect()
+}
+
+fn check_agreement(data: &[f64], level: f64, range_hi: f64, tolerance: f64) {
+    let mut p2 = P2Quantile::new(level);
+    let mut hist = Histogram::new(0.0, range_hi, 2_000);
+    for &x in data {
+        p2.record(x);
+        hist.record(x);
+    }
+    let a = p2.estimate().unwrap();
+    let b = hist.quantile(level).unwrap();
+    assert!(
+        (a - b).abs() <= tolerance * b.max(1.0),
+        "q{level}: P2 {a} vs histogram {b}"
+    );
+}
+
+#[test]
+fn uniform_stream_agreement() {
+    let data = stream(1, 60_000, |r| r.uniform() * 100.0);
+    check_agreement(&data, 0.5, 100.0, 0.03);
+    check_agreement(&data, 0.95, 100.0, 0.03);
+}
+
+#[test]
+fn exponential_stream_agreement() {
+    let data = stream(2, 60_000, |r| r.exponential_mean(20.0));
+    check_agreement(&data, 0.5, 400.0, 0.05);
+    check_agreement(&data, 0.99, 400.0, 0.08);
+}
+
+#[test]
+fn erlang_stream_agreement() {
+    let data = stream(3, 60_000, |r| r.erlang(10.0, 4));
+    check_agreement(&data, 0.5, 100.0, 0.05);
+    check_agreement(&data, 0.95, 100.0, 0.05);
+}
+
+#[test]
+fn heavy_tailed_hyperexponential_agreement() {
+    let data = stream(4, 80_000, |r| r.hyper_exponential(5.0, 9.0));
+    // Heavy tails are the hard case for both estimators; allow wider
+    // slack but demand the same order of magnitude.
+    check_agreement(&data, 0.95, 300.0, 0.15);
+}

@@ -1,0 +1,138 @@
+//! Error type shared by all queueing computations.
+
+use std::fmt;
+
+/// Errors reported by queueing-theory computations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueueingError {
+    /// A rate (arrival or service) was negative, zero where positivity is
+    /// required, NaN or infinite.
+    InvalidRate {
+        /// Human-readable name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The offered load meets or exceeds capacity, so no steady state
+    /// exists (ρ ≥ 1 for an unbounded queue).
+    Unstable {
+        /// Offered load ρ = λ/(c·µ).
+        rho: f64,
+    },
+    /// A structural parameter (server count, buffer size, population …)
+    /// was out of range.
+    InvalidParameter {
+        /// Human-readable name of the offending parameter.
+        name: &'static str,
+        /// Description of the constraint that was violated.
+        reason: &'static str,
+    },
+    /// A routing matrix row summed to more than one, contained negative
+    /// entries, or the traffic equations were singular.
+    InvalidRouting {
+        /// Index of the offending station (or row).
+        station: usize,
+        /// Description of the violation.
+        reason: &'static str,
+    },
+    /// An iterative solver failed to converge within its iteration budget.
+    NoConvergence {
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+        /// Residual magnitude at the last iterate.
+        residual: f64,
+    },
+    /// The linear system arising from the traffic equations is singular.
+    SingularSystem,
+}
+
+impl fmt::Display for QueueingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueueingError::InvalidRate { name, value } => {
+                write!(f, "invalid rate {name} = {value}")
+            }
+            QueueingError::Unstable { rho } => {
+                write!(f, "queue is unstable: offered load rho = {rho} >= 1")
+            }
+            QueueingError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter {name}: {reason}")
+            }
+            QueueingError::InvalidRouting { station, reason } => {
+                write!(f, "invalid routing at station {station}: {reason}")
+            }
+            QueueingError::NoConvergence { iterations, residual } => {
+                write!(
+                    f,
+                    "solver did not converge after {iterations} iterations \
+                     (residual {residual:e})"
+                )
+            }
+            QueueingError::SingularSystem => {
+                write!(f, "traffic equations are singular")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueueingError {}
+
+/// Validates that `value` is a finite, non-negative rate.
+pub(crate) fn check_nonneg_rate(name: &'static str, value: f64) -> Result<(), QueueingError> {
+    if !value.is_finite() || value < 0.0 {
+        return Err(QueueingError::InvalidRate { name, value });
+    }
+    Ok(())
+}
+
+/// Validates that `value` is a finite, strictly positive rate.
+pub(crate) fn check_pos_rate(name: &'static str, value: f64) -> Result<(), QueueingError> {
+    if !value.is_finite() || value <= 0.0 {
+        return Err(QueueingError::InvalidRate { name, value });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let cases: Vec<QueueingError> = vec![
+            QueueingError::InvalidRate { name: "lambda", value: -1.0 },
+            QueueingError::Unstable { rho: 1.5 },
+            QueueingError::InvalidParameter { name: "servers", reason: "must be >= 1" },
+            QueueingError::InvalidRouting { station: 3, reason: "row sums to 1.2" },
+            QueueingError::NoConvergence { iterations: 100, residual: 1e-3 },
+            QueueingError::SingularSystem,
+        ];
+        for c in cases {
+            let s = format!("{c}");
+            assert!(!s.is_empty());
+        }
+    }
+
+    #[test]
+    fn rate_checks_accept_valid_values() {
+        assert!(check_nonneg_rate("x", 0.0).is_ok());
+        assert!(check_nonneg_rate("x", 1.5).is_ok());
+        assert!(check_pos_rate("x", 1e-12).is_ok());
+    }
+
+    #[test]
+    fn rate_checks_reject_invalid_values() {
+        assert!(check_nonneg_rate("x", -0.1).is_err());
+        assert!(check_nonneg_rate("x", f64::NAN).is_err());
+        assert!(check_nonneg_rate("x", f64::INFINITY).is_err());
+        assert!(check_pos_rate("x", 0.0).is_err());
+        assert!(check_pos_rate("x", -1.0).is_err());
+        assert!(check_pos_rate("x", f64::NAN).is_err());
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(QueueingError::SingularSystem);
+        assert_eq!(e.to_string(), "traffic equations are singular");
+    }
+}

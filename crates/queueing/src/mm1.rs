@@ -1,0 +1,273 @@
+//! The M/M/1 queue.
+//!
+//! The ICPPW'05 model treats every communication network (ICN1, ECN1,
+//! ICN2) as an M/M/1 service centre: Poisson arrivals at rate λ,
+//! exponential service at rate µ, one server, FCFS, infinite buffer.
+//! Eq. 16 of the paper, `W = 1/(µ − λ)`, is
+//! [`MM1::mean_sojourn_time`]; the queue length used in eq. 6 is
+//! [`MM1::mean_number_in_system`].
+
+use crate::error::{check_nonneg_rate, check_pos_rate, QueueingError};
+
+/// A stationary M/M/1 queue with arrival rate λ and service rate µ.
+///
+/// Construction fails unless `0 ≤ λ < µ` (the stability condition
+/// ρ = λ/µ < 1). All returned moments are exact closed forms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MM1 {
+    lambda: f64,
+    mu: f64,
+}
+
+impl MM1 {
+    /// Creates a stable M/M/1 queue.
+    ///
+    /// # Errors
+    ///
+    /// * [`QueueingError::InvalidRate`] if either rate is negative,
+    ///   non-finite, or µ is zero.
+    /// * [`QueueingError::Unstable`] if λ ≥ µ.
+    pub fn new(lambda: f64, mu: f64) -> Result<Self, QueueingError> {
+        check_nonneg_rate("lambda", lambda)?;
+        check_pos_rate("mu", mu)?;
+        if lambda >= mu {
+            return Err(QueueingError::Unstable { rho: lambda / mu });
+        }
+        Ok(MM1 { lambda, mu })
+    }
+
+    /// Arrival rate λ.
+    #[inline]
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Service rate µ.
+    #[inline]
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Mean service time 1/µ.
+    #[inline]
+    pub fn mean_service_time(&self) -> f64 {
+        1.0 / self.mu
+    }
+
+    /// Server utilization ρ = λ/µ, which also equals the probability the
+    /// server is busy.
+    #[inline]
+    pub fn utilization(&self) -> f64 {
+        self.lambda / self.mu
+    }
+
+    /// Mean number of customers in the system, `L = ρ/(1−ρ)`.
+    ///
+    /// This is the "queue length of each service centre" of paper eq. 6:
+    /// a processor whose message is being transmitted is still waiting,
+    /// so the in-service customer is included.
+    #[inline]
+    pub fn mean_number_in_system(&self) -> f64 {
+        let rho = self.utilization();
+        rho / (1.0 - rho)
+    }
+
+    /// Mean number of customers waiting in queue (excluding the one in
+    /// service), `Lq = ρ²/(1−ρ)`.
+    #[inline]
+    pub fn mean_number_in_queue(&self) -> f64 {
+        let rho = self.utilization();
+        rho * rho / (1.0 - rho)
+    }
+
+    /// Mean sojourn (response) time `W = 1/(µ−λ)` — paper eq. 16.
+    #[inline]
+    pub fn mean_sojourn_time(&self) -> f64 {
+        1.0 / (self.mu - self.lambda)
+    }
+
+    /// Mean waiting time in queue `Wq = ρ/(µ−λ)`.
+    #[inline]
+    pub fn mean_waiting_time(&self) -> f64 {
+        self.utilization() / (self.mu - self.lambda)
+    }
+
+    /// Variance of the sojourn time. For M/M/1 the sojourn time is
+    /// exponentially distributed with rate µ−λ, so the variance is
+    /// `1/(µ−λ)²`.
+    #[inline]
+    pub fn sojourn_time_variance(&self) -> f64 {
+        let w = self.mean_sojourn_time();
+        w * w
+    }
+
+    /// Steady-state probability of exactly `n` customers in the system,
+    /// `P(N = n) = (1−ρ)ρⁿ`.
+    #[inline]
+    pub fn prob_n_in_system(&self, n: u32) -> f64 {
+        let rho = self.utilization();
+        (1.0 - rho) * rho.powi(n as i32)
+    }
+
+    /// Probability that an arriving customer must wait (server busy).
+    /// By PASTA this equals ρ.
+    #[inline]
+    pub fn prob_wait(&self) -> f64 {
+        self.utilization()
+    }
+
+    /// Probability that the number in the system exceeds `n`,
+    /// `P(N > n) = ρ^{n+1}`.
+    #[inline]
+    pub fn prob_more_than(&self, n: u32) -> f64 {
+        self.utilization().powi(n as i32 + 1)
+    }
+
+    /// The `p`-quantile of the sojourn-time distribution
+    /// (exponential with rate µ−λ): `−ln(1−p)/(µ−λ)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1)`.
+    pub fn sojourn_time_quantile(&self, p: f64) -> f64 {
+        assert!((0.0..1.0).contains(&p), "quantile level must be in [0,1), got {p}");
+        -(1.0 - p).ln() * self.mean_sojourn_time()
+    }
+
+    /// Throughput of the queue; for a stable queue this equals λ.
+    #[inline]
+    pub fn throughput(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Verifies Little's law `L = λ·W` as a self-check; returns the
+    /// absolute discrepancy (zero up to rounding).
+    pub fn littles_law_residual(&self) -> f64 {
+        (self.mean_number_in_system() - self.lambda * self.mean_sojourn_time()).abs()
+    }
+}
+
+/// Mean sojourn time of an M/M/1 queue without constructing the struct,
+/// `W = 1/(µ−λ)`. Returns `None` when the queue would be unstable or the
+/// inputs are invalid. Convenience for hot solver loops (paper eq. 16).
+#[inline]
+pub fn sojourn_time(lambda: f64, mu: f64) -> Option<f64> {
+    if !lambda.is_finite() || !mu.is_finite() || lambda < 0.0 || mu <= 0.0 || lambda >= mu {
+        None
+    } else {
+        Some(1.0 / (mu - lambda))
+    }
+}
+
+/// Mean number in system of an M/M/1 queue without constructing the
+/// struct, `L = ρ/(1−ρ)`. Returns `None` when unstable or invalid.
+#[inline]
+pub fn number_in_system(lambda: f64, mu: f64) -> Option<f64> {
+    if !lambda.is_finite() || !mu.is_finite() || lambda < 0.0 || mu <= 0.0 || lambda >= mu {
+        None
+    } else {
+        let rho = lambda / mu;
+        Some(rho / (1.0 - rho))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(lambda: f64, mu: f64) -> MM1 {
+        MM1::new(lambda, mu).unwrap()
+    }
+
+    #[test]
+    fn rejects_unstable_and_invalid() {
+        assert!(matches!(MM1::new(2.0, 1.0), Err(QueueingError::Unstable { .. })));
+        assert!(matches!(MM1::new(1.0, 1.0), Err(QueueingError::Unstable { .. })));
+        assert!(MM1::new(-1.0, 1.0).is_err());
+        assert!(MM1::new(1.0, 0.0).is_err());
+        assert!(MM1::new(f64::NAN, 1.0).is_err());
+        assert!(MM1::new(0.5, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn zero_arrival_rate_is_an_idle_queue() {
+        let idle = q(0.0, 3.0);
+        assert_eq!(idle.utilization(), 0.0);
+        assert_eq!(idle.mean_number_in_system(), 0.0);
+        assert!((idle.mean_sojourn_time() - 1.0 / 3.0).abs() < 1e-15);
+        assert_eq!(idle.mean_waiting_time(), 0.0);
+    }
+
+    #[test]
+    fn textbook_example() {
+        // Kleinrock vol. 1 style: lambda = 1, mu = 2 => rho = 0.5,
+        // L = 1, Lq = 0.5, W = 1, Wq = 0.5.
+        let k = q(1.0, 2.0);
+        assert!((k.utilization() - 0.5).abs() < 1e-15);
+        assert!((k.mean_number_in_system() - 1.0).abs() < 1e-15);
+        assert!((k.mean_number_in_queue() - 0.5).abs() < 1e-15);
+        assert!((k.mean_sojourn_time() - 1.0).abs() < 1e-15);
+        assert!((k.mean_waiting_time() - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn littles_law_holds() {
+        for (l, m) in [(0.1, 1.0), (0.9, 1.0), (3.0, 10.0), (7.5, 8.0)] {
+            assert!(q(l, m).littles_law_residual() < 1e-9, "lambda={l} mu={m}");
+        }
+    }
+
+    #[test]
+    fn state_probabilities_sum_to_one() {
+        let k = q(0.7, 1.0);
+        let total: f64 = (0..2000).map(|n| k.prob_n_in_system(n)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tail_probability_matches_sum() {
+        let k = q(0.6, 1.0);
+        let tail_direct = k.prob_more_than(4);
+        let tail_sum: f64 = (5..3000).map(|n| k.prob_n_in_system(n)).sum();
+        assert!((tail_direct - tail_sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_mean() {
+        let k = q(0.5, 1.0);
+        // Exponential: median = ln 2 * mean < mean < p90.
+        assert!(k.sojourn_time_quantile(0.5) < k.mean_sojourn_time());
+        assert!(k.sojourn_time_quantile(0.9) > k.mean_sojourn_time());
+        assert_eq!(k.sojourn_time_quantile(0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile level")]
+    fn quantile_rejects_out_of_range() {
+        q(0.5, 1.0).sojourn_time_quantile(1.0);
+    }
+
+    #[test]
+    fn free_function_helpers_match_struct() {
+        let k = q(0.25, 0.8);
+        assert_eq!(sojourn_time(0.25, 0.8), Some(k.mean_sojourn_time()));
+        assert_eq!(number_in_system(0.25, 0.8), Some(k.mean_number_in_system()));
+        assert_eq!(sojourn_time(1.0, 1.0), None);
+        assert_eq!(number_in_system(2.0, 1.0), None);
+        assert_eq!(sojourn_time(-1.0, 1.0), None);
+    }
+
+    #[test]
+    fn waiting_plus_service_equals_sojourn() {
+        let k = q(0.4, 1.1);
+        let w = k.mean_waiting_time() + k.mean_service_time();
+        assert!((w - k.mean_sojourn_time()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heavy_traffic_blows_up() {
+        let k = q(0.999, 1.0);
+        assert!(k.mean_number_in_system() > 500.0);
+        assert!(k.mean_sojourn_time() > 500.0);
+    }
+}

@@ -1,0 +1,317 @@
+//! Multi-server and finite-buffer Markovian queues: M/M/c, M/M/1/K and
+//! M/M/∞.
+//!
+//! These generalise the paper's M/M/1 service centres. An M/M/c centre
+//! models a network with `c` parallel links (e.g. a trunked inter-cluster
+//! uplink); M/M/1/K models a switch with finite buffering; M/M/∞ is the
+//! contention-free limit used as a lower bound.
+
+use crate::error::{check_nonneg_rate, check_pos_rate, QueueingError};
+
+/// A stationary M/M/c queue: Poisson arrivals λ, `c` exponential servers
+/// each of rate µ, infinite buffer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MMc {
+    lambda: f64,
+    mu: f64,
+    servers: u32,
+}
+
+impl MMc {
+    /// Creates a stable M/M/c queue (requires `λ < c·µ`).
+    pub fn new(lambda: f64, mu: f64, servers: u32) -> Result<Self, QueueingError> {
+        check_nonneg_rate("lambda", lambda)?;
+        check_pos_rate("mu", mu)?;
+        if servers == 0 {
+            return Err(QueueingError::InvalidParameter {
+                name: "servers",
+                reason: "must be at least 1",
+            });
+        }
+        let rho = lambda / (servers as f64 * mu);
+        if rho >= 1.0 {
+            return Err(QueueingError::Unstable { rho });
+        }
+        Ok(MMc { lambda, mu, servers })
+    }
+
+    /// Arrival rate λ.
+    #[inline]
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Per-server service rate µ.
+    #[inline]
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Number of servers `c`.
+    #[inline]
+    pub fn servers(&self) -> u32 {
+        self.servers
+    }
+
+    /// Offered load in Erlangs, `a = λ/µ`.
+    #[inline]
+    pub fn offered_load(&self) -> f64 {
+        self.lambda / self.mu
+    }
+
+    /// Per-server utilization ρ = λ/(c·µ).
+    #[inline]
+    pub fn utilization(&self) -> f64 {
+        self.lambda / (self.servers as f64 * self.mu)
+    }
+
+    /// Erlang C: the probability an arriving customer has to wait,
+    /// `C(c, a)`.
+    ///
+    /// Computed with the numerically stable recurrence on the Erlang B
+    /// blocking probability
+    /// `B(0, a) = 1`, `B(k, a) = a·B(k−1, a) / (k + a·B(k−1, a))`,
+    /// then `C = B / (1 − ρ(1 − B))`.
+    pub fn erlang_c(&self) -> f64 {
+        let a = self.offered_load();
+        if a == 0.0 {
+            return 0.0;
+        }
+        let mut b = 1.0;
+        for k in 1..=self.servers {
+            b = a * b / (k as f64 + a * b);
+        }
+        let rho = self.utilization();
+        b / (1.0 - rho * (1.0 - b))
+    }
+
+    /// Mean number waiting in queue `Lq = C(c,a)·ρ/(1−ρ)`.
+    pub fn mean_number_in_queue(&self) -> f64 {
+        let rho = self.utilization();
+        self.erlang_c() * rho / (1.0 - rho)
+    }
+
+    /// Mean number in system `L = Lq + a`.
+    pub fn mean_number_in_system(&self) -> f64 {
+        self.mean_number_in_queue() + self.offered_load()
+    }
+
+    /// Mean waiting time in queue `Wq = Lq/λ` (0 when λ = 0).
+    pub fn mean_waiting_time(&self) -> f64 {
+        if self.lambda == 0.0 {
+            0.0
+        } else {
+            self.mean_number_in_queue() / self.lambda
+        }
+    }
+
+    /// Mean sojourn time `W = Wq + 1/µ`.
+    pub fn mean_sojourn_time(&self) -> f64 {
+        self.mean_waiting_time() + 1.0 / self.mu
+    }
+}
+
+/// A finite-buffer M/M/1/K queue: at most `K` customers in the system
+/// (including the one in service); arrivals finding the system full are
+/// lost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MM1K {
+    lambda: f64,
+    mu: f64,
+    capacity: u32,
+}
+
+impl MM1K {
+    /// Creates an M/M/1/K queue. Finite-buffer queues are always stable,
+    /// so λ ≥ µ is allowed.
+    pub fn new(lambda: f64, mu: f64, capacity: u32) -> Result<Self, QueueingError> {
+        check_nonneg_rate("lambda", lambda)?;
+        check_pos_rate("mu", mu)?;
+        if capacity == 0 {
+            return Err(QueueingError::InvalidParameter {
+                name: "capacity",
+                reason: "must be at least 1",
+            });
+        }
+        Ok(MM1K { lambda, mu, capacity })
+    }
+
+    /// Steady-state probability of `n` customers in the system
+    /// (0 for n > K).
+    pub fn prob_n_in_system(&self, n: u32) -> f64 {
+        if n > self.capacity {
+            return 0.0;
+        }
+        let rho = self.lambda / self.mu;
+        let k = self.capacity as i32;
+        if (rho - 1.0).abs() < 1e-12 {
+            return 1.0 / (k as f64 + 1.0);
+        }
+        (1.0 - rho) * rho.powi(n as i32) / (1.0 - rho.powi(k + 1))
+    }
+
+    /// Probability an arrival is blocked (system full), `P(N = K)`.
+    pub fn blocking_probability(&self) -> f64 {
+        self.prob_n_in_system(self.capacity)
+    }
+
+    /// Effective (carried) arrival rate `λ(1 − P_block)`.
+    pub fn effective_lambda(&self) -> f64 {
+        self.lambda * (1.0 - self.blocking_probability())
+    }
+
+    /// Mean number in system `L = Σ n·P(N=n)`.
+    pub fn mean_number_in_system(&self) -> f64 {
+        (0..=self.capacity).map(|n| n as f64 * self.prob_n_in_system(n)).sum()
+    }
+
+    /// Mean sojourn time of *accepted* customers, `W = L / λ_eff`
+    /// (0 when there is no traffic).
+    pub fn mean_sojourn_time(&self) -> f64 {
+        let le = self.effective_lambda();
+        if le == 0.0 {
+            0.0
+        } else {
+            self.mean_number_in_system() / le
+        }
+    }
+}
+
+/// The M/M/∞ queue (infinite servers): every customer is served
+/// immediately. Models a contention-free network and lower-bounds any
+/// finite-capacity centre with the same service time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MMInf {
+    lambda: f64,
+    mu: f64,
+}
+
+impl MMInf {
+    /// Creates an M/M/∞ queue (always stable).
+    pub fn new(lambda: f64, mu: f64) -> Result<Self, QueueingError> {
+        check_nonneg_rate("lambda", lambda)?;
+        check_pos_rate("mu", mu)?;
+        Ok(MMInf { lambda, mu })
+    }
+
+    /// Mean number in system `L = λ/µ` (Poisson distributed).
+    pub fn mean_number_in_system(&self) -> f64 {
+        self.lambda / self.mu
+    }
+
+    /// Mean sojourn time `W = 1/µ` (no waiting, ever).
+    pub fn mean_sojourn_time(&self) -> f64 {
+        1.0 / self.mu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mm1::MM1;
+
+    #[test]
+    fn mmc_with_one_server_reduces_to_mm1() {
+        let c = MMc::new(0.7, 1.0, 1).unwrap();
+        let s = MM1::new(0.7, 1.0).unwrap();
+        assert!((c.mean_number_in_system() - s.mean_number_in_system()).abs() < 1e-12);
+        assert!((c.mean_sojourn_time() - s.mean_sojourn_time()).abs() < 1e-12);
+        assert!((c.erlang_c() - s.prob_wait()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mmc_rejects_unstable() {
+        assert!(MMc::new(2.0, 1.0, 2).is_err());
+        assert!(MMc::new(2.0, 1.0, 3).is_ok());
+        assert!(MMc::new(1.0, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn erlang_c_textbook_value() {
+        // Classic call-centre example: c = 2, lambda = 1.5, mu = 1
+        // => a = 1.5, rho = 0.75. Erlang B: B1 = 1.5/2.5 = 0.6,
+        // B2 = 1.5*0.6/(2+0.9) = 0.9/2.9. C = B2/(1-0.75(1-B2)).
+        let q = MMc::new(1.5, 1.0, 2).unwrap();
+        let b2: f64 = 0.9 / 2.9;
+        let expected = b2 / (1.0 - 0.75 * (1.0 - b2));
+        assert!((q.erlang_c() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mmc_more_servers_means_less_waiting() {
+        let w2 = MMc::new(1.8, 1.0, 2).unwrap().mean_waiting_time();
+        let w4 = MMc::new(1.8, 1.0, 4).unwrap().mean_waiting_time();
+        let w8 = MMc::new(1.8, 1.0, 8).unwrap().mean_waiting_time();
+        assert!(w2 > w4 && w4 > w8);
+    }
+
+    #[test]
+    fn mmc_littles_law() {
+        let q = MMc::new(2.5, 1.0, 4).unwrap();
+        let l = q.mean_number_in_system();
+        let w = q.mean_sojourn_time();
+        assert!((l - q.lambda() * w).abs() < 1e-10);
+    }
+
+    #[test]
+    fn mmc_idle_queue() {
+        let q = MMc::new(0.0, 1.0, 3).unwrap();
+        assert_eq!(q.erlang_c(), 0.0);
+        assert_eq!(q.mean_number_in_queue(), 0.0);
+        assert_eq!(q.mean_waiting_time(), 0.0);
+        assert!((q.mean_sojourn_time() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn mm1k_probabilities_sum_to_one() {
+        let q = MM1K::new(0.8, 1.0, 10).unwrap();
+        let total: f64 = (0..=10).map(|n| q.prob_n_in_system(n)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(q.prob_n_in_system(11), 0.0);
+    }
+
+    #[test]
+    fn mm1k_allows_overload() {
+        // rho = 2: heavily overloaded but finite.
+        let q = MM1K::new(2.0, 1.0, 5).unwrap();
+        let p_block = q.blocking_probability();
+        assert!(p_block > 0.4, "most arrivals should be blocked, got {p_block}");
+        assert!(q.effective_lambda() < 1.0);
+    }
+
+    #[test]
+    fn mm1k_rho_equal_one_is_uniform() {
+        let q = MM1K::new(1.0, 1.0, 4).unwrap();
+        for n in 0..=4 {
+            assert!((q.prob_n_in_system(n) - 0.2).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mm1k_large_buffer_approaches_mm1() {
+        let finite = MM1K::new(0.5, 1.0, 200).unwrap();
+        let infinite = MM1::new(0.5, 1.0).unwrap();
+        assert!(
+            (finite.mean_number_in_system() - infinite.mean_number_in_system()).abs() < 1e-9
+        );
+        assert!(finite.blocking_probability() < 1e-30);
+    }
+
+    #[test]
+    fn mminf_has_no_waiting() {
+        let q = MMInf::new(100.0, 2.0).unwrap();
+        assert!((q.mean_sojourn_time() - 0.5).abs() < 1e-15);
+        assert!((q.mean_number_in_system() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordering_mminf_le_mmc_le_mm1() {
+        // Same total capacity: M/M/2 with mu each vs M/M/1 with rate mu
+        // (not 2mu) is worse; M/M/inf is best.
+        let lam = 0.9;
+        let w_inf = MMInf::new(lam, 1.0).unwrap().mean_sojourn_time();
+        let w_c = MMc::new(lam, 1.0, 2).unwrap().mean_sojourn_time();
+        let w_1 = MM1::new(lam, 1.0).unwrap().mean_sojourn_time();
+        assert!(w_inf <= w_c && w_c <= w_1);
+    }
+}

@@ -1,0 +1,241 @@
+//! Multi-class M/G/1 priority queues.
+//!
+//! Extension substrate: multi-cluster schedulers commonly separate
+//! latency-critical control traffic from bulk data (the paper's ECN
+//! carries "management" traffic alongside application messages, §3).
+//! These closed forms let the model study what strict priorities at a
+//! network tier would do.
+//!
+//! Classes are indexed from 0 = **highest** priority. Classic results
+//! (Cobham / Kleinrock vol. 2):
+//!
+//! * non-preemptive: `Wq_k = W₀ / ((1−σ_{k−1})(1−σ_k))` with
+//!   `W₀ = Σᵢ λᵢ·E[Sᵢ²]/2` and `σ_k = Σ_{i≤k} ρᵢ`;
+//! * preemptive-resume: `T_k = (E[S_k]·(1−σ_{k−1})⁻¹) + (W₀^{(k)} /
+//!   ((1−σ_{k−1})(1−σ_k)))` where `W₀^{(k)}` sums residuals over
+//!   classes `i ≤ k` only.
+
+use crate::error::{check_nonneg_rate, QueueingError};
+use crate::mg1::ServiceDistribution;
+
+/// One priority class: arrival rate plus service description.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PriorityClass {
+    /// Poisson arrival rate of this class.
+    pub lambda: f64,
+    /// Service-time distribution of this class.
+    pub service: ServiceDistribution,
+}
+
+/// Scheduling discipline across classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Discipline {
+    /// The server finishes the current job before switching.
+    NonPreemptive,
+    /// Higher classes interrupt lower ones; interrupted work resumes.
+    PreemptiveResume,
+}
+
+/// Per-class steady-state results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PriorityResults {
+    /// Mean waiting time in queue per class (µ-units of the input).
+    pub waiting_times: Vec<f64>,
+    /// Mean sojourn (response) time per class.
+    pub sojourn_times: Vec<f64>,
+    /// Per-class utilization ρᵢ.
+    pub utilizations: Vec<f64>,
+}
+
+/// A multi-class M/G/1 priority queue (class 0 = highest priority).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PriorityMG1 {
+    classes: Vec<PriorityClass>,
+}
+
+impl PriorityMG1 {
+    /// Creates the queue; requires total utilization Σρᵢ < 1.
+    pub fn new(classes: Vec<PriorityClass>) -> Result<Self, QueueingError> {
+        if classes.is_empty() {
+            return Err(QueueingError::InvalidParameter {
+                name: "classes",
+                reason: "need at least one priority class",
+            });
+        }
+        let mut total_rho = 0.0;
+        for c in &classes {
+            check_nonneg_rate("lambda", c.lambda)?;
+            c.service.validate()?;
+            total_rho += c.lambda * c.service.mean();
+        }
+        if total_rho >= 1.0 {
+            return Err(QueueingError::Unstable { rho: total_rho });
+        }
+        Ok(PriorityMG1 { classes })
+    }
+
+    /// Number of classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Total utilization Σρᵢ.
+    pub fn total_utilization(&self) -> f64 {
+        self.classes.iter().map(|c| c.lambda * c.service.mean()).sum()
+    }
+
+    /// Solves the queue under the given discipline.
+    pub fn solve(&self, discipline: Discipline) -> PriorityResults {
+        let k = self.classes.len();
+        let rho: Vec<f64> =
+            self.classes.iter().map(|c| c.lambda * c.service.mean()).collect();
+        // Cumulative utilizations sigma_k = sum_{i<=k} rho_i; sigma(-1)=0.
+        let mut sigma = vec![0.0; k + 1];
+        for i in 0..k {
+            sigma[i + 1] = sigma[i] + rho[i];
+        }
+        // Residual work contributed by class i: lambda_i E[S_i^2]/2.
+        let residual: Vec<f64> =
+            self.classes.iter().map(|c| c.lambda * c.service.second_moment() / 2.0).collect();
+        let total_residual: f64 = residual.iter().sum();
+
+        let mut waiting = Vec::with_capacity(k);
+        let mut sojourn = Vec::with_capacity(k);
+        for i in 0..k {
+            match discipline {
+                Discipline::NonPreemptive => {
+                    let wq = total_residual / ((1.0 - sigma[i]) * (1.0 - sigma[i + 1]));
+                    waiting.push(wq);
+                    sojourn.push(wq + self.classes[i].service.mean());
+                }
+                Discipline::PreemptiveResume => {
+                    // Only classes <= i delay class i.
+                    let w0: f64 = residual[..=i].iter().sum();
+                    let service_stretch =
+                        self.classes[i].service.mean() / (1.0 - sigma[i]);
+                    let wq = w0 / ((1.0 - sigma[i]) * (1.0 - sigma[i + 1]));
+                    waiting.push(wq);
+                    sojourn.push(service_stretch + wq);
+                }
+            }
+        }
+        PriorityResults { waiting_times: waiting, sojourn_times: sojourn, utilizations: rho }
+    }
+
+    /// The Kleinrock conservation law for non-preemptive work-conserving
+    /// disciplines: `Σ ρᵢ·Wqᵢ` is invariant (equals `ρ·W₀/(1−ρ)`).
+    /// Returns the residual between the two sides — a self-check used in
+    /// tests.
+    pub fn conservation_residual(&self) -> f64 {
+        let results = self.solve(Discipline::NonPreemptive);
+        let rho_total = self.total_utilization();
+        let w0: f64 =
+            self.classes.iter().map(|c| c.lambda * c.service.second_moment() / 2.0).sum();
+        let lhs: f64 = results
+            .utilizations
+            .iter()
+            .zip(&results.waiting_times)
+            .map(|(r, w)| r * w)
+            .sum();
+        let rhs = rho_total * w0 / (1.0 - rho_total);
+        (lhs - rhs).abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mg1::MG1;
+
+    fn exp_class(lambda: f64, mean: f64) -> PriorityClass {
+        PriorityClass { lambda, service: ServiceDistribution::Exponential(mean) }
+    }
+
+    #[test]
+    fn single_class_reduces_to_mg1() {
+        let q = PriorityMG1::new(vec![exp_class(0.5, 1.0)]).unwrap();
+        let mg1 = MG1::new(0.5, ServiceDistribution::Exponential(1.0)).unwrap();
+        for discipline in [Discipline::NonPreemptive, Discipline::PreemptiveResume] {
+            let r = q.solve(discipline);
+            assert!(
+                (r.waiting_times[0] - mg1.mean_waiting_time()).abs() < 1e-12,
+                "{discipline:?}"
+            );
+            assert!((r.sojourn_times[0] - mg1.mean_sojourn_time()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn high_priority_waits_less() {
+        let q = PriorityMG1::new(vec![exp_class(0.3, 1.0), exp_class(0.3, 1.0)]).unwrap();
+        for discipline in [Discipline::NonPreemptive, Discipline::PreemptiveResume] {
+            let r = q.solve(discipline);
+            assert!(r.waiting_times[0] < r.waiting_times[1], "{discipline:?}");
+            assert!(r.sojourn_times[0] < r.sojourn_times[1]);
+        }
+    }
+
+    #[test]
+    fn preemption_shields_the_top_class_completely() {
+        // Under preemptive-resume, class 0 never sees class 1 at all:
+        // its sojourn equals a solo M/G/1 with only class-0 load.
+        let q = PriorityMG1::new(vec![exp_class(0.3, 1.0), exp_class(0.5, 1.0)]).unwrap();
+        let solo = MG1::new(0.3, ServiceDistribution::Exponential(1.0)).unwrap();
+        let r = q.solve(Discipline::PreemptiveResume);
+        assert!((r.sojourn_times[0] - solo.mean_sojourn_time()).abs() < 1e-12);
+        // Non-preemptively, class 0 still waits behind in-service
+        // class-1 jobs.
+        let np = q.solve(Discipline::NonPreemptive);
+        assert!(np.waiting_times[0] > r.waiting_times[0]);
+    }
+
+    #[test]
+    fn conservation_law_holds() {
+        let q = PriorityMG1::new(vec![
+            exp_class(0.2, 0.5),
+            PriorityClass {
+                lambda: 0.1,
+                service: ServiceDistribution::Erlang { mean: 2.0, phases: 2 },
+            },
+            PriorityClass {
+                lambda: 0.05,
+                service: ServiceDistribution::Deterministic(3.0),
+            },
+        ])
+        .unwrap();
+        assert!(q.conservation_residual() < 1e-10);
+    }
+
+    #[test]
+    fn priorities_do_not_change_total_backlog() {
+        // Mean number in system summed over classes (weighted by
+        // arrival rates via Little) is the same for both class orders
+        // when classes are stochastically identical.
+        let a = PriorityMG1::new(vec![exp_class(0.25, 1.0), exp_class(0.35, 1.0)]).unwrap();
+        let b = PriorityMG1::new(vec![exp_class(0.35, 1.0), exp_class(0.25, 1.0)]).unwrap();
+        let total = |q: &PriorityMG1| {
+            let r = q.solve(Discipline::NonPreemptive);
+            q.classes
+                .iter()
+                .zip(&r.sojourn_times)
+                .map(|(c, t)| c.lambda * t)
+                .sum::<f64>()
+        };
+        assert!((total(&a) - total(&b)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_unstable_and_empty() {
+        assert!(PriorityMG1::new(vec![]).is_err());
+        assert!(PriorityMG1::new(vec![exp_class(0.6, 1.0), exp_class(0.6, 1.0)]).is_err());
+        assert!(PriorityMG1::new(vec![exp_class(-0.1, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn starving_low_priority_under_heavy_high_priority() {
+        let q = PriorityMG1::new(vec![exp_class(0.9, 1.0), exp_class(0.05, 1.0)]).unwrap();
+        let r = q.solve(Discipline::PreemptiveResume);
+        // Class 1 sees effective capacity 1 - 0.9 = 0.1.
+        assert!(r.sojourn_times[1] > 10.0 * r.sojourn_times[0]);
+    }
+}

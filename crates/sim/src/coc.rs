@@ -1,0 +1,482 @@
+//! Flow-level simulator for **Cluster-of-Clusters** systems — the
+//! validation counterpart of `hmcs_core::cluster_of_clusters`, so the
+//! paper's future-work generalisation gets the same
+//! analysis-vs-simulation treatment as the Super-Cluster model.
+//!
+//! Clusters may differ in size and network technology; everything else
+//! follows the flow-level semantics of [`crate::flow`]: exponential
+//! think times, uniform destinations, blocked sources, one FCFS server
+//! per network tier with the topology-model mean service time.
+
+use crate::result::{CenterObservation, LatencyQuantiles, SimResult};
+use hmcs_core::cluster_of_clusters::{tier_service_times, CocConfig, CocServiceTimes};
+use hmcs_core::config::ServiceTimeModel;
+use hmcs_core::error::ModelError;
+use hmcs_des::engine::{Engine, Model, Scheduler};
+use hmcs_des::quantile::P2Quantile;
+use hmcs_des::queue::{FcfsServer, ServiceDirective};
+use hmcs_des::rng::RngStream;
+use hmcs_des::stats::OnlineStats;
+use hmcs_des::time::SimTime;
+
+/// Run configuration for a CoC simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CocSimConfig {
+    /// The heterogeneous system (shared with the analytical model).
+    pub system: CocConfig,
+    /// Measured delivered messages.
+    pub messages: u64,
+    /// Warm-up messages discarded first.
+    pub warmup_messages: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl CocSimConfig {
+    /// Creates a run configuration with paper-style defaults.
+    pub fn new(system: CocConfig) -> Self {
+        CocSimConfig { system, messages: 10_000, warmup_messages: 0, seed: 0x5EED }
+    }
+
+    /// Sets the measured-message budget.
+    pub fn with_messages(mut self, messages: u64) -> Self {
+        self.messages = messages;
+        self
+    }
+
+    /// Sets the warm-up budget.
+    pub fn with_warmup(mut self, warmup: u64) -> Self {
+        self.warmup_messages = warmup;
+        self
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+type MsgId = usize;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    Icn1,
+    Ecn1Forward,
+    Icn2,
+    Ecn1Feedback,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Msg {
+    src: usize,
+    dst: usize,
+    created_us: f64,
+    stage: Stage,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    Generate { node: usize },
+    Icn1Done { cluster: usize },
+    Ecn1Done { cluster: usize },
+    Icn2Done,
+}
+
+struct CocModel {
+    cfg: CocSimConfig,
+    n: usize,
+    cluster_of_node: Vec<usize>,
+    means: CocServiceTimes,
+    think_rng: RngStream,
+    dest_rng: RngStream,
+    svc_rng: RngStream,
+    icn1: Vec<FcfsServer<MsgId>>,
+    ecn1: Vec<FcfsServer<MsgId>>,
+    icn2: FcfsServer<MsgId>,
+    msgs: Vec<Msg>,
+    free_ids: Vec<MsgId>,
+    delivered: u64,
+    latency: OnlineStats,
+    internal_latency: OnlineStats,
+    external_latency: OnlineStats,
+    p50: P2Quantile,
+    p95: P2Quantile,
+    p99: P2Quantile,
+}
+
+impl CocModel {
+    fn new(cfg: CocSimConfig) -> Result<Self, ModelError> {
+        cfg.system.validate()?;
+        let means = tier_service_times(&cfg.system)?;
+        let clusters = cfg.system.clusters.len();
+        let mut cluster_of_node = Vec::with_capacity(cfg.system.total_nodes());
+        for (i, c) in cfg.system.clusters.iter().enumerate() {
+            cluster_of_node.extend(std::iter::repeat_n(i, c.nodes));
+        }
+        Ok(CocModel {
+            n: cluster_of_node.len(),
+            cluster_of_node,
+            means,
+            think_rng: RngStream::new(cfg.seed, 21),
+            dest_rng: RngStream::new(cfg.seed, 22),
+            svc_rng: RngStream::new(cfg.seed, 23),
+            icn1: (0..clusters).map(|_| FcfsServer::new()).collect(),
+            ecn1: (0..clusters).map(|_| FcfsServer::new()).collect(),
+            icn2: FcfsServer::new(),
+            msgs: Vec::new(),
+            free_ids: Vec::new(),
+            delivered: 0,
+            latency: OnlineStats::new(),
+            internal_latency: OnlineStats::new(),
+            external_latency: OnlineStats::new(),
+            p50: P2Quantile::new(0.50),
+            p95: P2Quantile::new(0.95),
+            p99: P2Quantile::new(0.99),
+            cfg,
+        })
+    }
+
+    fn sample_service(&mut self, mean_us: f64) -> f64 {
+        match self.cfg.system.service_model {
+            ServiceTimeModel::Exponential => self.svc_rng.exponential_mean(mean_us),
+            ServiceTimeModel::Deterministic => mean_us,
+            ServiceTimeModel::Erlang(k) => self.svc_rng.erlang(mean_us, k),
+            ServiceTimeModel::HyperExponential(scv) => {
+                self.svc_rng.hyper_exponential(mean_us, scv)
+            }
+        }
+    }
+
+    fn alloc_msg(&mut self, msg: Msg) -> MsgId {
+        if let Some(id) = self.free_ids.pop() {
+            self.msgs[id] = msg;
+            id
+        } else {
+            self.msgs.push(msg);
+            self.msgs.len() - 1
+        }
+    }
+
+    fn deliver(&mut self, now: SimTime, s: &mut Scheduler<Ev>, id: MsgId) {
+        let msg = self.msgs[id];
+        self.free_ids.push(id);
+        let latency = now.as_us() - msg.created_us;
+        self.delivered += 1;
+        if self.delivered > self.cfg.warmup_messages {
+            self.latency.record(latency);
+            self.p50.record(latency);
+            self.p95.record(latency);
+            self.p99.record(latency);
+            if self.cluster_of_node[msg.src] == self.cluster_of_node[msg.dst] {
+                self.internal_latency.record(latency);
+            } else {
+                self.external_latency.record(latency);
+            }
+        }
+        let think = self.think_rng.exponential(self.cfg.system.lambda_per_us);
+        s.schedule_in(now, SimTime::from_us(think), Ev::Generate { node: msg.src });
+    }
+
+    fn measured(&self) -> u64 {
+        self.latency.count()
+    }
+}
+
+impl Model for CocModel {
+    type Event = Ev;
+
+    fn handle(&mut self, now: SimTime, event: Ev, s: &mut Scheduler<Ev>) {
+        match event {
+            Ev::Generate { node } => {
+                let dst = self.dest_rng.uniform_excluding(self.n, node);
+                let src_cluster = self.cluster_of_node[node];
+                let dst_cluster = self.cluster_of_node[dst];
+                let external = src_cluster != dst_cluster;
+                let stage = if external { Stage::Ecn1Forward } else { Stage::Icn1 };
+                let id =
+                    self.alloc_msg(Msg { src: node, dst, created_us: now.as_us(), stage });
+                if external {
+                    if let ServiceDirective::StartService(_) =
+                        self.ecn1[src_cluster].arrive(now.as_us(), id)
+                    {
+                        let svc = self.sample_service(self.means.ecn1_us[src_cluster]);
+                        s.schedule_in(
+                            now,
+                            SimTime::from_us(svc),
+                            Ev::Ecn1Done { cluster: src_cluster },
+                        );
+                    }
+                } else if let ServiceDirective::StartService(_) =
+                    self.icn1[src_cluster].arrive(now.as_us(), id)
+                {
+                    let svc = self.sample_service(self.means.icn1_us[src_cluster]);
+                    s.schedule_in(
+                        now,
+                        SimTime::from_us(svc),
+                        Ev::Icn1Done { cluster: src_cluster },
+                    );
+                }
+            }
+            Ev::Icn1Done { cluster } => {
+                let (id, directive) = self.icn1[cluster].complete(now.as_us());
+                self.deliver(now, s, id);
+                if let ServiceDirective::StartService(_) = directive {
+                    let svc = self.sample_service(self.means.icn1_us[cluster]);
+                    s.schedule_in(now, SimTime::from_us(svc), Ev::Icn1Done { cluster });
+                }
+            }
+            Ev::Ecn1Done { cluster } => {
+                let (id, directive) = self.ecn1[cluster].complete(now.as_us());
+                match self.msgs[id].stage {
+                    Stage::Ecn1Forward => {
+                        self.msgs[id].stage = Stage::Icn2;
+                        if let ServiceDirective::StartService(_) =
+                            self.icn2.arrive(now.as_us(), id)
+                        {
+                            let svc = self.sample_service(self.means.icn2_us);
+                            s.schedule_in(now, SimTime::from_us(svc), Ev::Icn2Done);
+                        }
+                    }
+                    Stage::Ecn1Feedback => self.deliver(now, s, id),
+                    other => unreachable!("message in ECN1 with stage {other:?}"),
+                }
+                if let ServiceDirective::StartService(_) = directive {
+                    let svc = self.sample_service(self.means.ecn1_us[cluster]);
+                    s.schedule_in(now, SimTime::from_us(svc), Ev::Ecn1Done { cluster });
+                }
+            }
+            Ev::Icn2Done => {
+                let (id, directive) = self.icn2.complete(now.as_us());
+                self.msgs[id].stage = Stage::Ecn1Feedback;
+                let dst_cluster = self.cluster_of_node[self.msgs[id].dst];
+                if let ServiceDirective::StartService(_) =
+                    self.ecn1[dst_cluster].arrive(now.as_us(), id)
+                {
+                    let svc = self.sample_service(self.means.ecn1_us[dst_cluster]);
+                    s.schedule_in(
+                        now,
+                        SimTime::from_us(svc),
+                        Ev::Ecn1Done { cluster: dst_cluster },
+                    );
+                }
+                if let ServiceDirective::StartService(_) = directive {
+                    let svc = self.sample_service(self.means.icn2_us);
+                    s.schedule_in(now, SimTime::from_us(svc), Ev::Icn2Done);
+                }
+            }
+        }
+    }
+}
+
+/// The Cluster-of-Clusters flow simulator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CocSimulator;
+
+impl CocSimulator {
+    /// Runs one CoC simulation.
+    pub fn run(cfg: &CocSimConfig) -> Result<SimResult, ModelError> {
+        let mut engine = Engine::new(CocModel::new(cfg.clone())?);
+        for node in 0..cfg.system.total_nodes() {
+            let think = engine
+                .model_mut()
+                .think_rng
+                .exponential(cfg.system.lambda_per_us);
+            engine
+                .scheduler_mut()
+                .schedule_at(SimTime::from_us(think), Ev::Generate { node });
+        }
+        let target = cfg.messages;
+        engine.run_until(None, None, |m| m.measured() >= target);
+        let now = engine.now().as_us();
+        let model = engine.into_model();
+
+        let avg_center = |servers: &[FcfsServer<MsgId>]| -> CenterObservation {
+            let k = servers.len() as f64;
+            CenterObservation {
+                mean_number_in_system: servers
+                    .iter()
+                    .map(|q| q.mean_number_in_system(now))
+                    .sum::<f64>()
+                    / k,
+                utilization: servers.iter().map(|q| q.utilization(now)).sum::<f64>() / k,
+                arrivals: servers.iter().map(|q| q.arrivals()).sum(),
+            }
+        };
+
+        let measured = model.latency.count();
+        Ok(SimResult {
+            mean_latency_us: model.latency.mean(),
+            latency: model.latency.clone(),
+            quantiles: match (
+                model.p50.estimate(),
+                model.p95.estimate(),
+                model.p99.estimate(),
+            ) {
+                (Some(p50_us), Some(p95_us), Some(p99_us)) => {
+                    Some(LatencyQuantiles { p50_us, p95_us, p99_us })
+                }
+                _ => None,
+            },
+            internal_latency: model.internal_latency.clone(),
+            external_latency: model.external_latency.clone(),
+            messages: measured,
+            sim_duration_us: now,
+            throughput_per_us: model.delivered as f64 / now,
+            effective_lambda_per_us: model.delivered as f64 / now / model.n as f64,
+            per_cluster_ecn1_utilization: model
+                .ecn1
+                .iter()
+                .map(|q| q.utilization(now))
+                .collect(),
+            icn1: avg_center(&model.icn1),
+            ecn1: avg_center(&model.ecn1),
+            icn2: CenterObservation {
+                mean_number_in_system: model.icn2.mean_number_in_system(now),
+                utilization: model.icn2.utilization(now),
+                arrivals: model.icn2.arrivals(),
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmcs_core::cluster_of_clusters::{self, ClusterSpec};
+    use hmcs_core::config::{QueueAccounting, ServiceTimeModel};
+    use hmcs_topology::switch::SwitchFabric;
+    use hmcs_topology::technology::NetworkTechnology;
+    use hmcs_topology::transmission::Architecture;
+
+    fn coc(clusters: Vec<ClusterSpec>) -> CocConfig {
+        CocConfig {
+            clusters,
+            icn2: NetworkTechnology::FAST_ETHERNET,
+            switch: SwitchFabric::paper_default(),
+            architecture: Architecture::NonBlocking,
+            message_bytes: 1024,
+            lambda_per_us: 2.5e-4,
+            accounting: QueueAccounting::SingleQueue,
+            service_model: ServiceTimeModel::Exponential,
+        }
+    }
+
+    fn homogeneous(c: usize, nodes: usize) -> CocConfig {
+        coc(vec![
+            ClusterSpec {
+                nodes,
+                icn1: NetworkTechnology::GIGABIT_ETHERNET,
+                ecn1: NetworkTechnology::FAST_ETHERNET,
+            };
+            c
+        ])
+    }
+
+    #[test]
+    fn runs_and_is_reproducible() {
+        let cfg = CocSimConfig::new(homogeneous(4, 16)).with_messages(1_000).with_seed(5);
+        let a = CocSimulator::run(&cfg).unwrap();
+        let b = CocSimulator::run(&cfg).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.messages, 1_000);
+        assert!(a.mean_latency_us > 0.0);
+    }
+
+    #[test]
+    fn homogeneous_coc_sim_matches_super_cluster_sim() {
+        use crate::config::SimConfig;
+        use crate::flow::FlowSimulator;
+        use hmcs_core::config::SystemConfig;
+        use hmcs_core::scenario::Scenario;
+        // Same system expressed both ways must give statistically equal
+        // latencies (different RNG streams, so compare means loosely).
+        let coc_result = CocSimulator::run(
+            &CocSimConfig::new(homogeneous(8, 32)).with_messages(6_000).with_seed(11),
+        )
+        .unwrap();
+        let sc = SystemConfig::paper_preset(Scenario::Case1, 8, Architecture::NonBlocking)
+            .unwrap();
+        let sc_result = FlowSimulator::run(
+            &SimConfig::new(sc).with_messages(6_000).with_seed(12),
+        )
+        .unwrap();
+        let rel = (coc_result.mean_latency_us - sc_result.mean_latency_us).abs()
+            / sc_result.mean_latency_us;
+        assert!(
+            rel < 0.05,
+            "CoC {} vs SC {}",
+            coc_result.mean_latency_us,
+            sc_result.mean_latency_us
+        );
+    }
+
+    #[test]
+    fn coc_model_matches_coc_simulation() {
+        // The headline validation for the future-work model: analysis
+        // vs simulation on a genuinely heterogeneous system.
+        let cfg = coc(vec![
+            ClusterSpec {
+                nodes: 96,
+                icn1: NetworkTechnology::MYRINET,
+                ecn1: NetworkTechnology::GIGABIT_ETHERNET,
+            },
+            ClusterSpec {
+                nodes: 64,
+                icn1: NetworkTechnology::GIGABIT_ETHERNET,
+                ecn1: NetworkTechnology::GIGABIT_ETHERNET,
+            },
+            ClusterSpec {
+                nodes: 32,
+                icn1: NetworkTechnology::FAST_ETHERNET,
+                ecn1: NetworkTechnology::FAST_ETHERNET,
+            },
+        ]);
+        let analysis = cluster_of_clusters::evaluate(&cfg).unwrap();
+        let sim = CocSimulator::run(
+            &CocSimConfig::new(cfg).with_messages(8_000).with_warmup(2_000).with_seed(17),
+        )
+        .unwrap();
+        let rel = (analysis.mean_message_latency_us - sim.mean_latency_us).abs()
+            / sim.mean_latency_us;
+        assert!(
+            rel < 0.10,
+            "CoC analysis {:.1} vs sim {:.1} ({:.1}%)",
+            analysis.mean_message_latency_us,
+            sim.mean_latency_us,
+            rel * 100.0
+        );
+        // Effective rates agree too.
+        let rel_rate = (analysis.lambda_eff - sim.effective_lambda_per_us).abs()
+            / sim.effective_lambda_per_us;
+        assert!(rel_rate < 0.10, "lambda_eff rel err {rel_rate}");
+    }
+
+    #[test]
+    fn fast_cluster_delivers_internal_messages_faster() {
+        // Internal latency in a Myrinet cluster should beat internal
+        // latency in an FE cluster; the mixed sink only exposes the
+        // aggregate, so compare two single-technology systems.
+        let fast = coc(vec![
+            ClusterSpec {
+                nodes: 32,
+                icn1: NetworkTechnology::MYRINET,
+                ecn1: NetworkTechnology::GIGABIT_ETHERNET,
+            };
+            2
+        ]);
+        let slow = coc(vec![
+            ClusterSpec {
+                nodes: 32,
+                icn1: NetworkTechnology::FAST_ETHERNET,
+                ecn1: NetworkTechnology::GIGABIT_ETHERNET,
+            };
+            2
+        ]);
+        let f = CocSimulator::run(&CocSimConfig::new(fast).with_messages(3_000).with_seed(3))
+            .unwrap();
+        let s = CocSimulator::run(&CocSimConfig::new(slow).with_messages(3_000).with_seed(3))
+            .unwrap();
+        assert!(f.internal_latency.mean() < s.internal_latency.mean());
+    }
+}

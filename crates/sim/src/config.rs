@@ -1,0 +1,133 @@
+//! Simulation run configuration.
+
+use hmcs_core::config::SystemConfig;
+use hmcs_core::error::ModelError;
+use hmcs_core::routing::TrafficPattern;
+use hmcs_core::scenario::PAPER_SIM_MESSAGES;
+
+/// Configuration of one simulation run: the system under test plus the
+/// experiment-control knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// The system being simulated (shared with the analytical model).
+    pub system: SystemConfig,
+    /// Number of *measured* delivered messages (the paper gathers
+    /// statistics over 10,000).
+    pub messages: u64,
+    /// Delivered messages discarded before measurement starts (warm-up
+    /// deletion; the paper does not mention one — default 0 keeps
+    /// fidelity, experiments may override).
+    pub warmup_messages: u64,
+    /// Master RNG seed; every run with the same seed reproduces exactly.
+    pub seed: u64,
+    /// Whether sources block until their message is delivered
+    /// (assumption 4). Disabling yields an open Jackson network, useful
+    /// for validating against the unthrottled analytical solution.
+    pub blocked_sources: bool,
+    /// Destination-selection pattern (assumption 3 by default).
+    pub pattern: TrafficPattern,
+}
+
+impl SimConfig {
+    /// Creates a run configuration with the paper's defaults: 10,000
+    /// measured messages, no warm-up, blocked sources, uniform traffic,
+    /// seed 0x5EED.
+    pub fn new(system: SystemConfig) -> Self {
+        SimConfig {
+            system,
+            messages: PAPER_SIM_MESSAGES,
+            warmup_messages: 0,
+            seed: 0x5EED,
+            blocked_sources: true,
+            pattern: TrafficPattern::Uniform,
+        }
+    }
+
+    /// Sets the measured-message budget.
+    pub fn with_messages(mut self, messages: u64) -> Self {
+        self.messages = messages;
+        self
+    }
+
+    /// Sets the warm-up deletion budget.
+    pub fn with_warmup(mut self, warmup_messages: u64) -> Self {
+        self.warmup_messages = warmup_messages;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Toggles assumption 4 (blocked sources).
+    pub fn with_blocked_sources(mut self, blocked: bool) -> Self {
+        self.blocked_sources = blocked;
+        self
+    }
+
+    /// Sets the traffic pattern.
+    pub fn with_pattern(mut self, pattern: TrafficPattern) -> Self {
+        self.pattern = pattern;
+        self
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        self.system.validate()?;
+        self.pattern.validate()?;
+        if self.messages == 0 {
+            return Err(ModelError::InvalidConfig {
+                name: "messages",
+                reason: "need at least one measured message",
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmcs_core::scenario::Scenario;
+    use hmcs_topology::transmission::Architecture;
+
+    fn system() -> SystemConfig {
+        SystemConfig::paper_preset(Scenario::Case1, 8, Architecture::NonBlocking).unwrap()
+    }
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let cfg = SimConfig::new(system());
+        assert_eq!(cfg.messages, 10_000);
+        assert_eq!(cfg.warmup_messages, 0);
+        assert!(cfg.blocked_sources);
+        assert_eq!(cfg.pattern, TrafficPattern::Uniform);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn builders_apply() {
+        let cfg = SimConfig::new(system())
+            .with_messages(500)
+            .with_warmup(100)
+            .with_seed(9)
+            .with_blocked_sources(false)
+            .with_pattern(TrafficPattern::Localized { locality: 0.5 });
+        assert_eq!(cfg.messages, 500);
+        assert_eq!(cfg.warmup_messages, 100);
+        assert_eq!(cfg.seed, 9);
+        assert!(!cfg.blocked_sources);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_runs() {
+        assert!(SimConfig::new(system()).with_messages(0).validate().is_err());
+        assert!(SimConfig::new(system())
+            .with_pattern(TrafficPattern::Localized { locality: 2.0 })
+            .validate()
+            .is_err());
+    }
+}

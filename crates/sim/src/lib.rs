@@ -1,0 +1,54 @@
+//! # hmcs-sim
+//!
+//! Discrete-event simulators for heterogeneous multi-cluster systems —
+//! the "set of simulators" the paper uses to validate its analytical
+//! model (§6).
+//!
+//! Two fidelity levels are provided, both driven by the *same*
+//! [`hmcs_core::config::SystemConfig`] the analytical model consumes:
+//!
+//! * [`flow`] — a **flow-level** simulator that mirrors the queueing
+//!   abstraction: each network tier is one FCFS server; service times
+//!   are drawn from the configured distribution with the topology-model
+//!   mean. This is the direct counterpart of the paper's own simulator:
+//!   exponential inter-arrival times, uniform destinations, sources that
+//!   block until delivery (assumption 4), time-stamped messages and a
+//!   sink module, 10,000 messages per run.
+//! * [`packet`] — a **packet-level** simulator that walks each message
+//!   hop-by-hop through the explicitly constructed switch fabrics
+//!   (fat-tree pods / linear-array switches) with store-and-forward
+//!   contention at every switch. It contains none of the model's
+//!   queueing approximations, making it the stronger referee.
+//!
+//! [`coc`] extends the flow-level simulator to heterogeneous
+//! Cluster-of-Clusters systems (the paper's §7 future work), and
+//! [`replication`] runs independent replications in parallel threads
+//! with confidence intervals.
+//!
+//! ```
+//! use hmcs_core::config::SystemConfig;
+//! use hmcs_core::scenario::Scenario;
+//! use hmcs_topology::transmission::Architecture;
+//! use hmcs_sim::config::SimConfig;
+//! use hmcs_sim::flow::FlowSimulator;
+//!
+//! let system = SystemConfig::paper_preset(Scenario::Case1, 8, Architecture::NonBlocking)
+//!     .unwrap();
+//! let sim = SimConfig::new(system).with_messages(2_000).with_seed(7);
+//! let result = FlowSimulator::run(&sim).unwrap();
+//! assert!(result.mean_latency_us > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coc;
+pub mod config;
+pub mod flow;
+pub mod multiserver;
+pub mod packet;
+pub mod replication;
+pub mod result;
+
+pub use config::SimConfig;
+pub use result::SimResult;

@@ -1,0 +1,561 @@
+//! The packet-level simulator — the high-fidelity member of the
+//! paper's "set of simulators".
+//!
+//! Unlike the flow-level simulator (which, like the analysis, treats
+//! each network tier as one abstract server), this simulator walks every
+//! message **hop by hop** through explicitly constructed switch fabrics:
+//!
+//! * the fat-tree is represented by its pods (groups of parallel
+//!   switches, see `hmcs_topology::fat_tree`), each a multi-server FCFS
+//!   resource with one server per member switch;
+//! * the linear array is a chain of single-server switch resources —
+//!   contention on the shared middle switches produces head-of-line
+//!   blocking *naturally*, with no `(N/2)·M·β` model term;
+//! * store-and-forward: each switch holds a message for
+//!   `α_sw + M·β` (switch latency plus the full payload transmission);
+//!   entering a tier costs the link latency `α` once as a pure delay;
+//! * inter-cluster messages ride the source ECN1 fabric *up* to its
+//!   root/gateway, cross ICN2 between cluster endpoints, and ride the
+//!   destination ECN1 *down*.
+//!
+//! Because of the per-hop payload retransmission, zero-load latencies
+//! sit `(hops−1)·M·β` above eq. 11's cut-through-style accounting; the
+//! comparison experiments treat the packet simulator as a *referee of
+//! trends*, not of absolute values (EXPERIMENTS.md discusses the
+//! offsets).
+
+use crate::config::SimConfig;
+use crate::multiserver::{MultiDirective, MultiServer};
+use crate::result::{CenterObservation, SimResult};
+use hmcs_core::error::ModelError;
+use hmcs_core::routing::TrafficPattern;
+use hmcs_des::engine::{Engine, Model, Scheduler};
+use hmcs_des::rng::RngStream;
+use hmcs_des::quantile::P2Quantile;
+use hmcs_des::stats::OnlineStats;
+use hmcs_des::time::SimTime;
+use hmcs_topology::transmission::Architecture;
+
+type MsgId = usize;
+
+/// One step of a message's itinerary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Step {
+    /// Pure (uncontended) delay, e.g. a link latency α.
+    Delay(f64),
+    /// Queue at the global resource with this index.
+    Queue(usize),
+}
+
+#[derive(Debug, Clone)]
+struct Msg {
+    src: usize,
+    dst: usize,
+    created_us: f64,
+    itinerary: Vec<Step>,
+    cursor: usize,
+}
+
+/// Which of the three tiers a fabric instance implements (used to
+/// aggregate observations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tier {
+    Icn1,
+    Ecn1,
+    Icn2,
+}
+
+/// A switch fabric laid out as globally indexed pod resources.
+#[derive(Debug, Clone)]
+struct TierFabric {
+    arch: Architecture,
+    endpoints: usize,
+    down_radix: usize,
+    ports: usize,
+    stages: u32,
+    /// Global resource index of this fabric's first pod.
+    base: usize,
+    /// Local offsets of each stage's first pod (fat-tree only).
+    stage_offsets: Vec<usize>,
+    /// Pods per stage (fat-tree) or `[k]` (linear array).
+    pods_per_stage: Vec<usize>,
+    /// Tier entry latency α.
+    injection_us: f64,
+}
+
+impl TierFabric {
+    fn new(
+        arch: Architecture,
+        endpoints: usize,
+        ports: usize,
+        base: usize,
+        injection_us: f64,
+    ) -> Self {
+        let down_radix = (ports / 2).max(1);
+        match arch {
+            Architecture::NonBlocking => {
+                // Mirror hmcs-topology's fat-tree structure.
+                let stages = {
+                    let mut d = 1u32;
+                    let mut cap = ports as u128;
+                    while cap < endpoints as u128 {
+                        d += 1;
+                        cap = cap.saturating_mul(down_radix as u128);
+                    }
+                    d
+                };
+                let mut pods_per_stage = Vec::new();
+                let mut block = down_radix;
+                for s in 1..=stages {
+                    let pods =
+                        if s == stages { 1 } else { endpoints.div_ceil(block) };
+                    pods_per_stage.push(pods);
+                    block = block.saturating_mul(down_radix);
+                }
+                let mut stage_offsets = Vec::with_capacity(pods_per_stage.len());
+                let mut acc = 0;
+                for &p in &pods_per_stage {
+                    stage_offsets.push(acc);
+                    acc += p;
+                }
+                TierFabric {
+                    arch,
+                    endpoints,
+                    down_radix,
+                    ports,
+                    stages,
+                    base,
+                    stage_offsets,
+                    pods_per_stage,
+                    injection_us,
+                }
+            }
+            Architecture::Blocking => {
+                let k = endpoints.div_ceil(ports);
+                TierFabric {
+                    arch,
+                    endpoints,
+                    down_radix,
+                    ports,
+                    stages: 1,
+                    base,
+                    stage_offsets: vec![0],
+                    pods_per_stage: vec![k],
+                    injection_us,
+                }
+            }
+        }
+    }
+
+    fn pod_count(&self) -> usize {
+        self.pods_per_stage.iter().sum()
+    }
+
+    /// Capacity (parallel switches) of each pod, in local pod order.
+    fn pod_capacities(&self) -> Vec<u32> {
+        match self.arch {
+            Architecture::Blocking => vec![1; self.pod_count()],
+            Architecture::NonBlocking => {
+                let mut caps = Vec::with_capacity(self.pod_count());
+                let mut block = self.down_radix;
+                for (idx, &pods) in self.pods_per_stage.iter().enumerate() {
+                    let s = idx + 1;
+                    for g in 0..pods {
+                        let covered = if s as u32 == self.stages {
+                            self.endpoints
+                        } else {
+                            self.endpoints.min((g + 1) * block).saturating_sub(g * block)
+                        };
+                        let switches = if s as u32 == self.stages {
+                            self.endpoints.div_ceil(self.ports)
+                        } else {
+                            covered.div_ceil(self.down_radix)
+                        };
+                        caps.push(switches.max(1) as u32);
+                    }
+                    block = block.saturating_mul(self.down_radix);
+                }
+                caps
+            }
+        }
+    }
+
+    /// Local pod id of endpoint `a` at stage `s` (1-based).
+    fn pod_of(&self, a: usize, s: u32) -> usize {
+        if s == self.stages {
+            return self.stage_offsets[s as usize - 1];
+        }
+        let block = self.down_radix.pow(s);
+        self.stage_offsets[s as usize - 1] + a / block
+    }
+
+    /// Full route between two endpoints (global resource indices).
+    fn route(&self, a: usize, b: usize) -> Vec<usize> {
+        assert_ne!(a, b, "routing requires distinct endpoints");
+        match self.arch {
+            Architecture::Blocking => {
+                let sa = a / self.ports;
+                let sb = b / self.ports;
+                let (lo, hi) = (sa.min(sb), sa.max(sb));
+                let mut path: Vec<usize> =
+                    (lo..=hi).map(|s| self.base + s).collect();
+                if sa > sb {
+                    path.reverse();
+                }
+                path
+            }
+            Architecture::NonBlocking => {
+                // Meet stage: lowest stage at which the endpoints share a
+                // pod.
+                let mut meet = self.stages;
+                let mut block = self.down_radix;
+                for s in 1..self.stages {
+                    if a / block == b / block {
+                        meet = s;
+                        break;
+                    }
+                    block = block.saturating_mul(self.down_radix);
+                }
+                let mut path = Vec::with_capacity(2 * meet as usize - 1);
+                for s in 1..=meet {
+                    path.push(self.base + self.pod_of(a, s));
+                }
+                for s in (1..meet).rev() {
+                    path.push(self.base + self.pod_of(b, s));
+                }
+                path
+            }
+        }
+    }
+
+    /// Route from endpoint `a` up to the fabric's root/gateway
+    /// (fat-tree: the root pod; linear array: switch 0).
+    fn route_up(&self, a: usize) -> Vec<usize> {
+        match self.arch {
+            Architecture::Blocking => {
+                let sa = a / self.ports;
+                (0..=sa).rev().map(|s| self.base + s).collect()
+            }
+            Architecture::NonBlocking => {
+                (1..=self.stages).map(|s| self.base + self.pod_of(a, s)).collect()
+            }
+        }
+    }
+
+    /// Route from the root/gateway down to endpoint `b` (excluding a
+    /// repeated root visit is the caller's concern — this includes the
+    /// root).
+    fn route_down(&self, b: usize) -> Vec<usize> {
+        let mut up = self.route_up(b);
+        up.reverse();
+        up
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    Generate { node: usize },
+    /// The message finished a pure-delay step.
+    Advance { msg: MsgId },
+    /// A resource finished its current service.
+    HopDone { resource: usize },
+}
+
+struct PacketModel {
+    cfg: SimConfig,
+    n0: usize,
+    n: usize,
+    icn1: Vec<TierFabric>,
+    ecn1: Vec<TierFabric>,
+    icn2: TierFabric,
+    resources: Vec<MultiServer<MsgId>>,
+    resource_service_us: Vec<f64>,
+    resource_tier: Vec<Tier>,
+    think_rng: RngStream,
+    dest_rng: RngStream,
+    msgs: Vec<Msg>,
+    free_ids: Vec<MsgId>,
+    delivered: u64,
+    latency: OnlineStats,
+    internal_latency: OnlineStats,
+    external_latency: OnlineStats,
+    p50: P2Quantile,
+    p95: P2Quantile,
+    p99: P2Quantile,
+}
+
+impl PacketModel {
+    fn new(cfg: SimConfig) -> Result<Self, ModelError> {
+        cfg.validate()?;
+        let sys = cfg.system;
+        let n0 = sys.nodes_per_cluster;
+        let m = sys.message_bytes as f64;
+        let sw_lat = sys.switch.latency_us();
+        let ports = sys.switch.ports() as usize;
+
+        let mut resources: Vec<MultiServer<MsgId>> = Vec::new();
+        let mut resource_service_us: Vec<f64> = Vec::new();
+        let mut resource_tier: Vec<Tier> = Vec::new();
+        let mut add_fabric = |tech: hmcs_topology::technology::NetworkTechnology,
+                              endpoints: usize,
+                              tier: Tier|
+         -> TierFabric {
+            let hop = sw_lat + m * tech.byte_time_us();
+            let fabric = TierFabric::new(
+                sys.architecture,
+                endpoints,
+                ports,
+                resources.len(),
+                tech.latency_us,
+            );
+            for cap in fabric.pod_capacities() {
+                resources.push(MultiServer::new(cap));
+                resource_service_us.push(hop);
+                resource_tier.push(tier);
+            }
+            fabric
+        };
+
+        let icn1: Vec<TierFabric> =
+            (0..sys.clusters).map(|_| add_fabric(sys.icn1, n0, Tier::Icn1)).collect();
+        let ecn1: Vec<TierFabric> =
+            (0..sys.clusters).map(|_| add_fabric(sys.ecn1, n0, Tier::Ecn1)).collect();
+        let icn2 = add_fabric(sys.icn2, sys.clusters.max(2), Tier::Icn2);
+
+        Ok(PacketModel {
+            n0,
+            n: sys.total_nodes(),
+            icn1,
+            ecn1,
+            icn2,
+            resources,
+            resource_service_us,
+            resource_tier,
+            think_rng: RngStream::new(cfg.seed, 11),
+            dest_rng: RngStream::new(cfg.seed, 12),
+            msgs: Vec::new(),
+            free_ids: Vec::new(),
+            delivered: 0,
+            latency: OnlineStats::new(),
+            internal_latency: OnlineStats::new(),
+            external_latency: OnlineStats::new(),
+            p50: P2Quantile::new(0.50),
+            p95: P2Quantile::new(0.95),
+            p99: P2Quantile::new(0.99),
+            cfg,
+        })
+    }
+
+    fn cluster_of(&self, node: usize) -> usize {
+        node / self.n0
+    }
+
+    fn pick_destination(&mut self, src: usize) -> usize {
+        match self.cfg.pattern {
+            TrafficPattern::Uniform => self.dest_rng.uniform_excluding(self.n, src),
+            TrafficPattern::Localized { locality } => {
+                if self.n0 >= 2 && self.dest_rng.bernoulli(locality) {
+                    let base = self.cluster_of(src) * self.n0;
+                    base + self.dest_rng.uniform_excluding(self.n0, src - base)
+                } else {
+                    self.dest_rng.uniform_excluding(self.n, src)
+                }
+            }
+            TrafficPattern::Hotspot { node, fraction } => {
+                let hot = node.min(self.n - 1);
+                if src != hot && self.dest_rng.bernoulli(fraction) {
+                    hot
+                } else {
+                    self.dest_rng.uniform_excluding(self.n, src)
+                }
+            }
+        }
+    }
+
+    fn build_itinerary(&self, src: usize, dst: usize) -> Vec<Step> {
+        let sc = self.cluster_of(src);
+        let dc = self.cluster_of(dst);
+        let (sl, dl) = (src - sc * self.n0, dst - dc * self.n0);
+        let mut steps = Vec::new();
+        if sc == dc {
+            let fabric = &self.icn1[sc];
+            steps.push(Step::Delay(fabric.injection_us));
+            steps.extend(fabric.route(sl, dl).into_iter().map(Step::Queue));
+        } else {
+            let up = &self.ecn1[sc];
+            steps.push(Step::Delay(up.injection_us));
+            steps.extend(up.route_up(sl).into_iter().map(Step::Queue));
+            steps.push(Step::Delay(self.icn2.injection_us));
+            steps.extend(self.icn2.route(sc, dc).into_iter().map(Step::Queue));
+            let down = &self.ecn1[dc];
+            steps.push(Step::Delay(down.injection_us));
+            steps.extend(down.route_down(dl).into_iter().map(Step::Queue));
+        }
+        steps
+    }
+
+    fn alloc_msg(&mut self, msg: Msg) -> MsgId {
+        if let Some(id) = self.free_ids.pop() {
+            self.msgs[id] = msg;
+            id
+        } else {
+            self.msgs.push(msg);
+            self.msgs.len() - 1
+        }
+    }
+
+    /// Moves `msg` to its next itinerary step (or delivers it).
+    fn advance(&mut self, now: SimTime, s: &mut Scheduler<Ev>, id: MsgId) {
+        let cursor = self.msgs[id].cursor;
+        if cursor >= self.msgs[id].itinerary.len() {
+            self.deliver(now, s, id);
+            return;
+        }
+        self.msgs[id].cursor += 1;
+        match self.msgs[id].itinerary[cursor] {
+            Step::Delay(d) => {
+                s.schedule_in(now, SimTime::from_us(d), Ev::Advance { msg: id });
+            }
+            Step::Queue(r) => {
+                if let MultiDirective::Start(_) = self.resources[r].arrive(now.as_us(), id) {
+                    let svc = self.resource_service_us[r];
+                    s.schedule_in(now, SimTime::from_us(svc), Ev::HopDone { resource: r });
+                }
+            }
+        }
+    }
+
+    fn deliver(&mut self, now: SimTime, s: &mut Scheduler<Ev>, id: MsgId) {
+        let (src, dst, created) = {
+            let m = &self.msgs[id];
+            (m.src, m.dst, m.created_us)
+        };
+        self.free_ids.push(id);
+        let latency = now.as_us() - created;
+        self.delivered += 1;
+        if self.delivered > self.cfg.warmup_messages {
+            self.latency.record(latency);
+            self.p50.record(latency);
+            self.p95.record(latency);
+            self.p99.record(latency);
+            if self.cluster_of(src) == self.cluster_of(dst) {
+                self.internal_latency.record(latency);
+            } else {
+                self.external_latency.record(latency);
+            }
+        }
+        if self.cfg.blocked_sources {
+            let think = self.think_rng.exponential(self.cfg.system.lambda_per_us);
+            s.schedule_in(now, SimTime::from_us(think), Ev::Generate { node: src });
+        }
+    }
+
+    fn measured(&self) -> u64 {
+        self.latency.count()
+    }
+}
+
+impl Model for PacketModel {
+    type Event = Ev;
+
+    fn handle(&mut self, now: SimTime, event: Ev, s: &mut Scheduler<Ev>) {
+        match event {
+            Ev::Generate { node } => {
+                let dst = self.pick_destination(node);
+                let itinerary = self.build_itinerary(node, dst);
+                let id = self.alloc_msg(Msg {
+                    src: node,
+                    dst,
+                    created_us: now.as_us(),
+                    itinerary,
+                    cursor: 0,
+                });
+                self.advance(now, s, id);
+                if !self.cfg.blocked_sources {
+                    let gap = self.think_rng.exponential(self.cfg.system.lambda_per_us);
+                    s.schedule_in(now, SimTime::from_us(gap), Ev::Generate { node });
+                }
+            }
+            Ev::Advance { msg } => self.advance(now, s, msg),
+            Ev::HopDone { resource } => {
+                // All services at one resource share a deterministic
+                // duration, so the longest-serving message is the one
+                // completing now (MultiServer::complete's contract).
+                let (id, directive) = self.resources[resource].complete(now.as_us());
+                if let MultiDirective::Start(_next) = directive {
+                    let svc = self.resource_service_us[resource];
+                    s.schedule_in(now, SimTime::from_us(svc), Ev::HopDone { resource });
+                }
+                self.advance(now, s, id);
+            }
+        }
+    }
+}
+
+/// The packet-level simulator entry point.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PacketSimulator;
+
+impl PacketSimulator {
+    /// Runs one packet-level simulation.
+    pub fn run(cfg: &SimConfig) -> Result<SimResult, ModelError> {
+        let mut engine = Engine::new(PacketModel::new(*cfg)?);
+        for node in 0..cfg.system.total_nodes() {
+            let think = engine
+                .model_mut()
+                .think_rng
+                .exponential(cfg.system.lambda_per_us);
+            engine
+                .scheduler_mut()
+                .schedule_at(SimTime::from_us(think), Ev::Generate { node });
+        }
+        let target = cfg.messages;
+        engine.run_until(None, None, |m| m.measured() >= target);
+        let now = engine.now().as_us();
+        let model = engine.into_model();
+
+        let tier_obs = |tier: Tier| -> CenterObservation {
+            let idx: Vec<usize> = (0..model.resources.len())
+                .filter(|&i| model.resource_tier[i] == tier)
+                .collect();
+            if idx.is_empty() {
+                return CenterObservation::default();
+            }
+            CenterObservation {
+                mean_number_in_system: idx
+                    .iter()
+                    .map(|&i| model.resources[i].mean_number_in_system(now))
+                    .sum::<f64>()
+                    / idx.len() as f64,
+                utilization: 0.0, // per-switch utilization is not aggregated here
+                arrivals: idx.iter().map(|&i| model.resources[i].arrivals()).sum(),
+            }
+        };
+
+        let measured = model.latency.count();
+        Ok(SimResult {
+            mean_latency_us: model.latency.mean(),
+            latency: model.latency.clone(),
+            quantiles: match (
+                model.p50.estimate(),
+                model.p95.estimate(),
+                model.p99.estimate(),
+            ) {
+                (Some(p50_us), Some(p95_us), Some(p99_us)) => {
+                    Some(crate::result::LatencyQuantiles { p50_us, p95_us, p99_us })
+                }
+                _ => None,
+            },
+            internal_latency: model.internal_latency.clone(),
+            external_latency: model.external_latency.clone(),
+            messages: measured,
+            sim_duration_us: now,
+            throughput_per_us: model.delivered as f64 / now,
+            effective_lambda_per_us: model.delivered as f64 / now / model.n as f64,
+            per_cluster_ecn1_utilization: Vec::new(),
+            icn1: tier_obs(Tier::Icn1),
+            ecn1: tier_obs(Tier::Ecn1),
+            icn2: tier_obs(Tier::Icn2),
+        })
+    }
+}

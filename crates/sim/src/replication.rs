@@ -1,0 +1,143 @@
+//! Independent replications with confidence intervals.
+//!
+//! The paper reports single 10,000-message runs; for tighter output
+//! analysis this module runs `R` replications with different seeds (in
+//! parallel threads — replications are embarrassingly parallel) and
+//! summarises the replication means, the textbook method for
+//! simulation output analysis.
+
+use crate::config::SimConfig;
+use crate::flow::FlowSimulator;
+use crate::packet::PacketSimulator;
+use crate::result::SimResult;
+use hmcs_core::error::ModelError;
+use hmcs_des::stats::{confidence_interval, OnlineStats};
+
+/// Which simulator to replicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Simulator {
+    /// The flow-level simulator ([`crate::flow`]).
+    Flow,
+    /// The packet-level simulator ([`crate::packet`]).
+    Packet,
+}
+
+/// Summary over independent replications.
+#[derive(Debug, Clone)]
+pub struct ReplicationSummary {
+    /// Per-replication results, in seed order.
+    pub replications: Vec<SimResult>,
+    /// Statistics of the replication mean latencies (µs).
+    pub latency_means: OnlineStats,
+    /// Statistics of the replication effective rates (msg/µs per node).
+    pub effective_lambdas: OnlineStats,
+}
+
+impl ReplicationSummary {
+    /// Grand mean latency across replications (µs).
+    pub fn mean_latency_us(&self) -> f64 {
+        self.latency_means.mean()
+    }
+
+    /// 95% confidence half-width of the grand mean (µs), from the
+    /// replication means.
+    pub fn latency_ci95_us(&self) -> f64 {
+        confidence_interval(&self.latency_means, 0.95)
+    }
+
+    /// Grand mean effective per-processor rate.
+    pub fn mean_effective_lambda(&self) -> f64 {
+        self.effective_lambdas.mean()
+    }
+}
+
+/// Runs `replications` independent runs of `simulator`, seeding
+/// replication `i` with `base.seed + i`, in parallel threads.
+pub fn run_replications(
+    base: &SimConfig,
+    simulator: Simulator,
+    replications: u32,
+) -> Result<ReplicationSummary, ModelError> {
+    if replications == 0 {
+        return Err(ModelError::InvalidConfig {
+            name: "replications",
+            reason: "need at least one replication",
+        });
+    }
+    base.validate()?;
+    let mut results: Vec<Option<Result<SimResult, ModelError>>> =
+        (0..replications).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (i, slot) in results.iter_mut().enumerate() {
+            let cfg = base.with_seed(base.seed.wrapping_add(i as u64));
+            scope.spawn(move || {
+                *slot = Some(match simulator {
+                    Simulator::Flow => FlowSimulator::run(&cfg),
+                    Simulator::Packet => PacketSimulator::run(&cfg),
+                });
+            });
+        }
+    });
+    let mut replication_results = Vec::with_capacity(replications as usize);
+    let mut latency_means = OnlineStats::new();
+    let mut effective_lambdas = OnlineStats::new();
+    for slot in results {
+        let result = slot.expect("thread completed")?;
+        latency_means.record(result.mean_latency_us);
+        effective_lambdas.record(result.effective_lambda_per_us);
+        replication_results.push(result);
+    }
+    Ok(ReplicationSummary {
+        replications: replication_results,
+        latency_means,
+        effective_lambdas,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmcs_core::config::SystemConfig;
+    use hmcs_core::scenario::Scenario;
+    use hmcs_topology::transmission::Architecture;
+
+    fn base() -> SimConfig {
+        let system =
+            SystemConfig::paper_preset(Scenario::Case1, 8, Architecture::NonBlocking).unwrap();
+        SimConfig::new(system).with_messages(800).with_seed(100)
+    }
+
+    #[test]
+    fn replications_differ_but_agree_statistically() {
+        let summary = run_replications(&base(), Simulator::Flow, 4).unwrap();
+        assert_eq!(summary.replications.len(), 4);
+        // Different seeds produce different sample paths...
+        let mean0 = summary.replications[0].mean_latency_us;
+        let mean1 = summary.replications[1].mean_latency_us;
+        assert_ne!(mean0, mean1);
+        // ...but the replication spread is moderate.
+        let ci = summary.latency_ci95_us();
+        assert!(ci < summary.mean_latency_us(), "CI {ci} vs mean {}", summary.mean_latency_us());
+        assert!(summary.mean_effective_lambda() > 0.0);
+    }
+
+    #[test]
+    fn replication_summary_is_deterministic() {
+        let a = run_replications(&base(), Simulator::Flow, 3).unwrap();
+        let b = run_replications(&base(), Simulator::Flow, 3).unwrap();
+        assert_eq!(a.mean_latency_us(), b.mean_latency_us());
+    }
+
+    #[test]
+    fn zero_replications_rejected() {
+        assert!(run_replications(&base(), Simulator::Flow, 0).is_err());
+    }
+
+    #[test]
+    fn packet_simulator_replicates_too() {
+        let cfg = base().with_messages(300);
+        let summary = run_replications(&cfg, Simulator::Packet, 2).unwrap();
+        assert_eq!(summary.replications.len(), 2);
+        assert!(summary.mean_latency_us() > 0.0);
+    }
+}

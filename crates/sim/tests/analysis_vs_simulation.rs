@@ -1,0 +1,155 @@
+//! The paper's §6 validation, as an executable test: the analytical
+//! model must agree with the flow-level simulator on mean message
+//! latency across the evaluation grid.
+//!
+//! The paper claims its model predicts "with good degree of accuracy";
+//! our reproduction quantifies that as ≤ 8% relative error at every
+//! grid point (measured agreement is ~2% at most points; the tolerance
+//! allows for 6,000-message sampling noise).
+
+use hmcs_core::config::{QueueAccounting, SystemConfig};
+use hmcs_core::model::AnalyticalModel;
+use hmcs_core::scenario::Scenario;
+use hmcs_sim::config::SimConfig;
+use hmcs_sim::flow::FlowSimulator;
+use hmcs_topology::transmission::Architecture;
+
+fn compare(scenario: Scenario, clusters: usize, arch: Architecture, bytes: u64) -> (f64, f64) {
+    let sys = SystemConfig::paper_preset(scenario, clusters, arch)
+        .unwrap()
+        .with_message_bytes(bytes);
+    let analysis = AnalyticalModel::evaluate(&sys).unwrap();
+    let sim = FlowSimulator::run(
+        &SimConfig::new(sys).with_messages(6_000).with_warmup(1_500).with_seed(2025),
+    )
+    .unwrap();
+    (analysis.latency.mean_message_latency_us, sim.mean_latency_us)
+}
+
+fn assert_close(scenario: Scenario, clusters: usize, arch: Architecture, bytes: u64, tol: f64) {
+    let (a, s) = compare(scenario, clusters, arch, bytes);
+    let rel = (a - s).abs() / s;
+    assert!(
+        rel < tol,
+        "{scenario:?} C={clusters} {arch:?} M={bytes}: analysis {a:.1} vs sim {s:.1} \
+         ({:.1}% > {:.1}%)",
+        rel * 100.0,
+        tol * 100.0
+    );
+}
+
+#[test]
+fn nonblocking_case1_agrees_across_cluster_counts() {
+    for c in [1usize, 2, 8, 32, 256] {
+        assert_close(Scenario::Case1, c, Architecture::NonBlocking, 1024, 0.08);
+    }
+}
+
+#[test]
+fn nonblocking_case2_agrees_across_cluster_counts() {
+    for c in [1usize, 4, 16, 128] {
+        assert_close(Scenario::Case2, c, Architecture::NonBlocking, 1024, 0.08);
+    }
+}
+
+#[test]
+fn blocking_case1_agrees_across_cluster_counts() {
+    for c in [1usize, 2, 8, 64] {
+        assert_close(Scenario::Case1, c, Architecture::Blocking, 1024, 0.08);
+    }
+}
+
+#[test]
+fn blocking_case2_agrees_across_cluster_counts() {
+    for c in [16usize, 128] {
+        assert_close(Scenario::Case2, c, Architecture::Blocking, 1024, 0.08);
+    }
+    // C=4 in Case 2 puts TWO tier types near saturation at once (the
+    // slow blocking FE ICN1s and the GE ECN1s). With several bottlenecks
+    // sharing one blocked source population the open-network M/M/1
+    // approximation genuinely degrades; the analysis overestimates by
+    // ~15-20% here. We pin the looser bound to document the model's
+    // limit rather than hide the point (see EXPERIMENTS.md).
+    assert_close(Scenario::Case2, 4, Architecture::Blocking, 1024, 0.25);
+}
+
+#[test]
+fn agreement_holds_for_small_messages_too() {
+    for c in [2usize, 16] {
+        assert_close(Scenario::Case1, c, Architecture::NonBlocking, 512, 0.08);
+        assert_close(Scenario::Case2, c, Architecture::Blocking, 512, 0.08);
+    }
+}
+
+#[test]
+fn paper_literal_accounting_diverges_where_ecn1_is_loaded() {
+    // The reproduction's headline ablation: eq. 6 as printed
+    // double-counts ECN1 occupancy. At C=2 the ECN1 queues carry most of
+    // the waiting, so the literal reading underestimates latency by tens
+    // of percent while the single-count reading stays tight.
+    let sys = SystemConfig::paper_preset(Scenario::Case1, 2, Architecture::NonBlocking)
+        .unwrap();
+    let sim = FlowSimulator::run(
+        &SimConfig::new(sys).with_messages(6_000).with_warmup(1_500).with_seed(2025),
+    )
+    .unwrap();
+    let single = AnalyticalModel::evaluate(&sys.with_accounting(QueueAccounting::SingleQueue))
+        .unwrap()
+        .latency
+        .mean_message_latency_us;
+    let literal = AnalyticalModel::evaluate(&sys.with_accounting(QueueAccounting::PaperLiteral))
+        .unwrap()
+        .latency
+        .mean_message_latency_us;
+    let err_single = (single - sim.mean_latency_us).abs() / sim.mean_latency_us;
+    let err_literal = (literal - sim.mean_latency_us).abs() / sim.mean_latency_us;
+    assert!(err_single < 0.08, "single-queue error {err_single}");
+    assert!(err_literal > 0.25, "literal error should be large, got {err_literal}");
+}
+
+#[test]
+fn effective_rate_matches_simulation() {
+    // Eq. 7's lambda_eff against the measured delivered rate per node.
+    for (c, arch) in [
+        (8usize, Architecture::NonBlocking),
+        (32, Architecture::Blocking),
+        (256, Architecture::NonBlocking),
+    ] {
+        let sys = SystemConfig::paper_preset(Scenario::Case1, c, arch).unwrap();
+        let analysis = AnalyticalModel::evaluate(&sys).unwrap();
+        let sim = FlowSimulator::run(
+            &SimConfig::new(sys).with_messages(6_000).with_warmup(1_500).with_seed(9),
+        )
+        .unwrap();
+        let rel = (analysis.equilibrium.lambda_eff - sim.effective_lambda_per_us).abs()
+            / sim.effective_lambda_per_us;
+        assert!(
+            rel < 0.08,
+            "C={c} {arch:?}: lambda_eff analysis {:.3e} vs sim {:.3e}",
+            analysis.equilibrium.lambda_eff,
+            sim.effective_lambda_per_us
+        );
+    }
+}
+
+#[test]
+fn center_utilizations_match_simulation() {
+    let sys =
+        SystemConfig::paper_preset(Scenario::Case1, 16, Architecture::NonBlocking).unwrap();
+    let analysis = AnalyticalModel::evaluate(&sys).unwrap();
+    let sim = FlowSimulator::run(
+        &SimConfig::new(sys).with_messages(8_000).with_warmup(2_000).with_seed(33),
+    )
+    .unwrap();
+    let pairs = [
+        (analysis.equilibrium.icn1.utilization, sim.icn1.utilization, "ICN1"),
+        (analysis.equilibrium.ecn1.utilization, sim.ecn1.utilization, "ECN1"),
+        (analysis.equilibrium.icn2.utilization, sim.icn2.utilization, "ICN2"),
+    ];
+    for (a, s, name) in pairs {
+        assert!(
+            (a - s).abs() < 0.05 + 0.1 * s,
+            "{name}: analysis rho {a:.3} vs sim {s:.3}"
+        );
+    }
+}

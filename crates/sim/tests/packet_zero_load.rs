@@ -1,0 +1,94 @@
+//! Zero-load calibration of the packet-level simulator: with a
+//! vanishingly small generation rate there is no queueing, so every
+//! latency is a pure sum of deterministic hop costs — checkable in
+//! closed form against the explicit topology.
+
+use hmcs_core::config::SystemConfig;
+use hmcs_core::scenario::Scenario;
+use hmcs_sim::config::SimConfig;
+use hmcs_sim::packet::PacketSimulator;
+use hmcs_topology::transmission::Architecture;
+
+const TINY_LAMBDA: f64 = 1e-9; // one message per ~17 simulated minutes
+
+fn run(clusters: usize, arch: Architecture, bytes: u64) -> hmcs_sim::SimResult {
+    let sys = SystemConfig::paper_preset(Scenario::Case1, clusters, arch)
+        .unwrap()
+        .with_message_bytes(bytes)
+        .with_lambda(TINY_LAMBDA);
+    PacketSimulator::run(&SimConfig::new(sys).with_messages(400).with_seed(99)).unwrap()
+}
+
+/// Single-switch regime (C = 16): internal messages cross exactly one
+/// switch; external ones cross one switch per tier pass (up=1, icn2
+/// route, down=1) plus three tier injections.
+#[test]
+fn zero_load_single_switch_latencies_are_exact() {
+    let r = run(16, Architecture::NonBlocking, 1024);
+    let hop_ge = 10.0 + 1024.0 / 94.0; // ICN1/per-switch (GE tier)
+    let hop_fe = 10.0 + 1024.0 / 10.5; // ECN1/ICN2 hops (FE tiers)
+    // Internal: injection alpha_GE + one ICN1 switch.
+    let internal = 80.0 + hop_ge;
+    assert!(
+        (r.internal_latency.mean() - internal).abs() < 1e-6,
+        "internal: sim {} vs closed form {internal}",
+        r.internal_latency.mean()
+    );
+    // External: ECN1 up (alpha_FE + 1 hop) + ICN2 (alpha_FE + 1 hop)
+    // + ECN1 down (alpha_FE + 1 hop).
+    let external = 3.0 * (50.0 + hop_fe);
+    assert!(
+        (r.external_latency.mean() - external).abs() < 1e-6,
+        "external: sim {} vs closed form {external}",
+        r.external_latency.mean()
+    );
+    // The mix respects eq. 8's weights.
+    let p = hmcs_core::routing::external_probability(16, 16);
+    let expect = (1.0 - p) * internal + p * external;
+    // Sampling: only ~400 messages decide the internal/external split.
+    assert!(
+        (r.mean_latency_us - expect).abs() / expect < 0.05,
+        "mix: sim {} vs expectation {expect}",
+        r.mean_latency_us
+    );
+}
+
+/// Zero-load latency never falls below the no-queueing floor and the
+/// simulated minimum approaches it.
+#[test]
+fn zero_load_minimum_hits_the_floor() {
+    let r = run(16, Architecture::NonBlocking, 512);
+    let hop_ge = 10.0 + 512.0 / 94.0;
+    let floor = 80.0 + hop_ge; // cheapest possible: internal one-switch
+    assert!(r.latency.min().unwrap() >= floor - 1e-6);
+    assert!(r.latency.min().unwrap() < floor + 1.0);
+}
+
+/// In the blocking chain at zero load, latency varies with the hop
+/// distance but never exceeds the full-chain traversal.
+#[test]
+fn zero_load_blocking_chain_bounds() {
+    // C=1: one linear array of 256 nodes over 11 switches, GE.
+    let r = run(1, Architecture::Blocking, 1024);
+    let hop = 10.0 + 1024.0 / 94.0;
+    let min_floor = 80.0 + hop; // same-switch pair
+    let max_ceiling = 80.0 + 11.0 * hop; // end-to-end traversal
+    assert!(r.latency.min().unwrap() >= min_floor - 1e-6);
+    assert!(r.latency.max().unwrap() <= max_ceiling + 1e-6);
+    // The mean sits strictly between.
+    assert!(r.mean_latency_us > min_floor && r.mean_latency_us < max_ceiling);
+}
+
+/// Message-size scaling at zero load is exactly linear per hop.
+#[test]
+fn zero_load_scales_linearly_per_hop() {
+    let small = run(16, Architecture::NonBlocking, 512);
+    let large = run(16, Architecture::NonBlocking, 1024);
+    // Internal path: one switch hop carries the payload once.
+    let delta = large.internal_latency.mean() - small.internal_latency.mean();
+    let expect = 512.0 / 94.0;
+    assert!(
+        (delta - expect).abs() < 1e-6,
+        "per-hop payload delta {delta} vs {expect}"
+    );
+}

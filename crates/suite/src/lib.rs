@@ -1,0 +1,14 @@
+//! Umbrella crate hosting the workspace-level examples and integration tests.
+//!
+//! The interesting code lives in `examples/` and `tests/` at the
+//! workspace root; this library only re-exports the member crates so
+//! those targets can use one coherent namespace.
+
+#![forbid(unsafe_code)]
+
+pub use hmcs_bench as bench;
+pub use hmcs_core as core;
+pub use hmcs_des as des;
+pub use hmcs_queueing as queueing;
+pub use hmcs_sim as sim;
+pub use hmcs_topology as topology;

@@ -1,0 +1,211 @@
+//! Transmission-time model for **direct networks** (k-ary n-cubes) and
+//! the bisection-generalised blocking penalty.
+//!
+//! The paper handles two extremes: full bisection bandwidth (fat-tree,
+//! `T_B = 0`) and bisection width 1 (linear array,
+//! `T_B = (N/2−1)·M·β`, eq. 20). Both are instances of one rule:
+//! under uniform traffic, half of all messages cross the bisection, so
+//! a network of bisection width `b` serialises `N/2` concurrent
+//! cross-flows over `b` links —
+//!
+//! ```text
+//! T_B = max(0, N/(2b) − 1)·M·β
+//! ```
+//!
+//! which reduces to eq. 20 at `b = 1` and vanishes at `b = N/2`
+//! (Definition 1). This module applies that generalisation to the
+//! k-ary n-cubes of [`crate::kary_ncube`], giving the paper's framework
+//! a third architecture family with intermediate bisection widths.
+
+use crate::error::TopologyError;
+use crate::kary_ncube::KaryNCube;
+use crate::technology::NetworkTechnology;
+use crate::transmission::TransmissionBreakdown;
+
+/// The bisection-generalised blocking penalty (µs):
+/// `max(0, N/(2b) − 1) · M·β`.
+pub fn generalized_blocking_penalty_us(
+    endpoints: usize,
+    bisection_width: usize,
+    message_bytes: u64,
+    technology: NetworkTechnology,
+) -> f64 {
+    assert!(bisection_width > 0, "bisection width must be positive");
+    let n = endpoints as f64;
+    let b = bisection_width as f64;
+    let payload = message_bytes as f64 * technology.byte_time_us();
+    (n / (2.0 * b) - 1.0).max(0.0) * payload
+}
+
+/// A direct network: nodes contain their own routers; links carry one
+/// technology; dimension-order routing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DirectNetworkModel {
+    technology: NetworkTechnology,
+    cube: KaryNCube,
+    router_latency_us: f64,
+}
+
+impl DirectNetworkModel {
+    /// Builds a model for the given cube; `router_latency_us` is the
+    /// per-hop router traversal cost (the α_sw analogue).
+    pub fn new(
+        technology: NetworkTechnology,
+        cube: KaryNCube,
+        router_latency_us: f64,
+    ) -> Result<Self, TopologyError> {
+        if !router_latency_us.is_finite() || router_latency_us < 0.0 {
+            return Err(TopologyError::InvalidParameter {
+                name: "router_latency_us",
+                reason: "must be finite and non-negative",
+            });
+        }
+        Ok(DirectNetworkModel { technology, cube, router_latency_us })
+    }
+
+    /// The underlying cube.
+    #[inline]
+    pub fn cube(&self) -> KaryNCube {
+        self.cube
+    }
+
+    /// Mean transmission time decomposition for an `message_bytes`-byte
+    /// message under uniform traffic, in the paper's accounting style
+    /// (eq. 11/21 analogue): link latency + mean hops × router latency
+    /// + payload + generalised blocking penalty.
+    pub fn breakdown(&self, message_bytes: u64) -> TransmissionBreakdown {
+        let payload = message_bytes as f64 * self.technology.byte_time_us();
+        let hops = self.cube.mean_hop_count();
+        let blocking = match self.cube.bisection_width() {
+            Some(b) => generalized_blocking_penalty_us(
+                self.cube.nodes(),
+                b,
+                message_bytes,
+                self.technology,
+            ),
+            // Odd radixes: bound the penalty with the even-radix width
+            // of the next-lower even radix (conservative).
+            None => {
+                let b = 2 * (self.cube.radix() as usize - 1).max(1)
+                    * (self.cube.radix() as usize).pow(self.cube.dimensions() - 1)
+                    / self.cube.radix() as usize;
+                generalized_blocking_penalty_us(
+                    self.cube.nodes(),
+                    b.max(1),
+                    message_bytes,
+                    self.technology,
+                )
+            }
+        };
+        TransmissionBreakdown {
+            link_latency_us: self.technology.latency_us,
+            switch_delay_us: hops * self.router_latency_us,
+            payload_time_us: payload,
+            blocking_time_us: blocking,
+        }
+    }
+
+    /// Total mean transmission time (µs).
+    #[inline]
+    pub fn mean_time_us(&self, message_bytes: u64) -> f64 {
+        self.breakdown(message_bytes).total_us()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear_array::LinearArray;
+    use crate::switch::SwitchFabric;
+    use crate::transmission::{Architecture, TransmissionModel};
+
+    fn ge() -> NetworkTechnology {
+        NetworkTechnology::GIGABIT_ETHERNET
+    }
+
+    #[test]
+    fn penalty_reduces_to_eq20_for_width_one() {
+        // b = 1: (N/2 - 1) M beta — exactly the paper's eq. 20.
+        let penalty = generalized_blocking_penalty_us(256, 1, 1024, ge());
+        let eq20 = (128.0 - 1.0) * 1024.0 / 94.0;
+        assert!((penalty - eq20).abs() < 1e-9);
+        // Cross-check against the switch-based blocking model.
+        let tm = TransmissionModel::new(ge(), SwitchFabric::paper_default(), 256,
+            Architecture::Blocking).unwrap();
+        assert!((tm.breakdown(1024).blocking_time_us - penalty).abs() < 1e-9);
+        let _ = LinearArray::new(256, SwitchFabric::paper_default()).unwrap();
+    }
+
+    #[test]
+    fn penalty_vanishes_at_full_bisection() {
+        assert_eq!(generalized_blocking_penalty_us(256, 128, 1024, ge()), 0.0);
+        assert_eq!(generalized_blocking_penalty_us(16, 8, 512, ge()), 0.0);
+    }
+
+    #[test]
+    fn penalty_interpolates_monotonically_in_width() {
+        let mut prev = f64::INFINITY;
+        for b in [1usize, 2, 4, 8, 16, 32, 64, 128] {
+            let p = generalized_blocking_penalty_us(256, b, 1024, ge());
+            assert!(p <= prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn torus_model_composes_the_pieces() {
+        // 16x16 torus of 256 nodes: bisection 32, mean hops 8*256/255.
+        let cube = KaryNCube::new(16, 2).unwrap();
+        assert_eq!(cube.nodes(), 256);
+        let model = DirectNetworkModel::new(ge(), cube, 10.0).unwrap();
+        let bd = model.breakdown(1024);
+        let payload = 1024.0 / 94.0;
+        assert!((bd.payload_time_us - payload).abs() < 1e-12);
+        // b = 2*16 = 32 => penalty = (256/64 - 1) * payload = 3 payloads.
+        assert!((bd.blocking_time_us - 3.0 * payload).abs() < 1e-9);
+        let hops = cube.mean_hop_count();
+        assert!((bd.switch_delay_us - hops * 10.0).abs() < 1e-9);
+        assert!((model.mean_time_us(1024) - bd.total_us()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn torus_sits_between_linear_array_and_fat_tree() {
+        // Same 256 endpoints, same technology: the torus's blocking
+        // penalty is far below the linear array's and above the
+        // fat-tree's zero.
+        let cube = DirectNetworkModel::new(ge(), KaryNCube::new(16, 2).unwrap(), 10.0).unwrap();
+        let sw = SwitchFabric::paper_default();
+        let linear =
+            TransmissionModel::new(ge(), sw, 256, Architecture::Blocking).unwrap();
+        let tree =
+            TransmissionModel::new(ge(), sw, 256, Architecture::NonBlocking).unwrap();
+        let b_cube = cube.breakdown(1024).blocking_time_us;
+        let b_lin = linear.breakdown(1024).blocking_time_us;
+        let b_tree = tree.breakdown(1024).blocking_time_us;
+        assert!(b_tree < b_cube && b_cube < b_lin);
+        assert!(b_lin / b_cube > 30.0, "width 32 vs width 1");
+    }
+
+    #[test]
+    fn hypercube_has_no_penalty_and_log_hops() {
+        // 2^8 = 256 nodes: bisection 128 = N/2 (full), mean hops ~ 4.
+        let cube = KaryNCube::hypercube(8).unwrap();
+        let model = DirectNetworkModel::new(ge(), cube, 10.0).unwrap();
+        let bd = model.breakdown(1024);
+        assert_eq!(bd.blocking_time_us, 0.0, "hypercube has full bisection");
+        assert!((cube.mean_hop_count() - 4.0 * 256.0 / 255.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_router_latency() {
+        let cube = KaryNCube::new(4, 2).unwrap();
+        assert!(DirectNetworkModel::new(ge(), cube, -1.0).is_err());
+        assert!(DirectNetworkModel::new(ge(), cube, f64::NAN).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn penalty_rejects_zero_width() {
+        generalized_blocking_penalty_us(16, 0, 64, ge());
+    }
+}

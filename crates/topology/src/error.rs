@@ -1,0 +1,50 @@
+//! Error type for topology construction and analysis.
+
+use std::fmt;
+
+/// Errors reported while constructing or analysing a topology.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopologyError {
+    /// A structural parameter was out of range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Description of the constraint that was violated.
+        reason: &'static str,
+    },
+    /// A node index referenced a node outside the topology.
+    NodeOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of nodes in the topology.
+        nodes: usize,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter {name}: {reason}")
+            }
+            TopologyError::NodeOutOfRange { index, nodes } => {
+                write!(f, "node index {index} out of range (topology has {nodes} nodes)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TopologyError::InvalidParameter { name: "ports", reason: "must be even" };
+        assert!(format!("{e}").contains("ports"));
+        let e = TopologyError::NodeOutOfRange { index: 9, nodes: 4 };
+        assert!(format!("{e}").contains('9'));
+    }
+}

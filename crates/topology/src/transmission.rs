@@ -1,0 +1,364 @@
+//! Message transmission-time models — eqs. 10, 11 and 18–21 of the
+//! paper.
+//!
+//! The transmission time of an `M`-byte message between two endpoints is
+//! assembled from the link technology (α, β), the switch latency α_sw
+//! and the topology:
+//!
+//! * plain point-to-point (eq. 10): `T = α + M·β`;
+//! * non-blocking fat-tree (eq. 11): `T = α + (2d−1)·α_sw + M·β`;
+//! * blocking linear array (eq. 19): `T = α + ((k+1)/3)·α_sw + M·β`,
+//!   plus the blocking penalty `T_B = (N/2 − 1)·M·β` (eq. 20), folded in
+//!   as `T = α + ((k+1)/3)·α_sw + (N/2)·M·β` (eq. 21).
+//!
+//! The [`TransmissionModel`] values produced here become the mean
+//! service times (1/µ) of the queueing centres in `hmcs-core`, and the
+//! service-time parameters of the simulators in `hmcs-sim`.
+
+use crate::error::TopologyError;
+use crate::fat_tree::FatTree;
+use crate::linear_array::LinearArray;
+use crate::switch::SwitchFabric;
+use crate::technology::NetworkTechnology;
+
+/// Which interconnect architecture a network uses (§5.2 vs §5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Architecture {
+    /// Multi-stage fat-tree: full bisection bandwidth, `T_B = 0`.
+    NonBlocking,
+    /// Linear switch array: bisection width 1, `T_B = (N/2−1)·M·β`.
+    Blocking,
+}
+
+impl Architecture {
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Architecture::NonBlocking => "non-blocking (fat-tree)",
+            Architecture::Blocking => "blocking (linear array)",
+        }
+    }
+}
+
+/// How the number of traversed switches is estimated for the blocking
+/// linear array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HopModel {
+    /// The paper's `(k+1)/3` average (eq. 19). Default for fidelity.
+    #[default]
+    PaperAverage,
+    /// The exact mean of `|s_a − s_b| + 1` under uniform traffic
+    /// (`ablation-hops`).
+    ExactMean,
+}
+
+/// Decomposition of a mean message transmission time (µs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransmissionBreakdown {
+    /// Link start-up latency α.
+    pub link_latency_us: f64,
+    /// Total switch traversal delay (`hops × α_sw`).
+    pub switch_delay_us: f64,
+    /// Raw payload transfer time `M·β`.
+    pub payload_time_us: f64,
+    /// Blocking penalty `T_B` (zero for non-blocking networks).
+    pub blocking_time_us: f64,
+}
+
+impl TransmissionBreakdown {
+    /// Total mean transmission time `T = α + hops·α_sw + M·β + T_B`.
+    #[inline]
+    pub fn total_us(&self) -> f64 {
+        self.link_latency_us + self.switch_delay_us + self.payload_time_us
+            + self.blocking_time_us
+    }
+}
+
+/// A fully specified communication network: technology + switch + size +
+/// architecture. Produces mean transmission times for the analytical
+/// model and per-hop parameters for the simulators.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransmissionModel {
+    technology: NetworkTechnology,
+    switch: SwitchFabric,
+    endpoints: usize,
+    architecture: Architecture,
+    hop_model: HopModel,
+}
+
+impl TransmissionModel {
+    /// Builds a transmission model for a network with `endpoints`
+    /// attached endpoints.
+    pub fn new(
+        technology: NetworkTechnology,
+        switch: SwitchFabric,
+        endpoints: usize,
+        architecture: Architecture,
+    ) -> Result<Self, TopologyError> {
+        if endpoints == 0 {
+            return Err(TopologyError::InvalidParameter {
+                name: "endpoints",
+                reason: "network needs at least one endpoint",
+            });
+        }
+        // Validate constructibility eagerly.
+        match architecture {
+            Architecture::NonBlocking => {
+                FatTree::new(endpoints, switch)?;
+            }
+            Architecture::Blocking => {
+                LinearArray::new(endpoints, switch)?;
+            }
+        }
+        Ok(TransmissionModel {
+            technology,
+            switch,
+            endpoints,
+            architecture,
+            hop_model: HopModel::default(),
+        })
+    }
+
+    /// Replaces the hop model (defaults to the paper's accounting:
+    /// worst-case `2d−1` for fat-trees per eq. 11, `(k+1)/3` for linear
+    /// arrays per eq. 19).
+    pub fn with_hop_model(mut self, hop_model: HopModel) -> Self {
+        self.hop_model = hop_model;
+        self
+    }
+
+    /// The link technology.
+    #[inline]
+    pub fn technology(&self) -> NetworkTechnology {
+        self.technology
+    }
+
+    /// The switch fabric.
+    #[inline]
+    pub fn switch(&self) -> SwitchFabric {
+        self.switch
+    }
+
+    /// Number of endpoints attached to this network.
+    #[inline]
+    pub fn endpoints(&self) -> usize {
+        self.endpoints
+    }
+
+    /// The architecture.
+    #[inline]
+    pub fn architecture(&self) -> Architecture {
+        self.architecture
+    }
+
+    /// Mean number of switch traversals charged per message.
+    ///
+    /// Non-blocking: the paper's eq. 11 charges the worst case `2d−1`
+    /// ([`HopModel::PaperAverage`]); [`HopModel::ExactMean`] instead uses
+    /// the exact uniform-pair mean, which is lower whenever some pairs
+    /// meet below the root.
+    pub fn mean_switch_traversals(&self) -> f64 {
+        match self.architecture {
+            Architecture::NonBlocking => {
+                let ft = FatTree::new(self.endpoints, self.switch)
+                    .expect("validated at construction");
+                match self.hop_model {
+                    HopModel::PaperAverage => ft.worst_case_switch_traversals() as f64,
+                    HopModel::ExactMean => {
+                        if self.endpoints < 2 {
+                            ft.worst_case_switch_traversals() as f64
+                        } else {
+                            ft.mean_switch_traversals()
+                        }
+                    }
+                }
+            }
+            Architecture::Blocking => {
+                let la = LinearArray::new(self.endpoints, self.switch)
+                    .expect("validated at construction");
+                match self.hop_model {
+                    HopModel::PaperAverage => la.paper_mean_switch_traversals(),
+                    HopModel::ExactMean => la.exact_mean_switch_traversals(),
+                }
+            }
+        }
+    }
+
+    /// Mean transmission time of an `message_bytes`-byte message, broken
+    /// into its components (eq. 11 for non-blocking, eq. 21 for
+    /// blocking).
+    pub fn breakdown(&self, message_bytes: u64) -> TransmissionBreakdown {
+        let m = message_bytes as f64;
+        let beta = self.technology.byte_time_us();
+        let payload = m * beta;
+        let switch_delay = self.mean_switch_traversals() * self.switch.latency_us();
+        let blocking = match self.architecture {
+            Architecture::NonBlocking => 0.0,
+            // eq. 20: (N/2 − 1)·M·β.
+            Architecture::Blocking => {
+                ((self.endpoints as f64 / 2.0) - 1.0).max(0.0) * payload
+            }
+        };
+        TransmissionBreakdown {
+            link_latency_us: self.technology.latency_us,
+            switch_delay_us: switch_delay,
+            payload_time_us: payload,
+            blocking_time_us: blocking,
+        }
+    }
+
+    /// Mean transmission time in µs (total of [`Self::breakdown`]).
+    #[inline]
+    pub fn mean_time_us(&self, message_bytes: u64) -> f64 {
+        self.breakdown(message_bytes).total_us()
+    }
+
+    /// Service rate µ (messages/µs) of this network when modelled as a
+    /// queueing centre with mean service time equal to
+    /// [`Self::mean_time_us`].
+    #[inline]
+    pub fn service_rate(&self, message_bytes: u64) -> f64 {
+        1.0 / self.mean_time_us(message_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ge() -> NetworkTechnology {
+        NetworkTechnology::GIGABIT_ETHERNET
+    }
+
+    fn fe() -> NetworkTechnology {
+        NetworkTechnology::FAST_ETHERNET
+    }
+
+    fn sw() -> SwitchFabric {
+        SwitchFabric::paper_default()
+    }
+
+    #[test]
+    fn eq11_nonblocking_time() {
+        // N=256, Pr=24 => d=2 => 3 switch hops.
+        let t = TransmissionModel::new(ge(), sw(), 256, Architecture::NonBlocking).unwrap();
+        let expect = 80.0 + 3.0 * 10.0 + 1024.0 / 94.0;
+        assert!((t.mean_time_us(1024) - expect).abs() < 1e-9);
+        let b = t.breakdown(1024);
+        assert_eq!(b.blocking_time_us, 0.0);
+        assert!((b.switch_delay_us - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq21_blocking_time() {
+        // N=256, Pr=24 => k=11, mean hops (k+1)/3 = 4.
+        let t = TransmissionModel::new(fe(), sw(), 256, Architecture::Blocking).unwrap();
+        let payload = 1024.0 / 10.5;
+        let expect = 50.0 + 4.0 * 10.0 + 128.0 * payload;
+        assert!((t.mean_time_us(1024) - expect).abs() < 1e-9);
+        let b = t.breakdown(1024);
+        // T_B = (N/2 - 1) M beta = 127 * payload.
+        assert!((b.blocking_time_us - 127.0 * payload).abs() < 1e-9);
+        assert!((b.payload_time_us - payload).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_switch_network_has_one_hop() {
+        let t = TransmissionModel::new(ge(), sw(), 16, Architecture::NonBlocking).unwrap();
+        assert_eq!(t.mean_switch_traversals(), 1.0);
+        let expect = 80.0 + 10.0 + 512.0 / 94.0;
+        assert!((t.mean_time_us(512) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blocking_dominates_nonblocking_at_paper_scales() {
+        for n in [16usize, 64, 256] {
+            for m in [512u64, 1024, 4096] {
+                let nb =
+                    TransmissionModel::new(ge(), sw(), n, Architecture::NonBlocking).unwrap();
+                let bl = TransmissionModel::new(ge(), sw(), n, Architecture::Blocking).unwrap();
+                assert!(
+                    bl.mean_time_us(m) >= nb.mean_time_us(m),
+                    "blocking must not be faster: n={n} m={m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_hop_average_artifact_for_single_switch_chains() {
+        // Documented fidelity quirk: for k = 1 the paper's (k+1)/3 hop
+        // average charges only 2/3 of a switch traversal, so a tiny
+        // message on a tiny "blocking" network can come out marginally
+        // faster than the non-blocking model, which charges a full
+        // switch. The blocking penalty still dominates for realistic
+        // message sizes.
+        let nb = TransmissionModel::new(ge(), sw(), 4, Architecture::NonBlocking).unwrap();
+        let bl = TransmissionModel::new(ge(), sw(), 4, Architecture::Blocking).unwrap();
+        assert!(bl.mean_time_us(64) < nb.mean_time_us(64), "the artifact exists");
+        assert!(bl.mean_time_us(4096) > nb.mean_time_us(4096), "payload restores order");
+        // The exact-hop ablation model removes the artifact entirely.
+        let bl_exact = bl.with_hop_model(HopModel::ExactMean);
+        assert!(bl_exact.mean_time_us(64) >= nb.mean_time_us(64));
+    }
+
+    #[test]
+    fn two_endpoint_blocking_network_has_no_penalty() {
+        // N=2: (N/2 - 1) = 0.
+        let t = TransmissionModel::new(fe(), sw(), 2, Architecture::Blocking).unwrap();
+        assert_eq!(t.breakdown(1024).blocking_time_us, 0.0);
+    }
+
+    #[test]
+    fn hop_model_switch() {
+        let paper = TransmissionModel::new(fe(), sw(), 256, Architecture::Blocking).unwrap();
+        let exact = paper.with_hop_model(HopModel::ExactMean);
+        assert!(
+            (paper.mean_switch_traversals() - 4.0).abs() < 1e-12,
+            "paper model: (11+1)/3"
+        );
+        // Exact mean differs from the paper's approximation.
+        assert!(exact.mean_switch_traversals() != paper.mean_switch_traversals());
+        // Both are within the chain length.
+        assert!(exact.mean_switch_traversals() <= 11.0);
+    }
+
+    #[test]
+    fn fat_tree_exact_hop_model_is_cheaper() {
+        // N=256, Pr=24: d=2 but many pairs share a leaf switch, so the
+        // exact mean sits below the paper's worst-case 3.
+        let worst = TransmissionModel::new(ge(), sw(), 256, Architecture::NonBlocking).unwrap();
+        let exact = worst.with_hop_model(HopModel::ExactMean);
+        assert_eq!(worst.mean_switch_traversals(), 3.0);
+        assert!(exact.mean_switch_traversals() < 3.0);
+        assert!(exact.mean_switch_traversals() >= 1.0);
+        assert!(exact.mean_time_us(1024) < worst.mean_time_us(1024));
+    }
+
+    #[test]
+    fn service_rate_is_inverse_time() {
+        let t = TransmissionModel::new(ge(), sw(), 64, Architecture::NonBlocking).unwrap();
+        let rate = t.service_rate(1024);
+        assert!((rate * t.mean_time_us(1024) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn message_size_scales_payload_linearly() {
+        let t = TransmissionModel::new(ge(), sw(), 256, Architecture::NonBlocking).unwrap();
+        let t512 = t.mean_time_us(512);
+        let t1024 = t.mean_time_us(1024);
+        let fixed = 80.0 + 30.0;
+        assert!(((t1024 - fixed) - 2.0 * (t512 - fixed)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_zero_endpoints() {
+        assert!(TransmissionModel::new(ge(), sw(), 0, Architecture::NonBlocking).is_err());
+    }
+
+    #[test]
+    fn architecture_names() {
+        assert!(Architecture::NonBlocking.name().contains("fat-tree"));
+        assert!(Architecture::Blocking.name().contains("linear"));
+    }
+}

@@ -1,0 +1,111 @@
+//! Structural invariants of the explicit topology graphs at scale,
+//! cross-checked against the closed forms.
+
+use hmcs_topology::fat_tree::FatTree;
+use hmcs_topology::kary_ncube::KaryNCube;
+use hmcs_topology::linear_array::LinearArray;
+use hmcs_topology::switch::SwitchFabric;
+
+fn sw(ports: u32) -> SwitchFabric {
+    SwitchFabric::new(ports, 10.0).unwrap()
+}
+
+#[test]
+fn fat_tree_graph_shape_full_population() {
+    // Full-population trees: every middle stage contributes exactly n
+    // uplink edges (pods of c endpoints have c up-links), plus n
+    // endpoint edges.
+    for (ports, stages_expected) in [(8u32, 2u32), (4, 3)] {
+        let d = ports as usize / 2;
+        let n = ports as usize * d.pow(stages_expected - 1);
+        let ft = FatTree::new(n, sw(ports)).unwrap();
+        assert_eq!(ft.stages(), stages_expected, "n={n} ports={ports}");
+        let g = ft.build_graph();
+        assert!(g.graph().is_connected());
+        // Endpoints have degree 1 (their leaf link).
+        for v in 0..n {
+            assert_eq!(g.graph().degree(v), 1, "endpoint {v}");
+        }
+        let expected_edges = n + (stages_expected as usize - 1) * n;
+        assert_eq!(g.graph().edge_count(), expected_edges, "n={n} ports={ports}");
+    }
+}
+
+#[test]
+fn fat_tree_eq13_agrees_with_stage_sums_large_grid() {
+    for ports in [8u32, 16, 24, 48] {
+        for n in [5usize, 24, 100, 256, 777, 2048] {
+            let ft = FatTree::new(n, sw(ports)).unwrap();
+            let d = ft.stages() as usize;
+            let per_middle = n.div_ceil(ports as usize / 2);
+            let last = n.div_ceil(ports as usize);
+            assert_eq!(
+                ft.switch_count(),
+                (d - 1) * per_middle + last,
+                "n={n} ports={ports}"
+            );
+        }
+    }
+}
+
+#[test]
+fn linear_array_graph_shape() {
+    for (n, ports) in [(256usize, 24u32), (100, 24), (7, 4)] {
+        let la = LinearArray::new(n, sw(ports)).unwrap();
+        let g = la.build_graph();
+        let k = la.switch_count();
+        // Vertices: endpoints + switches. Edges: one per endpoint plus
+        // the k-1 chain links.
+        assert_eq!(g.vertex_count(), n + k);
+        assert_eq!(g.edge_count(), n + k - 1);
+        assert!(g.is_connected());
+        // Endpoint degree 1; interior switch degree occupancy + 2.
+        for v in 0..n {
+            assert_eq!(g.degree(v), 1);
+        }
+    }
+}
+
+#[test]
+fn kary_ncube_edge_count_grid() {
+    for (k, n) in [(2u32, 6u32), (3, 3), (4, 3), (8, 2), (16, 2)] {
+        let cube = KaryNCube::new(k, n).unwrap();
+        let g = cube.build_graph();
+        assert_eq!(g.vertex_count(), cube.nodes());
+        assert_eq!(g.edge_count(), cube.link_count(), "k={k} n={n}");
+        assert!(g.is_connected());
+        // Regular degree: 2n for k>2, n for k=2.
+        let want = if k == 2 { n as usize } else { 2 * n as usize };
+        for v in 0..cube.nodes() {
+            assert_eq!(g.degree(v), want, "k={k} n={n} v={v}");
+        }
+    }
+}
+
+#[test]
+fn fat_tree_mean_hops_scale_with_radix() {
+    // Bigger switches flatten the tree: mean traversals must be
+    // non-increasing in the port count for fixed n.
+    let n = 512;
+    let mut prev = f64::INFINITY;
+    for ports in [8u32, 16, 24, 48, 64] {
+        let ft = FatTree::new(n, sw(ports)).unwrap();
+        let mean = ft.mean_switch_traversals();
+        assert!(mean <= prev + 1e-12, "ports={ports}: {mean} > {prev}");
+        prev = mean;
+    }
+}
+
+#[test]
+fn diameters_rank_the_families() {
+    // At 256 nodes: fat-tree (3 switch hops) < hypercube (8) <
+    // 16x16 torus (16) < ring (128) in worst-case hops.
+    let ft = FatTree::new(256, sw(24)).unwrap();
+    let hyper = KaryNCube::hypercube(8).unwrap();
+    let torus = KaryNCube::new(16, 2).unwrap();
+    let ring = KaryNCube::new(256, 1).unwrap();
+    assert!(ft.worst_case_switch_traversals() < hyper.diameter());
+    assert!(hyper.diameter() < torus.diameter());
+    assert!(torus.diameter() < ring.diameter());
+    assert_eq!(ring.diameter(), 128);
+}

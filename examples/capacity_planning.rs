@@ -1,0 +1,55 @@
+//! Capacity planning with the analytical model: for each cluster count,
+//! find the highest per-processor message rate the system can absorb
+//! while keeping mean message latency under an SLO — the kind of
+//! question a closed-form model answers in microseconds and a simulator
+//! answers in minutes.
+//!
+//! ```text
+//! cargo run --release -p hmcs-suite --example capacity_planning [slo_ms]
+//! ```
+
+use hmcs_core::config::SystemConfig;
+use hmcs_core::model::AnalyticalModel;
+use hmcs_core::scenario::{Scenario, PAPER_CLUSTER_COUNTS};
+use hmcs_core::sweep::max_lambda_within_latency;
+use hmcs_topology::transmission::Architecture;
+
+fn main() {
+    let slo_ms: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10.0);
+    let slo_us = slo_ms * 1e3;
+
+    println!("SLO: mean message latency <= {slo_ms} ms; 256 nodes, Case 1, M = 1024 B.\n");
+    println!(
+        "{:>8} | {:>24} | {:>24}",
+        "clusters", "non-blocking max rate", "blocking max rate"
+    );
+    println!("{:-<8}-+-{:-<24}-+-{:-<24}", "", "", "");
+
+    for &c in &PAPER_CLUSTER_COUNTS {
+        let mut cells = Vec::new();
+        for arch in [Architecture::NonBlocking, Architecture::Blocking] {
+            let base = SystemConfig::paper_preset(Scenario::Case1, c, arch).unwrap();
+            let best = max_lambda_within_latency(&base, slo_us, 1e-9, 1e-1, 60)
+                .expect("model evaluates");
+            cells.push(match best {
+                Some(lam) => {
+                    // Verify the bound holds at the found rate.
+                    let at = AnalyticalModel::evaluate(&base.with_lambda(lam)).unwrap();
+                    debug_assert!(at.latency.mean_message_latency_us <= slo_us * 1.01);
+                    format!("{:.2} msg/ms per node", lam * 1e3)
+                }
+                None => "infeasible".to_string(),
+            });
+        }
+        println!("{c:>8} | {:>24} | {:>24}", cells[0], cells[1]);
+    }
+
+    println!();
+    println!("Reading: the non-blocking fat-tree sustains orders of magnitude more");
+    println!("traffic per node than the blocking linear array at the same SLO, and the");
+    println!("sustainable rate drops as the 256 nodes are split into more clusters");
+    println!("(more traffic crosses the slow inter-cluster tiers).");
+}

@@ -1,0 +1,63 @@
+//! Quickstart: evaluate the analytical model for one system and print a
+//! full performance report.
+//!
+//! ```text
+//! cargo run --release -p hmcs-suite --example quickstart
+//! ```
+
+use hmcs_core::config::SystemConfig;
+use hmcs_core::model::AnalyticalModel;
+use hmcs_core::scenario::Scenario;
+use hmcs_topology::transmission::Architecture;
+
+fn main() {
+    // The paper's evaluation platform: 256 nodes in 16 clusters of 16,
+    // Case-1 networks (Gigabit Ethernet inside clusters, Fast Ethernet
+    // between them), non-blocking fat-tree fabrics, 1 KiB messages.
+    let config = SystemConfig::paper_preset(Scenario::Case1, 16, Architecture::NonBlocking)
+        .expect("16 divides 256");
+
+    let report = AnalyticalModel::evaluate(&config).expect("model evaluates");
+
+    println!("System: {} clusters x {} nodes", config.clusters, config.nodes_per_cluster);
+    println!(
+        "Networks: ICN1 = {}, ECN1/ICN2 = {}, {} architecture",
+        config.icn1.name,
+        config.ecn1.name,
+        config.architecture.name()
+    );
+    println!("Message size: {} bytes; generation rate: 0.25 msg/ms per processor", config.message_bytes);
+    println!();
+
+    println!("Per-tier mean service times (topology model, eqs. 10-21):");
+    println!("  ICN1: {:8.2} µs", report.service_times.icn1_us);
+    println!("  ECN1: {:8.2} µs", report.service_times.ecn1_us);
+    println!("  ICN2: {:8.2} µs", report.service_times.icn2_us);
+    println!();
+
+    let eq = &report.equilibrium;
+    println!("Flow-blocking equilibrium (eqs. 6-7):");
+    println!(
+        "  effective rate: {:.3e} msg/µs per processor ({:.1}% of nominal)",
+        eq.lambda_eff,
+        eq.retained_fraction * 100.0
+    );
+    println!("  waiting processors: {:.1} of {}", eq.total_waiting, config.total_nodes());
+    println!(
+        "  utilizations: ICN1 {:.2}, ECN1 {:.2}, ICN2 {:.2}",
+        eq.icn1.utilization, eq.ecn1.utilization, eq.icn2.utilization
+    );
+    println!();
+
+    let lat = &report.latency;
+    println!("Latency (eq. 15):");
+    println!("  P(external)        = {:.3}", lat.external_probability);
+    println!("  internal latency   = {:8.3} ms", lat.internal_latency_us / 1e3);
+    println!("  external latency   = {:8.3} ms", lat.external_latency_us / 1e3);
+    println!("  mean message latency = {:6.3} ms", lat.mean_message_latency_ms());
+    println!();
+    println!(
+        "Throughput: {:.1} messages/ms system-wide",
+        report.throughput_per_us * 1e3
+    );
+}

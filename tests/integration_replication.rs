@@ -1,0 +1,57 @@
+//! Output-analysis integration: the replication driver's confidence
+//! intervals must be statistically meaningful — the analytical model's
+//! prediction should fall inside (or very near) the replication CI, and
+//! the CI must shrink with more replications.
+
+use hmcs_core::config::SystemConfig;
+use hmcs_core::model::AnalyticalModel;
+use hmcs_core::scenario::Scenario;
+use hmcs_sim::config::SimConfig;
+use hmcs_sim::replication::{run_replications, Simulator};
+use hmcs_topology::transmission::Architecture;
+
+fn base(messages: u64) -> SimConfig {
+    let sys =
+        SystemConfig::paper_preset(Scenario::Case1, 8, Architecture::NonBlocking).unwrap();
+    SimConfig::new(sys).with_messages(messages).with_warmup(messages / 4).with_seed(500)
+}
+
+#[test]
+fn model_prediction_lies_within_replication_interval() {
+    let summary = run_replications(&base(4_000), Simulator::Flow, 6).unwrap();
+    let sys = base(4_000).system;
+    let model = AnalyticalModel::evaluate(&sys).unwrap().latency.mean_message_latency_us;
+    let half = summary.latency_ci95_us();
+    let center = summary.mean_latency_us();
+    // Allow 2x the CI to absorb the model's own bias (~1-2%).
+    assert!(
+        (model - center).abs() < 2.0 * half + 0.02 * center,
+        "model {model:.1} vs replications {center:.1} ± {half:.1}"
+    );
+}
+
+#[test]
+fn intervals_shrink_with_more_replications() {
+    let few = run_replications(&base(1_500), Simulator::Flow, 3).unwrap();
+    let many = run_replications(&base(1_500), Simulator::Flow, 12).unwrap();
+    assert!(
+        many.latency_ci95_us() < few.latency_ci95_us(),
+        "12 reps {} vs 3 reps {}",
+        many.latency_ci95_us(),
+        few.latency_ci95_us()
+    );
+}
+
+#[test]
+fn replication_effective_rates_are_tight() {
+    // lambda_eff is a ratio estimator over the whole run; its spread
+    // across replications should be small relative to its mean.
+    let summary = run_replications(&base(3_000), Simulator::Flow, 5).unwrap();
+    let mean = summary.mean_effective_lambda();
+    let sd = summary.effective_lambdas.std_dev();
+    assert!(sd / mean < 0.05, "cv {}", sd / mean);
+    // And it should track the model's fixed point.
+    let sys = base(3_000).system;
+    let model = AnalyticalModel::evaluate(&sys).unwrap().equilibrium.lambda_eff;
+    assert!((model - mean).abs() / mean < 0.08, "model {model:.3e} vs sim {mean:.3e}");
+}
