@@ -38,17 +38,12 @@ fn accounting(c: &mut Criterion) {
             use hmcs_core::scenario::{Scenario, PAPER_CLUSTER_COUNTS};
             use hmcs_topology::transmission::Architecture;
             for &cl in &PAPER_CLUSTER_COUNTS {
-                let sys = SystemConfig::paper_preset(
-                    Scenario::Case1,
-                    cl,
-                    Architecture::NonBlocking,
-                )
-                .unwrap()
-                .with_lambda(opts.lambda_per_us);
+                let sys =
+                    SystemConfig::paper_preset(Scenario::Case1, cl, Architecture::NonBlocking)
+                        .unwrap()
+                        .with_lambda(opts.lambda_per_us);
                 for acc in [QueueAccounting::PaperLiteral, QueueAccounting::SingleQueue] {
-                    black_box(
-                        AnalyticalModel::evaluate(&sys.with_accounting(acc)).unwrap(),
-                    );
+                    black_box(AnalyticalModel::evaluate(&sys.with_accounting(acc)).unwrap());
                 }
             }
         })

@@ -17,9 +17,8 @@ use std::hint::black_box;
 fn single_evaluation(c: &mut Criterion) {
     let mut group = c.benchmark_group("analysis/evaluate");
     for clusters in [1usize, 16, 256] {
-        let cfg =
-            SystemConfig::paper_preset(Scenario::Case1, clusters, Architecture::NonBlocking)
-                .unwrap();
+        let cfg = SystemConfig::paper_preset(Scenario::Case1, clusters, Architecture::NonBlocking)
+            .unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(clusters), &cfg, |b, cfg| {
             b.iter(|| black_box(AnalyticalModel::evaluate(black_box(cfg)).unwrap()))
         });

@@ -25,9 +25,7 @@ fn claims(c: &mut Criterion) {
     }
     println!("measured ratio band: {min:.2}x – {max:.2}x (paper: 1.4x – 3.1x)");
 
-    c.bench_function("claims/ratio_grid", |b| {
-        b.iter(|| black_box(run_claims(&opts).unwrap()))
-    });
+    c.bench_function("claims/ratio_grid", |b| b.iter(|| black_box(run_claims(&opts).unwrap())));
 }
 
 criterion_group! {

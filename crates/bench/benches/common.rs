@@ -33,12 +33,9 @@ pub fn bench_figure(c: &mut Criterion, spec: FigureSpec) {
     // One simulated point (C = 16, M = 1024, 2,000 messages).
     c.bench_function(&format!("{}/simulation_point_c16", spec.id), |b| {
         b.iter(|| {
-            let sys = hmcs_core::config::SystemConfig::paper_preset(
-                spec.scenario,
-                16,
-                spec.architecture,
-            )
-            .unwrap();
+            let sys =
+                hmcs_core::config::SystemConfig::paper_preset(spec.scenario, 16, spec.architecture)
+                    .unwrap();
             let cfg = hmcs_sim::config::SimConfig::new(sys)
                 .with_messages(2_000)
                 .with_warmup(500)

@@ -17,14 +17,10 @@ fn packet_validation(c: &mut Criterion) {
     println!("\n=== packet-validation: analysis vs flow vs packet (ms) ===");
     println!("clusters  analysis    flow    packet");
     for r in &rows {
-        println!(
-            "{:8}  {:8.3}  {:6.3}  {:8.3}",
-            r.clusters, r.analysis_ms, r.flow_ms, r.packet_ms
-        );
+        println!("{:8}  {:8.3}  {:6.3}  {:8.3}", r.clusters, r.analysis_ms, r.flow_ms, r.packet_ms);
     }
 
-    let sys =
-        SystemConfig::paper_preset(Scenario::Case1, 16, Architecture::NonBlocking).unwrap();
+    let sys = SystemConfig::paper_preset(Scenario::Case1, 16, Architecture::NonBlocking).unwrap();
     let cfg = SimConfig::new(sys).with_messages(2_000).with_warmup(400).with_seed(3);
     c.bench_function("packet/simulate_2k_messages_c16", |b| {
         b.iter(|| black_box(PacketSimulator::run(black_box(&cfg)).unwrap()))

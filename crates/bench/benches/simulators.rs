@@ -16,9 +16,8 @@ use std::hint::black_box;
 fn flow_simulator(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim/flow");
     for clusters in [4usize, 64] {
-        let sys =
-            SystemConfig::paper_preset(Scenario::Case1, clusters, Architecture::NonBlocking)
-                .unwrap();
+        let sys = SystemConfig::paper_preset(Scenario::Case1, clusters, Architecture::NonBlocking)
+            .unwrap();
         let cfg = SimConfig::new(sys).with_messages(5_000).with_warmup(500).with_seed(1);
         group.throughput(Throughput::Elements(cfg.messages));
         group.bench_with_input(BenchmarkId::from_parameter(clusters), &cfg, |b, cfg| {
@@ -34,11 +33,9 @@ fn packet_simulator(c: &mut Criterion) {
         let sys = SystemConfig::paper_preset(Scenario::Case1, 16, arch).unwrap();
         let cfg = SimConfig::new(sys).with_messages(3_000).with_warmup(300).with_seed(1);
         group.throughput(Throughput::Elements(cfg.messages));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{arch:?}")),
-            &cfg,
-            |b, cfg| b.iter(|| black_box(PacketSimulator::run(black_box(cfg)).unwrap())),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{arch:?}")), &cfg, |b, cfg| {
+            b.iter(|| black_box(PacketSimulator::run(black_box(cfg)).unwrap()))
+        });
     }
     group.finish();
 }
@@ -46,8 +43,7 @@ fn packet_simulator(c: &mut Criterion) {
 fn analysis_vs_simulation_speed(c: &mut Criterion) {
     // The paper's motivation, quantified: one analysis evaluation vs one
     // 10,000-message simulation of the same system.
-    let sys =
-        SystemConfig::paper_preset(Scenario::Case1, 16, Architecture::NonBlocking).unwrap();
+    let sys = SystemConfig::paper_preset(Scenario::Case1, 16, Architecture::NonBlocking).unwrap();
     let mut group = c.benchmark_group("speed_advantage");
     group.bench_function("analysis", |b| {
         b.iter(|| black_box(AnalyticalModel::evaluate(black_box(&sys)).unwrap()))

@@ -32,11 +32,9 @@ fn queueing_kernels(c: &mut Criterion) {
             MvaStation::Queueing { demand: 160.0 },
             MvaStation::Queueing { demand: 180.0 },
         ];
-        group.bench_with_input(
-            BenchmarkId::from_parameter(population),
-            &population,
-            |b, &n| b.iter(|| black_box(mva(&stations, n).unwrap())),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(population), &population, |b, &n| {
+            b.iter(|| black_box(mva(&stations, n).unwrap()))
+        });
     }
     group.finish();
 }

@@ -26,8 +26,7 @@ fn tables(c: &mut Criterion) {
             for scenario in [Scenario::Case1, Scenario::Case2] {
                 for c in [1usize, 16, 256] {
                     black_box(
-                        SystemConfig::paper_preset(scenario, c, Architecture::NonBlocking)
-                            .unwrap(),
+                        SystemConfig::paper_preset(scenario, c, Architecture::NonBlocking).unwrap(),
                     );
                 }
             }

@@ -104,15 +104,9 @@ fn parse() -> Result<Args, String> {
 }
 
 fn run(a: &Args) -> Result<(), String> {
-    let cfg = SystemConfig::new(
-        a.clusters,
-        a.nodes,
-        a.bytes,
-        a.lambda_per_ms / 1e3,
-        a.scenario,
-        a.arch,
-    )
-    .map_err(|e| e.to_string())?;
+    let cfg =
+        SystemConfig::new(a.clusters, a.nodes, a.bytes, a.lambda_per_ms / 1e3, a.scenario, a.arch)
+            .map_err(|e| e.to_string())?;
     let report = AnalyticalModel::evaluate(&cfg).map_err(|e| e.to_string())?;
 
     println!(

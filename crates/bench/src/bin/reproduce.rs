@@ -20,7 +20,7 @@
 use hmcs_bench::experiments::{
     self, FigureData, FigureSpec, RunOptions, ALL_FIGURES, FIG4, FIG5, FIG6, FIG7,
 };
-use hmcs_bench::report::{ms, opt_ms, ratio, render_table, write_csv};
+use hmcs_bench::report::{eval_stats_line, ms, opt_ms, ratio, render_table, write_csv};
 use hmcs_core::scenario::PAPER_LAMBDA_LITERAL_PER_US;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -114,10 +114,8 @@ fn emit_figure(spec: FigureSpec, cli: &Cli) -> Result<(), String> {
         "worst err",
     ];
     let rows = figure_rows(&data);
-    println!(
-        "{}",
-        render_table(&format!("{} — {}", spec.id, spec.caption), &headers, &rows)
-    );
+    println!("{}", render_table(&format!("{} — {}", spec.id, spec.caption), &headers, &rows));
+    println!("{}\n", eval_stats_line(&data.analysis_stats));
     if let Some(dir) = &cli.csv_dir {
         write_csv(&dir.join(format!("{}.csv", spec.id)), &headers, &rows)
             .map_err(|e| e.to_string())?;
@@ -245,7 +243,11 @@ fn emit_hops(cli: &Cli) -> Result<(), String> {
         .collect();
     println!(
         "{}",
-        render_table("Ablation: blocking hop model (eq. 19 average vs exact mean)", &headers, &rows)
+        render_table(
+            "Ablation: blocking hop model (eq. 19 average vs exact mean)",
+            &headers,
+            &rows
+        )
     );
     if let Some(dir) = &cli.csv_dir {
         write_csv(&dir.join("ablation_hops.csv"), &headers, &rows).map_err(|e| e.to_string())?;
@@ -271,8 +273,7 @@ fn emit_service(cli: &Cli) -> Result<(), String> {
         )
     );
     if let Some(dir) = &cli.csv_dir {
-        write_csv(&dir.join("ablation_service.csv"), &headers, &rows)
-            .map_err(|e| e.to_string())?;
+        write_csv(&dir.join("ablation_service.csv"), &headers, &rows).map_err(|e| e.to_string())?;
     }
     Ok(())
 }
@@ -282,17 +283,11 @@ fn emit_packet(cli: &Cli) -> Result<(), String> {
     let headers = ["clusters", "analysis (ms)", "flow sim (ms)", "packet sim (ms)"];
     let rows: Vec<Vec<String>> = data
         .iter()
-        .map(|r| {
-            vec![r.clusters.to_string(), ms(r.analysis_ms), ms(r.flow_ms), ms(r.packet_ms)]
-        })
+        .map(|r| vec![r.clusters.to_string(), ms(r.analysis_ms), ms(r.flow_ms), ms(r.packet_ms)])
         .collect();
     println!(
         "{}",
-        render_table(
-            "Packet-level validation (Case 1, non-blocking, M=1024)",
-            &headers,
-            &rows
-        )
+        render_table("Packet-level validation (Case 1, non-blocking, M=1024)", &headers, &rows)
     );
     if let Some(dir) = &cli.csv_dir {
         write_csv(&dir.join("packet_validation.csv"), &headers, &rows)
@@ -303,14 +298,8 @@ fn emit_packet(cli: &Cli) -> Result<(), String> {
 
 fn emit_coc(cli: &Cli) -> Result<(), String> {
     let data = experiments::run_coc_validation(&cli.opts).map_err(|e| e.to_string())?;
-    let headers = [
-        "system",
-        "analysis (ms)",
-        "sim (ms)",
-        "err",
-        "lambda_eff analysis",
-        "lambda_eff sim",
-    ];
+    let headers =
+        ["system", "analysis (ms)", "sim (ms)", "err", "lambda_eff analysis", "lambda_eff sim"];
     let rows: Vec<Vec<String>> = data
         .iter()
         .map(|r| {
@@ -333,23 +322,15 @@ fn emit_coc(cli: &Cli) -> Result<(), String> {
         )
     );
     if let Some(dir) = &cli.csv_dir {
-        write_csv(&dir.join("coc_validation.csv"), &headers, &rows)
-            .map_err(|e| e.to_string())?;
+        write_csv(&dir.join("coc_validation.csv"), &headers, &rows).map_err(|e| e.to_string())?;
     }
     Ok(())
 }
 
 fn emit_bounds(cli: &Cli) -> Result<(), String> {
     let data = experiments::run_bounds(&cli.opts).map_err(|e| e.to_string())?;
-    let headers = [
-        "clusters",
-        "d_total (µs)",
-        "d_max (µs)",
-        "N*",
-        "bound λ_eff",
-        "model λ_eff",
-        "sim λ_eff",
-    ];
+    let headers =
+        ["clusters", "d_total (µs)", "d_max (µs)", "N*", "bound λ_eff", "model λ_eff", "sim λ_eff"];
     let rows: Vec<Vec<String>> = data
         .iter()
         .map(|r| {

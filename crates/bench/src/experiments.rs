@@ -14,13 +14,14 @@
 //! Tables 1–2, the §6 blocking/non-blocking ratio claim and the
 //! reproduction's ablations.
 
+use hmcs_core::batch::{self, BatchOptions, EvalStatsSummary};
 use hmcs_core::config::{QueueAccounting, ServiceTimeModel, SystemConfig};
 use hmcs_core::error::ModelError;
 use hmcs_core::model::AnalyticalModel;
 use hmcs_core::scenario::{
-    Scenario, PAPER_CLUSTER_COUNTS, PAPER_LAMBDA_PER_US, PAPER_MESSAGE_SIZES,
-    PAPER_SIM_MESSAGES,
+    Scenario, PAPER_CLUSTER_COUNTS, PAPER_LAMBDA_PER_US, PAPER_MESSAGE_SIZES, PAPER_SIM_MESSAGES,
 };
+use hmcs_core::sweep;
 use hmcs_sim::config::SimConfig;
 use hmcs_sim::flow::FlowSimulator;
 use hmcs_sim::packet::PacketSimulator;
@@ -138,6 +139,8 @@ pub struct FigureData {
     pub spec: FigureSpec,
     /// One row per cluster count.
     pub rows: Vec<FigureRow>,
+    /// Aggregate cost of the analytical evaluations behind the figure.
+    pub analysis_stats: EvalStatsSummary,
 }
 
 fn system_for(
@@ -151,41 +154,72 @@ fn system_for(
         .with_lambda(opts.lambda_per_us))
 }
 
-fn point(
-    spec: FigureSpec,
-    clusters: usize,
-    bytes: u64,
-    opts: &RunOptions,
-) -> Result<(f64, Option<f64>), ModelError> {
-    let sys = system_for(spec, clusters, bytes, opts)?;
-    let analysis = AnalyticalModel::evaluate(&sys)?.latency.mean_message_latency_ms();
-    let sim = if opts.with_simulation {
-        let cfg = SimConfig::new(sys)
-            .with_messages(opts.messages)
-            .with_warmup(opts.warmup)
-            .with_seed(opts.seed);
-        Some(FlowSimulator::run(&cfg)?.mean_latency_ms())
-    } else {
-        None
-    };
-    Ok((analysis, sim))
+/// Regenerates one of Figures 4–7 on the shared worker pool.
+pub fn run_figure(spec: FigureSpec, opts: &RunOptions) -> Result<FigureData, ModelError> {
+    run_figure_with(spec, opts, BatchOptions::default())
 }
 
-/// Regenerates one of Figures 4–7.
-pub fn run_figure(spec: FigureSpec, opts: &RunOptions) -> Result<FigureData, ModelError> {
-    let mut rows = Vec::with_capacity(PAPER_CLUSTER_COUNTS.len());
-    for &c in &PAPER_CLUSTER_COUNTS {
-        let (a512, s512) = point(spec, c, PAPER_MESSAGE_SIZES[0], opts)?;
-        let (a1024, s1024) = point(spec, c, PAPER_MESSAGE_SIZES[1], opts)?;
-        rows.push(FigureRow {
+/// [`run_figure`] with an explicit worker policy. The analysis column
+/// runs as two batch cluster sweeps (one per message size); the
+/// simulation column fans the 18 runs out over the same pool.
+pub fn run_figure_with(
+    spec: FigureSpec,
+    opts: &RunOptions,
+    batch_options: BatchOptions,
+) -> Result<FigureData, ModelError> {
+    let sweep_for = |bytes: u64| -> Result<Vec<sweep::SweepPoint<usize>>, ModelError> {
+        let base = SystemConfig::paper_preset(spec.scenario, 1, spec.architecture)?
+            .with_message_bytes(bytes)
+            .with_lambda(opts.lambda_per_us);
+        sweep::cluster_sweep_with(
+            &base,
+            hmcs_core::scenario::PAPER_TOTAL_NODES,
+            &PAPER_CLUSTER_COUNTS,
+            batch_options,
+        )
+    };
+    let analysis_512 = sweep_for(PAPER_MESSAGE_SIZES[0])?;
+    let analysis_1024 = sweep_for(PAPER_MESSAGE_SIZES[1])?;
+    let analysis_stats =
+        EvalStatsSummary::collect(analysis_512.iter().chain(&analysis_1024).map(|p| p.stats));
+
+    // Simulation column: one run per (cluster count, message size),
+    // flattened in row-major order and fanned out on the pool.
+    let sims: Vec<Option<f64>> = if opts.with_simulation {
+        let mut sim_configs = Vec::with_capacity(2 * PAPER_CLUSTER_COUNTS.len());
+        for &c in &PAPER_CLUSTER_COUNTS {
+            for &bytes in &PAPER_MESSAGE_SIZES[..2] {
+                let sys = system_for(spec, c, bytes, opts)?;
+                sim_configs.push(
+                    SimConfig::new(sys)
+                        .with_messages(opts.messages)
+                        .with_warmup(opts.warmup)
+                        .with_seed(opts.seed),
+                );
+            }
+        }
+        batch::par_map(&sim_configs, batch_options.resolved_workers(), |cfg| {
+            FlowSimulator::run(cfg).map(|r| r.mean_latency_ms())
+        })
+        .into_iter()
+        .map(|r| r.map(Some))
+        .collect::<Result<Vec<_>, ModelError>>()?
+    } else {
+        vec![None; 2 * PAPER_CLUSTER_COUNTS.len()]
+    };
+
+    let rows = PAPER_CLUSTER_COUNTS
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| FigureRow {
             clusters: c,
-            analysis_512_ms: a512,
-            sim_512_ms: s512,
-            analysis_1024_ms: a1024,
-            sim_1024_ms: s1024,
-        });
-    }
-    Ok(FigureData { spec, rows })
+            analysis_512_ms: analysis_512[i].report.latency.mean_message_latency_ms(),
+            sim_512_ms: sims[2 * i],
+            analysis_1024_ms: analysis_1024[i].report.latency.mean_message_latency_ms(),
+            sim_1024_ms: sims[2 * i + 1],
+        })
+        .collect();
+    Ok(FigureData { spec, rows, analysis_stats })
 }
 
 /// One row of the §6 ratio claim ("the average message latency of
@@ -210,31 +244,38 @@ impl ClaimRow {
 }
 
 /// Evaluates the blocking/non-blocking latency ratio over the grid.
+/// The 36 evaluations (2 scenarios × 9 counts × 2 architectures) run
+/// as one batch on the shared pool.
 pub fn run_claims(opts: &RunOptions) -> Result<Vec<ClaimRow>, ModelError> {
-    let mut rows = Vec::new();
+    let mut keys = Vec::new();
+    let mut configs = Vec::new();
     for scenario in [Scenario::Case1, Scenario::Case2] {
         for &c in &PAPER_CLUSTER_COUNTS {
-            let nb = AnalyticalModel::evaluate(
-                &SystemConfig::paper_preset(scenario, c, Architecture::NonBlocking)?
-                    .with_lambda(opts.lambda_per_us),
-            )?
-            .latency
-            .mean_message_latency_ms();
-            let bl = AnalyticalModel::evaluate(
-                &SystemConfig::paper_preset(scenario, c, Architecture::Blocking)?
-                    .with_lambda(opts.lambda_per_us),
-            )?
-            .latency
-            .mean_message_latency_ms();
-            rows.push(ClaimRow {
-                scenario,
-                clusters: c,
-                nonblocking_ms: nb,
-                blocking_ms: bl,
-            });
+            keys.push((scenario, c));
+            for arch in [Architecture::NonBlocking, Architecture::Blocking] {
+                configs.push(
+                    SystemConfig::paper_preset(scenario, c, arch)?.with_lambda(opts.lambda_per_us),
+                );
+            }
         }
     }
-    Ok(rows)
+    let results = batch::evaluate_many(&configs, BatchOptions::default());
+    keys.into_iter()
+        .zip(results.chunks_exact(2))
+        .map(|((scenario, clusters), pair)| {
+            let latency_ms = |r: &Result<(hmcs_core::model::PerformanceReport, _), ModelError>| {
+                r.as_ref()
+                    .map(|(report, _stats)| report.latency.mean_message_latency_ms())
+                    .map_err(Clone::clone)
+            };
+            Ok(ClaimRow {
+                scenario,
+                clusters,
+                nonblocking_ms: latency_ms(&pair[0])?,
+                blocking_ms: latency_ms(&pair[1])?,
+            })
+        })
+        .collect()
 }
 
 /// One row of the ECN1-accounting ablation.
@@ -269,16 +310,13 @@ pub fn run_ablation_accounting(opts: &RunOptions) -> Result<Vec<AccountingRow>, 
     for &c in &PAPER_CLUSTER_COUNTS {
         let sys = SystemConfig::paper_preset(Scenario::Case1, c, Architecture::NonBlocking)?
             .with_lambda(opts.lambda_per_us);
-        let literal = AnalyticalModel::evaluate(
-            &sys.with_accounting(QueueAccounting::PaperLiteral),
-        )?
-        .latency
-        .mean_message_latency_ms();
-        let single = AnalyticalModel::evaluate(
-            &sys.with_accounting(QueueAccounting::SingleQueue),
-        )?
-        .latency
-        .mean_message_latency_ms();
+        let literal =
+            AnalyticalModel::evaluate(&sys.with_accounting(QueueAccounting::PaperLiteral))?
+                .latency
+                .mean_message_latency_ms();
+        let single = AnalyticalModel::evaluate(&sys.with_accounting(QueueAccounting::SingleQueue))?
+            .latency
+            .mean_message_latency_ms();
         let sim = FlowSimulator::run(
             &SimConfig::new(sys)
                 .with_messages(opts.messages)
@@ -286,7 +324,12 @@ pub fn run_ablation_accounting(opts: &RunOptions) -> Result<Vec<AccountingRow>, 
                 .with_seed(opts.seed),
         )?
         .mean_latency_ms();
-        rows.push(AccountingRow { clusters: c, literal_ms: literal, single_ms: single, sim_ms: sim });
+        rows.push(AccountingRow {
+            clusters: c,
+            literal_ms: literal,
+            single_ms: single,
+            sim_ms: sim,
+        });
     }
     Ok(rows)
 }
@@ -319,13 +362,11 @@ pub fn run_ablation_hops(opts: &RunOptions) -> Result<Vec<HopsRow>, ModelError> 
             paper_sim_ms: 0.0,
             exact_sim_ms: 0.0,
         };
-        for (hop, analysis_slot, sim_slot) in [
-            (HopModel::PaperAverage, 0usize, 0usize),
-            (HopModel::ExactMean, 1, 1),
-        ] {
+        for (hop, analysis_slot, sim_slot) in
+            [(HopModel::PaperAverage, 0usize, 0usize), (HopModel::ExactMean, 1, 1)]
+        {
             let sys = base.with_hop_model(hop);
-            let analysis =
-                AnalyticalModel::evaluate(&sys)?.latency.mean_message_latency_ms();
+            let analysis = AnalyticalModel::evaluate(&sys)?.latency.mean_message_latency_ms();
             let sim = FlowSimulator::run(
                 &SimConfig::new(sys)
                     .with_messages(opts.messages)
@@ -416,7 +457,12 @@ pub fn run_packet_validation(opts: &RunOptions) -> Result<Vec<PacketRow>, ModelE
             .with_seed(opts.seed);
         let flow = FlowSimulator::run(&sim_cfg)?.mean_latency_ms();
         let packet = PacketSimulator::run(&sim_cfg)?.mean_latency_ms();
-        rows.push(PacketRow { clusters: c, analysis_ms: analysis, flow_ms: flow, packet_ms: packet });
+        rows.push(PacketRow {
+            clusters: c,
+            analysis_ms: analysis,
+            flow_ms: flow,
+            packet_ms: packet,
+        });
     }
     Ok(rows)
 }
@@ -618,11 +664,7 @@ pub struct Table1Row {
 pub fn table1() -> Vec<Table1Row> {
     [Scenario::Case1, Scenario::Case2]
         .iter()
-        .map(|s| Table1Row {
-            case: s.label(),
-            icn1: s.icn1().name,
-            ecn1_icn2: s.ecn1().name,
-        })
+        .map(|s| Table1Row { case: s.label(), icn1: s.icn1().name, ecn1_icn2: s.ecn1().name })
         .collect()
 }
 
@@ -660,11 +702,7 @@ pub fn table2() -> Vec<Table2Row> {
             quantity: format!("{}", sw.ports()),
             unit: "Port",
         },
-        Table2Row {
-            item: "Switch Latency",
-            quantity: format!("{}", sw.latency_us()),
-            unit: "µs",
-        },
+        Table2Row { item: "Switch Latency", quantity: format!("{}", sw.latency_us()), unit: "µs" },
         Table2Row {
             item: "Msg. Generation rate (lambda)",
             quantity: "0.25".to_string(),
@@ -735,10 +773,7 @@ mod tests {
         // penalty at large C), but the bulk of the grid clears the
         // paper's 1.4x floor.
         let above_floor = rows.iter().filter(|r| r.ratio() >= 1.4).count();
-        assert!(
-            above_floor >= 16,
-            "expected most ratios above 1.4x, got {above_floor}/18"
-        );
+        assert!(above_floor >= 16, "expected most ratios above 1.4x, got {above_floor}/18");
         let max = rows.iter().map(|r| r.ratio()).fold(0.0f64, f64::max);
         assert!(max > 3.0, "the upper end should reach the paper's 3.1x, got {max}");
     }
@@ -819,10 +854,7 @@ mod tests {
         assert_eq!(rows.len(), 4);
         for w in rows.windows(2) {
             assert!(w[0].scv < w[1].scv);
-            assert!(
-                w[0].analysis_ms < w[1].analysis_ms,
-                "analysis latency must grow with SCV"
-            );
+            assert!(w[0].analysis_ms < w[1].analysis_ms, "analysis latency must grow with SCV");
         }
     }
 }

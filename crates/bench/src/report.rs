@@ -23,11 +23,8 @@ pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> Stri
     let _ = writeln!(out, "{title}");
     let rule: String = widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
     let _ = writeln!(out, "{rule}");
-    let header_line: Vec<String> = headers
-        .iter()
-        .zip(&widths)
-        .map(|(h, w)| format!(" {h:<w$} "))
-        .collect();
+    let header_line: Vec<String> =
+        headers.iter().zip(&widths).map(|(h, w)| format!(" {h:<w$} ")).collect();
     let _ = writeln!(out, "{}", header_line.join("|"));
     let _ = writeln!(out, "{rule}");
     for row in rows {
@@ -41,11 +38,7 @@ pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> Stri
 
 /// Writes rows as CSV (simple quoting: fields containing commas or
 /// quotes are double-quoted).
-pub fn write_csv(
-    path: &Path,
-    headers: &[&str],
-    rows: &[Vec<String>],
-) -> io::Result<()> {
+pub fn write_csv(path: &Path, headers: &[&str], rows: &[Vec<String>]) -> io::Result<()> {
     fn field(s: &str) -> String {
         if s.contains(',') || s.contains('"') || s.contains('\n') {
             format!("\"{}\"", s.replace('"', "\"\""))
@@ -81,6 +74,19 @@ pub fn ratio(v: f64) -> String {
     format!("{v:.2}")
 }
 
+/// Formats the batch-evaluation cost summary printed under each figure.
+pub fn eval_stats_line(s: &hmcs_core::batch::EvalStatsSummary) -> String {
+    format!(
+        "analysis: {} evaluations, {:.1} µs total (mean {:.1} µs, max {:.1} µs), \
+         {:.1} solver iterations/evaluation",
+        s.points,
+        s.total_eval_time_us,
+        s.mean_eval_time_us(),
+        s.max_eval_time_us,
+        s.mean_solver_iterations()
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,10 +96,7 @@ mod tests {
         let s = render_table(
             "Demo",
             &["C", "latency"],
-            &[
-                vec!["1".into(), "10.123".into()],
-                vec!["256".into(), "9.000".into()],
-            ],
+            &[vec!["1".into(), "10.123".into()], vec!["256".into(), "9.000".into()]],
         );
         assert!(s.contains("Demo"));
         assert!(s.contains("C"));
@@ -113,12 +116,7 @@ mod tests {
     fn csv_quotes_fields() {
         let dir = std::env::temp_dir().join("hmcs_report_test");
         let path = dir.join("t.csv");
-        write_csv(
-            &path,
-            &["a", "b"],
-            &[vec!["1,2".into(), "say \"hi\"".into()]],
-        )
-        .unwrap();
+        write_csv(&path, &["a", "b"], &[vec!["1,2".into(), "say \"hi\"".into()]]).unwrap();
         let content = std::fs::read_to_string(&path).unwrap();
         assert_eq!(content, "a,b\n\"1,2\",\"say \"\"hi\"\"\"\n");
         std::fs::remove_dir_all(dir).ok();

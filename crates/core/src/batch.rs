@@ -1,0 +1,285 @@
+//! Shared batch-evaluation engine.
+//!
+//! The figure-reproduction drivers, the parameter sweeps and the
+//! simulation replication harness all evaluate many independent
+//! [`SystemConfig`]s. This module gives them one bounded worker pool
+//! instead of three ad-hoc loops:
+//!
+//! * [`par_map`] — evaluate a slice on `workers` scoped threads with a
+//!   lock-free claim cursor, returning results in **input order**. The
+//!   mapping function runs per item with no shared mutable state, so
+//!   parallel results are bit-identical to sequential ones.
+//! * [`BatchOptions`] — worker-count policy: explicit, the
+//!   `HMCS_POOL_WORKERS` environment variable, or
+//!   [`std::thread::available_parallelism`].
+//! * [`evaluate_one`] / [`evaluate_many`] — the analytical model with
+//!   per-point [`EvalStats`] (wall-clock time and fixed-point solver
+//!   iterations), optional reuse of precomputed λ-independent
+//!   [`ServiceTimes`], and optional warm-started bisection.
+
+use crate::config::SystemConfig;
+use crate::error::ModelError;
+use crate::model::{AnalyticalModel, PerformanceReport};
+use crate::service::ServiceTimes;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Environment variable overriding the default worker count.
+pub const WORKERS_ENV: &str = "HMCS_POOL_WORKERS";
+
+/// Worker-count policy for batch evaluations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchOptions {
+    workers: Option<usize>,
+}
+
+impl BatchOptions {
+    /// Forces single-threaded evaluation (no worker threads spawned).
+    pub fn sequential() -> Self {
+        BatchOptions { workers: Some(1) }
+    }
+
+    /// Uses exactly `workers` threads (floored at 1).
+    pub fn with_workers(workers: usize) -> Self {
+        BatchOptions { workers: Some(workers.max(1)) }
+    }
+
+    /// The worker count this policy resolves to: the explicit value if
+    /// set, else a positive `HMCS_POOL_WORKERS`, else the machine's
+    /// available parallelism.
+    pub fn resolved_workers(&self) -> usize {
+        if let Some(n) = self.workers {
+            return n.max(1);
+        }
+        if let Ok(v) = std::env::var(WORKERS_ENV) {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+}
+
+/// Maps `f` over `items` on up to `workers` scoped threads, returning
+/// results in input order.
+///
+/// Workers claim indices from a shared atomic cursor and collect
+/// `(index, result)` pairs locally; the pairs are merged after all
+/// workers join, so no locks are held while `f` runs. Because `f` sees
+/// exactly one item per call and nothing else is shared, the output is
+/// bit-identical to `items.iter().map(f).collect()` — only the
+/// wall-clock schedule differs. With one worker (or one item) no
+/// threads are spawned at all.
+pub fn par_map<T, U, F>(items: &[T], workers: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let workers = workers.max(1).min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let buckets: Vec<Vec<(usize, U)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("batch worker panicked")).collect()
+    });
+
+    let mut slots: Vec<Option<U>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    for bucket in buckets {
+        for (i, value) in bucket {
+            debug_assert!(slots[i].is_none(), "index {i} claimed twice");
+            slots[i] = Some(value);
+        }
+    }
+    slots.into_iter().map(|s| s.expect("every index claimed exactly once")).collect()
+}
+
+/// Cost of one model evaluation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvalStats {
+    /// Wall-clock evaluation time (µs).
+    pub eval_time_us: f64,
+    /// Fixed-point function evaluations the bisection spent.
+    pub solver_iterations: usize,
+}
+
+/// Aggregate of many [`EvalStats`] — what the reproduction binary
+/// prints under each figure.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvalStatsSummary {
+    /// Number of evaluations aggregated.
+    pub points: usize,
+    /// Sum of per-point wall-clock times (µs).
+    pub total_eval_time_us: f64,
+    /// Slowest single evaluation (µs).
+    pub max_eval_time_us: f64,
+    /// Sum of per-point solver iterations.
+    pub total_solver_iterations: usize,
+}
+
+impl EvalStatsSummary {
+    /// Folds one point into the summary.
+    pub fn add(&mut self, stats: EvalStats) {
+        self.points += 1;
+        self.total_eval_time_us += stats.eval_time_us;
+        self.max_eval_time_us = self.max_eval_time_us.max(stats.eval_time_us);
+        self.total_solver_iterations += stats.solver_iterations;
+    }
+
+    /// Builds a summary from an iterator of per-point stats.
+    pub fn collect<I: IntoIterator<Item = EvalStats>>(stats: I) -> Self {
+        let mut out = Self::default();
+        for s in stats {
+            out.add(s);
+        }
+        out
+    }
+
+    /// Mean wall-clock time per evaluation (µs); 0 when empty.
+    pub fn mean_eval_time_us(&self) -> f64 {
+        if self.points == 0 {
+            0.0
+        } else {
+            self.total_eval_time_us / self.points as f64
+        }
+    }
+
+    /// Mean solver iterations per evaluation; 0 when empty.
+    pub fn mean_solver_iterations(&self) -> f64 {
+        if self.points == 0 {
+            0.0
+        } else {
+            self.total_solver_iterations as f64 / self.points as f64
+        }
+    }
+}
+
+/// Evaluates one configuration, timing the work.
+///
+/// `service` lets λ-sweeps reuse the λ-independent service times
+/// (computed fresh when `None`); `seed` warm-starts the effective-rate
+/// bisection (ignored when outside the bracket).
+pub fn evaluate_one(
+    config: &SystemConfig,
+    service: Option<&ServiceTimes>,
+    seed: Option<f64>,
+) -> Result<(PerformanceReport, EvalStats), ModelError> {
+    let start = Instant::now();
+    config.validate()?;
+    let report = match service {
+        Some(s) => AnalyticalModel::evaluate_with_service_seeded(config, s, seed)?,
+        None => {
+            let s = ServiceTimes::compute(config)?;
+            AnalyticalModel::evaluate_with_service_seeded(config, &s, seed)?
+        }
+    };
+    let stats = EvalStats {
+        eval_time_us: start.elapsed().as_secs_f64() * 1e6,
+        solver_iterations: report.equilibrium.solver_iterations,
+    };
+    Ok((report, stats))
+}
+
+/// Evaluates a batch of configurations on the pool, in input order.
+pub fn evaluate_many(
+    configs: &[SystemConfig],
+    options: BatchOptions,
+) -> Vec<Result<(PerformanceReport, EvalStats), ModelError>> {
+    par_map(configs, options.resolved_workers(), |cfg| evaluate_one(cfg, None, None))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Scenario, PAPER_CLUSTER_COUNTS};
+    use hmcs_topology::transmission::Architecture;
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<usize> = (0..101).collect();
+        for workers in [1, 2, 4, 7] {
+            let out = par_map(&items, workers, |&i| i * i);
+            assert_eq!(out, items.iter().map(|&i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_map_handles_degenerate_sizes() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(&empty, 8, |&x| x).is_empty());
+        assert_eq!(par_map(&[42u32], 8, |&x| x + 1), vec![43]);
+    }
+
+    #[test]
+    fn worker_resolution_prefers_explicit_count() {
+        assert_eq!(BatchOptions::sequential().resolved_workers(), 1);
+        assert_eq!(BatchOptions::with_workers(3).resolved_workers(), 3);
+        assert_eq!(BatchOptions::with_workers(0).resolved_workers(), 1);
+        assert!(BatchOptions::default().resolved_workers() >= 1);
+    }
+
+    #[test]
+    fn parallel_evaluation_is_bit_identical_to_sequential() {
+        let configs: Vec<SystemConfig> = PAPER_CLUSTER_COUNTS
+            .iter()
+            .map(|&c| {
+                SystemConfig::paper_preset(Scenario::Case1, c, Architecture::Blocking).unwrap()
+            })
+            .collect();
+        let seq = evaluate_many(&configs, BatchOptions::sequential());
+        let par = evaluate_many(&configs, BatchOptions::with_workers(4));
+        assert_eq!(seq.len(), par.len());
+        for (s, p) in seq.iter().zip(&par) {
+            let (sr, _) = s.as_ref().unwrap();
+            let (pr, _) = p.as_ref().unwrap();
+            // PerformanceReport is PartialEq over every f64 it holds:
+            // this is exact, bit-level equality, not a tolerance check.
+            assert_eq!(sr, pr);
+        }
+    }
+
+    #[test]
+    fn evaluation_errors_stay_in_their_slot() {
+        let good =
+            SystemConfig::paper_preset(Scenario::Case1, 4, Architecture::NonBlocking).unwrap();
+        let bad = good.with_lambda(-1.0);
+        let out = evaluate_many(&[good, bad, good], BatchOptions::with_workers(2));
+        assert!(out[0].is_ok());
+        assert!(out[1].is_err());
+        assert!(out[2].is_ok());
+    }
+
+    #[test]
+    fn stats_summary_aggregates() {
+        let summary = EvalStatsSummary::collect([
+            EvalStats { eval_time_us: 10.0, solver_iterations: 40 },
+            EvalStats { eval_time_us: 30.0, solver_iterations: 60 },
+        ]);
+        assert_eq!(summary.points, 2);
+        assert_eq!(summary.total_eval_time_us, 40.0);
+        assert_eq!(summary.max_eval_time_us, 30.0);
+        assert_eq!(summary.total_solver_iterations, 100);
+        assert_eq!(summary.mean_eval_time_us(), 20.0);
+        assert_eq!(summary.mean_solver_iterations(), 50.0);
+    }
+}

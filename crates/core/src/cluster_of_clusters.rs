@@ -178,11 +178,7 @@ fn tier_times(cfg: &CocConfig) -> Result<TierTimes, ModelError> {
     Ok(TierTimes { icn1_us, ecn1_us, icn2_us })
 }
 
-fn center_metrics(
-    cfg: &CocConfig,
-    lambda: f64,
-    service_us: f64,
-) -> Option<(f64, f64, f64)> {
+fn center_metrics(cfg: &CocConfig, lambda: f64, service_us: f64) -> Option<(f64, f64, f64)> {
     // (L, W, rho); None when unstable.
     if lambda <= 0.0 {
         return Some((0.0, service_us, 0.0));
@@ -204,10 +200,8 @@ fn total_waiting(cfg: &CocConfig, times: &TierTimes, lambda_eff: f64) -> Option<
     for (i, c) in cfg.clusters.iter().enumerate() {
         let ni = c.nodes as f64;
         let pi = if n > 1.0 { (n - ni) / (n - 1.0) } else { 0.0 };
-        let (l_i1, _, _) =
-            center_metrics(cfg, ni * (1.0 - pi) * lambda_eff, times.icn1_us[i])?;
-        let (l_e1, _, _) =
-            center_metrics(cfg, 2.0 * ni * pi * lambda_eff, times.ecn1_us[i])?;
+        let (l_i1, _, _) = center_metrics(cfg, ni * (1.0 - pi) * lambda_eff, times.icn1_us[i])?;
+        let (l_e1, _, _) = center_metrics(cfg, 2.0 * ni * pi * lambda_eff, times.ecn1_us[i])?;
         total += w * l_e1 + l_i1;
         icn2_rate += ni * pi * lambda_eff;
     }
@@ -274,12 +268,10 @@ pub fn evaluate(cfg: &CocConfig) -> Result<CocReport, ModelError> {
     for (i, c) in cfg.clusters.iter().enumerate() {
         let ni = c.nodes as f64;
         let pi = (n - ni) / (n - 1.0);
-        let (_, w_i1, rho_i1) =
-            center_metrics(cfg, ni * (1.0 - pi) * lambda_eff, times.icn1_us[i])
-                .ok_or(ModelError::SolverFailed { residual: f64::INFINITY })?;
-        let (_, w_e1, rho_e1) =
-            center_metrics(cfg, 2.0 * ni * pi * lambda_eff, times.ecn1_us[i])
-                .ok_or(ModelError::SolverFailed { residual: f64::INFINITY })?;
+        let (_, w_i1, rho_i1) = center_metrics(cfg, ni * (1.0 - pi) * lambda_eff, times.icn1_us[i])
+            .ok_or(ModelError::SolverFailed { residual: f64::INFINITY })?;
+        let (_, w_e1, rho_e1) = center_metrics(cfg, 2.0 * ni * pi * lambda_eff, times.ecn1_us[i])
+            .ok_or(ModelError::SolverFailed { residual: f64::INFINITY })?;
         clusters.push(CocClusterState {
             external_probability: pi,
             icn1_sojourn_us: w_i1,
@@ -355,11 +347,9 @@ mod tests {
         for c in [2usize, 8, 32] {
             let coc = evaluate(&homogeneous(c, 256 / c)).unwrap();
             let sc_cfg =
-                SystemConfig::paper_preset(Scenario::Case1, c, Architecture::NonBlocking)
-                    .unwrap();
+                SystemConfig::paper_preset(Scenario::Case1, c, Architecture::NonBlocking).unwrap();
             let sc = AnalyticalModel::evaluate(&sc_cfg).unwrap();
-            let rel = (coc.mean_message_latency_us - sc.latency.mean_message_latency_us)
-                .abs()
+            let rel = (coc.mean_message_latency_us - sc.latency.mean_message_latency_us).abs()
                 / sc.latency.mean_message_latency_us;
             assert!(
                 rel < 1e-6,

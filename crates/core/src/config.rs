@@ -64,9 +64,7 @@ impl ServiceTimeModel {
         match *self {
             ServiceTimeModel::Exponential => ServiceDistribution::Exponential(mean_us),
             ServiceTimeModel::Deterministic => ServiceDistribution::Deterministic(mean_us),
-            ServiceTimeModel::Erlang(k) => {
-                ServiceDistribution::Erlang { mean: mean_us, phases: k }
-            }
+            ServiceTimeModel::Erlang(k) => ServiceDistribution::Erlang { mean: mean_us, phases: k },
             ServiceTimeModel::HyperExponential(scv) => {
                 ServiceDistribution::HyperExponential { mean: mean_us, scv }
             }
@@ -289,9 +287,7 @@ mod tests {
         assert!(SystemConfig::paper_preset(Scenario::Case1, 3, Architecture::Blocking).is_err());
         assert!(SystemConfig::paper_preset(Scenario::Case1, 0, Architecture::Blocking).is_err());
         for c in crate::scenario::PAPER_CLUSTER_COUNTS {
-            assert!(
-                SystemConfig::paper_preset(Scenario::Case2, c, Architecture::Blocking).is_ok()
-            );
+            assert!(SystemConfig::paper_preset(Scenario::Case2, c, Architecture::Blocking).is_ok());
         }
     }
 
@@ -326,10 +322,7 @@ mod tests {
         let mut bad_lambda2 = base;
         bad_lambda2.lambda_per_us = f64::NAN;
         assert!(bad_lambda2.validate().is_err());
-        assert!(base
-            .with_service_model(ServiceTimeModel::Erlang(0))
-            .validate()
-            .is_err());
+        assert!(base.with_service_model(ServiceTimeModel::Erlang(0)).validate().is_err());
         assert!(base
             .with_service_model(ServiceTimeModel::HyperExponential(0.5))
             .validate()

@@ -71,8 +71,7 @@ mod tests {
     fn conversions_and_display() {
         let q: ModelError = QueueingError::Unstable { rho: 1.2 }.into();
         assert!(format!("{q}").contains("rho"));
-        let t: ModelError =
-            TopologyError::InvalidParameter { name: "x", reason: "y" }.into();
+        let t: ModelError = TopologyError::InvalidParameter { name: "x", reason: "y" }.into();
         assert!(format!("{t}").contains("topology"));
         let c = ModelError::InvalidConfig { name: "clusters", reason: "must divide N" };
         assert!(format!("{c}").contains("clusters"));

@@ -57,13 +57,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod cluster_of_clusters;
 pub mod config;
 pub mod error;
 pub mod latency;
 pub mod model;
-pub mod rates;
 pub mod qna;
+pub mod rates;
 pub mod routing;
 pub mod scenario;
 pub mod service;

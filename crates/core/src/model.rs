@@ -31,11 +31,33 @@ pub struct AnalyticalModel;
 impl AnalyticalModel {
     /// Evaluates the model for `config`.
     pub fn evaluate(config: &SystemConfig) -> Result<PerformanceReport, ModelError> {
+        config.validate()?;
         let service_times = ServiceTimes::compute(config)?;
-        let equilibrium = solver::solve(config)?;
+        Self::evaluate_with_service(config, &service_times)
+    }
+
+    /// Evaluates the model reusing precomputed (λ-independent) service
+    /// times. λ-sweeps call this so the topology pipeline runs once per
+    /// system shape instead of once per sweep point.
+    pub fn evaluate_with_service(
+        config: &SystemConfig,
+        service_times: &ServiceTimes,
+    ) -> Result<PerformanceReport, ModelError> {
+        Self::evaluate_with_service_seeded(config, service_times, None)
+    }
+
+    /// Like [`AnalyticalModel::evaluate_with_service`], warm-starting
+    /// the effective-rate bisection from `seed` (typically the λ_eff of
+    /// a neighbouring sweep point).
+    pub fn evaluate_with_service_seeded(
+        config: &SystemConfig,
+        service_times: &ServiceTimes,
+        seed: Option<f64>,
+    ) -> Result<PerformanceReport, ModelError> {
+        let equilibrium = solver::solve_with_service_seeded(config, service_times, seed)?;
         let latency = LatencyReport::from_equilibrium(&equilibrium);
         Ok(PerformanceReport {
-            service_times,
+            service_times: *service_times,
             equilibrium,
             latency,
             throughput_per_us: config.total_nodes() as f64 * equilibrium.lambda_eff,
@@ -56,9 +78,8 @@ mod tests {
         arch: Architecture,
         bytes: u64,
     ) -> PerformanceReport {
-        let cfg = SystemConfig::paper_preset(scenario, clusters, arch)
-            .unwrap()
-            .with_message_bytes(bytes);
+        let cfg =
+            SystemConfig::paper_preset(scenario, clusters, arch).unwrap().with_message_bytes(bytes);
         AnalyticalModel::evaluate(&cfg).unwrap()
     }
 
@@ -86,9 +107,7 @@ mod tests {
         for arch in [Architecture::NonBlocking, Architecture::Blocking] {
             let small = eval(Scenario::Case1, 16, arch, 512);
             let large = eval(Scenario::Case1, 16, arch, 1024);
-            assert!(
-                large.latency.mean_message_latency_us > small.latency.mean_message_latency_us
-            );
+            assert!(large.latency.mean_message_latency_us > small.latency.mean_message_latency_us);
         }
     }
 
@@ -98,19 +117,16 @@ mod tests {
         // magnitude above the non-blocking ones at large C.
         let nb = eval(Scenario::Case1, 64, Architecture::NonBlocking, 1024);
         let bl = eval(Scenario::Case1, 64, Architecture::Blocking, 1024);
-        let ratio =
-            bl.latency.mean_message_latency_us / nb.latency.mean_message_latency_us;
+        let ratio = bl.latency.mean_message_latency_us / nb.latency.mean_message_latency_us;
         assert!(ratio > 1.4, "paper reports 1.4x-3.1x or more; got {ratio}");
     }
 
     #[test]
     fn throughput_equals_population_times_effective_rate() {
-        let cfg = SystemConfig::paper_preset(Scenario::Case2, 8, Architecture::NonBlocking)
-            .unwrap();
+        let cfg =
+            SystemConfig::paper_preset(Scenario::Case2, 8, Architecture::NonBlocking).unwrap();
         let r = AnalyticalModel::evaluate(&cfg).unwrap();
-        assert!(
-            (r.throughput_per_us - 256.0 * r.equilibrium.lambda_eff).abs() < 1e-15
-        );
+        assert!((r.throughput_per_us - 256.0 * r.equilibrium.lambda_eff).abs() < 1e-15);
     }
 
     #[test]

@@ -33,7 +33,7 @@ use crate::error::ModelError;
 use crate::latency::LatencyReport;
 use crate::rates::TrafficRates;
 use crate::service::ServiceTimes;
-use hmcs_queueing::fixed_point::{bisect, SolverOptions};
+use hmcs_queueing::fixed_point::{bisect_seeded, SolverOptions};
 use hmcs_queueing::gg1::{Approximation, GG1};
 
 /// Converged SCV state of the three tiers.
@@ -75,9 +75,7 @@ fn build_centers(
         if lambda <= 0.0 {
             return Some(None);
         }
-        GG1::new(lambda, ca2, config.service_model.distribution(mean_us))
-            .ok()
-            .map(Some)
+        GG1::new(lambda, ca2, config.service_model.distribution(mean_us)).ok().map(Some)
     };
     Some(Centers {
         icn1: mk(rates.icn1, scv.icn1_ca2, service.icn1_us)?,
@@ -102,11 +100,8 @@ fn propagate_scv(config: &SystemConfig, rates: &TrafficRates, centers: &Centers)
     // by the whole queue's departure SCV, split by the forward fraction
     // of its traffic.
     let ecn1_cd2 = centers.ecn1.as_ref().map_or(1.0, |q| q.departure_scv());
-    let fwd_fraction = if rates.ecn1_total > 0.0 {
-        rates.ecn1_forward / rates.ecn1_total
-    } else {
-        0.0
-    };
+    let fwd_fraction =
+        if rates.ecn1_total > 0.0 { rates.ecn1_forward / rates.ecn1_total } else { 0.0 };
     // Split: ca2' = p ca2 + 1 - p, then merging C iid streams keeps the
     // weighted SCV (all equal).
     let icn2_ca2 = fwd_fraction * ecn1_cd2 + 1.0 - fwd_fraction;
@@ -136,9 +131,7 @@ fn solve_scv(
     for _ in 0..200 {
         let centers = build_centers(config, service, rates, &scv)?;
         let next = propagate_scv(config, rates, &centers);
-        let delta = (next.ecn1_ca2 - scv.ecn1_ca2).abs().max(
-            (next.icn2_ca2 - scv.icn2_ca2).abs(),
-        );
+        let delta = (next.ecn1_ca2 - scv.ecn1_ca2).abs().max((next.icn2_ca2 - scv.icn2_ca2).abs());
         // Damping for stability near saturation.
         scv = ScvState {
             icn1_ca2: next.icn1_ca2,
@@ -153,17 +146,12 @@ fn solve_scv(
 }
 
 /// Total waiting processors (eq. 6) under GI/G/1 queue lengths.
-fn total_waiting(
-    config: &SystemConfig,
-    service: &ServiceTimes,
-    lambda_eff: f64,
-) -> Option<f64> {
+fn total_waiting(config: &SystemConfig, service: &ServiceTimes, lambda_eff: f64) -> Option<f64> {
     let rates = TrafficRates::compute(config, lambda_eff);
     let scv = solve_scv(config, service, &rates)?;
     let centers = build_centers(config, service, &rates, &scv)?;
-    let l = |q: &Option<GG1>| {
-        q.as_ref().map_or(0.0, |q| q.mean_number_in_system(Approximation::KLB))
-    };
+    let l =
+        |q: &Option<GG1>| q.as_ref().map_or(0.0, |q| q.mean_number_in_system(Approximation::KLB));
     let w = match config.accounting {
         QueueAccounting::PaperLiteral => 2.0,
         QueueAccounting::SingleQueue => 1.0,
@@ -176,45 +164,63 @@ fn total_waiting(
 pub fn evaluate(config: &SystemConfig) -> Result<QnaReport, ModelError> {
     config.validate()?;
     let service = ServiceTimes::compute(config)?;
+    evaluate_with_service(config, &service)
+}
+
+/// Evaluates the QNA-refined model reusing precomputed service times.
+/// Sweeps over λ call this to skip the per-point topology work.
+pub fn evaluate_with_service(
+    config: &SystemConfig,
+    service: &ServiceTimes,
+) -> Result<QnaReport, ModelError> {
+    evaluate_with_service_seeded(config, service, None)
+}
+
+/// Like [`evaluate_with_service`], warm-starting the effective-rate
+/// bisection from `seed` (typically the λ_eff of a neighbouring sweep
+/// point). Out-of-bracket seeds are ignored.
+pub fn evaluate_with_service_seeded(
+    config: &SystemConfig,
+    service: &ServiceTimes,
+    seed: Option<f64>,
+) -> Result<QnaReport, ModelError> {
     let lambda = config.lambda_per_us;
     let n = config.total_nodes() as f64;
 
     let g = |x: f64| -> f64 {
-        let l = total_waiting(config, &service, x).unwrap_or(f64::INFINITY);
+        let l = total_waiting(config, service, x).unwrap_or(f64::INFINITY);
         lambda * (n - l.min(n)) / n
     };
     // Reuse the closed-form stability boundary of the base model (GG1
     // shares the rho < 1 condition).
-    let probe = TrafficRates::compute(config, 1.0);
-    let (mu1, mu_e, mu2) = service.rates();
-    let mut sat = f64::INFINITY;
-    if probe.icn1 > 0.0 {
-        sat = sat.min(mu1 / probe.icn1);
-    }
-    if probe.ecn1_total > 0.0 {
-        sat = sat.min(mu_e / probe.ecn1_total);
-    }
-    if probe.icn2 > 0.0 {
-        sat = sat.min(mu2 / probe.icn2);
-    }
+    let sat = crate::solver::saturation_lambda(config, service);
     let hi = lambda.min(sat * (1.0 - 1e-12));
     let opts = SolverOptions {
         tolerance: (lambda * 1e-12).max(1e-300),
         max_iterations: 500,
         damping: 0.5,
     };
-    let sol = bisect(|x| g(x) - x, 0.0, hi, opts).map_err(|e| match e {
+    let sol = bisect_seeded(|x| g(x) - x, 0.0, hi, seed, opts).map_err(|e| match e {
         hmcs_queueing::QueueingError::NoConvergence { residual, .. } => {
             ModelError::SolverFailed { residual }
         }
         other => ModelError::Queueing(other),
     })?;
-    let lambda_eff = sol.value;
+    let mut lambda_eff = sol.value;
+
+    // Like the base solver: the bisection can land a hair inside the
+    // unstable clamp region near saturation; back off to the stable
+    // side instead of failing the whole evaluation.
+    let mut guard = 0;
+    while total_waiting(config, service, lambda_eff).is_none() && guard < 128 {
+        lambda_eff *= 1.0 - 1e-9;
+        guard += 1;
+    }
 
     let rates = TrafficRates::compute(config, lambda_eff);
-    let scv = solve_scv(config, &service, &rates)
+    let scv = solve_scv(config, service, &rates)
         .ok_or(ModelError::SolverFailed { residual: f64::INFINITY })?;
-    let centers = build_centers(config, &service, &rates, &scv)
+    let centers = build_centers(config, service, &rates, &scv)
         .ok_or(ModelError::SolverFailed { residual: f64::INFINITY })?;
 
     let w = |q: &Option<GG1>, fallback_us: f64| {
@@ -267,8 +273,7 @@ mod tests {
             .with_lambda(crate::scenario::PAPER_LAMBDA_LITERAL_PER_US);
         let qna = evaluate(&config).unwrap();
         let base = AnalyticalModel::evaluate(&config).unwrap();
-        let rel = (qna.latency.mean_message_latency_us
-            - base.latency.mean_message_latency_us)
+        let rel = (qna.latency.mean_message_latency_us - base.latency.mean_message_latency_us)
             .abs()
             / base.latency.mean_message_latency_us;
         assert!(rel < 0.01, "light-load divergence {rel}");
@@ -283,9 +288,7 @@ mod tests {
         assert!((r.scv.ecn1_ca2 - 1.0).abs() < 1e-6);
         assert!((r.scv.icn2_ca2 - 1.0).abs() < 1e-6);
         let base = AnalyticalModel::evaluate(&config).unwrap();
-        let rel = (r.latency.mean_message_latency_us
-            - base.latency.mean_message_latency_us)
-            .abs()
+        let rel = (r.latency.mean_message_latency_us - base.latency.mean_message_latency_us).abs()
             / base.latency.mean_message_latency_us;
         assert!(rel < 1e-6, "exponential fixed point should match base, rel {rel}");
     }
@@ -300,9 +303,25 @@ mod tests {
         let r = evaluate(&config).unwrap();
         assert!(r.scv.icn2_ca2 < 1.0, "smoothed arrivals, got {}", r.scv.icn2_ca2);
         let base = AnalyticalModel::evaluate(&config).unwrap();
-        assert!(
-            r.latency.mean_message_latency_us <= base.latency.mean_message_latency_us
-        );
+        assert!(r.latency.mean_message_latency_us <= base.latency.mean_message_latency_us);
+    }
+
+    #[test]
+    fn heavy_overload_evaluates_like_base_solver() {
+        // lambda 100x the figure-scale rate: deep saturation. The base
+        // solver survives this via its near-saturation back-off guard;
+        // the QNA path must too (regression: it used to return
+        // SolverFailed when bisection landed a hair inside the unstable
+        // clamp region).
+        let config = cfg(Scenario::Case1, 256, Architecture::Blocking).with_lambda(2.5e-2);
+        let r = evaluate(&config).unwrap();
+        let base = crate::solver::solve(&config).unwrap();
+        assert!(r.lambda_eff > 0.0 && r.lambda_eff < config.lambda_per_us);
+        assert!(r.latency.mean_message_latency_us.is_finite());
+        // Both paths throttle to the same saturation-bound rate within
+        // a loose factor (GI/G/1 vs M/M/1 queue lengths differ).
+        let rel = (r.lambda_eff - base.lambda_eff).abs() / base.lambda_eff;
+        assert!(rel < 0.5, "qna {} vs base {}", r.lambda_eff, base.lambda_eff);
     }
 
     #[test]

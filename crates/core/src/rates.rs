@@ -66,10 +66,11 @@ impl TrafficRates {
     }
 
     /// Flow-conservation identity: everything a processor generates
-    /// shows up exactly once in ICN1 or (twice in ECN1 and once in
-    /// ICN2). Returns the residual of
-    /// `C·λ_I1/(1−P) == C·N₀·λ_eff` when `P < 1` — used as an internal
-    /// consistency check.
+    /// shows up exactly once as either intra-cluster traffic (ICN1) or
+    /// inter-cluster traffic (ICN2). Returns the residual of
+    /// `C·λ_I1 + λ_I2 == N·λ_eff` — used as an internal consistency
+    /// check. (ECN1 traffic is excluded: its forward and feedback
+    /// streams are the ICN2 messages in transit, not new generation.)
     pub fn generation_rate_residual(&self, config: &SystemConfig) -> f64 {
         let n = config.total_nodes() as f64;
         let c = config.clusters as f64;
@@ -88,8 +89,7 @@ mod tests {
     use hmcs_topology::transmission::Architecture;
 
     fn cfg(clusters: usize) -> SystemConfig {
-        SystemConfig::paper_preset(Scenario::Case1, clusters, Architecture::NonBlocking)
-            .unwrap()
+        SystemConfig::paper_preset(Scenario::Case1, clusters, Architecture::NonBlocking).unwrap()
     }
 
     #[test]

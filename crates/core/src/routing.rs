@@ -169,23 +169,18 @@ mod tests {
         assert!(TrafficPattern::Localized { locality: f64::NAN }.validate().is_err());
         assert!(TrafficPattern::Hotspot { node: 0, fraction: 0.2 }.validate().is_ok());
         assert!(TrafficPattern::Hotspot { node: 0, fraction: 1.1 }.validate().is_err());
-        assert!(TrafficPattern::Hotspot { node: 0, fraction: f64::NAN }
-            .validate()
-            .is_err());
+        assert!(TrafficPattern::Hotspot { node: 0, fraction: f64::NAN }.validate().is_err());
     }
 
     #[test]
     fn hotspot_external_probability_mixes() {
         // 8 clusters x 32 nodes: uniform P, hot external = 224/256.
         let uniform = external_probability(8, 32);
-        let hot = TrafficPattern::Hotspot { node: 5, fraction: 1.0 }
-            .external_probability(8, 32);
+        let hot = TrafficPattern::Hotspot { node: 5, fraction: 1.0 }.external_probability(8, 32);
         assert!((hot - 224.0 / 256.0).abs() < 1e-12);
-        let half = TrafficPattern::Hotspot { node: 5, fraction: 0.5 }
-            .external_probability(8, 32);
+        let half = TrafficPattern::Hotspot { node: 5, fraction: 0.5 }.external_probability(8, 32);
         assert!((half - 0.5 * (224.0 / 256.0) - 0.5 * uniform).abs() < 1e-12);
-        let none = TrafficPattern::Hotspot { node: 5, fraction: 0.0 }
-            .external_probability(8, 32);
+        let none = TrafficPattern::Hotspot { node: 5, fraction: 0.0 }.external_probability(8, 32);
         assert!((none - uniform).abs() < 1e-15);
     }
 }

@@ -173,13 +173,11 @@ mod tests {
     #[test]
     fn case2_swaps_fast_and_slow_tiers() {
         let c1 = ServiceTimes::compute(
-            &SystemConfig::paper_preset(Scenario::Case1, 16, Architecture::NonBlocking)
-                .unwrap(),
+            &SystemConfig::paper_preset(Scenario::Case1, 16, Architecture::NonBlocking).unwrap(),
         )
         .unwrap();
         let c2 = ServiceTimes::compute(
-            &SystemConfig::paper_preset(Scenario::Case2, 16, Architecture::NonBlocking)
-                .unwrap(),
+            &SystemConfig::paper_preset(Scenario::Case2, 16, Architecture::NonBlocking).unwrap(),
         )
         .unwrap();
         assert!(c1.icn1_us < c1.ecn1_us, "Case 1: fast intra, slow inter");

@@ -20,7 +20,7 @@ use crate::config::{QueueAccounting, SystemConfig};
 use crate::error::ModelError;
 use crate::rates::TrafficRates;
 use crate::service::ServiceTimes;
-use hmcs_queueing::fixed_point::{bisect, SolverOptions};
+use hmcs_queueing::fixed_point::{bisect_seeded, SolverOptions};
 use hmcs_queueing::mg1::MG1;
 
 /// Steady-state metrics of one service centre at the converged rates.
@@ -57,6 +57,9 @@ pub struct Equilibrium {
     /// Fraction of nominal generation capacity retained,
     /// `λ_eff/λ ∈ (0, 1]`.
     pub retained_fraction: f64,
+    /// Number of fixed-point function evaluations the bisection spent
+    /// converging (warm-started solves spend fewer).
+    pub solver_iterations: usize,
 }
 
 impl Equilibrium {
@@ -74,8 +77,9 @@ impl Equilibrium {
 
 /// Closed-form smallest per-processor rate that saturates any centre.
 /// Returns `f64::INFINITY` when no centre can saturate (e.g. `P = 0`
-/// makes ECN1/ICN2 idle and only ICN1 binds).
-fn saturation_lambda(config: &SystemConfig, service: &ServiceTimes) -> f64 {
+/// makes ECN1/ICN2 idle and only ICN1 binds). Shared with the QNA
+/// evaluator so both paths bracket the fixed point identically.
+pub(crate) fn saturation_lambda(config: &SystemConfig, service: &ServiceTimes) -> f64 {
     let probe = TrafficRates::compute(config, 1.0); // rates per unit lambda
     let (mu1, mu_e, mu2) = service.rates();
     let mut sat = f64::INFINITY;
@@ -103,11 +107,7 @@ fn center_l(config: &SystemConfig, lambda: f64, service_us: f64) -> Option<f64> 
 
 /// Eq. 6 at offered rate `lambda_eff`; `None` when any centre is
 /// unstable at that rate.
-fn total_waiting(
-    config: &SystemConfig,
-    service: &ServiceTimes,
-    lambda_eff: f64,
-) -> Option<f64> {
+fn total_waiting(config: &SystemConfig, service: &ServiceTimes, lambda_eff: f64) -> Option<f64> {
     let r = TrafficRates::compute(config, lambda_eff);
     let l_i1 = center_l(config, r.icn1, service.icn1_us)?;
     let l_e1 = center_l(config, r.ecn1_total, service.ecn1_us)?;
@@ -124,23 +124,45 @@ fn total_waiting(
 pub fn solve(config: &SystemConfig) -> Result<Equilibrium, ModelError> {
     config.validate()?;
     let service = ServiceTimes::compute(config)?;
+    solve_with_service(config, &service)
+}
+
+/// Solves eqs. 6–7 reusing precomputed (λ-independent) service times.
+/// Sweeps over λ call this to avoid recomputing topology and
+/// transmission times at every point.
+pub fn solve_with_service(
+    config: &SystemConfig,
+    service: &ServiceTimes,
+) -> Result<Equilibrium, ModelError> {
+    solve_with_service_seeded(config, service, None)
+}
+
+/// Like [`solve_with_service`], warm-starting the bisection from
+/// `seed` (a λ_eff guess, typically the converged value of a
+/// neighbouring sweep point). Seeds outside the bracket are ignored,
+/// so a wild guess degrades to the cold-start path.
+pub fn solve_with_service_seeded(
+    config: &SystemConfig,
+    service: &ServiceTimes,
+    seed: Option<f64>,
+) -> Result<Equilibrium, ModelError> {
     let lambda = config.lambda_per_us;
     let n = config.total_nodes() as f64;
 
     // g(x) = lambda * (N - min(L(x), N)) / N, monotone non-increasing.
     let g = |x: f64| -> f64 {
-        let l = total_waiting(config, &service, x).unwrap_or(f64::INFINITY);
+        let l = total_waiting(config, service, x).unwrap_or(f64::INFINITY);
         lambda * (n - l.min(n)) / n
     };
 
-    let sat = saturation_lambda(config, &service);
+    let sat = saturation_lambda(config, service);
     let hi = lambda.min(sat * (1.0 - 1e-12));
     let opts = SolverOptions {
         tolerance: (lambda * 1e-12).max(1e-300),
         max_iterations: 500,
         damping: 0.5,
     };
-    let sol = bisect(|x| g(x) - x, 0.0, hi, opts).map_err(|e| match e {
+    let sol = bisect_seeded(|x| g(x) - x, 0.0, hi, seed, opts).map_err(|e| match e {
         hmcs_queueing::QueueingError::NoConvergence { residual, .. } => {
             ModelError::SolverFailed { residual }
         }
@@ -151,11 +173,11 @@ pub fn solve(config: &SystemConfig) -> Result<Equilibrium, ModelError> {
     // The bisection can land a hair inside the clamp region near
     // saturation; back off to the stable side if needed.
     let mut guard = 0;
-    while total_waiting(config, &service, lambda_eff).is_none() && guard < 128 {
+    while total_waiting(config, service, lambda_eff).is_none() && guard < 128 {
         lambda_eff *= 1.0 - 1e-9;
         guard += 1;
     }
-    let total = total_waiting(config, &service, lambda_eff)
+    let total = total_waiting(config, service, lambda_eff)
         .ok_or(ModelError::SolverFailed { residual: f64::INFINITY })?;
 
     let rates = TrafficRates::compute(config, lambda_eff);
@@ -184,6 +206,7 @@ pub fn solve(config: &SystemConfig) -> Result<Equilibrium, ModelError> {
         icn2: make_center(rates.icn2, service.icn2_us)?,
         total_waiting: total,
         retained_fraction: lambda_eff / lambda,
+        solver_iterations: sol.iterations,
     })
 }
 
@@ -267,8 +290,7 @@ mod tests {
         // Paper-literal double-counts ECN1 occupancy => larger L =>
         // stronger throttling.
         let base = cfg(32, Architecture::NonBlocking);
-        let literal =
-            solve(&base.with_accounting(QueueAccounting::PaperLiteral)).unwrap();
+        let literal = solve(&base.with_accounting(QueueAccounting::PaperLiteral)).unwrap();
         let single = solve(&base.with_accounting(QueueAccounting::SingleQueue)).unwrap();
         assert!(literal.total_waiting >= single.total_waiting);
         assert!(literal.lambda_eff <= single.lambda_eff + 1e-18);
@@ -290,8 +312,7 @@ mod tests {
         use crate::config::ServiceTimeModel;
         let exp = solve(&cfg(16, Architecture::NonBlocking)).unwrap();
         let det = solve(
-            &cfg(16, Architecture::NonBlocking)
-                .with_service_model(ServiceTimeModel::Deterministic),
+            &cfg(16, Architecture::NonBlocking).with_service_model(ServiceTimeModel::Deterministic),
         )
         .unwrap();
         assert!(det.total_waiting < exp.total_waiting);

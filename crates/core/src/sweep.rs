@@ -1,10 +1,20 @@
 //! Parameter sweeps — the x-axes of the paper's figures and of the
 //! design-space exploration the introduction motivates.
+//!
+//! All sweeps run on the shared [`crate::batch`] engine: shape sweeps
+//! (clusters, message size, switch ports, technology) evaluate their
+//! points on the bounded worker pool, while λ-sweeps stay sequential to
+//! exploit two serial optimisations — the λ-independent
+//! [`ServiceTimes`] are computed once per shape, and each point's
+//! bisection is warm-started from the neighbouring point's converged
+//! λ_eff.
 
+use crate::batch::{self, BatchOptions, EvalStats};
 use crate::config::SystemConfig;
 use crate::error::ModelError;
-use crate::model::{AnalyticalModel, PerformanceReport};
+use crate::model::PerformanceReport;
 use crate::scenario::{Scenario, PAPER_CLUSTER_COUNTS, PAPER_TOTAL_NODES};
+use crate::service::ServiceTimes;
 use hmcs_topology::switch::SwitchFabric;
 use hmcs_topology::transmission::Architecture;
 
@@ -15,6 +25,20 @@ pub struct SweepPoint<T> {
     pub x: T,
     /// The model evaluation at this point.
     pub report: PerformanceReport,
+    /// Evaluation cost of this point (timing and solver iterations).
+    pub stats: EvalStats,
+}
+
+/// Zips x-values with batch results into sweep points, propagating the
+/// first evaluation error.
+fn collect_points<T>(
+    xs: Vec<T>,
+    results: Vec<Result<(PerformanceReport, EvalStats), ModelError>>,
+) -> Result<Vec<SweepPoint<T>>, ModelError> {
+    xs.into_iter()
+        .zip(results)
+        .map(|(x, r)| r.map(|(report, stats)| SweepPoint { x, report, stats }))
+        .collect()
 }
 
 /// Sweeps the cluster count at fixed total node count (the figures'
@@ -24,7 +48,17 @@ pub fn cluster_sweep(
     total_nodes: usize,
     cluster_counts: &[usize],
 ) -> Result<Vec<SweepPoint<usize>>, ModelError> {
-    let mut out = Vec::with_capacity(cluster_counts.len());
+    cluster_sweep_with(base, total_nodes, cluster_counts, BatchOptions::default())
+}
+
+/// [`cluster_sweep`] with an explicit worker policy.
+pub fn cluster_sweep_with(
+    base: &SystemConfig,
+    total_nodes: usize,
+    cluster_counts: &[usize],
+    options: BatchOptions,
+) -> Result<Vec<SweepPoint<usize>>, ModelError> {
+    let mut configs = Vec::with_capacity(cluster_counts.len());
     for &c in cluster_counts {
         if c == 0 || !total_nodes.is_multiple_of(c) {
             return Err(ModelError::InvalidConfig {
@@ -35,9 +69,9 @@ pub fn cluster_sweep(
         let mut cfg = *base;
         cfg.clusters = c;
         cfg.nodes_per_cluster = total_nodes / c;
-        out.push(SweepPoint { x: c, report: AnalyticalModel::evaluate(&cfg)? });
+        configs.push(cfg);
     }
-    Ok(out)
+    collect_points(cluster_counts.to_vec(), batch::evaluate_many(&configs, options))
 }
 
 /// The paper's figure sweep: 256 nodes, `C ∈ {1, 2, …, 256}`.
@@ -58,28 +92,33 @@ pub fn message_size_sweep(
     base: &SystemConfig,
     sizes: &[u64],
 ) -> Result<Vec<SweepPoint<u64>>, ModelError> {
-    sizes
-        .iter()
-        .map(|&m| {
-            let cfg = base.with_message_bytes(m);
-            Ok(SweepPoint { x: m, report: AnalyticalModel::evaluate(&cfg)? })
-        })
-        .collect()
+    let configs: Vec<SystemConfig> = sizes.iter().map(|&m| base.with_message_bytes(m)).collect();
+    collect_points(sizes.to_vec(), batch::evaluate_many(&configs, BatchOptions::default()))
 }
 
 /// Sweeps the per-processor generation rate (λ) at a fixed shape —
 /// useful for locating the saturation knee.
+///
+/// Runs sequentially on purpose: the λ-independent service times are
+/// computed once, and each point's bisection is warm-started from the
+/// previous point's converged λ_eff (a wild seed merely falls back to
+/// the cold-start bracket, so the result is the same to within the
+/// solver's 1e-13 relative convergence).
 pub fn lambda_sweep(
     base: &SystemConfig,
     lambdas_per_us: &[f64],
 ) -> Result<Vec<SweepPoint<f64>>, ModelError> {
-    lambdas_per_us
-        .iter()
-        .map(|&l| {
-            let cfg = base.with_lambda(l);
-            Ok(SweepPoint { x: l, report: AnalyticalModel::evaluate(&cfg)? })
-        })
-        .collect()
+    base.validate()?;
+    let service = ServiceTimes::compute(base)?;
+    let mut out = Vec::with_capacity(lambdas_per_us.len());
+    let mut seed: Option<f64> = None;
+    for &l in lambdas_per_us {
+        let cfg = base.with_lambda(l);
+        let (report, stats) = batch::evaluate_one(&cfg, Some(&service), seed)?;
+        seed = Some(report.equilibrium.lambda_eff);
+        out.push(SweepPoint { x: l, report, stats });
+    }
+    Ok(out)
 }
 
 /// Sweeps the switch port count (design-space exploration: how big a
@@ -88,14 +127,14 @@ pub fn switch_ports_sweep(
     base: &SystemConfig,
     port_counts: &[u32],
 ) -> Result<Vec<SweepPoint<u32>>, ModelError> {
-    port_counts
+    let configs = port_counts
         .iter()
         .map(|&p| {
             let switch = SwitchFabric::new(p, base.switch.latency_us())?;
-            let cfg = base.with_switch(switch);
-            Ok(SweepPoint { x: p, report: AnalyticalModel::evaluate(&cfg)? })
+            Ok(base.with_switch(switch))
         })
-        .collect()
+        .collect::<Result<Vec<_>, ModelError>>()?;
+    collect_points(port_counts.to_vec(), batch::evaluate_many(&configs, BatchOptions::default()))
 }
 
 /// Sweeps a technology assignment over the three tiers (the paper's
@@ -105,20 +144,19 @@ pub fn technology_sweep(
     base: &SystemConfig,
     technologies: &[hmcs_topology::technology::NetworkTechnology],
 ) -> Result<Vec<SweepPoint<(&'static str, &'static str)>>, ModelError> {
-    let mut out = Vec::with_capacity(technologies.len() * technologies.len());
+    let mut xs = Vec::with_capacity(technologies.len() * technologies.len());
+    let mut configs = Vec::with_capacity(xs.capacity());
     for &intra in technologies {
         for &inter in technologies {
             let mut cfg = *base;
             cfg.icn1 = intra;
             cfg.ecn1 = inter;
             cfg.icn2 = inter;
-            out.push(SweepPoint {
-                x: (intra.name, inter.name),
-                report: AnalyticalModel::evaluate(&cfg)?,
-            });
+            xs.push((intra.name, inter.name));
+            configs.push(cfg);
         }
     }
-    Ok(out)
+    collect_points(xs, batch::evaluate_many(&configs, BatchOptions::default()))
 }
 
 /// Finds the largest per-processor rate (messages/µs) whose predicted
@@ -126,7 +164,8 @@ pub fn technology_sweep(
 /// `[lo, hi]`. Returns `None` when even `lo` violates the budget.
 ///
 /// Capacity-planning helper: "how much traffic can this design absorb
-/// within an SLO?"
+/// within an SLO?" Service times are computed once and every probe
+/// warm-starts from the previous probe's converged λ_eff.
 pub fn max_lambda_within_latency(
     base: &SystemConfig,
     latency_budget_us: f64,
@@ -134,10 +173,13 @@ pub fn max_lambda_within_latency(
     hi: f64,
     iterations: u32,
 ) -> Result<Option<f64>, ModelError> {
-    let latency_at = |lam: f64| -> Result<f64, ModelError> {
-        Ok(AnalyticalModel::evaluate(&base.with_lambda(lam))?
-            .latency
-            .mean_message_latency_us)
+    base.validate()?;
+    let service = ServiceTimes::compute(base)?;
+    let mut seed: Option<f64> = None;
+    let mut latency_at = |lam: f64| -> Result<f64, ModelError> {
+        let (report, _) = batch::evaluate_one(&base.with_lambda(lam), Some(&service), seed)?;
+        seed = Some(report.equilibrium.lambda_eff);
+        Ok(report.latency.mean_message_latency_us)
     };
     if latency_at(lo)? > latency_budget_us {
         return Ok(None);
@@ -160,6 +202,7 @@ pub fn max_lambda_within_latency(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::model::AnalyticalModel;
     use crate::scenario::PAPER_LAMBDA_PER_US;
 
     #[test]
@@ -176,6 +219,7 @@ mod tests {
         assert_eq!(pts[8].x, 256);
         for p in &pts {
             assert!(p.report.latency.mean_message_latency_us > 0.0);
+            assert!(p.stats.solver_iterations > 0);
         }
     }
 
@@ -185,6 +229,20 @@ mod tests {
             SystemConfig::paper_preset(Scenario::Case1, 1, Architecture::NonBlocking).unwrap();
         assert!(cluster_sweep(&base, 256, &[3]).is_err());
         assert!(cluster_sweep(&base, 256, &[0]).is_err());
+    }
+
+    #[test]
+    fn parallel_cluster_sweep_matches_sequential_exactly() {
+        let base = SystemConfig::paper_preset(Scenario::Case2, 1, Architecture::Blocking).unwrap();
+        let seq = cluster_sweep_with(&base, 256, &PAPER_CLUSTER_COUNTS, BatchOptions::sequential())
+            .unwrap();
+        let par =
+            cluster_sweep_with(&base, 256, &PAPER_CLUSTER_COUNTS, BatchOptions::with_workers(4))
+                .unwrap();
+        for (s, p) in seq.iter().zip(&par) {
+            assert_eq!(s.x, p.x);
+            assert_eq!(s.report, p.report);
+        }
     }
 
     #[test]
@@ -210,6 +268,22 @@ mod tests {
                 w[1].report.latency.mean_message_latency_us
                     >= w[0].report.latency.mean_message_latency_us
             );
+        }
+    }
+
+    #[test]
+    fn warm_started_lambda_sweep_matches_cold_start() {
+        // The warm chain must land on the same fixed point as
+        // independent cold-start evaluations, within the solver's
+        // relative convergence budget.
+        let base = SystemConfig::paper_preset(Scenario::Case1, 32, Architecture::Blocking).unwrap();
+        let lambdas = [1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 2.5e-4, 1e-3];
+        let warm = lambda_sweep(&base, &lambdas).unwrap();
+        for (pt, &l) in warm.iter().zip(&lambdas) {
+            let cold = AnalyticalModel::evaluate(&base.with_lambda(l)).unwrap();
+            let rel = (pt.report.equilibrium.lambda_eff - cold.equilibrium.lambda_eff).abs()
+                / cold.equilibrium.lambda_eff;
+            assert!(rel <= 1e-12, "λ={l}: warm-start drifted by {rel}");
         }
     }
 

@@ -1,0 +1,110 @@
+//! Property tests for the batch-evaluation engine: parallel execution
+//! must never change results, and warm-started bisection must land on
+//! the cold-start fixed point.
+
+use hmcs_core::batch::{self, BatchOptions};
+use hmcs_core::config::SystemConfig;
+use hmcs_core::model::AnalyticalModel;
+use hmcs_core::scenario::{Scenario, PAPER_CLUSTER_COUNTS, PAPER_TOTAL_NODES};
+use hmcs_core::sweep;
+use hmcs_topology::transmission::Architecture;
+use proptest::prelude::*;
+
+fn any_scenario() -> impl Strategy<Value = Scenario> {
+    prop_oneof![Just(Scenario::Case1), Just(Scenario::Case2)]
+}
+
+fn any_architecture() -> impl Strategy<Value = Architecture> {
+    prop_oneof![Just(Architecture::NonBlocking), Just(Architecture::Blocking)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The full paper cluster grid, evaluated in parallel, is
+    /// bit-identical to the sequential evaluation — every f64 of every
+    /// report compares equal, not merely close.
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_sequential(
+        scenario in any_scenario(),
+        arch in any_architecture(),
+        message_bytes in prop_oneof![Just(512u64), Just(1024u64)],
+        lambda_exp in -6.0f64..-3.0,
+        workers in 2usize..6,
+    ) {
+        let base = SystemConfig::paper_preset(scenario, 1, arch)
+            .unwrap()
+            .with_message_bytes(message_bytes)
+            .with_lambda(10f64.powf(lambda_exp));
+        let seq = sweep::cluster_sweep_with(
+            &base, PAPER_TOTAL_NODES, &PAPER_CLUSTER_COUNTS, BatchOptions::sequential(),
+        ).unwrap();
+        let par = sweep::cluster_sweep_with(
+            &base, PAPER_TOTAL_NODES, &PAPER_CLUSTER_COUNTS, BatchOptions::with_workers(workers),
+        ).unwrap();
+        prop_assert_eq!(seq.len(), par.len());
+        for (s, p) in seq.iter().zip(&par) {
+            prop_assert_eq!(s.x, p.x);
+            // PerformanceReport is PartialEq over all its floats:
+            // exact equality, no tolerance.
+            prop_assert_eq!(s.report, p.report);
+        }
+    }
+
+    /// A λ-sweep's warm-started chain lands on the same fixed point as
+    /// independent cold-start evaluations, within the solver's 1e-12
+    /// relative budget, for any shape on the paper grid.
+    #[test]
+    fn warm_started_bisection_matches_cold_start(
+        scenario in any_scenario(),
+        arch in any_architecture(),
+        cluster_idx in 0usize..PAPER_CLUSTER_COUNTS.len(),
+        lambda_lo_exp in -6.0f64..-4.5,
+    ) {
+        let clusters = PAPER_CLUSTER_COUNTS[cluster_idx];
+        let base = SystemConfig::paper_preset(scenario, clusters, arch).unwrap();
+        // A geometric ramp from light load up through the saturation
+        // knee — neighbouring λ_eff values seed each other.
+        let lambdas: Vec<f64> =
+            (0..8).map(|i| 10f64.powf(lambda_lo_exp + 0.45 * i as f64)).collect();
+        let warm = sweep::lambda_sweep(&base, &lambdas).unwrap();
+        for (pt, &l) in warm.iter().zip(&lambdas) {
+            let (cold, _) = batch::evaluate_one(&base.with_lambda(l), None, None).unwrap();
+            let rel = (pt.report.equilibrium.lambda_eff - cold.equilibrium.lambda_eff).abs()
+                / cold.equilibrium.lambda_eff;
+            prop_assert!(
+                rel <= 1e-12,
+                "λ={l} C={clusters} {scenario:?} {arch:?}: warm drift {rel}"
+            );
+        }
+    }
+
+    /// Replication-style fan-out through par_map preserves order and
+    /// content for arbitrary worker counts and item counts.
+    #[test]
+    fn par_map_is_order_preserving(
+        len in 0usize..64,
+        workers in 1usize..9,
+        offset in 0u64..1000,
+    ) {
+        let items: Vec<u64> = (0..len as u64).map(|i| i + offset).collect();
+        let out = batch::par_map(&items, workers, |&x| x * 3 + 1);
+        let expected: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+        prop_assert_eq!(out, expected);
+    }
+}
+
+/// The cold path of [`AnalyticalModel::evaluate`] and the batch engine's
+/// unseeded path are the same code: one non-proptest spot check that the
+/// facade and the engine agree exactly.
+#[test]
+fn facade_and_engine_agree() {
+    for arch in [Architecture::NonBlocking, Architecture::Blocking] {
+        let cfg = SystemConfig::paper_preset(Scenario::Case1, 16, arch).unwrap();
+        let facade = AnalyticalModel::evaluate(&cfg).unwrap();
+        let (engine, stats) = batch::evaluate_one(&cfg, None, None).unwrap();
+        assert_eq!(facade, engine);
+        assert!(stats.solver_iterations > 0);
+        assert_eq!(stats.solver_iterations, engine.equilibrium.solver_iterations);
+    }
+}

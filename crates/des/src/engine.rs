@@ -78,12 +78,7 @@ pub struct Engine<M: Model> {
 impl<M: Model> Engine<M> {
     /// Creates an engine at time zero with an empty event list.
     pub fn new(model: M) -> Self {
-        Engine {
-            model,
-            scheduler: Scheduler::new(),
-            now: SimTime::ZERO,
-            events_processed: 0,
-        }
+        Engine { model, scheduler: Scheduler::new(), now: SimTime::ZERO, events_processed: 0 }
     }
 
     /// Current simulation time.
@@ -239,11 +234,8 @@ mod tests {
 
     #[test]
     fn empty_engine_exhausts_immediately() {
-        let mut e = Engine::new(Chain {
-            remaining: 0,
-            spacing: SimTime::ZERO,
-            fired_at: Vec::new(),
-        });
+        let mut e =
+            Engine::new(Chain { remaining: 0, spacing: SimTime::ZERO, fired_at: Vec::new() });
         assert_eq!(e.run_to_completion(), StopReason::Exhausted);
         assert!(!e.step());
         assert_eq!(e.events_processed(), 0);

@@ -97,13 +97,12 @@ impl P2Quantile {
             if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
                 let sign = d.signum();
                 let parabolic = self.parabolic(i, sign);
-                let new_height = if self.heights[i - 1] < parabolic
-                    && parabolic < self.heights[i + 1]
-                {
-                    parabolic
-                } else {
-                    self.linear(i, sign)
-                };
+                let new_height =
+                    if self.heights[i - 1] < parabolic && parabolic < self.heights[i + 1] {
+                        parabolic
+                    } else {
+                        self.linear(i, sign)
+                    };
                 self.heights[i] = new_height;
                 self.positions[i] += sign;
             }
@@ -134,8 +133,7 @@ impl P2Quantile {
         if self.initial.len() < 5 {
             let mut sorted = self.initial.clone();
             sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN observation"));
-            let rank =
-                ((self.q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let rank = ((self.q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
             return Some(sorted[rank - 1]);
         }
         Some(self.heights[2])
@@ -213,10 +211,7 @@ mod tests {
         }
         let exact = exact_quantile(&mut data, 0.99);
         let est = p.estimate().unwrap();
-        assert!(
-            (est - exact).abs() / exact < 0.10,
-            "bimodal tail: P2 {est} vs exact {exact}"
-        );
+        assert!((est - exact).abs() / exact < 0.10, "bimodal tail: P2 {est} vs exact {exact}");
     }
 
     #[test]

@@ -91,8 +91,7 @@ impl<T: Clone> FcfsServer<T> {
     /// Panics if the server was idle (a completion without a service is a
     /// simulation logic error).
     pub fn complete(&mut self, now: f64) -> (T, ServiceDirective<T>) {
-        let (done, _started) =
-            self.in_service.take().expect("completion on an idle server");
+        let (done, _started) = self.in_service.take().expect("completion on an idle server");
         self.departures += 1;
         let directive = match self.waiting.pop_front() {
             Some((next, arrived)) => {
@@ -186,7 +185,7 @@ mod tests {
         let mut s: FcfsServer<u32> = FcfsServer::new();
         s.arrive(0.0, 1);
         s.complete(4.0); // busy [0,4]
-        // idle [4,10]
+                         // idle [4,10]
         s.arrive(10.0, 2);
         s.complete(12.0); // busy [10,12]
         assert!((s.utilization(20.0) - 6.0 / 20.0).abs() < 1e-12);

@@ -194,8 +194,7 @@ mod tests {
         let n = 400_000;
         let samples: Vec<f64> = (0..n).map(|_| r.hyper_exponential(2.0, 4.0)).collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
-        let var =
-            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         let scv = var / (mean * mean);
         assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
         assert!((scv - 4.0).abs() < 0.3, "scv {scv}");

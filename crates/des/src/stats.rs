@@ -414,7 +414,7 @@ mod tests {
         t.update(0.0, 0.0); // empty queue
         t.update(10.0, 2.0); // 2 customers from t=10
         t.update(30.0, 1.0); // 1 from t=30
-        // Mean over [0, 40]: (10*0 + 20*2 + 10*1)/40 = 1.25.
+                             // Mean over [0, 40]: (10*0 + 20*2 + 10*1)/40 = 1.25.
         assert!((t.mean_until(40.0) - 1.25).abs() < 1e-12);
         assert_eq!(t.max(), Some(2.0));
         assert_eq!(t.current(), Some(1.0));

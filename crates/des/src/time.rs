@@ -109,12 +109,7 @@ impl Sub for SimTime {
     /// non-negative by construction).
     #[inline]
     fn sub(self, rhs: SimTime) -> SimTime {
-        assert!(
-            self.0 >= rhs.0,
-            "SimTime subtraction underflow: {} - {}",
-            self.0,
-            rhs.0
-        );
+        assert!(self.0 >= rhs.0, "SimTime subtraction underflow: {} - {}", self.0, rhs.0);
         SimTime(self.0 - rhs.0)
     }
 }

@@ -31,12 +31,8 @@ impl Model for Churn {
 }
 
 fn run_churn(seed: u64, budget: u64) -> Vec<f64> {
-    let mut e = Engine::new(Churn {
-        rng: RngStream::new(seed, 0),
-        seen: Vec::new(),
-        spawned: 0,
-        budget,
-    });
+    let mut e =
+        Engine::new(Churn { rng: RngStream::new(seed, 0), seen: Vec::new(), spawned: 0, budget });
     e.scheduler_mut().schedule_at(SimTime::ZERO, 0);
     e.run_to_completion();
     e.into_model().seen

@@ -57,8 +57,7 @@ impl Model for MM1Sim {
                 let id = self.next_id;
                 self.next_id += 1;
                 self.entered.insert(id, now.as_us());
-                if let ServiceDirective::StartService(_) = self.server.arrive(now.as_us(), id)
-                {
+                if let ServiceDirective::StartService(_) = self.server.arrive(now.as_us(), id) {
                     self.schedule_service(now, s);
                 }
                 // Next arrival (open Poisson source).
@@ -92,10 +91,7 @@ fn mm1_simulation_matches_theory_at_moderate_load() {
     let (lambda, mu) = (0.005, 0.01); // per µs
     let (w, util, l) = run_mm1(lambda, mu, 42, 200_000);
     let w_theory = 1.0 / (mu - lambda);
-    assert!(
-        (w - w_theory).abs() / w_theory < 0.03,
-        "sojourn: sim {w:.1} vs theory {w_theory:.1}"
-    );
+    assert!((w - w_theory).abs() / w_theory < 0.03, "sojourn: sim {w:.1} vs theory {w_theory:.1}");
     assert!((util - 0.5).abs() < 0.02, "utilization {util}");
     let l_theory = 1.0; // rho/(1-rho)
     assert!((l - l_theory).abs() / l_theory < 0.05, "L: sim {l} vs 1.0");
@@ -107,10 +103,7 @@ fn mm1_simulation_matches_theory_at_high_load() {
     let (lambda, mu) = (0.009, 0.01);
     let (w, util, _) = run_mm1(lambda, mu, 7, 400_000);
     let w_theory = 1.0 / (mu - lambda);
-    assert!(
-        (w - w_theory).abs() / w_theory < 0.08,
-        "sojourn: sim {w:.1} vs theory {w_theory:.1}"
-    );
+    assert!((w - w_theory).abs() / w_theory < 0.08, "sojourn: sim {w:.1} vs theory {w_theory:.1}");
     assert!((util - 0.9).abs() < 0.02);
 }
 

@@ -20,10 +20,7 @@ fn check_agreement(data: &[f64], level: f64, range_hi: f64, tolerance: f64) {
     }
     let a = p2.estimate().unwrap();
     let b = hist.quantile(level).unwrap();
-    assert!(
-        (a - b).abs() <= tolerance * b.max(1.0),
-        "q{level}: P2 {a} vs histogram {b}"
-    );
+    assert!((a - b).abs() <= tolerance * b.max(1.0), "q{level}: P2 {a} vs histogram {b}");
 }
 
 #[test]

@@ -187,13 +187,7 @@ pub fn mva(stations: &[MvaStation], population: u32) -> Result<MvaSolution, Queu
         }
     }
     let cycle_time = r.iter().sum();
-    Ok(MvaSolution {
-        population,
-        throughput: x,
-        residence_times: r,
-        queue_lengths: q,
-        cycle_time,
-    })
+    Ok(MvaSolution { population, throughput: x, residence_times: r, queue_lengths: q, cycle_time })
 }
 
 #[cfg(test)]
@@ -297,7 +291,7 @@ mod tests {
     fn mva_bottleneck_law() {
         // Throughput is bounded by 1/D_max; approaches it as N grows.
         let stations = [
-            MvaStation::Queueing { demand: 1.0 },  // bottleneck
+            MvaStation::Queueing { demand: 1.0 }, // bottleneck
             MvaStation::Queueing { demand: 0.25 },
             MvaStation::Delay { demand: 2.0 },
         ];
@@ -308,8 +302,7 @@ mod tests {
 
     #[test]
     fn mva_throughput_monotone_in_population() {
-        let stations =
-            [MvaStation::Queueing { demand: 1.0 }, MvaStation::Delay { demand: 3.0 }];
+        let stations = [MvaStation::Queueing { demand: 1.0 }, MvaStation::Delay { demand: 3.0 }];
         let mut prev = 0.0;
         for n in 1..=50 {
             let x = mva(&stations, n).unwrap().throughput;

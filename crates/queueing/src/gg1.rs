@@ -141,13 +141,11 @@ mod tests {
         let g = GG1::new(0.6, 1.0, exp_service(1.0)).unwrap();
         let exact = MM1::new(0.6, 1.0).unwrap();
         assert!(
-            (g.mean_waiting_time(Approximation::AllenCunneen) - exact.mean_waiting_time())
-                .abs()
+            (g.mean_waiting_time(Approximation::AllenCunneen) - exact.mean_waiting_time()).abs()
                 < 1e-12
         );
         assert!(
-            (g.mean_sojourn_time(Approximation::AllenCunneen) - exact.mean_sojourn_time())
-                .abs()
+            (g.mean_sojourn_time(Approximation::AllenCunneen) - exact.mean_sojourn_time()).abs()
                 < 1e-12
         );
     }
@@ -201,8 +199,7 @@ mod tests {
         // Deterministic arrivals + deterministic service, rho < 1:
         // Wq = 0 under every approximation.
         let g = GG1::new(0.5, 0.0, ServiceDistribution::Deterministic(1.0)).unwrap();
-        for approx in [Approximation::Kingman, Approximation::AllenCunneen, Approximation::KLB]
-        {
+        for approx in [Approximation::Kingman, Approximation::AllenCunneen, Approximation::KLB] {
             assert_eq!(g.mean_waiting_time(approx), 0.0, "{approx:?}");
         }
     }

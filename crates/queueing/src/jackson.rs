@@ -226,11 +226,7 @@ impl JacksonNetwork {
         }
         Ok(NetworkSolution {
             stations: metrics,
-            total_external_rate: self
-                .stations
-                .iter()
-                .map(|s| s.external_arrival_rate)
-                .sum(),
+            total_external_rate: self.stations.iter().map(|s| s.external_arrival_rate).sum(),
         })
     }
 }
@@ -252,8 +248,7 @@ mod tests {
     fn feedback_queue_amplifies_traffic() {
         // Single station, customers return with probability 1/2 =>
         // lambda_total = gamma / (1 - 0.5) = 2*gamma.
-        let net =
-            JacksonNetwork::new(vec![Station::single(10.0, 1.0)], vec![vec![0.5]]).unwrap();
+        let net = JacksonNetwork::new(vec![Station::single(10.0, 1.0)], vec![vec![0.5]]).unwrap();
         let rates = net.traffic_rates().unwrap();
         assert!((rates[0] - 2.0).abs() < 1e-12);
     }
@@ -284,11 +279,7 @@ mod tests {
                 Station::single(10.0, 0.0),
                 Station::single(10.0, 0.0),
             ],
-            vec![
-                vec![0.0, 0.3, 0.7],
-                vec![0.0, 0.0, 0.0],
-                vec![0.0, 0.0, 0.0],
-            ],
+            vec![vec![0.0, 0.3, 0.7], vec![0.0, 0.0, 0.0], vec![0.0, 0.0, 0.0]],
         )
         .unwrap();
         let rates = net.traffic_rates().unwrap();
@@ -346,8 +337,7 @@ mod tests {
     #[test]
     fn detects_station_overload() {
         // Feedback of 0.9 multiplies external rate by 10 => rho = 1.0.
-        let net =
-            JacksonNetwork::new(vec![Station::single(1.0, 0.1)], vec![vec![0.9]]).unwrap();
+        let net = JacksonNetwork::new(vec![Station::single(1.0, 0.1)], vec![vec![0.9]]).unwrap();
         assert!(matches!(net.solve(), Err(QueueingError::Unstable { .. })));
     }
 
@@ -355,8 +345,7 @@ mod tests {
     fn closed_loop_routing_is_singular() {
         // A pure loop (row sums exactly 1) has no exit; with external
         // input the traffic equations are singular/divergent.
-        let net =
-            JacksonNetwork::new(vec![Station::single(1.0, 0.1)], vec![vec![1.0]]).unwrap();
+        let net = JacksonNetwork::new(vec![Station::single(1.0, 0.1)], vec![vec![1.0]]).unwrap();
         assert!(net.traffic_rates().is_err());
     }
 

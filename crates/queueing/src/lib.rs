@@ -53,9 +53,9 @@
 #![warn(missing_docs)]
 
 pub mod closed;
-pub mod gg1;
 pub mod error;
 pub mod fixed_point;
+pub mod gg1;
 pub mod jackson;
 pub mod linalg;
 pub mod mg1;

@@ -79,12 +79,10 @@ impl ServiceDistribution {
     pub fn validate(&self) -> Result<(), QueueingError> {
         check_pos_rate("service mean", self.mean())?;
         match *self {
-            ServiceDistribution::Erlang { phases: 0, .. } => {
-                Err(QueueingError::InvalidParameter {
-                    name: "phases",
-                    reason: "Erlang phase count must be >= 1",
-                })
-            }
+            ServiceDistribution::Erlang { phases: 0, .. } => Err(QueueingError::InvalidParameter {
+                name: "phases",
+                reason: "Erlang phase count must be >= 1",
+            }),
             ServiceDistribution::HyperExponential { scv, .. } if scv < 1.0 => {
                 Err(QueueingError::InvalidParameter {
                     name: "scv",
@@ -197,8 +195,8 @@ mod tests {
 
     #[test]
     fn hyperexponential_is_worse_than_exponential() {
-        let h = MG1::new(0.5, ServiceDistribution::HyperExponential { mean: 1.0, scv: 4.0 })
-            .unwrap();
+        let h =
+            MG1::new(0.5, ServiceDistribution::HyperExponential { mean: 1.0, scv: 4.0 }).unwrap();
         let m = MG1::new(0.5, ServiceDistribution::Exponential(1.0)).unwrap();
         assert!(h.mean_waiting_time() > m.mean_waiting_time());
     }
@@ -213,9 +211,7 @@ mod tests {
     #[test]
     fn validation_catches_bad_parameters() {
         assert!(ServiceDistribution::Erlang { mean: 1.0, phases: 0 }.validate().is_err());
-        assert!(ServiceDistribution::HyperExponential { mean: 1.0, scv: 0.5 }
-            .validate()
-            .is_err());
+        assert!(ServiceDistribution::HyperExponential { mean: 1.0, scv: 0.5 }.validate().is_err());
         assert!(ServiceDistribution::General { mean: 1.0, scv: -1.0 }.validate().is_err());
         assert!(ServiceDistribution::Deterministic(0.0).validate().is_err());
         assert!(ServiceDistribution::Exponential(-2.0).validate().is_err());
@@ -226,9 +222,7 @@ mod tests {
     fn littles_law_holds_for_mg1() {
         let g = MG1::new(0.4, ServiceDistribution::Erlang { mean: 2.0, phases: 3 }).unwrap();
         assert!((g.mean_number_in_queue() - g.lambda() * g.mean_waiting_time()).abs() < 1e-12);
-        assert!(
-            (g.mean_number_in_system() - g.lambda() * g.mean_sojourn_time()).abs() < 1e-12
-        );
+        assert!((g.mean_number_in_system() - g.lambda() * g.mean_sojourn_time()).abs() < 1e-12);
     }
 
     #[test]

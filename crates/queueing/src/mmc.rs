@@ -291,9 +291,7 @@ mod tests {
     fn mm1k_large_buffer_approaches_mm1() {
         let finite = MM1K::new(0.5, 1.0, 200).unwrap();
         let infinite = MM1::new(0.5, 1.0).unwrap();
-        assert!(
-            (finite.mean_number_in_system() - infinite.mean_number_in_system()).abs() < 1e-9
-        );
+        assert!((finite.mean_number_in_system() - infinite.mean_number_in_system()).abs() < 1e-9);
         assert!(finite.blocking_probability() < 1e-30);
     }
 

@@ -87,8 +87,7 @@ impl PriorityMG1 {
     /// Solves the queue under the given discipline.
     pub fn solve(&self, discipline: Discipline) -> PriorityResults {
         let k = self.classes.len();
-        let rho: Vec<f64> =
-            self.classes.iter().map(|c| c.lambda * c.service.mean()).collect();
+        let rho: Vec<f64> = self.classes.iter().map(|c| c.lambda * c.service.mean()).collect();
         // Cumulative utilizations sigma_k = sum_{i<=k} rho_i; sigma(-1)=0.
         let mut sigma = vec![0.0; k + 1];
         for i in 0..k {
@@ -111,8 +110,7 @@ impl PriorityMG1 {
                 Discipline::PreemptiveResume => {
                     // Only classes <= i delay class i.
                     let w0: f64 = residual[..=i].iter().sum();
-                    let service_stretch =
-                        self.classes[i].service.mean() / (1.0 - sigma[i]);
+                    let service_stretch = self.classes[i].service.mean() / (1.0 - sigma[i]);
                     let wq = w0 / ((1.0 - sigma[i]) * (1.0 - sigma[i + 1]));
                     waiting.push(wq);
                     sojourn.push(service_stretch + wq);
@@ -129,14 +127,9 @@ impl PriorityMG1 {
     pub fn conservation_residual(&self) -> f64 {
         let results = self.solve(Discipline::NonPreemptive);
         let rho_total = self.total_utilization();
-        let w0: f64 =
-            self.classes.iter().map(|c| c.lambda * c.service.second_moment() / 2.0).sum();
-        let lhs: f64 = results
-            .utilizations
-            .iter()
-            .zip(&results.waiting_times)
-            .map(|(r, w)| r * w)
-            .sum();
+        let w0: f64 = self.classes.iter().map(|c| c.lambda * c.service.second_moment() / 2.0).sum();
+        let lhs: f64 =
+            results.utilizations.iter().zip(&results.waiting_times).map(|(r, w)| r * w).sum();
         let rhs = rho_total * w0 / (1.0 - rho_total);
         (lhs - rhs).abs()
     }
@@ -157,10 +150,7 @@ mod tests {
         let mg1 = MG1::new(0.5, ServiceDistribution::Exponential(1.0)).unwrap();
         for discipline in [Discipline::NonPreemptive, Discipline::PreemptiveResume] {
             let r = q.solve(discipline);
-            assert!(
-                (r.waiting_times[0] - mg1.mean_waiting_time()).abs() < 1e-12,
-                "{discipline:?}"
-            );
+            assert!((r.waiting_times[0] - mg1.mean_waiting_time()).abs() < 1e-12, "{discipline:?}");
             assert!((r.sojourn_times[0] - mg1.mean_sojourn_time()).abs() < 1e-12);
         }
     }
@@ -197,10 +187,7 @@ mod tests {
                 lambda: 0.1,
                 service: ServiceDistribution::Erlang { mean: 2.0, phases: 2 },
             },
-            PriorityClass {
-                lambda: 0.05,
-                service: ServiceDistribution::Deterministic(3.0),
-            },
+            PriorityClass { lambda: 0.05, service: ServiceDistribution::Deterministic(3.0) },
         ])
         .unwrap();
         assert!(q.conservation_residual() < 1e-10);
@@ -215,11 +202,7 @@ mod tests {
         let b = PriorityMG1::new(vec![exp_class(0.35, 1.0), exp_class(0.25, 1.0)]).unwrap();
         let total = |q: &PriorityMG1| {
             let r = q.solve(Discipline::NonPreemptive);
-            q.classes
-                .iter()
-                .zip(&r.sojourn_times)
-                .map(|(c, t)| c.lambda * t)
-                .sum::<f64>()
+            q.classes.iter().zip(&r.sojourn_times).map(|(c, t)| c.lambda * t).sum::<f64>()
         };
         assert!((total(&a) - total(&b)).abs() < 1e-10);
     }

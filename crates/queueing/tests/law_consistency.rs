@@ -63,10 +63,7 @@ fn mva_satisfies_interactive_law() {
 /// equals the FCFS waiting (conservation with equal weights).
 #[test]
 fn identical_priority_classes_average_to_fcfs() {
-    let per_class = PriorityClass {
-        lambda: 0.2,
-        service: ServiceDistribution::Exponential(1.0),
-    };
+    let per_class = PriorityClass { lambda: 0.2, service: ServiceDistribution::Exponential(1.0) };
     let q = PriorityMG1::new(vec![per_class; 3]).unwrap();
     let res = q.solve(Discipline::NonPreemptive);
     let weighted: f64 = res.waiting_times.iter().sum::<f64>() / 3.0;
@@ -86,9 +83,7 @@ fn three_ways_to_the_same_mm1() {
     let gg1 = GG1::new(lambda, 1.0, ServiceDistribution::Exponential(1.0)).unwrap();
     assert!((mmc.erlang_c() - mm1.prob_wait()).abs() < 1e-12);
     assert!((mmc.mean_waiting_time() - mm1.mean_waiting_time()).abs() < 1e-12);
-    assert!(
-        (gg1.mean_waiting_time(Approximation::KLB) - mm1.mean_waiting_time()).abs() < 1e-12
-    );
+    assert!((gg1.mean_waiting_time(Approximation::KLB) - mm1.mean_waiting_time()).abs() < 1e-12);
 }
 
 /// Little's law chains through a Jackson network: the sum of station
@@ -96,16 +91,8 @@ fn three_ways_to_the_same_mm1() {
 #[test]
 fn network_wide_littles_law() {
     let net = JacksonNetwork::new(
-        vec![
-            Station::single(2.0, 0.5),
-            Station::single(1.5, 0.2),
-            Station::single(3.0, 0.0),
-        ],
-        vec![
-            vec![0.0, 0.3, 0.4],
-            vec![0.0, 0.0, 0.5],
-            vec![0.0, 0.0, 0.0],
-        ],
+        vec![Station::single(2.0, 0.5), Station::single(1.5, 0.2), Station::single(3.0, 0.0)],
+        vec![vec![0.0, 0.3, 0.4], vec![0.0, 0.0, 0.5], vec![0.0, 0.0, 0.0]],
     )
     .unwrap();
     let sol = net.solve().unwrap();

@@ -6,7 +6,7 @@ use hmcs_queueing::jackson::{JacksonNetwork, Station};
 use hmcs_queueing::linalg::{self, Matrix};
 use hmcs_queueing::mg1::{ServiceDistribution, MG1};
 use hmcs_queueing::mm1::MM1;
-use hmcs_queueing::mmc::{MM1K, MMc};
+use hmcs_queueing::mmc::{MMc, MM1K};
 use proptest::prelude::*;
 
 proptest! {

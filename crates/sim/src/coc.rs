@@ -142,9 +142,7 @@ impl CocModel {
             ServiceTimeModel::Exponential => self.svc_rng.exponential_mean(mean_us),
             ServiceTimeModel::Deterministic => mean_us,
             ServiceTimeModel::Erlang(k) => self.svc_rng.erlang(mean_us, k),
-            ServiceTimeModel::HyperExponential(scv) => {
-                self.svc_rng.hyper_exponential(mean_us, scv)
-            }
+            ServiceTimeModel::HyperExponential(scv) => self.svc_rng.hyper_exponential(mean_us, scv),
         }
     }
 
@@ -194,8 +192,7 @@ impl Model for CocModel {
                 let dst_cluster = self.cluster_of_node[dst];
                 let external = src_cluster != dst_cluster;
                 let stage = if external { Stage::Ecn1Forward } else { Stage::Icn1 };
-                let id =
-                    self.alloc_msg(Msg { src: node, dst, created_us: now.as_us(), stage });
+                let id = self.alloc_msg(Msg { src: node, dst, created_us: now.as_us(), stage });
                 if external {
                     if let ServiceDirective::StartService(_) =
                         self.ecn1[src_cluster].arrive(now.as_us(), id)
@@ -231,8 +228,7 @@ impl Model for CocModel {
                 match self.msgs[id].stage {
                     Stage::Ecn1Forward => {
                         self.msgs[id].stage = Stage::Icn2;
-                        if let ServiceDirective::StartService(_) =
-                            self.icn2.arrive(now.as_us(), id)
+                        if let ServiceDirective::StartService(_) = self.icn2.arrive(now.as_us(), id)
                         {
                             let svc = self.sample_service(self.means.icn2_us);
                             s.schedule_in(now, SimTime::from_us(svc), Ev::Icn2Done);
@@ -278,13 +274,8 @@ impl CocSimulator {
     pub fn run(cfg: &CocSimConfig) -> Result<SimResult, ModelError> {
         let mut engine = Engine::new(CocModel::new(cfg.clone())?);
         for node in 0..cfg.system.total_nodes() {
-            let think = engine
-                .model_mut()
-                .think_rng
-                .exponential(cfg.system.lambda_per_us);
-            engine
-                .scheduler_mut()
-                .schedule_at(SimTime::from_us(think), Ev::Generate { node });
+            let think = engine.model_mut().think_rng.exponential(cfg.system.lambda_per_us);
+            engine.scheduler_mut().schedule_at(SimTime::from_us(think), Ev::Generate { node });
         }
         let target = cfg.messages;
         engine.run_until(None, None, |m| m.measured() >= target);
@@ -308,11 +299,7 @@ impl CocSimulator {
         Ok(SimResult {
             mean_latency_us: model.latency.mean(),
             latency: model.latency.clone(),
-            quantiles: match (
-                model.p50.estimate(),
-                model.p95.estimate(),
-                model.p99.estimate(),
-            ) {
+            quantiles: match (model.p50.estimate(), model.p95.estimate(), model.p99.estimate()) {
                 (Some(p50_us), Some(p95_us), Some(p99_us)) => {
                     Some(LatencyQuantiles { p50_us, p95_us, p99_us })
                 }
@@ -324,11 +311,7 @@ impl CocSimulator {
             sim_duration_us: now,
             throughput_per_us: model.delivered as f64 / now,
             effective_lambda_per_us: model.delivered as f64 / now / model.n as f64,
-            per_cluster_ecn1_utilization: model
-                .ecn1
-                .iter()
-                .map(|q| q.utilization(now))
-                .collect(),
+            per_cluster_ecn1_utilization: model.ecn1.iter().map(|q| q.utilization(now)).collect(),
             icn1: avg_center(&model.icn1),
             ecn1: avg_center(&model.ecn1),
             icn2: CenterObservation {
@@ -395,12 +378,9 @@ mod tests {
             &CocSimConfig::new(homogeneous(8, 32)).with_messages(6_000).with_seed(11),
         )
         .unwrap();
-        let sc = SystemConfig::paper_preset(Scenario::Case1, 8, Architecture::NonBlocking)
-            .unwrap();
-        let sc_result = FlowSimulator::run(
-            &SimConfig::new(sc).with_messages(6_000).with_seed(12),
-        )
-        .unwrap();
+        let sc = SystemConfig::paper_preset(Scenario::Case1, 8, Architecture::NonBlocking).unwrap();
+        let sc_result =
+            FlowSimulator::run(&SimConfig::new(sc).with_messages(6_000).with_seed(12)).unwrap();
         let rel = (coc_result.mean_latency_us - sc_result.mean_latency_us).abs()
             / sc_result.mean_latency_us;
         assert!(
@@ -437,8 +417,8 @@ mod tests {
             &CocSimConfig::new(cfg).with_messages(8_000).with_warmup(2_000).with_seed(17),
         )
         .unwrap();
-        let rel = (analysis.mean_message_latency_us - sim.mean_latency_us).abs()
-            / sim.mean_latency_us;
+        let rel =
+            (analysis.mean_message_latency_us - sim.mean_latency_us).abs() / sim.mean_latency_us;
         assert!(
             rel < 0.10,
             "CoC analysis {:.1} vs sim {:.1} ({:.1}%)",
@@ -447,8 +427,8 @@ mod tests {
             rel * 100.0
         );
         // Effective rates agree too.
-        let rel_rate = (analysis.lambda_eff - sim.effective_lambda_per_us).abs()
-            / sim.effective_lambda_per_us;
+        let rel_rate =
+            (analysis.lambda_eff - sim.effective_lambda_per_us).abs() / sim.effective_lambda_per_us;
         assert!(rel_rate < 0.10, "lambda_eff rel err {rel_rate}");
     }
 
@@ -473,10 +453,10 @@ mod tests {
             };
             2
         ]);
-        let f = CocSimulator::run(&CocSimConfig::new(fast).with_messages(3_000).with_seed(3))
-            .unwrap();
-        let s = CocSimulator::run(&CocSimConfig::new(slow).with_messages(3_000).with_seed(3))
-            .unwrap();
+        let f =
+            CocSimulator::run(&CocSimConfig::new(fast).with_messages(3_000).with_seed(3)).unwrap();
+        let s =
+            CocSimulator::run(&CocSimConfig::new(slow).with_messages(3_000).with_seed(3)).unwrap();
         assert!(f.internal_latency.mean() < s.internal_latency.mean());
     }
 }

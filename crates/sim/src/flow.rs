@@ -30,9 +30,9 @@ use hmcs_core::error::ModelError;
 use hmcs_core::routing::TrafficPattern;
 use hmcs_core::service::ServiceTimes;
 use hmcs_des::engine::{Engine, Model, Scheduler};
+use hmcs_des::quantile::P2Quantile;
 use hmcs_des::queue::{FcfsServer, ServiceDirective};
 use hmcs_des::rng::RngStream;
-use hmcs_des::quantile::P2Quantile;
 use hmcs_des::stats::OnlineStats;
 use hmcs_des::time::SimTime;
 
@@ -126,9 +126,7 @@ impl FlowModel {
             ServiceTimeModel::Exponential => self.svc_rng.exponential_mean(mean_us),
             ServiceTimeModel::Deterministic => mean_us,
             ServiceTimeModel::Erlang(k) => self.svc_rng.erlang(mean_us, k),
-            ServiceTimeModel::HyperExponential(scv) => {
-                self.svc_rng.hyper_exponential(mean_us, scv)
-            }
+            ServiceTimeModel::HyperExponential(scv) => self.svc_rng.hyper_exponential(mean_us, scv),
         }
     }
 
@@ -166,13 +164,7 @@ impl FlowModel {
         }
     }
 
-    fn schedule_done(
-        &mut self,
-        now: SimTime,
-        s: &mut Scheduler<Ev>,
-        ev: Ev,
-        mean_us: f64,
-    ) {
+    fn schedule_done(&mut self, now: SimTime, s: &mut Scheduler<Ev>, ev: Ev, mean_us: f64) {
         let svc = self.sample_service(mean_us);
         s.schedule_in(now, SimTime::from_us(svc), ev);
     }
@@ -216,8 +208,7 @@ impl Model for FlowModel {
                 let dst_cluster = self.cluster_of(dst);
                 let external = src_cluster != dst_cluster;
                 let stage = if external { Stage::Ecn1Forward } else { Stage::Icn1 };
-                let id =
-                    self.alloc_msg(Msg { src: node, dst, created_us: now.as_us(), stage });
+                let id = self.alloc_msg(Msg { src: node, dst, created_us: now.as_us(), stage });
                 if external {
                     if let ServiceDirective::StartService(_) =
                         self.ecn1[src_cluster].arrive(now.as_us(), id)
@@ -251,8 +242,7 @@ impl Model for FlowModel {
                 match self.msgs[id].stage {
                     Stage::Ecn1Forward => {
                         self.msgs[id].stage = Stage::Icn2;
-                        if let ServiceDirective::StartService(_) =
-                            self.icn2.arrive(now.as_us(), id)
+                        if let ServiceDirective::StartService(_) = self.icn2.arrive(now.as_us(), id)
                         {
                             let mean = self.means.icn2_us;
                             self.schedule_done(now, s, Ev::Icn2Done, mean);
@@ -296,13 +286,8 @@ impl FlowSimulator {
         let mut engine = Engine::new(FlowModel::new(*cfg)?);
         // Every processor starts in the thinking state.
         for node in 0..cfg.system.total_nodes() {
-            let think = engine
-                .model_mut()
-                .think_rng
-                .exponential(cfg.system.lambda_per_us);
-            engine
-                .scheduler_mut()
-                .schedule_at(SimTime::from_us(think), Ev::Generate { node });
+            let think = engine.model_mut().think_rng.exponential(cfg.system.lambda_per_us);
+            engine.scheduler_mut().schedule_at(SimTime::from_us(think), Ev::Generate { node });
         }
         let target = cfg.messages;
         engine.run_until(None, None, |m| m.measured() >= target);
@@ -326,11 +311,7 @@ impl FlowSimulator {
         Ok(SimResult {
             mean_latency_us: model.latency.mean(),
             latency: model.latency.clone(),
-            quantiles: match (
-                model.p50.estimate(),
-                model.p95.estimate(),
-                model.p99.estimate(),
-            ) {
+            quantiles: match (model.p50.estimate(), model.p95.estimate(), model.p99.estimate()) {
                 (Some(p50_us), Some(p95_us), Some(p99_us)) => {
                     Some(crate::result::LatencyQuantiles { p50_us, p95_us, p99_us })
                 }
@@ -342,11 +323,7 @@ impl FlowSimulator {
             sim_duration_us: now,
             throughput_per_us: model.delivered as f64 / now,
             effective_lambda_per_us: model.delivered as f64 / now / model.n as f64,
-            per_cluster_ecn1_utilization: model
-                .ecn1
-                .iter()
-                .map(|q| q.utilization(now))
-                .collect(),
+            per_cluster_ecn1_utilization: model.ecn1.iter().map(|q| q.utilization(now)).collect(),
             icn1: avg_center(&model.icn1),
             ecn1: avg_center(&model.ecn1),
             icn2: CenterObservation {
@@ -371,9 +348,8 @@ mod tests {
 
     #[test]
     fn runs_and_counts_messages() {
-        let cfg = SimConfig::new(system(8, Architecture::NonBlocking))
-            .with_messages(2_000)
-            .with_seed(1);
+        let cfg =
+            SimConfig::new(system(8, Architecture::NonBlocking)).with_messages(2_000).with_seed(1);
         let r = FlowSimulator::run(&cfg).unwrap();
         assert_eq!(r.messages, 2_000);
         assert!(r.mean_latency_us > 0.0);
@@ -383,9 +359,8 @@ mod tests {
 
     #[test]
     fn reproducible_under_the_same_seed() {
-        let cfg = SimConfig::new(system(4, Architecture::NonBlocking))
-            .with_messages(1_000)
-            .with_seed(77);
+        let cfg =
+            SimConfig::new(system(4, Architecture::NonBlocking)).with_messages(1_000).with_seed(77);
         let a = FlowSimulator::run(&cfg).unwrap();
         let b = FlowSimulator::run(&cfg).unwrap();
         assert_eq!(a, b);
@@ -396,9 +371,8 @@ mod tests {
     #[test]
     fn external_fraction_tracks_eq8() {
         // C=16, N0=16: P = 240/255 ~ 0.941.
-        let cfg = SimConfig::new(system(16, Architecture::NonBlocking))
-            .with_messages(8_000)
-            .with_seed(3);
+        let cfg =
+            SimConfig::new(system(16, Architecture::NonBlocking)).with_messages(8_000).with_seed(3);
         let r = FlowSimulator::run(&cfg).unwrap();
         let p = hmcs_core::routing::external_probability(16, 16);
         assert!(
@@ -410,9 +384,8 @@ mod tests {
 
     #[test]
     fn single_cluster_has_no_external_traffic() {
-        let cfg = SimConfig::new(system(1, Architecture::NonBlocking))
-            .with_messages(1_000)
-            .with_seed(5);
+        let cfg =
+            SimConfig::new(system(1, Architecture::NonBlocking)).with_messages(1_000).with_seed(5);
         let r = FlowSimulator::run(&cfg).unwrap();
         assert_eq!(r.external_latency.count(), 0);
         assert_eq!(r.icn2.arrivals, 0);
@@ -422,9 +395,8 @@ mod tests {
     #[test]
     fn external_messages_cost_more_than_internal() {
         // External messages traverse three centres instead of one.
-        let cfg = SimConfig::new(system(8, Architecture::NonBlocking))
-            .with_messages(6_000)
-            .with_seed(11);
+        let cfg =
+            SimConfig::new(system(8, Architecture::NonBlocking)).with_messages(6_000).with_seed(11);
         let r = FlowSimulator::run(&cfg).unwrap();
         assert!(r.external_latency.mean() > r.internal_latency.mean());
     }
@@ -438,9 +410,7 @@ mod tests {
         )
         .unwrap();
         let bl = FlowSimulator::run(
-            &SimConfig::new(system(16, Architecture::Blocking))
-                .with_messages(3_000)
-                .with_seed(13),
+            &SimConfig::new(system(16, Architecture::Blocking)).with_messages(3_000).with_seed(13),
         )
         .unwrap();
         assert!(bl.mean_latency_us > nb.mean_latency_us);
@@ -461,14 +431,12 @@ mod tests {
     #[test]
     fn localized_traffic_reduces_external_fraction() {
         use hmcs_core::routing::TrafficPattern;
-        let base = SimConfig::new(system(8, Architecture::NonBlocking))
-            .with_messages(4_000)
-            .with_seed(19);
+        let base =
+            SimConfig::new(system(8, Architecture::NonBlocking)).with_messages(4_000).with_seed(19);
         let uniform = FlowSimulator::run(&base).unwrap();
-        let local = FlowSimulator::run(
-            &base.with_pattern(TrafficPattern::Localized { locality: 0.8 }),
-        )
-        .unwrap();
+        let local =
+            FlowSimulator::run(&base.with_pattern(TrafficPattern::Localized { locality: 0.8 }))
+                .unwrap();
         assert!(local.external_fraction() < uniform.external_fraction() * 0.5);
         // Less inter-cluster traffic => lower mean latency in Case 1
         // (slow inter-cluster tiers).
@@ -478,8 +446,7 @@ mod tests {
     #[test]
     fn warmup_messages_are_discarded() {
         let base = SimConfig::new(system(4, Architecture::NonBlocking)).with_seed(23);
-        let with_warmup = FlowSimulator::run(&base.with_messages(1_000).with_warmup(500))
-            .unwrap();
+        let with_warmup = FlowSimulator::run(&base.with_messages(1_000).with_warmup(500)).unwrap();
         assert_eq!(with_warmup.messages, 1_000);
         // The run had to deliver warmup + measured messages.
         let no_warmup = FlowSimulator::run(&base.with_messages(1_000)).unwrap();
@@ -489,9 +456,14 @@ mod tests {
     #[test]
     fn deterministic_service_reduces_latency_variance() {
         use hmcs_core::config::ServiceTimeModel;
-        let base = SimConfig::new(system(8, Architecture::NonBlocking))
-            .with_messages(4_000)
-            .with_seed(29);
+        // Moderate load: at the paper preset λ the ICN2 saturates for
+        // C=8 Case 1, and a saturated closed network pins mean latency
+        // at population/throughput regardless of service variability —
+        // the det-vs-exp mean comparison is then pure seed noise. Below
+        // saturation the M/G/1 waiting term (1+SCV)/2 applies, so
+        // deterministic service strictly reduces both mean and variance.
+        let sys = system(8, Architecture::NonBlocking).with_lambda(1e-5);
+        let base = SimConfig::new(sys).with_messages(4_000).with_seed(29);
         let exp = FlowSimulator::run(&base).unwrap();
         let det = {
             let mut cfg = base;
@@ -504,9 +476,8 @@ mod tests {
 
     #[test]
     fn quantiles_bracket_the_mean() {
-        let cfg = SimConfig::new(system(8, Architecture::NonBlocking))
-            .with_messages(4_000)
-            .with_seed(41);
+        let cfg =
+            SimConfig::new(system(8, Architecture::NonBlocking)).with_messages(4_000).with_seed(41);
         let r = FlowSimulator::run(&cfg).unwrap();
         let q = r.quantiles.expect("quantiles present");
         assert!(q.p50_us < q.p95_us && q.p95_us < q.p99_us);
@@ -525,9 +496,8 @@ mod tests {
         // (A counterintuitive closed-network effect the simulator
         // captures and the symmetric model only sees through the mean
         // external probability; see TrafficPattern::Hotspot docs.)
-        let base = SimConfig::new(system(8, Architecture::NonBlocking))
-            .with_messages(4_000)
-            .with_seed(43);
+        let base =
+            SimConfig::new(system(8, Architecture::NonBlocking)).with_messages(4_000).with_seed(43);
         let uniform = FlowSimulator::run(&base).unwrap();
         let hot = FlowSimulator::run(
             &base.with_pattern(TrafficPattern::Hotspot { node: 0, fraction: 0.8 }),
@@ -537,10 +507,8 @@ mod tests {
         assert!(hot.effective_lambda_per_us > uniform.effective_lambda_per_us);
         // The model hook predicts the same direction for the mean
         // external probability.
-        let p_uniform =
-            TrafficPattern::Uniform.external_probability(8, 32);
-        let p_hot = TrafficPattern::Hotspot { node: 0, fraction: 0.8 }
-            .external_probability(8, 32);
+        let p_uniform = TrafficPattern::Uniform.external_probability(8, 32);
+        let p_hot = TrafficPattern::Hotspot { node: 0, fraction: 0.8 }.external_probability(8, 32);
         assert!(p_hot < p_uniform);
         // The measured fraction sits well BELOW the model's offered-mix
         // prediction: hot-cluster sources cycle faster (their internal
@@ -569,15 +537,10 @@ mod tests {
         assert_eq!(utils.len(), 8);
         let hot = utils[0];
         let others = utils[1..].iter().sum::<f64>() / 7.0;
-        assert!(
-            hot > 2.0 * others,
-            "hot cluster ECN1 should dominate: {hot} vs avg {others}"
-        );
+        assert!(hot > 2.0 * others, "hot cluster ECN1 should dominate: {hot} vs avg {others}");
         // Uniform traffic keeps them balanced.
-        let uniform = FlowSimulator::run(
-            &SimConfig::new(sys).with_messages(6_000).with_seed(51),
-        )
-        .unwrap();
+        let uniform =
+            FlowSimulator::run(&SimConfig::new(sys).with_messages(6_000).with_seed(51)).unwrap();
         let u = &uniform.per_cluster_ecn1_utilization;
         let max = u.iter().cloned().fold(0.0f64, f64::max);
         let min = u.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -588,10 +551,8 @@ mod tests {
     fn open_system_matches_mm1_theory_per_tier() {
         // Light open load: each tier behaves as an independent M/M/1.
         let sys = system(16, Architecture::NonBlocking).with_lambda(2e-6);
-        let cfg = SimConfig::new(sys)
-            .with_messages(30_000)
-            .with_blocked_sources(false)
-            .with_seed(31);
+        let cfg =
+            SimConfig::new(sys).with_messages(30_000).with_blocked_sources(false).with_seed(31);
         let r = FlowSimulator::run(&cfg).unwrap();
         // ICN2: lambda = C N0 P lambda.
         let p = hmcs_core::routing::external_probability(16, 16);

@@ -30,8 +30,8 @@ use crate::result::{CenterObservation, SimResult};
 use hmcs_core::error::ModelError;
 use hmcs_core::routing::TrafficPattern;
 use hmcs_des::engine::{Engine, Model, Scheduler};
-use hmcs_des::rng::RngStream;
 use hmcs_des::quantile::P2Quantile;
+use hmcs_des::rng::RngStream;
 use hmcs_des::stats::OnlineStats;
 use hmcs_des::time::SimTime;
 use hmcs_topology::transmission::Architecture;
@@ -107,8 +107,7 @@ impl TierFabric {
                 let mut pods_per_stage = Vec::new();
                 let mut block = down_radix;
                 for s in 1..=stages {
-                    let pods =
-                        if s == stages { 1 } else { endpoints.div_ceil(block) };
+                    let pods = if s == stages { 1 } else { endpoints.div_ceil(block) };
                     pods_per_stage.push(pods);
                     block = block.saturating_mul(down_radix);
                 }
@@ -197,8 +196,7 @@ impl TierFabric {
                 let sa = a / self.ports;
                 let sb = b / self.ports;
                 let (lo, hi) = (sa.min(sb), sa.max(sb));
-                let mut path: Vec<usize> =
-                    (lo..=hi).map(|s| self.base + s).collect();
+                let mut path: Vec<usize> = (lo..=hi).map(|s| self.base + s).collect();
                 if sa > sb {
                     path.reverse();
                 }
@@ -254,11 +252,17 @@ impl TierFabric {
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Ev {
-    Generate { node: usize },
+    Generate {
+        node: usize,
+    },
     /// The message finished a pure-delay step.
-    Advance { msg: MsgId },
+    Advance {
+        msg: MsgId,
+    },
     /// A resource finished its current service.
-    HopDone { resource: usize },
+    HopDone {
+        resource: usize,
+    },
 }
 
 struct PacketModel {
@@ -501,13 +505,8 @@ impl PacketSimulator {
     pub fn run(cfg: &SimConfig) -> Result<SimResult, ModelError> {
         let mut engine = Engine::new(PacketModel::new(*cfg)?);
         for node in 0..cfg.system.total_nodes() {
-            let think = engine
-                .model_mut()
-                .think_rng
-                .exponential(cfg.system.lambda_per_us);
-            engine
-                .scheduler_mut()
-                .schedule_at(SimTime::from_us(think), Ev::Generate { node });
+            let think = engine.model_mut().think_rng.exponential(cfg.system.lambda_per_us);
+            engine.scheduler_mut().schedule_at(SimTime::from_us(think), Ev::Generate { node });
         }
         let target = cfg.messages;
         engine.run_until(None, None, |m| m.measured() >= target);
@@ -515,9 +514,8 @@ impl PacketSimulator {
         let model = engine.into_model();
 
         let tier_obs = |tier: Tier| -> CenterObservation {
-            let idx: Vec<usize> = (0..model.resources.len())
-                .filter(|&i| model.resource_tier[i] == tier)
-                .collect();
+            let idx: Vec<usize> =
+                (0..model.resources.len()).filter(|&i| model.resource_tier[i] == tier).collect();
             if idx.is_empty() {
                 return CenterObservation::default();
             }
@@ -536,11 +534,7 @@ impl PacketSimulator {
         Ok(SimResult {
             mean_latency_us: model.latency.mean(),
             latency: model.latency.clone(),
-            quantiles: match (
-                model.p50.estimate(),
-                model.p95.estimate(),
-                model.p99.estimate(),
-            ) {
+            quantiles: match (model.p50.estimate(), model.p95.estimate(), model.p99.estimate()) {
                 (Some(p50_us), Some(p95_us), Some(p99_us)) => {
                     Some(crate::result::LatencyQuantiles { p50_us, p95_us, p99_us })
                 }

@@ -1,15 +1,20 @@
 //! Independent replications with confidence intervals.
 //!
 //! The paper reports single 10,000-message runs; for tighter output
-//! analysis this module runs `R` replications with different seeds (in
-//! parallel threads — replications are embarrassingly parallel) and
+//! analysis this module runs `R` replications with different seeds and
 //! summarises the replication means, the textbook method for
-//! simulation output analysis.
+//! simulation output analysis. Replications are embarrassingly
+//! parallel, but rather than one thread per replication they run on
+//! the shared bounded pool ([`hmcs_core::batch`]), so asking for 200
+//! replications on a 4-core box spawns 4 workers, not 200 threads.
+//! Each replication's seed is fixed by its index, so the summary is
+//! deterministic regardless of the worker count.
 
 use crate::config::SimConfig;
 use crate::flow::FlowSimulator;
 use crate::packet::PacketSimulator;
 use crate::result::SimResult;
+use hmcs_core::batch::{par_map, BatchOptions};
 use hmcs_core::error::ModelError;
 use hmcs_des::stats::{confidence_interval, OnlineStats};
 
@@ -52,11 +57,21 @@ impl ReplicationSummary {
 }
 
 /// Runs `replications` independent runs of `simulator`, seeding
-/// replication `i` with `base.seed + i`, in parallel threads.
+/// replication `i` with `base.seed + i`, on the shared worker pool.
 pub fn run_replications(
     base: &SimConfig,
     simulator: Simulator,
     replications: u32,
+) -> Result<ReplicationSummary, ModelError> {
+    run_replications_with(base, simulator, replications, BatchOptions::default())
+}
+
+/// [`run_replications`] with an explicit worker policy.
+pub fn run_replications_with(
+    base: &SimConfig,
+    simulator: Simulator,
+    replications: u32,
+    options: BatchOptions,
 ) -> Result<ReplicationSummary, ModelError> {
     if replications == 0 {
         return Err(ModelError::InvalidConfig {
@@ -65,33 +80,24 @@ pub fn run_replications(
         });
     }
     base.validate()?;
-    let mut results: Vec<Option<Result<SimResult, ModelError>>> =
-        (0..replications).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        for (i, slot) in results.iter_mut().enumerate() {
-            let cfg = base.with_seed(base.seed.wrapping_add(i as u64));
-            scope.spawn(move || {
-                *slot = Some(match simulator {
-                    Simulator::Flow => FlowSimulator::run(&cfg),
-                    Simulator::Packet => PacketSimulator::run(&cfg),
-                });
-            });
+    let seeds: Vec<u64> = (0..replications).map(|i| base.seed.wrapping_add(u64::from(i))).collect();
+    let results = par_map(&seeds, options.resolved_workers(), |&seed| {
+        let cfg = base.with_seed(seed);
+        match simulator {
+            Simulator::Flow => FlowSimulator::run(&cfg),
+            Simulator::Packet => PacketSimulator::run(&cfg),
         }
     });
     let mut replication_results = Vec::with_capacity(replications as usize);
     let mut latency_means = OnlineStats::new();
     let mut effective_lambdas = OnlineStats::new();
-    for slot in results {
-        let result = slot.expect("thread completed")?;
+    for result in results {
+        let result = result?;
         latency_means.record(result.mean_latency_us);
         effective_lambdas.record(result.effective_lambda_per_us);
         replication_results.push(result);
     }
-    Ok(ReplicationSummary {
-        replications: replication_results,
-        latency_means,
-        effective_lambdas,
-    })
+    Ok(ReplicationSummary { replications: replication_results, latency_means, effective_lambdas })
 }
 
 #[cfg(test)]
@@ -126,6 +132,22 @@ mod tests {
         let a = run_replications(&base(), Simulator::Flow, 3).unwrap();
         let b = run_replications(&base(), Simulator::Flow, 3).unwrap();
         assert_eq!(a.mean_latency_us(), b.mean_latency_us());
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_summary() {
+        // Seeds are fixed by replication index, so the pool size (and
+        // hence scheduling order) must not affect any reported number.
+        let seq =
+            run_replications_with(&base(), Simulator::Flow, 4, BatchOptions::sequential()).unwrap();
+        let par = run_replications_with(&base(), Simulator::Flow, 4, BatchOptions::with_workers(4))
+            .unwrap();
+        assert_eq!(seq.mean_latency_us(), par.mean_latency_us());
+        assert_eq!(seq.latency_ci95_us(), par.latency_ci95_us());
+        for (a, b) in seq.replications.iter().zip(&par.replications) {
+            assert_eq!(a.mean_latency_us, b.mean_latency_us);
+            assert_eq!(a.effective_lambda_per_us, b.effective_lambda_per_us);
+        }
     }
 
     #[test]

@@ -15,9 +15,8 @@ use hmcs_sim::flow::FlowSimulator;
 use hmcs_topology::transmission::Architecture;
 
 fn compare(scenario: Scenario, clusters: usize, arch: Architecture, bytes: u64) -> (f64, f64) {
-    let sys = SystemConfig::paper_preset(scenario, clusters, arch)
-        .unwrap()
-        .with_message_bytes(bytes);
+    let sys =
+        SystemConfig::paper_preset(scenario, clusters, arch).unwrap().with_message_bytes(bytes);
     let analysis = AnalyticalModel::evaluate(&sys).unwrap();
     let sim = FlowSimulator::run(
         &SimConfig::new(sys).with_messages(6_000).with_warmup(1_500).with_seed(2025),
@@ -87,8 +86,7 @@ fn paper_literal_accounting_diverges_where_ecn1_is_loaded() {
     // double-counts ECN1 occupancy. At C=2 the ECN1 queues carry most of
     // the waiting, so the literal reading underestimates latency by tens
     // of percent while the single-count reading stays tight.
-    let sys = SystemConfig::paper_preset(Scenario::Case1, 2, Architecture::NonBlocking)
-        .unwrap();
+    let sys = SystemConfig::paper_preset(Scenario::Case1, 2, Architecture::NonBlocking).unwrap();
     let sim = FlowSimulator::run(
         &SimConfig::new(sys).with_messages(6_000).with_warmup(1_500).with_seed(2025),
     )
@@ -134,8 +132,7 @@ fn effective_rate_matches_simulation() {
 
 #[test]
 fn center_utilizations_match_simulation() {
-    let sys =
-        SystemConfig::paper_preset(Scenario::Case1, 16, Architecture::NonBlocking).unwrap();
+    let sys = SystemConfig::paper_preset(Scenario::Case1, 16, Architecture::NonBlocking).unwrap();
     let analysis = AnalyticalModel::evaluate(&sys).unwrap();
     let sim = FlowSimulator::run(
         &SimConfig::new(sys).with_messages(8_000).with_warmup(2_000).with_seed(33),
@@ -147,9 +144,6 @@ fn center_utilizations_match_simulation() {
         (analysis.equilibrium.icn2.utilization, sim.icn2.utilization, "ICN2"),
     ];
     for (a, s, name) in pairs {
-        assert!(
-            (a - s).abs() < 0.05 + 0.1 * s,
-            "{name}: analysis rho {a:.3} vs sim {s:.3}"
-        );
+        assert!((a - s).abs() < 0.05 + 0.1 * s, "{name}: analysis rho {a:.3} vs sim {s:.3}");
     }
 }

@@ -12,8 +12,7 @@ use hmcs_topology::transmission::Architecture;
 
 #[test]
 fn center_occupancies_match_analysis() {
-    let sys =
-        SystemConfig::paper_preset(Scenario::Case1, 16, Architecture::NonBlocking).unwrap();
+    let sys = SystemConfig::paper_preset(Scenario::Case1, 16, Architecture::NonBlocking).unwrap();
     let analysis = AnalyticalModel::evaluate(&sys).unwrap();
     let sim = FlowSimulator::run(
         &SimConfig::new(sys).with_messages(10_000).with_warmup(2_500).with_seed(77),
@@ -40,20 +39,17 @@ fn center_occupancies_match_analysis() {
 fn total_waiting_accounts_for_the_population() {
     // Sum of simulated centre occupancies ~ model's total waiting L,
     // which in turn explains the throttled rate via eq. 7.
-    let sys =
-        SystemConfig::paper_preset(Scenario::Case1, 32, Architecture::NonBlocking).unwrap();
+    let sys = SystemConfig::paper_preset(Scenario::Case1, 32, Architecture::NonBlocking).unwrap();
     let analysis = AnalyticalModel::evaluate(&sys).unwrap();
     let sim = FlowSimulator::run(
         &SimConfig::new(sys).with_messages(10_000).with_warmup(2_500).with_seed(78),
     )
     .unwrap();
     let clusters = sys.clusters as f64;
-    let sim_total = clusters
-        * (sim.icn1.mean_number_in_system + sim.ecn1.mean_number_in_system)
+    let sim_total = clusters * (sim.icn1.mean_number_in_system + sim.ecn1.mean_number_in_system)
         + sim.icn2.mean_number_in_system;
-    let rel = (sim_total - analysis.equilibrium.total_waiting)
-        .abs()
-        / analysis.equilibrium.total_waiting;
+    let rel =
+        (sim_total - analysis.equilibrium.total_waiting).abs() / analysis.equilibrium.total_waiting;
     assert!(
         rel < 0.15,
         "total waiting: model {:.1} vs sim {sim_total:.1}",
@@ -65,8 +61,7 @@ fn total_waiting_accounts_for_the_population() {
 
 #[test]
 fn littles_law_holds_per_centre_in_simulation() {
-    let sys =
-        SystemConfig::paper_preset(Scenario::Case2, 8, Architecture::NonBlocking).unwrap();
+    let sys = SystemConfig::paper_preset(Scenario::Case2, 8, Architecture::NonBlocking).unwrap();
     let sim = FlowSimulator::run(
         &SimConfig::new(sys).with_messages(8_000).with_warmup(2_000).with_seed(79),
     )

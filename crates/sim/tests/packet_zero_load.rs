@@ -27,7 +27,7 @@ fn zero_load_single_switch_latencies_are_exact() {
     let r = run(16, Architecture::NonBlocking, 1024);
     let hop_ge = 10.0 + 1024.0 / 94.0; // ICN1/per-switch (GE tier)
     let hop_fe = 10.0 + 1024.0 / 10.5; // ECN1/ICN2 hops (FE tiers)
-    // Internal: injection alpha_GE + one ICN1 switch.
+                                       // Internal: injection alpha_GE + one ICN1 switch.
     let internal = 80.0 + hop_ge;
     assert!(
         (r.internal_latency.mean() - internal).abs() < 1e-6,
@@ -87,8 +87,5 @@ fn zero_load_scales_linearly_per_hop() {
     // Internal path: one switch hop carries the payload once.
     let delta = large.internal_latency.mean() - small.internal_latency.mean();
     let expect = 512.0 / 94.0;
-    assert!(
-        (delta - expect).abs() < 1e-6,
-        "per-hop payload delta {delta} vs {expect}"
-    );
+    assert!((delta - expect).abs() < 1e-6, "per-hop payload delta {delta} vs {expect}");
 }

@@ -1,6 +1,6 @@
 use hmcs_core::config::SystemConfig;
-use hmcs_core::scenario::Scenario;
 use hmcs_core::model::AnalyticalModel;
+use hmcs_core::scenario::Scenario;
 use hmcs_core::sweep;
 use hmcs_topology::transmission::Architecture;
 
@@ -9,9 +9,14 @@ fn main() {
     for p in [8u32, 16, 24, 48, 64] {
         let cfg = base.with_switch(hmcs_topology::switch::SwitchFabric::new(p, 10.0).unwrap());
         let r = AnalyticalModel::evaluate(&cfg).unwrap();
-        println!("ports={p:3} lat={:.3}us icn1_T={:.2} ecn1_T={:.2} icn2_T={:.2} leff={:.6e}",
-            r.latency.mean_message_latency_us, r.service_times.icn1_us, r.service_times.ecn1_us, r.service_times.icn2_us,
-            r.equilibrium.lambda_eff);
+        println!(
+            "ports={p:3} lat={:.3}us icn1_T={:.2} ecn1_T={:.2} icn2_T={:.2} leff={:.6e}",
+            r.latency.mean_message_latency_us,
+            r.service_times.icn1_us,
+            r.service_times.ecn1_us,
+            r.service_times.icn2_us,
+            r.equilibrium.lambda_eff
+        );
     }
     let _ = sweep::switch_ports_sweep(&base, &[8]);
 }

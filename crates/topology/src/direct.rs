@@ -86,7 +86,8 @@ impl DirectNetworkModel {
             // Odd radixes: bound the penalty with the even-radix width
             // of the next-lower even radix (conservative).
             None => {
-                let b = 2 * (self.cube.radix() as usize - 1).max(1)
+                let b = 2
+                    * (self.cube.radix() as usize - 1).max(1)
                     * (self.cube.radix() as usize).pow(self.cube.dimensions() - 1)
                     / self.cube.radix() as usize;
                 generalized_blocking_penalty_us(
@@ -130,8 +131,13 @@ mod tests {
         let eq20 = (128.0 - 1.0) * 1024.0 / 94.0;
         assert!((penalty - eq20).abs() < 1e-9);
         // Cross-check against the switch-based blocking model.
-        let tm = TransmissionModel::new(ge(), SwitchFabric::paper_default(), 256,
-            Architecture::Blocking).unwrap();
+        let tm = TransmissionModel::new(
+            ge(),
+            SwitchFabric::paper_default(),
+            256,
+            Architecture::Blocking,
+        )
+        .unwrap();
         assert!((tm.breakdown(1024).blocking_time_us - penalty).abs() < 1e-9);
         let _ = LinearArray::new(256, SwitchFabric::paper_default()).unwrap();
     }
@@ -175,10 +181,8 @@ mod tests {
         // fat-tree's zero.
         let cube = DirectNetworkModel::new(ge(), KaryNCube::new(16, 2).unwrap(), 10.0).unwrap();
         let sw = SwitchFabric::paper_default();
-        let linear =
-            TransmissionModel::new(ge(), sw, 256, Architecture::Blocking).unwrap();
-        let tree =
-            TransmissionModel::new(ge(), sw, 256, Architecture::NonBlocking).unwrap();
+        let linear = TransmissionModel::new(ge(), sw, 256, Architecture::Blocking).unwrap();
+        let tree = TransmissionModel::new(ge(), sw, 256, Architecture::NonBlocking).unwrap();
         let b_cube = cube.breakdown(1024).blocking_time_us;
         let b_lin = linear.breakdown(1024).blocking_time_us;
         let b_tree = tree.breakdown(1024).blocking_time_us;

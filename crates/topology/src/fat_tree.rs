@@ -247,11 +247,8 @@ impl FatTree {
         // Endpoint -> leaf pod edges (one physical link each). In a
         // single-stage tree the only pod is the root.
         for node in 0..self.nodes {
-            let leaf = if self.stages == 1 {
-                stage_offsets[0]
-            } else {
-                stage_offsets[0] + node / d_radix
-            };
+            let leaf =
+                if self.stages == 1 { stage_offsets[0] } else { stage_offsets[0] + node / d_radix };
             graph.add_edge(node, leaf);
         }
 
@@ -263,8 +260,7 @@ impl FatTree {
             let pods = pods_per_stage[(s - 1) as usize];
             let parent_block = block * d_radix;
             for g in 0..pods {
-                let covered =
-                    (self.nodes.min((g + 1) * block)).saturating_sub(g * block);
+                let covered = (self.nodes.min((g + 1) * block)).saturating_sub(g * block);
                 if covered == 0 {
                     continue;
                 }
@@ -358,10 +354,7 @@ mod tests {
             for nodes in [1usize, 2, 3, 7, 8, 16, 17, 64, 100, 256, 500, 1024, 4096] {
                 let structural = FatTree::stage_count_structural(nodes, ports);
                 let eq12 = FatTree::stage_count_eq12(nodes, ports);
-                assert_eq!(
-                    structural, eq12,
-                    "divergence at nodes={nodes} ports={ports}"
-                );
+                assert_eq!(structural, eq12, "divergence at nodes={nodes} ports={ports}");
             }
         }
     }

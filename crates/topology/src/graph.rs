@@ -118,10 +118,7 @@ impl Graph {
     /// Panics if the sets overlap or either is empty.
     pub fn min_cut_between_sets(&self, a: &[usize], b: &[usize]) -> usize {
         assert!(!a.is_empty() && !b.is_empty(), "cut sets must be non-empty");
-        assert!(
-            a.iter().all(|x| !b.contains(x)),
-            "cut sets must be disjoint"
-        );
+        assert!(a.iter().all(|x| !b.contains(x)), "cut sets must be disjoint");
         let n = self.vertex_count();
         let (s, t) = (n, n + 1);
         let mut net = FlowNetwork::new(n + 2);

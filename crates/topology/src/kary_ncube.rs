@@ -124,7 +124,8 @@ impl KaryNCube {
     /// `src ≠ dst` rescales by `k^n/(k^n − 1)`.
     pub fn mean_hop_count(&self) -> f64 {
         let k = self.radix as f64;
-        let per_dim = if self.radix.is_multiple_of(2) { k / 4.0 } else { (k * k - 1.0) / (4.0 * k) };
+        let per_dim =
+            if self.radix.is_multiple_of(2) { k / 4.0 } else { (k * k - 1.0) / (4.0 * k) };
         let n = self.nodes() as f64;
         self.dimensions as f64 * per_dim * n / (n - 1.0)
     }

@@ -251,8 +251,7 @@ mod tests {
         let total: f64 = dist.iter().sum();
         assert!((total - 1.0).abs() < 1e-12);
         // Mean from the distribution equals the exact mean.
-        let mean: f64 =
-            dist.iter().enumerate().map(|(h, p)| (h as f64 + 1.0) * p).sum();
+        let mean: f64 = dist.iter().enumerate().map(|(h, p)| (h as f64 + 1.0) * p).sum();
         assert!((mean - a.exact_mean_switch_traversals()).abs() < 1e-12);
     }
 

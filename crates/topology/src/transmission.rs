@@ -69,8 +69,7 @@ impl TransmissionBreakdown {
     /// Total mean transmission time `T = α + hops·α_sw + M·β + T_B`.
     #[inline]
     pub fn total_us(&self) -> f64 {
-        self.link_latency_us + self.switch_delay_us + self.payload_time_us
-            + self.blocking_time_us
+        self.link_latency_us + self.switch_delay_us + self.payload_time_us + self.blocking_time_us
     }
 }
 
@@ -160,8 +159,8 @@ impl TransmissionModel {
     pub fn mean_switch_traversals(&self) -> f64 {
         match self.architecture {
             Architecture::NonBlocking => {
-                let ft = FatTree::new(self.endpoints, self.switch)
-                    .expect("validated at construction");
+                let ft =
+                    FatTree::new(self.endpoints, self.switch).expect("validated at construction");
                 match self.hop_model {
                     HopModel::PaperAverage => ft.worst_case_switch_traversals() as f64,
                     HopModel::ExactMean => {
@@ -195,9 +194,7 @@ impl TransmissionModel {
         let blocking = match self.architecture {
             Architecture::NonBlocking => 0.0,
             // eq. 20: (N/2 − 1)·M·β.
-            Architecture::Blocking => {
-                ((self.endpoints as f64 / 2.0) - 1.0).max(0.0) * payload
-            }
+            Architecture::Blocking => ((self.endpoints as f64 / 2.0) - 1.0).max(0.0) * payload,
         };
         TransmissionBreakdown {
             link_latency_us: self.technology.latency_us,
@@ -274,8 +271,7 @@ mod tests {
     fn blocking_dominates_nonblocking_at_paper_scales() {
         for n in [16usize, 64, 256] {
             for m in [512u64, 1024, 4096] {
-                let nb =
-                    TransmissionModel::new(ge(), sw(), n, Architecture::NonBlocking).unwrap();
+                let nb = TransmissionModel::new(ge(), sw(), n, Architecture::NonBlocking).unwrap();
                 let bl = TransmissionModel::new(ge(), sw(), n, Architecture::Blocking).unwrap();
                 assert!(
                     bl.mean_time_us(m) >= nb.mean_time_us(m),
@@ -313,10 +309,7 @@ mod tests {
     fn hop_model_switch() {
         let paper = TransmissionModel::new(fe(), sw(), 256, Architecture::Blocking).unwrap();
         let exact = paper.with_hop_model(HopModel::ExactMean);
-        assert!(
-            (paper.mean_switch_traversals() - 4.0).abs() < 1e-12,
-            "paper model: (11+1)/3"
-        );
+        assert!((paper.mean_switch_traversals() - 4.0).abs() < 1e-12, "paper model: (11+1)/3");
         // Exact mean differs from the paper's approximation.
         assert!(exact.mean_switch_traversals() != paper.mean_switch_traversals());
         // Both are within the chain length.

@@ -39,11 +39,7 @@ fn fat_tree_eq13_agrees_with_stage_sums_large_grid() {
             let d = ft.stages() as usize;
             let per_middle = n.div_ceil(ports as usize / 2);
             let last = n.div_ceil(ports as usize);
-            assert_eq!(
-                ft.switch_count(),
-                (d - 1) * per_middle + last,
-                "n={n} ports={ports}"
-            );
+            assert_eq!(ft.switch_count(), (d - 1) * per_middle + last, "n={n} ports={ports}");
         }
     }
 }

@@ -15,25 +15,19 @@ use hmcs_core::sweep::max_lambda_within_latency;
 use hmcs_topology::transmission::Architecture;
 
 fn main() {
-    let slo_ms: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(10.0);
+    let slo_ms: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10.0);
     let slo_us = slo_ms * 1e3;
 
     println!("SLO: mean message latency <= {slo_ms} ms; 256 nodes, Case 1, M = 1024 B.\n");
-    println!(
-        "{:>8} | {:>24} | {:>24}",
-        "clusters", "non-blocking max rate", "blocking max rate"
-    );
+    println!("{:>8} | {:>24} | {:>24}", "clusters", "non-blocking max rate", "blocking max rate");
     println!("{:-<8}-+-{:-<24}-+-{:-<24}", "", "", "");
 
     for &c in &PAPER_CLUSTER_COUNTS {
         let mut cells = Vec::new();
         for arch in [Architecture::NonBlocking, Architecture::Blocking] {
             let base = SystemConfig::paper_preset(Scenario::Case1, c, arch).unwrap();
-            let best = max_lambda_within_latency(&base, slo_us, 1e-9, 1e-1, 60)
-                .expect("model evaluates");
+            let best =
+                max_lambda_within_latency(&base, slo_us, 1e-9, 1e-1, 60).expect("model evaluates");
             cells.push(match best {
                 Some(lam) => {
                     // Verify the bound holds at the found rate.

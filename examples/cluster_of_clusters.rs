@@ -8,8 +8,8 @@
 //! ```
 
 use hmcs_core::cluster_of_clusters::{evaluate, ClusterSpec, CocConfig};
-use hmcs_sim::coc::{CocSimConfig, CocSimulator};
 use hmcs_core::config::{QueueAccounting, ServiceTimeModel};
+use hmcs_sim::coc::{CocSimConfig, CocSimulator};
 use hmcs_topology::switch::SwitchFabric;
 use hmcs_topology::technology::NetworkTechnology;
 use hmcs_topology::transmission::Architecture;
@@ -83,9 +83,7 @@ fn main() {
         "Mean message latency across the federation: {:.3} ms",
         report.mean_message_latency_us / 1e3
     );
-    println!(
-        "\nNote how the small Fast-Ethernet cluster suffers the slowest intra-cluster"
-    );
+    println!("\nNote how the small Fast-Ethernet cluster suffers the slowest intra-cluster");
     println!("sojourn while the big Myrinet cluster sees most of its traffic leave home");
     println!("(high P_i): heterogeneity shifts the bottleneck to the shared second stage.");
 
@@ -94,8 +92,7 @@ fn main() {
         &CocSimConfig::new(cfg).with_messages(10_000).with_warmup(2_000).with_seed(7),
     )
     .expect("CoC simulation runs");
-    let err = (report.mean_message_latency_us - sim.mean_latency_us).abs()
-        / sim.mean_latency_us;
+    let err = (report.mean_message_latency_us - sim.mean_latency_us).abs() / sim.mean_latency_us;
     println!(
         "\nSimulated: {:.3} ms over {} messages — the generalised model is off by {:.1}%.",
         sim.mean_latency_ms(),

@@ -39,9 +39,7 @@ fn main() {
         NetworkTechnology::GIGABIT_ETHERNET,
         NetworkTechnology::MYRINET,
     ];
-    println!(
-        "Design space: 256 nodes, uniform traffic at 0.25 msg/ms, non-blocking fabrics."
-    );
+    println!("Design space: 256 nodes, uniform traffic at 0.25 msg/ms, non-blocking fabrics.");
     println!("Latency budget: {BUDGET_MS} ms (analytical model).\n");
     println!(
         "{:>8} {:>18} {:>18} {:>6} {:>12} {:>12}  verdict",
@@ -82,10 +80,8 @@ fn main() {
                     let cost = cost_usd(intra, ports, switch_count, 2 * 256);
                     let ok = latency <= BUDGET_MS;
                     if ok {
-                        let label = format!(
-                            "C={clusters} {} / {} Pr={ports}",
-                            intra.name, inter.name
-                        );
+                        let label =
+                            format!("C={clusters} {} / {} Pr={ports}", intra.name, inter.name);
                         if best.as_ref().is_none_or(|(c, _)| cost < *c) {
                             best = Some((cost, label));
                         }

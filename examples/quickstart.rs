@@ -26,7 +26,10 @@ fn main() {
         config.ecn1.name,
         config.architecture.name()
     );
-    println!("Message size: {} bytes; generation rate: 0.25 msg/ms per processor", config.message_bytes);
+    println!(
+        "Message size: {} bytes; generation rate: 0.25 msg/ms per processor",
+        config.message_bytes
+    );
     println!();
 
     println!("Per-tier mean service times (topology model, eqs. 10-21):");
@@ -56,8 +59,5 @@ fn main() {
     println!("  external latency   = {:8.3} ms", lat.external_latency_us / 1e3);
     println!("  mean message latency = {:6.3} ms", lat.mean_message_latency_ms());
     println!();
-    println!(
-        "Throughput: {:.1} messages/ms system-wide",
-        report.throughput_per_us * 1e3
-    );
+    println!("Throughput: {:.1} messages/ms system-wide", report.throughput_per_us * 1e3);
 }

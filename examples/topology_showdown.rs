@@ -69,9 +69,7 @@ fn main() {
         println!(
             "{:<28} {:>10} {:>10.2} {:>12.1} {:>12.1} {:>12.1}",
             label,
-            cube.bisection_width()
-                .map(|b| b.to_string())
-                .unwrap_or_else(|| "~".to_string()),
+            cube.bisection_width().map(|b| b.to_string()).unwrap_or_else(|| "~".to_string()),
             cube.mean_hop_count(),
             bd.total_us(),
             bd.payload_time_us,

@@ -11,14 +11,10 @@ use hmcs_bench::report::{ms, opt_ms, render_table};
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "fig4".to_string());
-    let spec = ALL_FIGURES
-        .iter()
-        .find(|s| s.id == which)
-        .copied()
-        .unwrap_or_else(|| {
-            eprintln!("unknown figure {which:?}; using fig4");
-            FIG4
-        });
+    let spec = ALL_FIGURES.iter().find(|s| s.id == which).copied().unwrap_or_else(|| {
+        eprintln!("unknown figure {which:?}; using fig4");
+        FIG4
+    });
 
     let opts = RunOptions { messages: 10_000, warmup: 2_000, ..Default::default() };
     let data = run_figure(spec, &opts).expect("figure runs");
@@ -47,17 +43,8 @@ fn main() {
         .collect();
     println!("{}", render_table(&format!("{} — {}", spec.id, spec.caption), &headers, &rows));
 
-    let worst = data
-        .rows
-        .iter()
-        .filter_map(|r| r.worst_relative_error())
-        .fold(0.0f64, f64::max);
-    println!(
-        "Worst analysis-vs-simulation deviation across the figure: {:.1}%",
-        worst * 100.0
-    );
-    println!(
-        "The paper reports that the model predicts latency \"with good degree of accuracy\";"
-    );
+    let worst = data.rows.iter().filter_map(|r| r.worst_relative_error()).fold(0.0f64, f64::max);
+    println!("Worst analysis-vs-simulation deviation across the figure: {:.1}%", worst * 100.0);
+    println!("The paper reports that the model predicts latency \"with good degree of accuracy\";");
     println!("this reproduction quantifies that claim for {}.", spec.id);
 }

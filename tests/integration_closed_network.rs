@@ -21,13 +21,10 @@ fn single_cluster_system_is_a_machine_repairman() {
     let service = ServiceTimes::compute(&cfg).unwrap();
 
     // Exact closed solution.
-    let exact = MachineRepairman::new(
-        cfg.total_nodes() as u32,
-        cfg.lambda_per_us,
-        1.0 / service.icn1_us,
-    )
-    .unwrap()
-    .solve();
+    let exact =
+        MachineRepairman::new(cfg.total_nodes() as u32, cfg.lambda_per_us, 1.0 / service.icn1_us)
+            .unwrap()
+            .solve();
 
     // The paper's open approximation.
     let analysis = AnalyticalModel::evaluate(&cfg).unwrap();
@@ -81,12 +78,8 @@ fn mva_cross_checks_the_effective_rate() {
     let c = cfg.clusters as f64;
     let mut stations = vec![MvaStation::Delay { demand: 1.0 / cfg.lambda_per_us }];
     for _ in 0..cfg.clusters {
-        stations.push(MvaStation::Queueing {
-            demand: (1.0 - p) * service.icn1_us / c,
-        });
-        stations.push(MvaStation::Queueing {
-            demand: p * 2.0 * service.ecn1_us / c,
-        });
+        stations.push(MvaStation::Queueing { demand: (1.0 - p) * service.icn1_us / c });
+        stations.push(MvaStation::Queueing { demand: p * 2.0 * service.ecn1_us / c });
     }
     stations.push(MvaStation::Queueing { demand: p * service.icn2_us });
     let sol = mva(&stations, cfg.total_nodes() as u32).unwrap();
@@ -108,8 +101,7 @@ fn mva_cross_checks_the_effective_rate() {
 /// single-bottleneck regime (large C: ICN2 dominates).
 #[test]
 fn fixed_point_matches_mva_at_the_bottleneck() {
-    let cfg =
-        SystemConfig::paper_preset(Scenario::Case1, 256, Architecture::NonBlocking).unwrap();
+    let cfg = SystemConfig::paper_preset(Scenario::Case1, 256, Architecture::NonBlocking).unwrap();
     let service = ServiceTimes::compute(&cfg).unwrap();
     let analysis = AnalyticalModel::evaluate(&cfg).unwrap();
 
@@ -117,9 +109,7 @@ fn fixed_point_matches_mva_at_the_bottleneck() {
     // bottleneck; ECN1 queues are per-cluster and lightly loaded).
     let p = 1.0f64;
     let stations = [
-        MvaStation::Delay {
-            demand: 1.0 / cfg.lambda_per_us + p * 2.0 * service.ecn1_us,
-        },
+        MvaStation::Delay { demand: 1.0 / cfg.lambda_per_us + p * 2.0 * service.ecn1_us },
         MvaStation::Queueing { demand: p * service.icn2_us },
     ];
     let sol = mva(&stations, 256).unwrap();

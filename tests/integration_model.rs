@@ -35,14 +35,15 @@ fn eq15_equals_explicit_jackson_path_latency() {
         .unwrap();
         let sol = net.solve().unwrap();
         let p = eq.rates.external_probability;
-        let explicit = sol.mixed_path_latency(&[
-            (1.0 - p, &[0usize][..]),
-            (p, &[1usize, 2, 1][..]),
-        ]);
+        let explicit =
+            sol.mixed_path_latency(&[(1.0 - p, &[0usize][..]), (p, &[1usize, 2, 1][..])]);
         let rel = (explicit - report.latency.mean_message_latency_us).abs()
             / report.latency.mean_message_latency_us;
-        assert!(rel < 1e-9, "C={clusters}: eq.15 {} vs Jackson {explicit}",
-            report.latency.mean_message_latency_us);
+        assert!(
+            rel < 1e-9,
+            "C={clusters}: eq.15 {} vs Jackson {explicit}",
+            report.latency.mean_message_latency_us
+        );
     }
 }
 
@@ -50,8 +51,7 @@ fn eq15_equals_explicit_jackson_path_latency() {
 /// converged rates under exponential service.
 #[test]
 fn eq16_sojourns_match_mm1_closed_forms() {
-    let cfg =
-        SystemConfig::paper_preset(Scenario::Case2, 16, Architecture::Blocking).unwrap();
+    let cfg = SystemConfig::paper_preset(Scenario::Case2, 16, Architecture::Blocking).unwrap();
     let report = AnalyticalModel::evaluate(&cfg).unwrap();
     let st = report.service_times;
     let eq = report.equilibrium;
@@ -98,10 +98,7 @@ fn c16_kink_is_visible_in_the_latency_curve() {
     // larger than the jump from 8 to 16.
     let jump_8_16 = lat(16) - lat(8);
     let jump_16_32 = lat(32) - lat(16);
-    assert!(
-        jump_16_32 > jump_8_16,
-        "kink missing: 8->16 {jump_8_16}, 16->32 {jump_16_32}"
-    );
+    assert!(jump_16_32 > jump_8_16, "kink missing: 8->16 {jump_8_16}, 16->32 {jump_16_32}");
 }
 
 /// Service times must be consistent between the model facade and a
@@ -119,10 +116,8 @@ fn facade_and_direct_service_times_agree() {
 /// building blocks must match where the topology sizes coincide.
 #[test]
 fn case_symmetry_of_technology_assignment() {
-    let c1 =
-        SystemConfig::paper_preset(Scenario::Case1, 16, Architecture::NonBlocking).unwrap();
-    let c2 =
-        SystemConfig::paper_preset(Scenario::Case2, 16, Architecture::NonBlocking).unwrap();
+    let c1 = SystemConfig::paper_preset(Scenario::Case1, 16, Architecture::NonBlocking).unwrap();
+    let c2 = SystemConfig::paper_preset(Scenario::Case2, 16, Architecture::NonBlocking).unwrap();
     let st1 = ServiceTimes::compute(&c1).unwrap();
     let st2 = ServiceTimes::compute(&c2).unwrap();
     // With C = N0 = 16 every tier is one switch, so the GE tier of one

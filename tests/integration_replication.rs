@@ -11,8 +11,7 @@ use hmcs_sim::replication::{run_replications, Simulator};
 use hmcs_topology::transmission::Architecture;
 
 fn base(messages: u64) -> SimConfig {
-    let sys =
-        SystemConfig::paper_preset(Scenario::Case1, 8, Architecture::NonBlocking).unwrap();
+    let sys = SystemConfig::paper_preset(Scenario::Case1, 8, Architecture::NonBlocking).unwrap();
     SimConfig::new(sys).with_messages(messages).with_warmup(messages / 4).with_seed(500)
 }
 

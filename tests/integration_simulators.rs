@@ -29,10 +29,8 @@ fn all_three_referees_agree_blocking_is_slower() {
             AnalyticalModel::evaluate(&bl_sys).unwrap().latency.mean_message_latency_us;
         let nb_flow = FlowSimulator::run(&sim_cfg(nb_sys, 3_000, 1)).unwrap().mean_latency_us;
         let bl_flow = FlowSimulator::run(&sim_cfg(bl_sys, 3_000, 1)).unwrap().mean_latency_us;
-        let nb_packet =
-            PacketSimulator::run(&sim_cfg(nb_sys, 2_000, 1)).unwrap().mean_latency_us;
-        let bl_packet =
-            PacketSimulator::run(&sim_cfg(bl_sys, 2_000, 1)).unwrap().mean_latency_us;
+        let nb_packet = PacketSimulator::run(&sim_cfg(nb_sys, 2_000, 1)).unwrap().mean_latency_us;
+        let bl_packet = PacketSimulator::run(&sim_cfg(bl_sys, 2_000, 1)).unwrap().mean_latency_us;
         assert!(bl_analysis > nb_analysis, "{scenario:?} analysis");
         assert!(bl_flow > nb_flow, "{scenario:?} flow sim");
         assert!(bl_packet > nb_packet, "{scenario:?} packet sim");
@@ -50,8 +48,7 @@ fn all_three_referees_agree_blocking_is_slower() {
 fn single_switch_regime_has_no_physical_blocking_penalty() {
     let nb_sys =
         SystemConfig::paper_preset(Scenario::Case1, 16, Architecture::NonBlocking).unwrap();
-    let bl_sys =
-        SystemConfig::paper_preset(Scenario::Case1, 16, Architecture::Blocking).unwrap();
+    let bl_sys = SystemConfig::paper_preset(Scenario::Case1, 16, Architecture::Blocking).unwrap();
     let nb = PacketSimulator::run(&sim_cfg(nb_sys, 2_000, 1)).unwrap().mean_latency_us;
     let bl = PacketSimulator::run(&sim_cfg(bl_sys, 2_000, 1)).unwrap().mean_latency_us;
     let rel = (nb - bl).abs() / nb;

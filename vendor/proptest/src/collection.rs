@@ -1,0 +1,43 @@
+//! Collection strategies (subset: `vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Strategy producing `Vec`s with lengths drawn from `len` and elements
+/// from `element`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty length range for collection::vec");
+    VecStrategy { element, len }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let span = self.len.end - self.len.start;
+        let n = self.len.start + rng.uniform_usize(span);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_and_elements_in_range() {
+        let mut rng = TestRng::for_test("vec_lengths");
+        let s = vec(0.0f64..1.0, 2..6);
+        for _ in 0..500 {
+            let v = s.generate(&mut rng);
+            assert!((2..6).contains(&v.len()), "len {}", v.len());
+            assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+    }
+}
