@@ -11,6 +11,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hmcs_core::batch::{self, BatchOptions};
 use hmcs_core::config::SystemConfig;
+use hmcs_core::metrics;
 use hmcs_core::scenario::{Scenario, PAPER_CLUSTER_COUNTS, PAPER_MESSAGE_SIZES};
 use hmcs_topology::transmission::Architecture;
 
@@ -54,5 +55,27 @@ fn bench_figure_grid(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_figure_grid);
+/// The observability layer's hot-path cost, measured where it matters:
+/// the same 72-point grid, sequentially, with metric recording on vs
+/// off. The budget is ≤2% — relaxed atomic adds per *evaluation* (not
+/// per solver iteration) should be invisible next to a ~µs solve.
+fn bench_instrumentation_overhead(c: &mut Criterion) {
+    let configs = figure_grid();
+    let mut group = c.benchmark_group("instrumentation");
+    group.throughput(Throughput::Elements(configs.len() as u64));
+    for (label, enabled) in [("metrics_on", true), ("metrics_off", false)] {
+        group.bench_function(label, |b| {
+            metrics::set_enabled(enabled);
+            b.iter(|| {
+                let results = batch::evaluate_many(&configs, BatchOptions::sequential());
+                assert!(results.iter().all(Result::is_ok));
+                results
+            });
+            metrics::set_enabled(true);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure_grid, bench_instrumentation_overhead);
 criterion_main!(benches);

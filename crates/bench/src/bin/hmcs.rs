@@ -29,6 +29,7 @@ struct Args {
     messages: u64,
     seed: u64,
     qna: bool,
+    metrics: bool,
 }
 
 impl Default for Args {
@@ -44,6 +45,9 @@ impl Default for Args {
             messages: 10_000,
             seed: 2005,
             qna: false,
+            metrics: std::env::var("HMCS_METRICS")
+                .map(|v| matches!(v.trim(), "1" | "true" | "yes" | "on"))
+                .unwrap_or(false),
         }
     }
 }
@@ -59,7 +63,8 @@ Options:\n\
   --simulate        also run the flow-level simulator\n\
   --messages N      simulated messages [10000]\n\
   --seed N          simulation seed [2005]\n\
-  --qna             also print the QNA-refined latency";
+  --qna             also print the QNA-refined latency\n\
+  --metrics         print solver/pool/DES metrics at the end (HMCS_METRICS=1)";
 
 fn parse() -> Result<Args, String> {
     let mut a = Args::default();
@@ -91,6 +96,7 @@ fn parse() -> Result<Args, String> {
             }
             "--simulate" => a.simulate = true,
             "--qna" => a.qna = true,
+            "--metrics" => a.metrics = true,
             "--messages" => a.messages = val("--messages")?.parse().map_err(|e| format!("{e}"))?,
             "--seed" => a.seed = val("--seed")?.parse().map_err(|e| format!("{e}"))?,
             "--help" | "-h" => {
@@ -174,6 +180,9 @@ fn run(a: &Args) -> Result<(), String> {
                 q.p99_us / 1e3
             );
         }
+    }
+    if a.metrics {
+        println!("{}", hmcs_core::metrics::global().snapshot().render());
     }
     Ok(())
 }

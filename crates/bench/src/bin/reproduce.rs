@@ -14,13 +14,19 @@
 //!   --lambda-literal  use Table 2's literal 0.25 msg/s
 //!                     (default: 0.25 msg/ms, the figure-scale reading)
 //!   --no-sim          analysis only (skip simulation columns)
-//!   --csv DIR         also write CSV files into DIR
+//!   --csv DIR         also write CSV files into DIR, each with a
+//!                     sibling manifest_<artefact>.json recording run
+//!                     provenance (seed, λ-unit mode, solver histograms)
+//!   --metrics         print the process-global metrics snapshot at the
+//!                     end (also: HMCS_METRICS=1)
 //! ```
 
 use hmcs_bench::experiments::{
     self, FigureData, FigureSpec, RunOptions, ALL_FIGURES, FIG4, FIG5, FIG6, FIG7,
 };
+use hmcs_bench::manifest;
 use hmcs_bench::report::{eval_stats_line, ms, opt_ms, ratio, render_table, write_csv};
+use hmcs_core::batch::BatchOptions;
 use hmcs_core::scenario::PAPER_LAMBDA_LITERAL_PER_US;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -29,12 +35,20 @@ struct Cli {
     artefacts: Vec<String>,
     opts: RunOptions,
     csv_dir: Option<PathBuf>,
+    print_metrics: bool,
+}
+
+fn metrics_env_requested() -> bool {
+    std::env::var("HMCS_METRICS")
+        .map(|v| matches!(v.trim(), "1" | "true" | "yes" | "on"))
+        .unwrap_or(false)
 }
 
 fn parse_args() -> Result<Cli, String> {
     let mut artefacts = Vec::new();
     let mut opts = RunOptions::default();
     let mut csv_dir = None;
+    let mut print_metrics = metrics_env_requested();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -64,6 +78,7 @@ fn parse_args() -> Result<Cli, String> {
             "--csv" => {
                 csv_dir = Some(PathBuf::from(args.next().ok_or("--csv needs a directory")?));
             }
+            "--metrics" => print_metrics = true,
             "--help" | "-h" => {
                 println!("{}", HELP);
                 std::process::exit(0);
@@ -77,13 +92,26 @@ fn parse_args() -> Result<Cli, String> {
     if artefacts.is_empty() {
         return Err("no artefact given; try --help".to_string());
     }
-    Ok(Cli { artefacts, opts, csv_dir })
+    Ok(Cli { artefacts, opts, csv_dir, print_metrics })
 }
 
 const HELP: &str = "reproduce — regenerate the ICPPW'05 paper's tables and figures\n\
   artefacts: table1 table2 fig4 fig5 fig6 fig7 figs claims\n\
              ablation-accounting ablation-hops ablation-service packet coc bounds all\n\
-  options:   --messages N --warmup N --seed N --lambda-literal --no-sim --csv DIR";
+  options:   --messages N --warmup N --seed N --lambda-literal --no-sim --csv DIR\n\
+             --metrics (or HMCS_METRICS=1)";
+
+/// Writes `manifest_<artefact>.json` beside the CSVs (no-op without
+/// `--csv`): run provenance, options, λ-unit mode and the metrics
+/// snapshot, plus solver histograms for figure artefacts.
+fn emit_manifest(cli: &Cli, artefact: &str, figure: Option<&FigureData>) -> Result<(), String> {
+    if let Some(dir) = &cli.csv_dir {
+        let workers = BatchOptions::default().resolved_workers();
+        manifest::write_manifest(dir, artefact, &cli.opts, workers, figure)
+            .map_err(|e| format!("manifest_{artefact}.json: {e}"))?;
+    }
+    Ok(())
+}
 
 fn figure_rows(data: &FigureData) -> Vec<Vec<String>> {
     data.rows
@@ -120,6 +148,7 @@ fn emit_figure(spec: FigureSpec, cli: &Cli) -> Result<(), String> {
         write_csv(&dir.join(format!("{}.csv", spec.id)), &headers, &rows)
             .map_err(|e| e.to_string())?;
     }
+    emit_manifest(cli, spec.id, Some(&data))?;
     Ok(())
 }
 
@@ -137,6 +166,7 @@ fn emit_tables(cli: &Cli) -> Result<(), String> {
     if let Some(dir) = &cli.csv_dir {
         write_csv(&dir.join("table1.csv"), &headers, &rows).map_err(|e| e.to_string())?;
     }
+    emit_manifest(cli, "table1", None)?;
     Ok(())
 }
 
@@ -151,6 +181,7 @@ fn emit_table2(cli: &Cli) -> Result<(), String> {
     if let Some(dir) = &cli.csv_dir {
         write_csv(&dir.join("table2.csv"), &headers, &rows).map_err(|e| e.to_string())?;
     }
+    emit_manifest(cli, "table2", None)?;
     Ok(())
 }
 
@@ -185,6 +216,7 @@ fn emit_claims(cli: &Cli) -> Result<(), String> {
     if let Some(dir) = &cli.csv_dir {
         write_csv(&dir.join("claims.csv"), &headers, &rows).map_err(|e| e.to_string())?;
     }
+    emit_manifest(cli, "claims", None)?;
     Ok(())
 }
 
@@ -217,6 +249,7 @@ fn emit_accounting(cli: &Cli) -> Result<(), String> {
         write_csv(&dir.join("ablation_accounting.csv"), &headers, &rows)
             .map_err(|e| e.to_string())?;
     }
+    emit_manifest(cli, "ablation-accounting", None)?;
     Ok(())
 }
 
@@ -252,6 +285,7 @@ fn emit_hops(cli: &Cli) -> Result<(), String> {
     if let Some(dir) = &cli.csv_dir {
         write_csv(&dir.join("ablation_hops.csv"), &headers, &rows).map_err(|e| e.to_string())?;
     }
+    emit_manifest(cli, "ablation-hops", None)?;
     Ok(())
 }
 
@@ -275,6 +309,7 @@ fn emit_service(cli: &Cli) -> Result<(), String> {
     if let Some(dir) = &cli.csv_dir {
         write_csv(&dir.join("ablation_service.csv"), &headers, &rows).map_err(|e| e.to_string())?;
     }
+    emit_manifest(cli, "ablation-service", None)?;
     Ok(())
 }
 
@@ -293,6 +328,7 @@ fn emit_packet(cli: &Cli) -> Result<(), String> {
         write_csv(&dir.join("packet_validation.csv"), &headers, &rows)
             .map_err(|e| e.to_string())?;
     }
+    emit_manifest(cli, "packet", None)?;
     Ok(())
 }
 
@@ -324,6 +360,7 @@ fn emit_coc(cli: &Cli) -> Result<(), String> {
     if let Some(dir) = &cli.csv_dir {
         write_csv(&dir.join("coc_validation.csv"), &headers, &rows).map_err(|e| e.to_string())?;
     }
+    emit_manifest(cli, "coc", None)?;
     Ok(())
 }
 
@@ -356,6 +393,7 @@ fn emit_bounds(cli: &Cli) -> Result<(), String> {
     if let Some(dir) = &cli.csv_dir {
         write_csv(&dir.join("bounds.csv"), &headers, &rows).map_err(|e| e.to_string())?;
     }
+    emit_manifest(cli, "bounds", None)?;
     Ok(())
 }
 
@@ -396,6 +434,9 @@ fn run(cli: &Cli) -> Result<(), String> {
             }
             other => return Err(format!("unknown artefact {other}; try --help")),
         }
+    }
+    if cli.print_metrics {
+        println!("{}", hmcs_core::metrics::global().snapshot().render());
     }
     Ok(())
 }

@@ -14,7 +14,7 @@
 //! Tables 1–2, the §6 blocking/non-blocking ratio claim and the
 //! reproduction's ablations.
 
-use hmcs_core::batch::{self, BatchOptions, EvalStatsSummary};
+use hmcs_core::batch::{self, BatchOptions, EvalStats, EvalStatsSummary};
 use hmcs_core::config::{QueueAccounting, ServiceTimeModel, SystemConfig};
 use hmcs_core::error::ModelError;
 use hmcs_core::model::AnalyticalModel;
@@ -141,6 +141,13 @@ pub struct FigureData {
     pub rows: Vec<FigureRow>,
     /// Aggregate cost of the analytical evaluations behind the figure.
     pub analysis_stats: EvalStatsSummary,
+    /// Per-point evaluation cost, M=512 sweep then M=1024 sweep (the
+    /// run manifest builds its solver-iteration and wall-clock
+    /// histograms from these).
+    pub point_stats: Vec<EvalStats>,
+    /// Wall-clock time of the whole figure run (µs), analysis and
+    /// simulation columns included.
+    pub wall_clock_us: f64,
 }
 
 fn system_for(
@@ -167,6 +174,7 @@ pub fn run_figure_with(
     opts: &RunOptions,
     batch_options: BatchOptions,
 ) -> Result<FigureData, ModelError> {
+    let started = std::time::Instant::now();
     let sweep_for = |bytes: u64| -> Result<Vec<sweep::SweepPoint<usize>>, ModelError> {
         let base = SystemConfig::paper_preset(spec.scenario, 1, spec.architecture)?
             .with_message_bytes(bytes)
@@ -180,8 +188,9 @@ pub fn run_figure_with(
     };
     let analysis_512 = sweep_for(PAPER_MESSAGE_SIZES[0])?;
     let analysis_1024 = sweep_for(PAPER_MESSAGE_SIZES[1])?;
-    let analysis_stats =
-        EvalStatsSummary::collect(analysis_512.iter().chain(&analysis_1024).map(|p| p.stats));
+    let point_stats: Vec<EvalStats> =
+        analysis_512.iter().chain(&analysis_1024).map(|p| p.stats).collect();
+    let analysis_stats = EvalStatsSummary::collect(point_stats.iter().copied());
 
     // Simulation column: one run per (cluster count, message size),
     // flattened in row-major order and fanned out on the pool.
@@ -219,7 +228,13 @@ pub fn run_figure_with(
             sim_1024_ms: sims[2 * i + 1],
         })
         .collect();
-    Ok(FigureData { spec, rows, analysis_stats })
+    Ok(FigureData {
+        spec,
+        rows,
+        analysis_stats,
+        point_stats,
+        wall_clock_us: started.elapsed().as_secs_f64() * 1e6,
+    })
 }
 
 /// One row of the §6 ratio claim ("the average message latency of

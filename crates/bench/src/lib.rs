@@ -8,6 +8,9 @@
 //!   Figures 4–7, the §6 blocking/non-blocking ratio claim, and the
 //!   `ablation-*` studies described in DESIGN.md.
 //! * [`report`] — plain-text table rendering and CSV export.
+//! * [`manifest`] — machine-readable run manifests written next to the
+//!   CSVs (provenance, λ-unit mode, solver histograms, metrics
+//!   snapshot), plus the JSON schema validator.
 //!
 //! The `reproduce` binary drives everything:
 //!
@@ -23,4 +26,5 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod manifest;
 pub mod report;

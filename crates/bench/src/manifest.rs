@@ -1,0 +1,552 @@
+//! Machine-readable run manifests.
+//!
+//! Every `reproduce … --csv DIR` invocation drops a
+//! `manifest_<artefact>.json` next to the CSVs it writes, so a results
+//! directory is self-describing: which code produced it (`git
+//! describe`), with which options (seed, λ and its unit mode, message
+//! budget), on how many workers, how long it took, how the solver
+//! behaved (iteration and wall-clock histograms), and the full
+//! process-global metrics snapshot. Cross-validation data without this
+//! provenance is not trustworthy — the CSVs alone cannot tell a
+//! figure-scale run from a literal-λ run.
+//!
+//! The workspace has no JSON dependency (offline, vendored-only
+//! builds), so this module hand-rolls both the writer and the minimal
+//! recursive-descent parser [`validate`] uses to schema-check a
+//! manifest. The parser accepts general JSON; the validator then
+//! checks the manifest schema proper.
+
+use crate::experiments::{FigureData, RunOptions};
+use hmcs_core::metrics::{self, HistogramSnapshot};
+use hmcs_core::scenario::{PAPER_LAMBDA_LITERAL_PER_US, PAPER_LAMBDA_PER_US};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Schema identifier stamped into (and required from) every manifest.
+pub const MANIFEST_SCHEMA: &str = "hmcs-run-manifest/1";
+
+/// Builds the manifest JSON document for one artefact run.
+///
+/// `figure` is present for fig4–fig7 runs and adds the per-figure
+/// block: row count, wall clock, and solver-iteration / per-point
+/// wall-clock histograms built from [`FigureData::point_stats`].
+pub fn manifest_json(
+    artefact: &str,
+    opts: &RunOptions,
+    workers: usize,
+    figure: Option<&FigureData>,
+) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": {},", json_str(MANIFEST_SCHEMA));
+    let _ = writeln!(out, "  \"artefact\": {},", json_str(artefact));
+    let _ = writeln!(
+        out,
+        "  \"git_describe\": {},",
+        git_describe().map_or("null".to_string(), |d| json_str(&d))
+    );
+    let _ = writeln!(out, "  \"created_unix_s\": {},", unix_time_s());
+    let _ = writeln!(out, "  \"workers\": {workers},");
+    out.push_str("  \"options\": {\n");
+    let _ = writeln!(out, "    \"messages\": {},", opts.messages);
+    let _ = writeln!(out, "    \"warmup\": {},", opts.warmup);
+    let _ = writeln!(out, "    \"seed\": {},", opts.seed);
+    let _ = writeln!(out, "    \"lambda_per_us\": {},", json_num(opts.lambda_per_us));
+    let _ = writeln!(out, "    \"lambda_unit_mode\": {},", json_str(lambda_unit_mode(opts)));
+    let _ = writeln!(out, "    \"with_simulation\": {}", opts.with_simulation);
+    out.push_str("  },\n");
+    match figure {
+        None => out.push_str("  \"figure\": null,\n"),
+        Some(data) => {
+            out.push_str("  \"figure\": {\n");
+            let _ = writeln!(out, "    \"id\": {},", json_str(data.spec.id));
+            let _ = writeln!(out, "    \"caption\": {},", json_str(data.spec.caption));
+            let _ = writeln!(out, "    \"rows\": {},", data.rows.len());
+            let clusters: Vec<String> = data.rows.iter().map(|r| r.clusters.to_string()).collect();
+            let _ = writeln!(out, "    \"clusters\": [{}],", clusters.join(","));
+            let _ = writeln!(out, "    \"wall_clock_us\": {},", json_num(data.wall_clock_us));
+            let iters = HistogramSnapshot::from_values(
+                data.point_stats.iter().map(|s| s.solver_iterations as u64),
+            );
+            let times = HistogramSnapshot::from_values(
+                data.point_stats.iter().map(|s| s.eval_time_us.round().max(0.0) as u64),
+            );
+            let _ = writeln!(out, "    \"solver_iterations\": {},", histogram_json(&iters));
+            let _ = writeln!(out, "    \"eval_time_us\": {}", histogram_json(&times));
+            out.push_str("  },\n");
+        }
+    }
+    let snapshot = metrics::global().snapshot();
+    out.push_str("  \"metrics\": {\n    \"counters\": {");
+    let counters: Vec<String> =
+        snapshot.counters.iter().map(|(k, v)| format!("{}:{v}", json_str(k))).collect();
+    out.push_str(&counters.join(","));
+    out.push_str("},\n    \"histograms\": {");
+    let histograms: Vec<String> = snapshot
+        .histograms
+        .iter()
+        .map(|(k, h)| format!("{}:{}", json_str(k), histogram_json(h)))
+        .collect();
+    out.push_str(&histograms.join(","));
+    out.push_str("},\n    \"warnings\": {");
+    let warnings: Vec<String> =
+        snapshot.warnings.iter().map(|(k, v)| format!("{}:{}", json_str(k), json_str(v))).collect();
+    out.push_str(&warnings.join(","));
+    out.push_str("}\n  }\n}\n");
+    out
+}
+
+/// Writes `manifest_<artefact>.json` into `dir`, returning its path.
+pub fn write_manifest(
+    dir: &Path,
+    artefact: &str,
+    opts: &RunOptions,
+    workers: usize,
+    figure: Option<&FigureData>,
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("manifest_{artefact}.json"));
+    std::fs::write(&path, manifest_json(artefact, opts, workers, figure))?;
+    Ok(path)
+}
+
+/// The λ-unit mode of a run, derived from the configured rate: the
+/// figure-scale reading (0.25 msg/ms), Table 2's literal value
+/// (0.25 msg/s), or a custom override.
+pub fn lambda_unit_mode(opts: &RunOptions) -> &'static str {
+    let close = |a: f64, b: f64| (a - b).abs() <= 1e-12 * b.abs();
+    if close(opts.lambda_per_us, PAPER_LAMBDA_PER_US) {
+        "figure-scale"
+    } else if close(opts.lambda_per_us, PAPER_LAMBDA_LITERAL_PER_US) {
+        "literal"
+    } else {
+        "custom"
+    }
+}
+
+fn histogram_json(h: &HistogramSnapshot) -> String {
+    let buckets: Vec<String> =
+        h.buckets.iter().map(|b| format!("[{},{},{}]", b.lo, b.hi, b.count)).collect();
+    format!(
+        "{{\"count\":{},\"sum\":{},\"max\":{},\"mean\":{},\"buckets\":[{}]}}",
+        h.count,
+        h.sum,
+        h.max,
+        json_num(h.mean()),
+        buckets.join(",")
+    )
+}
+
+fn git_describe() -> Option<String> {
+    let out = std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let s = String::from_utf8(out.stdout).ok()?;
+    let s = s.trim();
+    (!s.is_empty()).then(|| s.to_string())
+}
+
+fn unix_time_s() -> u64 {
+    std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).map_or(0, |d| d.as_secs())
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Rust's `{}` float formatting never emits exponents, NaN excepted —
+/// map non-finite values to null so the document stays valid JSON.
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Validation: a minimal JSON parser + manifest schema checks.
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value (just enough for schema validation).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in document order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document.
+pub fn parse_json(input: &str) -> Result<JsonValue, String> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(JsonValue::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32)
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
+                            out.push(hex);
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Advance over one UTF-8 scalar (input is a &str,
+                    // so boundaries are well-formed).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid utf-8".to_string())?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(pairs));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+fn check_histogram(h: &JsonValue, what: &str) -> Result<(), String> {
+    for field in ["count", "sum", "max", "mean"] {
+        h.get(field)
+            .and_then(JsonValue::as_num)
+            .ok_or_else(|| format!("{what}: missing numeric \"{field}\""))?;
+    }
+    match h.get("buckets") {
+        Some(JsonValue::Arr(buckets)) => {
+            for b in buckets {
+                match b {
+                    JsonValue::Arr(triple) if triple.len() == 3 => {}
+                    _ => return Err(format!("{what}: bucket is not a [lo,hi,count] triple")),
+                }
+            }
+            Ok(())
+        }
+        _ => Err(format!("{what}: missing \"buckets\" array")),
+    }
+}
+
+/// Schema-checks a manifest document. Returns the parsed value so
+/// callers can make further content assertions.
+pub fn validate(json: &str) -> Result<JsonValue, String> {
+    let doc = parse_json(json)?;
+    let schema = doc.get("schema").and_then(JsonValue::as_str).ok_or("missing \"schema\"")?;
+    if schema != MANIFEST_SCHEMA {
+        return Err(format!("schema {schema:?}, expected {MANIFEST_SCHEMA:?}"));
+    }
+    doc.get("artefact").and_then(JsonValue::as_str).ok_or("missing \"artefact\"")?;
+    match doc.get("git_describe") {
+        Some(JsonValue::Str(_)) | Some(JsonValue::Null) => {}
+        _ => return Err("\"git_describe\" must be a string or null".to_string()),
+    }
+    doc.get("created_unix_s").and_then(JsonValue::as_num).ok_or("missing \"created_unix_s\"")?;
+    doc.get("workers").and_then(JsonValue::as_num).ok_or("missing \"workers\"")?;
+
+    let options = doc.get("options").ok_or("missing \"options\"")?;
+    for field in ["messages", "warmup", "seed", "lambda_per_us"] {
+        options
+            .get(field)
+            .and_then(JsonValue::as_num)
+            .ok_or_else(|| format!("options: missing numeric \"{field}\""))?;
+    }
+    let mode = options
+        .get("lambda_unit_mode")
+        .and_then(JsonValue::as_str)
+        .ok_or("options: missing \"lambda_unit_mode\"")?;
+    if !matches!(mode, "figure-scale" | "literal" | "custom") {
+        return Err(format!("options: bad lambda_unit_mode {mode:?}"));
+    }
+    match options.get("with_simulation") {
+        Some(JsonValue::Bool(_)) => {}
+        _ => return Err("options: missing boolean \"with_simulation\"".to_string()),
+    }
+
+    match doc.get("figure") {
+        Some(JsonValue::Null) => {}
+        Some(figure @ JsonValue::Obj(_)) => {
+            figure.get("id").and_then(JsonValue::as_str).ok_or("figure: missing \"id\"")?;
+            figure.get("rows").and_then(JsonValue::as_num).ok_or("figure: missing \"rows\"")?;
+            figure
+                .get("wall_clock_us")
+                .and_then(JsonValue::as_num)
+                .ok_or("figure: missing \"wall_clock_us\"")?;
+            match figure.get("clusters") {
+                Some(JsonValue::Arr(_)) => {}
+                _ => return Err("figure: missing \"clusters\" array".to_string()),
+            }
+            check_histogram(
+                figure.get("solver_iterations").ok_or("figure: missing \"solver_iterations\"")?,
+                "figure.solver_iterations",
+            )?;
+            check_histogram(
+                figure.get("eval_time_us").ok_or("figure: missing \"eval_time_us\"")?,
+                "figure.eval_time_us",
+            )?;
+        }
+        _ => return Err("\"figure\" must be an object or null".to_string()),
+    }
+
+    let m = doc.get("metrics").ok_or("missing \"metrics\"")?;
+    for field in ["counters", "histograms", "warnings"] {
+        match m.get(field) {
+            Some(JsonValue::Obj(_)) => {}
+            _ => return Err(format!("metrics: missing \"{field}\" object")),
+        }
+    }
+    if let Some(JsonValue::Obj(pairs)) = m.get("histograms") {
+        for (name, h) in pairs {
+            check_histogram(h, &format!("metrics.histograms.{name}"))?;
+        }
+    }
+    Ok(doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_round_trips_escapes_and_nesting() {
+        let doc =
+            parse_json(r#"{"a":[1,2.5,-3e2],"b":{"c":"x\"y\\z\n"},"d":null,"e":true}"#).unwrap();
+        assert_eq!(doc.get("b").unwrap().get("c").unwrap().as_str(), Some("x\"y\\z\n"));
+        assert_eq!(
+            doc.get("a"),
+            Some(&JsonValue::Arr(vec![
+                JsonValue::Num(1.0),
+                JsonValue::Num(2.5),
+                JsonValue::Num(-300.0)
+            ]))
+        );
+        assert_eq!(doc.get("d"), Some(&JsonValue::Null));
+        assert_eq!(doc.get("e"), Some(&JsonValue::Bool(true)));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("{\"a\":1} garbage").is_err());
+        assert!(parse_json("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn lambda_unit_mode_detection() {
+        let figure = RunOptions::default();
+        assert_eq!(lambda_unit_mode(&figure), "figure-scale");
+        let literal =
+            RunOptions { lambda_per_us: PAPER_LAMBDA_LITERAL_PER_US, ..RunOptions::default() };
+        assert_eq!(lambda_unit_mode(&literal), "literal");
+        let custom = RunOptions { lambda_per_us: 1e-3, ..RunOptions::default() };
+        assert_eq!(lambda_unit_mode(&custom), "custom");
+    }
+
+    #[test]
+    fn non_figure_manifest_validates() {
+        let json = manifest_json("table1", &RunOptions::default(), 4, None);
+        let doc = validate(&json).expect("manifest must validate");
+        assert_eq!(doc.get("artefact").unwrap().as_str(), Some("table1"));
+        assert_eq!(doc.get("figure"), Some(&JsonValue::Null));
+    }
+
+    #[test]
+    fn validate_rejects_wrong_schema() {
+        let json = manifest_json("table1", &RunOptions::default(), 1, None)
+            .replace(MANIFEST_SCHEMA, "other-schema/9");
+        assert!(validate(&json).is_err());
+    }
+}

@@ -1,0 +1,64 @@
+//! Schema-checks the run manifest the `reproduce` binary writes next
+//! to its CSVs (acceptance: `reproduce fig4 --csv results/` must emit
+//! a valid `manifest_fig4.json` with solver-iteration and wall-clock
+//! histograms).
+
+use hmcs_bench::experiments::{self, RunOptions, FIG4};
+use hmcs_bench::manifest::{self, JsonValue};
+
+fn fast_opts() -> RunOptions {
+    // Analysis-only keeps the test fast; the manifest content under
+    // test (options, figure histograms, metrics snapshot) is identical.
+    RunOptions { with_simulation: false, ..RunOptions::default() }
+}
+
+#[test]
+fn fig4_manifest_validates_and_carries_solver_histograms() {
+    let opts = fast_opts();
+    let data = experiments::run_figure(FIG4, &opts).unwrap();
+    let json = manifest::manifest_json("fig4", &opts, 4, Some(&data));
+    let doc = manifest::validate(&json).expect("fig4 manifest must pass schema validation");
+
+    assert_eq!(doc.get("artefact").unwrap().as_str(), Some("fig4"));
+    assert_eq!(doc.get("workers").unwrap().as_num(), Some(4.0));
+
+    let options = doc.get("options").unwrap();
+    assert_eq!(options.get("lambda_unit_mode").unwrap().as_str(), Some("figure-scale"));
+    assert_eq!(options.get("seed").unwrap().as_num(), Some(opts.seed as f64));
+    assert_eq!(options.get("with_simulation"), Some(&JsonValue::Bool(false)));
+
+    let figure = doc.get("figure").unwrap();
+    assert_eq!(figure.get("rows").unwrap().as_num(), Some(data.rows.len() as f64));
+    assert!(figure.get("wall_clock_us").unwrap().as_num().unwrap() > 0.0);
+
+    // 9 cluster counts x 2 message sizes = 18 analytical points, each
+    // contributing one solver-iteration and one wall-clock observation.
+    let iters = figure.get("solver_iterations").unwrap();
+    assert_eq!(iters.get("count").unwrap().as_num(), Some(18.0));
+    assert!(iters.get("sum").unwrap().as_num().unwrap() > 0.0, "solver did iterate");
+    let times = figure.get("eval_time_us").unwrap();
+    assert_eq!(times.get("count").unwrap().as_num(), Some(18.0));
+
+    // The metrics snapshot must reflect the sweep that just ran.
+    let metrics = doc.get("metrics").unwrap();
+    let JsonValue::Obj(counters) = metrics.get("counters").unwrap() else {
+        panic!("counters must be an object");
+    };
+    let solves = counters
+        .iter()
+        .find(|(k, _)| k == "core.solver.solves")
+        .map(|(_, v)| v.as_num().unwrap())
+        .unwrap_or(0.0);
+    assert!(solves >= 18.0, "expected >= 18 recorded solves, saw {solves}");
+}
+
+#[test]
+fn write_manifest_places_file_beside_csvs() {
+    let dir = std::env::temp_dir().join(format!("hmcs-manifest-test-{}", std::process::id()));
+    let opts = fast_opts();
+    let path = manifest::write_manifest(&dir, "table1", &opts, 2, None).unwrap();
+    assert_eq!(path.file_name().unwrap(), "manifest_table1.json");
+    let written = std::fs::read_to_string(&path).unwrap();
+    manifest::validate(&written).expect("written manifest must validate");
+    std::fs::remove_dir_all(&dir).ok();
+}

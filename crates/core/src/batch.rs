@@ -19,13 +19,50 @@
 
 use crate::config::SystemConfig;
 use crate::error::ModelError;
+use crate::metrics::{self, keys};
 use crate::model::{AnalyticalModel, PerformanceReport};
 use crate::service::ServiceTimes;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 use std::time::Instant;
 
 /// Environment variable overriding the default worker count.
 pub const WORKERS_ENV: &str = "HMCS_POOL_WORKERS";
+
+/// Parses an `HMCS_POOL_WORKERS` value. Split out from the environment
+/// lookup so operator-error handling is unit-testable without touching
+/// process state.
+pub(crate) fn parse_workers(raw: &str) -> Result<usize, &'static str> {
+    let n: usize = raw.trim().parse().map_err(|_| "not a positive integer")?;
+    if n == 0 {
+        return Err("must be at least 1");
+    }
+    Ok(n)
+}
+
+/// Resolves `HMCS_POOL_WORKERS` once per process and caches the result.
+/// An invalid value (`0`, `-2`, `"four"`) is surfaced exactly once
+/// through the metrics warning channel instead of being silently
+/// ignored, then treated as unset.
+fn workers_from_env() -> Option<usize> {
+    static CACHE: OnceLock<Option<usize>> = OnceLock::new();
+    *CACHE.get_or_init(|| match std::env::var(WORKERS_ENV) {
+        Err(_) => None,
+        Ok(raw) => match parse_workers(&raw) {
+            Ok(n) => Some(n),
+            Err(reason) => {
+                metrics::warn_once(
+                    keys::WARN_POOL_WORKERS_ENV,
+                    format!(
+                        "ignoring {WORKERS_ENV}={raw:?} ({reason}); \
+                         falling back to available parallelism"
+                    ),
+                );
+                None
+            }
+        },
+    })
+}
 
 /// Worker-count policy for batch evaluations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -45,18 +82,19 @@ impl BatchOptions {
     }
 
     /// The worker count this policy resolves to: the explicit value if
-    /// set, else a positive `HMCS_POOL_WORKERS`, else the machine's
+    /// set, else a valid `HMCS_POOL_WORKERS`, else the machine's
     /// available parallelism.
+    ///
+    /// The environment variable is read and validated once per process
+    /// (not per call); an invalid value is reported once through
+    /// [`metrics::warn_once`] under
+    /// [`keys::WARN_POOL_WORKERS_ENV`] and otherwise ignored.
     pub fn resolved_workers(&self) -> usize {
         if let Some(n) = self.workers {
             return n.max(1);
         }
-        if let Ok(v) = std::env::var(WORKERS_ENV) {
-            if let Ok(n) = v.trim().parse::<usize>() {
-                if n >= 1 {
-                    return n;
-                }
-            }
+        if let Some(n) = workers_from_env() {
+            return n;
         }
         std::thread::available_parallelism().map_or(1, |n| n.get())
     }
@@ -79,6 +117,11 @@ where
     F: Fn(&T) -> U + Sync,
 {
     let workers = workers.max(1).min(items.len());
+    let instrumented = metrics::enabled();
+    if instrumented {
+        metrics::counter(keys::BATCH_CALLS).incr();
+        metrics::counter(keys::BATCH_ITEMS).add(items.len() as u64);
+    }
     if workers <= 1 {
         return items.iter().map(f).collect();
     }
@@ -88,13 +131,34 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
+                    // The timers below only observe the schedule (drain
+                    // balance, busy vs idle); they never influence which
+                    // items a worker claims or what `f` computes, so
+                    // results stay bit-identical to the sequential path.
+                    let spawned = Instant::now();
+                    let mut busy = std::time::Duration::ZERO;
                     let mut local = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= items.len() {
                             break;
                         }
-                        local.push((i, f(&items[i])));
+                        if instrumented {
+                            let t0 = Instant::now();
+                            let out = f(&items[i]);
+                            busy += t0.elapsed();
+                            local.push((i, out));
+                        } else {
+                            local.push((i, f(&items[i])));
+                        }
+                    }
+                    if instrumented {
+                        let total = spawned.elapsed();
+                        metrics::histogram(keys::BATCH_WORKER_ITEMS).record(local.len() as u64);
+                        metrics::histogram(keys::BATCH_WORKER_BUSY_US)
+                            .record_f64(busy.as_secs_f64() * 1e6);
+                        metrics::histogram(keys::BATCH_WORKER_IDLE_US)
+                            .record_f64(total.saturating_sub(busy).as_secs_f64() * 1e6);
                     }
                     local
                 })
@@ -197,6 +261,7 @@ pub fn evaluate_one(
         eval_time_us: start.elapsed().as_secs_f64() * 1e6,
         solver_iterations: report.equilibrium.solver_iterations,
     };
+    metrics::histogram(keys::BATCH_EVAL_TIME_US).record_f64(stats.eval_time_us);
     Ok((report, stats))
 }
 
@@ -228,6 +293,46 @@ mod tests {
         let empty: Vec<u32> = vec![];
         assert!(par_map(&empty, 8, |&x| x).is_empty());
         assert_eq!(par_map(&[42u32], 8, |&x| x + 1), vec![43]);
+    }
+
+    #[test]
+    fn invalid_pool_workers_values_are_rejected_not_ignored() {
+        // Regression: resolved_workers() used to swallow these silently
+        // and fall through to available_parallelism with no diagnostic.
+        assert_eq!(parse_workers("0"), Err("must be at least 1"));
+        assert_eq!(parse_workers("-2"), Err("not a positive integer"));
+        assert_eq!(parse_workers("four"), Err("not a positive integer"));
+        assert_eq!(parse_workers(""), Err("not a positive integer"));
+        assert_eq!(parse_workers(" 3 "), Ok(3));
+        assert_eq!(parse_workers("17"), Ok(17));
+    }
+
+    #[test]
+    fn invalid_pool_workers_env_warns_once_through_metrics() {
+        // Drive the same path workers_from_env() takes on a bad value,
+        // without mutating process env (tests share the process).
+        let raw = "four";
+        let reason = parse_workers(raw).unwrap_err();
+        let key = "test.batch.pool_workers_env";
+        let msg = format!("ignoring {WORKERS_ENV}={raw:?} ({reason})");
+        assert!(metrics::warn_once(key, msg.clone()));
+        assert!(!metrics::warn_once(key, msg));
+        let warning = metrics::global().warning(key).unwrap();
+        assert!(warning.contains("four"));
+        assert!(warning.contains("not a positive integer"));
+    }
+
+    #[test]
+    fn par_map_records_batch_metrics() {
+        let calls_before = metrics::counter(keys::BATCH_CALLS).get();
+        let items_before = metrics::counter(keys::BATCH_ITEMS).get();
+        let items: Vec<u64> = (0..37).collect();
+        let out = par_map(&items, 4, |&x| x * 2);
+        assert_eq!(out[36], 72);
+        assert_eq!(metrics::counter(keys::BATCH_CALLS).get(), calls_before + 1);
+        assert_eq!(metrics::counter(keys::BATCH_ITEMS).get(), items_before + 37);
+        let workers = metrics::histogram(keys::BATCH_WORKER_ITEMS).snapshot();
+        assert!(workers.count >= 2, "multi-worker batch should record per-worker drain");
     }
 
     #[test]

@@ -38,6 +38,8 @@
 //! * [`qna`] — a QNA-style refinement that propagates arrival-process
 //!   variability (relaxing assumption 2).
 //! * [`sweep`] — parameter sweeps (the figures' x-axes).
+//! * [`metrics`] — process-global counters/histograms recording solver,
+//!   QNA and batch-pool behaviour (the observability layer).
 //!
 //! ## Example
 //!
@@ -62,6 +64,7 @@ pub mod cluster_of_clusters;
 pub mod config;
 pub mod error;
 pub mod latency;
+pub mod metrics;
 pub mod model;
 pub mod qna;
 pub mod rates;

@@ -31,6 +31,7 @@
 use crate::config::{QueueAccounting, SystemConfig};
 use crate::error::ModelError;
 use crate::latency::LatencyReport;
+use crate::metrics::{self, keys};
 use crate::rates::TrafficRates;
 use crate::service::ServiceTimes;
 use hmcs_queueing::fixed_point::{bisect_seeded, SolverOptions};
@@ -206,15 +207,20 @@ pub fn evaluate_with_service_seeded(
         }
         other => ModelError::Queueing(other),
     })?;
-    let mut lambda_eff = sol.value;
-
     // Like the base solver: the bisection can land a hair inside the
     // unstable clamp region near saturation; back off to the stable
-    // side instead of failing the whole evaluation.
-    let mut guard = 0;
-    while total_waiting(config, service, lambda_eff).is_none() && guard < 128 {
-        lambda_eff *= 1.0 - 1e-9;
-        guard += 1;
+    // side instead of failing the whole evaluation. Shares the
+    // geometric helper so both paths retreat identically.
+    let (lambda_eff, backoff_steps) = crate::solver::back_off_to_stable(sol.value, |x| {
+        total_waiting(config, service, x).is_some()
+    })
+    .ok_or(ModelError::SolverFailed { residual: f64::INFINITY })?;
+
+    metrics::counter(keys::QNA_SOLVES).incr();
+    metrics::histogram(keys::QNA_ITERATIONS).record(sol.iterations as u64);
+    if backoff_steps > 0 {
+        metrics::counter(keys::QNA_BACKOFF_ACTIVATIONS).incr();
+        metrics::histogram(keys::SOLVER_BACKOFF_STEPS).record(backoff_steps as u64);
     }
 
     let rates = TrafficRates::compute(config, lambda_eff);

@@ -18,6 +18,7 @@
 
 use crate::config::{QueueAccounting, SystemConfig};
 use crate::error::ModelError;
+use crate::metrics::{self, keys};
 use crate::rates::TrafficRates;
 use crate::service::ServiceTimes;
 use hmcs_queueing::fixed_point::{bisect_seeded, SolverOptions};
@@ -95,6 +96,39 @@ pub(crate) fn saturation_lambda(config: &SystemConfig, service: &ServiceTimes) -
     sat
 }
 
+/// Retreats `lambda` toward the stable side of a saturation boundary
+/// with geometrically doubling relative steps: `λ ← λ·(1−s)` for
+/// `s = 1e-9, 2e-9, 4e-9, …` until `is_stable` holds or the step would
+/// remove the whole rate. Returns the stable rate and the number of
+/// steps taken (0 when already stable), or `None` when even backing
+/// off by ~86% cumulative leaves the predicate false — at that point
+/// the problem is not a floating-point edge but a genuinely infeasible
+/// rate.
+///
+/// The previous fixed-step loop (128 × `1e-9`, ~1.3e-7 total slack)
+/// could exhaust its guard on very steep saturation curves; doubling
+/// steps cover any retreat in at most ~30 probes. Shared by the base
+/// solver and the QNA evaluator so both paths behave identically.
+pub(crate) fn back_off_to_stable(
+    mut lambda: f64,
+    mut is_stable: impl FnMut(f64) -> bool,
+) -> Option<(f64, u32)> {
+    if is_stable(lambda) {
+        return Some((lambda, 0));
+    }
+    let mut step = 1e-9;
+    let mut steps = 0u32;
+    while step < 1.0 {
+        lambda *= 1.0 - step;
+        steps += 1;
+        if is_stable(lambda) {
+            return Some((lambda, steps));
+        }
+        step *= 2.0;
+    }
+    None
+}
+
 /// Mean number in system of an M/G/1 centre, or `None` when unstable.
 /// Under the default exponential service this is the M/M/1 `ρ/(1−ρ)`.
 fn center_l(config: &SystemConfig, lambda: f64, service_us: f64) -> Option<f64> {
@@ -168,17 +202,23 @@ pub fn solve_with_service_seeded(
         }
         other => ModelError::Queueing(other),
     })?;
-    let mut lambda_eff = sol.value;
-
     // The bisection can land a hair inside the clamp region near
     // saturation; back off to the stable side if needed.
-    let mut guard = 0;
-    while total_waiting(config, service, lambda_eff).is_none() && guard < 128 {
-        lambda_eff *= 1.0 - 1e-9;
-        guard += 1;
-    }
+    let (lambda_eff, backoff_steps) =
+        back_off_to_stable(sol.value, |x| total_waiting(config, service, x).is_some())
+            .ok_or(ModelError::SolverFailed { residual: f64::INFINITY })?;
     let total = total_waiting(config, service, lambda_eff)
         .ok_or(ModelError::SolverFailed { residual: f64::INFINITY })?;
+
+    metrics::counter(keys::SOLVER_SOLVES).incr();
+    metrics::histogram(keys::SOLVER_ITERATIONS).record(sol.iterations as u64);
+    if lambda > 0.0 {
+        metrics::histogram(keys::SOLVER_BRACKET_PPM).record_f64(hi / lambda * 1e6);
+    }
+    if backoff_steps > 0 {
+        metrics::counter(keys::SOLVER_BACKOFF_ACTIVATIONS).incr();
+        metrics::histogram(keys::SOLVER_BACKOFF_STEPS).record(backoff_steps as u64);
+    }
 
     let rates = TrafficRates::compute(config, lambda_eff);
     let make_center = |arrival: f64, service_us: f64| -> Result<CenterState, ModelError> {
@@ -317,6 +357,44 @@ mod tests {
         .unwrap();
         assert!(det.total_waiting < exp.total_waiting);
         assert!(det.lambda_eff > exp.lambda_eff);
+    }
+
+    #[test]
+    fn back_off_reaches_beyond_old_fixed_step_budget() {
+        // Regression: 128 fixed 1e-9 steps cap the retreat at ~1.28e-7
+        // relative, so a boundary needing a 1e-5 retreat exhausted the
+        // old guard and the solve failed. Doubling steps cover it.
+        let boundary = 1.0 - 1e-5;
+        let (stable, steps) = back_off_to_stable(1.0, |x| x < boundary).unwrap();
+        assert!(stable < boundary);
+        assert!(
+            steps > 0 && steps <= 30,
+            "geometric retreat should need O(log) probes, took {steps}"
+        );
+        // The old loop could not have got here: even its full budget
+        // retreats less than this boundary requires.
+        let old_budget_floor = (1.0f64 - 1e-9).powi(128);
+        assert!(old_budget_floor > boundary, "test boundary must defeat the old fixed loop");
+    }
+
+    #[test]
+    fn back_off_is_noop_when_already_stable() {
+        assert_eq!(back_off_to_stable(0.5, |_| true), Some((0.5, 0)));
+    }
+
+    #[test]
+    fn back_off_gives_up_on_infeasible_rates() {
+        assert_eq!(back_off_to_stable(1.0, |_| false), None);
+    }
+
+    #[test]
+    fn back_off_takes_smallest_sufficient_retreat() {
+        // A one-ulp-style overshoot should still resolve in one step of
+        // the original 1e-9 size, keeping the common case unchanged.
+        let boundary = 1.0 - 5e-10;
+        let (stable, steps) = back_off_to_stable(1.0, |x| x < boundary).unwrap();
+        assert_eq!(steps, 1);
+        assert!((stable - (1.0 - 1e-9)).abs() < 1e-15);
     }
 
     #[test]

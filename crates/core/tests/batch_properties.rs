@@ -4,11 +4,22 @@
 
 use hmcs_core::batch::{self, BatchOptions};
 use hmcs_core::config::SystemConfig;
+use hmcs_core::metrics;
 use hmcs_core::model::AnalyticalModel;
 use hmcs_core::scenario::{Scenario, PAPER_CLUSTER_COUNTS, PAPER_TOTAL_NODES};
 use hmcs_core::sweep;
 use hmcs_topology::transmission::Architecture;
 use proptest::prelude::*;
+
+/// Re-enables metric recording on drop, so a failing assertion can't
+/// leave the process-global flag off for later tests in this binary.
+struct MetricsGuard;
+
+impl Drop for MetricsGuard {
+    fn drop(&mut self) {
+        metrics::set_enabled(true);
+    }
+}
 
 fn any_scenario() -> impl Strategy<Value = Scenario> {
     prop_oneof![Just(Scenario::Case1), Just(Scenario::Case2)]
@@ -76,6 +87,47 @@ proptest! {
                 rel <= 1e-12,
                 "λ={l} C={clusters} {scenario:?} {arch:?}: warm drift {rel}"
             );
+        }
+    }
+
+    /// A metrics-instrumented parallel sweep is bit-identical to the
+    /// uninstrumented sequential path: recording counters/histograms
+    /// observes the computation but must never feed back into it.
+    #[test]
+    fn instrumented_sweep_is_bit_identical_to_uninstrumented(
+        scenario in any_scenario(),
+        arch in any_architecture(),
+        message_bytes in prop_oneof![Just(512u64), Just(1024u64)],
+        lambda_exp in -6.0f64..-3.0,
+        workers in 2usize..6,
+    ) {
+        let base = SystemConfig::paper_preset(scenario, 1, arch)
+            .unwrap()
+            .with_message_bytes(message_bytes)
+            .with_lambda(10f64.powf(lambda_exp));
+
+        let _guard = MetricsGuard;
+        metrics::set_enabled(false);
+        let uninstrumented = sweep::cluster_sweep_with(
+            &base, PAPER_TOTAL_NODES, &PAPER_CLUSTER_COUNTS, BatchOptions::sequential(),
+        ).unwrap();
+
+        metrics::set_enabled(true);
+        let solves_before = metrics::counter(metrics::keys::SOLVER_SOLVES).get();
+        let instrumented = sweep::cluster_sweep_with(
+            &base, PAPER_TOTAL_NODES, &PAPER_CLUSTER_COUNTS, BatchOptions::with_workers(workers),
+        ).unwrap();
+        let solves_after = metrics::counter(metrics::keys::SOLVER_SOLVES).get();
+
+        prop_assert!(
+            solves_after >= solves_before + PAPER_CLUSTER_COUNTS.len() as u64,
+            "instrumented run must record its solves"
+        );
+        prop_assert_eq!(uninstrumented.len(), instrumented.len());
+        for (u, i) in uninstrumented.iter().zip(&instrumented) {
+            prop_assert_eq!(u.x, i.x);
+            // Exact f64 equality across every field of the report.
+            prop_assert_eq!(u.report, i.report);
         }
     }
 

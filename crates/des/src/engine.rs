@@ -13,17 +13,19 @@ use crate::time::SimTime;
 pub struct Scheduler<E> {
     queue: EventQueue<E>,
     events_scheduled: u64,
+    peak_pending: usize,
 }
 
 impl<E> Scheduler<E> {
     fn new() -> Self {
-        Scheduler { queue: EventQueue::new(), events_scheduled: 0 }
+        Scheduler { queue: EventQueue::new(), events_scheduled: 0, peak_pending: 0 }
     }
 
     /// Schedules `event` at the absolute time `at`.
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
         self.events_scheduled += 1;
         self.queue.push(at, event);
+        self.peak_pending = self.peak_pending.max(self.queue.len());
     }
 
     /// Schedules `event` at `now + delay`.
@@ -39,6 +41,12 @@ impl<E> Scheduler<E> {
     /// Number of currently pending events.
     pub fn pending(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Largest number of simultaneously pending events seen so far —
+    /// the high-water mark of the future-event list.
+    pub fn peak_pending(&self) -> usize {
+        self.peak_pending
     }
 }
 
@@ -99,6 +107,11 @@ impl<M: Model> Engine<M> {
     /// Mutable access to the model (e.g. to read statistics out).
     pub fn model_mut(&mut self) -> &mut M {
         &mut self.model
+    }
+
+    /// Immutable access to the scheduler (e.g. to read its counters).
+    pub fn scheduler(&self) -> &Scheduler<M::Event> {
+        &self.scheduler
     }
 
     /// Mutable access to the scheduler (e.g. to seed initial events).
@@ -247,6 +260,21 @@ mod tests {
         e.run_to_completion();
         assert_eq!(e.scheduler_mut().events_scheduled(), 3);
         assert_eq!(e.scheduler_mut().pending(), 0);
+        // The chain never holds more than one pending event at a time.
+        assert_eq!(e.scheduler().peak_pending(), 1);
+    }
+
+    #[test]
+    fn peak_pending_tracks_high_water_mark() {
+        let mut e =
+            Engine::new(Chain { remaining: 0, spacing: SimTime::ZERO, fired_at: Vec::new() });
+        for i in 0..5 {
+            e.scheduler_mut().schedule_at(SimTime::from_us(i as f64), ());
+        }
+        assert_eq!(e.scheduler().peak_pending(), 5);
+        e.run_to_completion();
+        assert_eq!(e.scheduler().pending(), 0);
+        assert_eq!(e.scheduler().peak_pending(), 5, "peak survives the drain");
     }
 
     #[test]

@@ -13,13 +13,22 @@
 //!   approximately independent.
 
 /// Numerically stable running moments (Welford's algorithm).
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OnlineStats {
     count: u64,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+}
+
+impl Default for OnlineStats {
+    /// Same as [`OnlineStats::new`]. (A derived `Default` would zero
+    /// the `min`/`max` sentinels instead of using ±∞, making the first
+    /// recorded observation compare against a phantom `0.0`.)
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl OnlineStats {
@@ -67,6 +76,11 @@ impl OnlineStats {
     }
 
     /// Standard error of the mean.
+    ///
+    /// Returns the documented sentinel `0.0` with fewer than 2
+    /// observations (the variance is undefined there, but a NaN would
+    /// poison every downstream CI computation — a single-replication
+    /// run must format as "± 0.0", not "± NaN").
     pub fn std_error(&self) -> f64 {
         if self.count == 0 {
             0.0
@@ -284,6 +298,10 @@ impl Histogram {
 /// Two-sided normal-approximation confidence half-width for a sample
 /// mean: `z · s/√n`. Supported levels: 0.90, 0.95, 0.99.
 ///
+/// With fewer than 2 observations the half-width is the documented
+/// sentinel `0.0` (via [`OnlineStats::std_error`]), never NaN, so a
+/// single-replication run still formats a finite `± 0.0` interval.
+///
 /// # Panics
 ///
 /// Panics on an unsupported level.
@@ -346,6 +364,36 @@ impl BatchMeans {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn default_matches_new_including_extrema_sentinels() {
+        // Regression: the derived Default zeroed min/max, so
+        // OnlineStats::default() + record(5.0) reported min = Some(0.0).
+        assert_eq!(OnlineStats::default(), OnlineStats::new());
+        let mut s = OnlineStats::default();
+        s.record(5.0);
+        assert_eq!(s.min(), Some(5.0));
+        assert_eq!(s.max(), Some(5.0));
+        let mut neg = OnlineStats::default();
+        neg.record(-3.0);
+        assert_eq!(neg.max(), Some(-3.0));
+    }
+
+    #[test]
+    fn single_observation_ci_is_finite_zero() {
+        // A 1-replication run must report "± 0.0", never NaN: the
+        // count < 2 sentinel has to hold through std_error and every
+        // supported confidence level.
+        let mut s = OnlineStats::new();
+        s.record(42.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_error(), 0.0);
+        for level in [0.90, 0.95, 0.99] {
+            let half = confidence_interval(&s, level);
+            assert!(half.is_finite(), "CI at {level} must be finite, got {half}");
+            assert_eq!(half, 0.0);
+        }
+    }
 
     #[test]
     fn welford_matches_naive() {

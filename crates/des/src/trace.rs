@@ -4,11 +4,13 @@
 //! buffer — enough to reconstruct "what led up to this" when an
 //! invariant fires deep into a run, without unbounded memory. Records
 //! carry the simulation time, a static category, and a formatted
-//! detail string; the tracer counts everything it ever saw, including
-//! records that have since been evicted.
+//! detail string; the tracer counts everything it ever saw — both in
+//! total and per category — including records that have since been
+//! evicted, and can export the trace as JSON lines
+//! ([`Tracer::export_jsonl`]) for offline analysis.
 
 use crate::time::SimTime;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 /// One trace record.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,7 +29,19 @@ pub struct Tracer {
     capacity: usize,
     records: VecDeque<TraceRecord>,
     total_recorded: u64,
+    category_counts: BTreeMap<&'static str, u64>,
     enabled: bool,
+}
+
+/// The lifetime summary carried by a JSON-lines trace export: total
+/// records ever seen and the per-category counts, both including
+/// records evicted from the ring buffer.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceSummary {
+    /// Records seen over the tracer's lifetime.
+    pub total_recorded: u64,
+    /// Lifetime record count per category.
+    pub categories: BTreeMap<String, u64>,
 }
 
 impl Tracer {
@@ -43,6 +57,7 @@ impl Tracer {
             capacity,
             records: VecDeque::with_capacity(capacity),
             total_recorded: 0,
+            category_counts: BTreeMap::new(),
             enabled: true,
         }
     }
@@ -63,6 +78,7 @@ impl Tracer {
             return;
         }
         self.total_recorded += 1;
+        *self.category_counts.entry(category).or_insert(0) += 1;
         if self.records.len() == self.capacity {
             self.records.pop_front();
         }
@@ -96,10 +112,122 @@ impl Tracer {
         out
     }
 
-    /// Clears retained records (the lifetime counter is kept).
+    /// Lifetime record count per category, including evicted records
+    /// (cleared by nothing — like [`Tracer::total_recorded`]).
+    pub fn category_counts(&self) -> &BTreeMap<&'static str, u64> {
+        &self.category_counts
+    }
+
+    /// Exports the trace as JSON lines: one object per retained record
+    /// (`{"time_us":…,"category":…,"detail":…}`) followed by one
+    /// summary object carrying the lifetime totals
+    /// (`{"type":"summary","total_recorded":…,"categories":{…}}`).
+    /// The summary covers *every* record ever seen, so category counts
+    /// survive ring-buffer eviction; [`Tracer::parse_jsonl_summary`]
+    /// round-trips it.
+    pub fn export_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&format!(
+                "{{\"time_us\":{},\"category\":{},\"detail\":{}}}\n",
+                r.time.as_us(),
+                json_string(r.category),
+                json_string(&r.detail)
+            ));
+        }
+        out.push_str(&format!(
+            "{{\"type\":\"summary\",\"total_recorded\":{},\"categories\":{{",
+            self.total_recorded
+        ));
+        for (i, (category, count)) in self.category_counts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{count}", json_string(category)));
+        }
+        out.push_str("}}\n");
+        out
+    }
+
+    /// Parses the summary line of a [`Tracer::export_jsonl`] export.
+    /// Returns `None` when no summary line is present. This reads the
+    /// tracer's own export format (it is not a general JSON parser).
+    pub fn parse_jsonl_summary(jsonl: &str) -> Option<TraceSummary> {
+        let line =
+            jsonl.lines().rev().find(|l| l.trim_start().starts_with("{\"type\":\"summary\""))?;
+        let total_key = "\"total_recorded\":";
+        let start = line.find(total_key)? + total_key.len();
+        let digits: String = line[start..].chars().take_while(char::is_ascii_digit).collect();
+        let total_recorded = digits.parse().ok()?;
+
+        let cat_key = "\"categories\":{";
+        let mut rest = &line[line.find(cat_key)? + cat_key.len()..];
+        let mut categories = BTreeMap::new();
+        while !rest.starts_with('}') {
+            let (name, after) = parse_json_string(rest)?;
+            rest = after.strip_prefix(':')?;
+            let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+            rest = &rest[digits.len()..];
+            categories.insert(name, digits.parse().ok()?);
+            rest = rest.strip_prefix(',').unwrap_or(rest);
+        }
+        Some(TraceSummary { total_recorded, categories })
+    }
+
+    /// Clears retained records (the lifetime counters are kept).
     pub fn clear(&mut self) {
         self.records.clear();
     }
+}
+
+/// Serialises `s` as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Parses a JSON string literal at the head of `input`, returning the
+/// unescaped value and the remainder after the closing quote.
+fn parse_json_string(input: &str) -> Option<(String, &str)> {
+    let rest = input.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = rest.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Some((out, &rest[i + 1..])),
+            '\\' => match chars.next()?.1 {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let (j, _) = chars.next()?;
+                    let hex = rest.get(j..j + 4)?;
+                    out.push(char::from_u32(u32::from_str_radix(hex, 16).ok()?)?);
+                    for _ in 0..3 {
+                        chars.next()?;
+                    }
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -163,5 +291,68 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_rejected() {
         Tracer::new(0);
+    }
+
+    #[test]
+    fn category_counts_survive_eviction_and_clear() {
+        let mut tr = Tracer::new(2);
+        for i in 0..7 {
+            tr.record(t(i as f64), if i % 2 == 0 { "arrival" } else { "departure" }, "x");
+        }
+        assert_eq!(tr.records().count(), 2, "ring keeps only the tail");
+        assert_eq!(tr.category_counts()["arrival"], 4);
+        assert_eq!(tr.category_counts()["departure"], 3);
+        tr.clear();
+        assert_eq!(tr.category_counts()["arrival"], 4, "lifetime counts survive clear");
+    }
+
+    #[test]
+    fn jsonl_export_round_trips_category_counts_including_evicted() {
+        // Capacity 3 but 10 records: 7 are evicted, yet the exported
+        // summary must still carry the full lifetime counts.
+        let mut tr = Tracer::new(3);
+        for i in 0..6 {
+            tr.record(t(i as f64), "arrival", format!("msg {i}"));
+        }
+        for i in 0..3 {
+            tr.record(t(10.0 + i as f64), "service-start", format!("msg {i}"));
+        }
+        tr.record(t(20.0), "drop", "queue \"full\"\nbuffer at limit");
+
+        let jsonl = tr.export_jsonl();
+        // 3 retained records + 1 summary line.
+        assert_eq!(jsonl.lines().count(), 4);
+
+        let summary = Tracer::parse_jsonl_summary(&jsonl).unwrap();
+        assert_eq!(summary.total_recorded, 10);
+        assert_eq!(summary.categories["arrival"], 6);
+        assert_eq!(summary.categories["service-start"], 3);
+        assert_eq!(summary.categories["drop"], 1);
+
+        // The retained record lines carry escaped details verbatim.
+        assert!(jsonl.contains("queue \\\"full\\\"\\nbuffer at limit"));
+    }
+
+    #[test]
+    fn jsonl_summary_parser_handles_escaped_category_names() {
+        let raw = "{\"type\":\"summary\",\"total_recorded\":2,\
+                   \"categories\":{\"a\\\\b\":1,\"c \\\"d\\\"\":1}}\n";
+        let summary = Tracer::parse_jsonl_summary(raw).unwrap();
+        assert_eq!(summary.categories["a\\b"], 1);
+        assert_eq!(summary.categories["c \"d\""], 1);
+    }
+
+    #[test]
+    fn jsonl_summary_parser_rejects_garbage() {
+        assert_eq!(Tracer::parse_jsonl_summary(""), None);
+        assert_eq!(Tracer::parse_jsonl_summary("not json\n"), None);
+    }
+
+    #[test]
+    fn empty_tracer_exports_empty_summary() {
+        let tr = Tracer::new(4);
+        let jsonl = tr.export_jsonl();
+        let summary = Tracer::parse_jsonl_summary(&jsonl).unwrap();
+        assert_eq!(summary, TraceSummary::default());
     }
 }

@@ -24,9 +24,11 @@
 //! interior centres and the eq. 6/7 throttling model.
 
 use crate::config::SimConfig;
+use crate::metrics_keys;
 use crate::result::{CenterObservation, SimResult};
 use hmcs_core::config::ServiceTimeModel;
 use hmcs_core::error::ModelError;
+use hmcs_core::metrics;
 use hmcs_core::routing::TrafficPattern;
 use hmcs_core::service::ServiceTimes;
 use hmcs_des::engine::{Engine, Model, Scheduler};
@@ -292,6 +294,12 @@ impl FlowSimulator {
         let target = cfg.messages;
         engine.run_until(None, None, |m| m.measured() >= target);
         let now = engine.now().as_us();
+        // Bridge the engine's local counters into the global registry
+        // before the engine is consumed (the DES kernel deliberately
+        // knows nothing about hmcs-core).
+        metrics::counter(metrics_keys::FLOW_EVENTS).add(engine.events_processed());
+        metrics::histogram(metrics_keys::FLOW_PEAK_PENDING)
+            .record(engine.scheduler().peak_pending() as u64);
         let model = engine.into_model();
 
         let avg_center = |servers: &[FcfsServer<MsgId>]| -> CenterObservation {

@@ -45,6 +45,7 @@
 pub mod coc;
 pub mod config;
 pub mod flow;
+pub mod metrics_keys;
 pub mod multiserver;
 pub mod packet;
 pub mod replication;

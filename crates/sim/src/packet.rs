@@ -25,9 +25,11 @@
 //! offsets).
 
 use crate::config::SimConfig;
+use crate::metrics_keys;
 use crate::multiserver::{MultiDirective, MultiServer};
 use crate::result::{CenterObservation, SimResult};
 use hmcs_core::error::ModelError;
+use hmcs_core::metrics;
 use hmcs_core::routing::TrafficPattern;
 use hmcs_des::engine::{Engine, Model, Scheduler};
 use hmcs_des::quantile::P2Quantile;
@@ -511,6 +513,11 @@ impl PacketSimulator {
         let target = cfg.messages;
         engine.run_until(None, None, |m| m.measured() >= target);
         let now = engine.now().as_us();
+        // Bridge the engine's local counters into the global registry
+        // before the engine is consumed.
+        metrics::counter(metrics_keys::PACKET_EVENTS).add(engine.events_processed());
+        metrics::histogram(metrics_keys::PACKET_PEAK_PENDING)
+            .record(engine.scheduler().peak_pending() as u64);
         let model = engine.into_model();
 
         let tier_obs = |tier: Tier| -> CenterObservation {

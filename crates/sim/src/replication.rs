@@ -12,11 +12,14 @@
 
 use crate::config::SimConfig;
 use crate::flow::FlowSimulator;
+use crate::metrics_keys;
 use crate::packet::PacketSimulator;
 use crate::result::SimResult;
 use hmcs_core::batch::{par_map, BatchOptions};
 use hmcs_core::error::ModelError;
+use hmcs_core::metrics;
 use hmcs_des::stats::{confidence_interval, OnlineStats};
+use std::time::Instant;
 
 /// Which simulator to replicate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,13 +83,21 @@ pub fn run_replications_with(
         });
     }
     base.validate()?;
+    metrics::counter(metrics_keys::REPLICATION_BATCHES).incr();
     let seeds: Vec<u64> = (0..replications).map(|i| base.seed.wrapping_add(u64::from(i))).collect();
     let results = par_map(&seeds, options.resolved_workers(), |&seed| {
         let cfg = base.with_seed(seed);
-        match simulator {
+        let started = Instant::now();
+        let result = match simulator {
             Simulator::Flow => FlowSimulator::run(&cfg),
             Simulator::Packet => PacketSimulator::run(&cfg),
-        }
+        };
+        // Wall-clock only: observes the run, never feeds back into it,
+        // so the summary stays deterministic in seed order.
+        metrics::counter(metrics_keys::REPLICATION_RUNS).incr();
+        metrics::histogram(metrics_keys::REPLICATION_WALL_US)
+            .record_f64(started.elapsed().as_secs_f64() * 1e6);
+        result
     });
     let mut replication_results = Vec::with_capacity(replications as usize);
     let mut latency_means = OnlineStats::new();
