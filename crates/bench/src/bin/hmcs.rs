@@ -8,12 +8,14 @@
 //! Prints the analytical report and, with `--simulate`, the flow-level
 //! simulation alongside it.
 
+use hmcs_bench::differential;
 use hmcs_core::config::SystemConfig;
 use hmcs_core::model::AnalyticalModel;
 use hmcs_core::qna;
 use hmcs_core::scenario::Scenario;
 use hmcs_sim::config::SimConfig;
 use hmcs_sim::flow::FlowSimulator;
+use hmcs_sim::replication::SimBudget;
 use hmcs_topology::transmission::Architecture;
 use std::process::ExitCode;
 
@@ -29,6 +31,7 @@ struct Args {
     messages: u64,
     seed: u64,
     qna: bool,
+    verify: bool,
     metrics: bool,
 }
 
@@ -45,6 +48,7 @@ impl Default for Args {
             messages: 10_000,
             seed: 2005,
             qna: false,
+            verify: false,
             metrics: std::env::var("HMCS_METRICS")
                 .map(|v| matches!(v.trim(), "1" | "true" | "yes" | "on"))
                 .unwrap_or(false),
@@ -64,6 +68,8 @@ Options:\n\
   --messages N      simulated messages [10000]\n\
   --seed N          simulation seed [2005]\n\
   --qna             also print the QNA-refined latency\n\
+  --verify          differential check: replicated simulation vs QNA latency,\n\
+                    non-zero exit on disagreement (HMCS_SIM_BUDGET=ci shrinks it)\n\
   --metrics         print solver/pool/DES metrics at the end (HMCS_METRICS=1)";
 
 fn parse() -> Result<Args, String> {
@@ -96,6 +102,7 @@ fn parse() -> Result<Args, String> {
             }
             "--simulate" => a.simulate = true,
             "--qna" => a.qna = true,
+            "--verify" => a.verify = true,
             "--metrics" => a.metrics = true,
             "--messages" => a.messages = val("--messages")?.parse().map_err(|e| format!("{e}"))?,
             "--seed" => a.seed = val("--seed")?.parse().map_err(|e| format!("{e}"))?,
@@ -109,7 +116,7 @@ fn parse() -> Result<Args, String> {
     Ok(a)
 }
 
-fn run(a: &Args) -> Result<(), String> {
+fn run(a: &Args) -> Result<bool, String> {
     let cfg =
         SystemConfig::new(a.clusters, a.nodes, a.bytes, a.lambda_per_ms / 1e3, a.scenario, a.arch)
             .map_err(|e| e.to_string())?;
@@ -181,16 +188,33 @@ fn run(a: &Args) -> Result<(), String> {
             );
         }
     }
+    let mut agrees = true;
+    if a.verify {
+        // Generous band: the caller may have placed λ anywhere up to
+        // the stability boundary, where model error is largest.
+        let budget = SimBudget::from_env();
+        let outcome = differential::verify_config(&cfg, 0.15, budget).map_err(|e| e.to_string())?;
+        println!(
+            "verify   : analysis {:.3} ms vs sim {:.3} ms ± {:.3} (allowed gap {:.3}) — {}",
+            outcome.analysis_ms,
+            outcome.sim_ms,
+            outcome.ci95_ms,
+            outcome.allowed_ms,
+            if outcome.agrees { "AGREE" } else { "DISAGREE" }
+        );
+        agrees = outcome.agrees;
+    }
     if a.metrics {
         println!("{}", hmcs_core::metrics::global().snapshot().render());
     }
-    Ok(())
+    Ok(agrees)
 }
 
 fn main() -> ExitCode {
     match parse() {
         Ok(args) => match run(&args) {
-            Ok(()) => ExitCode::SUCCESS,
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::FAILURE,
             Err(e) => {
                 eprintln!("error: {e}");
                 ExitCode::FAILURE

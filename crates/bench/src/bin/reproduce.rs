@@ -1,7 +1,11 @@
-//! `reproduce` — regenerates every table and figure of the paper.
+//! `reproduce` — regenerates every table and figure of the paper,
+//! and checks generated artefacts against the committed goldens.
 //!
 //! ```text
-//! reproduce <artefact> [options]
+//! reproduce <artefact>... [options]      regenerate artefacts
+//! reproduce check DIR [--golden GDIR]    diff DIR against goldens and
+//!                                        evaluate the claims registry
+//! reproduce fuzz [--cases N] [--seed N]  differential model-vs-sim fuzz
 //!
 //! Artefacts:
 //!   table1 table2 fig4 fig5 fig6 fig7 figs claims
@@ -19,6 +23,10 @@
 //!                     provenance (seed, λ-unit mode, solver histograms)
 //!   --metrics         print the process-global metrics snapshot at the
 //!                     end (also: HMCS_METRICS=1)
+//!
+//! `HMCS_SIM_BUDGET=ci` shrinks the default simulation budget (messages,
+//! warm-up, fuzz replications) to the reduced CI preset; explicit
+//! `--messages`/`--warmup` flags still win.
 //! ```
 
 use hmcs_bench::experiments::{
@@ -26,9 +34,11 @@ use hmcs_bench::experiments::{
 };
 use hmcs_bench::manifest;
 use hmcs_bench::report::{eval_stats_line, ms, opt_ms, ratio, render_table, write_csv};
+use hmcs_bench::{claims, differential, golden};
 use hmcs_core::batch::BatchOptions;
 use hmcs_core::scenario::PAPER_LAMBDA_LITERAL_PER_US;
-use std::path::PathBuf;
+use hmcs_sim::replication::SimBudget;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 struct Cli {
@@ -38,16 +48,32 @@ struct Cli {
     print_metrics: bool,
 }
 
+enum Command {
+    /// Regenerate artefacts (the original mode).
+    Emit(Cli),
+    /// Diff a candidate directory against the goldens + claims registry.
+    Check { candidate: PathBuf, golden: PathBuf },
+    /// Differential model-vs-simulation fuzzing.
+    Fuzz(differential::FuzzOptions),
+}
+
 fn metrics_env_requested() -> bool {
     std::env::var("HMCS_METRICS")
         .map(|v| matches!(v.trim(), "1" | "true" | "yes" | "on"))
         .unwrap_or(false)
 }
 
-fn parse_args() -> Result<Cli, String> {
+fn parse_args() -> Result<Command, String> {
     let mut artefacts = Vec::new();
     let mut opts = RunOptions::default();
+    // The env-selected budget seeds the defaults; explicit flags win.
+    let budget = SimBudget::from_env();
+    let (messages, warmup) = budget.single_run();
+    opts.messages = messages;
+    opts.warmup = warmup;
     let mut csv_dir = None;
+    let mut golden_dir: Option<PathBuf> = None;
+    let mut fuzz_cases: Option<u32> = None;
     let mut print_metrics = metrics_env_requested();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -78,6 +104,17 @@ fn parse_args() -> Result<Cli, String> {
             "--csv" => {
                 csv_dir = Some(PathBuf::from(args.next().ok_or("--csv needs a directory")?));
             }
+            "--golden" => {
+                golden_dir = Some(PathBuf::from(args.next().ok_or("--golden needs a directory")?));
+            }
+            "--cases" => {
+                fuzz_cases = Some(
+                    args.next()
+                        .ok_or("--cases needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--cases: {e}"))?,
+                );
+            }
             "--metrics" => print_metrics = true,
             "--help" | "-h" => {
                 println!("{}", HELP);
@@ -89,17 +126,47 @@ fn parse_args() -> Result<Cli, String> {
             other => artefacts.push(other.to_string()),
         }
     }
+    match artefacts.first().map(String::as_str) {
+        Some("check") => {
+            let candidate = match artefacts.as_slice() {
+                [_, dir] => PathBuf::from(dir),
+                _ => return Err("usage: reproduce check DIR [--golden GDIR]".to_string()),
+            };
+            let golden = golden_dir.unwrap_or_else(|| PathBuf::from("results"));
+            return Ok(Command::Check { candidate, golden });
+        }
+        Some("fuzz") => {
+            if artefacts.len() > 1 {
+                return Err("usage: reproduce fuzz [--cases N] [--seed N]".to_string());
+            }
+            let defaults = differential::FuzzOptions::default();
+            return Ok(Command::Fuzz(differential::FuzzOptions {
+                cases: fuzz_cases.unwrap_or(defaults.cases),
+                seed: opts.seed,
+                budget,
+            }));
+        }
+        _ => {}
+    }
+    if golden_dir.is_some() {
+        return Err("--golden only applies to `reproduce check`".to_string());
+    }
+    if fuzz_cases.is_some() {
+        return Err("--cases only applies to `reproduce fuzz`".to_string());
+    }
     if artefacts.is_empty() {
         return Err("no artefact given; try --help".to_string());
     }
-    Ok(Cli { artefacts, opts, csv_dir, print_metrics })
+    Ok(Command::Emit(Cli { artefacts, opts, csv_dir, print_metrics }))
 }
 
 const HELP: &str = "reproduce — regenerate the ICPPW'05 paper's tables and figures\n\
   artefacts: table1 table2 fig4 fig5 fig6 fig7 figs claims\n\
              ablation-accounting ablation-hops ablation-service packet coc bounds all\n\
+  checking:  check DIR [--golden GDIR]   diff DIR against the goldens (default results/)\n\
+             fuzz [--cases N] [--seed N] differential model-vs-sim fuzzing\n\
   options:   --messages N --warmup N --seed N --lambda-literal --no-sim --csv DIR\n\
-             --metrics (or HMCS_METRICS=1)";
+             --metrics (or HMCS_METRICS=1); HMCS_SIM_BUDGET=ci shrinks sim budgets";
 
 /// Writes `manifest_<artefact>.json` beside the CSVs (no-op without
 /// `--csv`): run provenance, options, λ-unit mode and the metrics
@@ -397,7 +464,44 @@ fn emit_bounds(cli: &Cli) -> Result<(), String> {
     Ok(())
 }
 
+/// Creates the `--csv` directory up front and proves it is writable,
+/// so a bad path fails with one clean message instead of a mid-run
+/// error after minutes of simulation.
+fn prepare_csv_dir(dir: &Path) -> Result<(), String> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| format!("--csv {}: cannot create directory: {e}", dir.display()))?;
+    let probe = dir.join(".hmcs-write-probe");
+    std::fs::write(&probe, b"probe")
+        .map_err(|e| format!("--csv {}: directory not writable: {e}", dir.display()))?;
+    std::fs::remove_file(&probe).ok();
+    Ok(())
+}
+
+/// `reproduce check`: golden diff + claims registry; non-zero exit on
+/// any drift or broken claim.
+fn run_check(candidate: &Path, golden_dir: &Path) -> Result<bool, String> {
+    let diff_report = golden::check_dir(golden_dir, candidate)?;
+    print!("{}", diff_report.render(10));
+    let claim_results = claims::evaluate_dir(candidate)?;
+    print!("{}", claims::render(&claim_results));
+    let report_path = candidate.join("claims_report.csv");
+    claims::write_report(&report_path, &claim_results)
+        .map_err(|e| format!("{}: {e}", report_path.display()))?;
+    println!("claims report written to {}", report_path.display());
+    let claims_ok = claim_results.iter().all(|r| r.passed);
+    Ok(diff_report.passed() && claims_ok)
+}
+
+fn run_fuzz(options: differential::FuzzOptions) -> Result<bool, String> {
+    let report = differential::run_fuzz(options).map_err(|e| e.to_string())?;
+    print!("{}", differential::render(&report));
+    Ok(report.disagreements.is_empty())
+}
+
 fn run(cli: &Cli) -> Result<(), String> {
+    if let Some(dir) = &cli.csv_dir {
+        prepare_csv_dir(dir)?;
+    }
     for artefact in &cli.artefacts {
         match artefact.as_str() {
             "table1" => emit_tables(cli)?,
@@ -442,16 +546,23 @@ fn run(cli: &Cli) -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
-    match parse_args() {
-        Ok(cli) => match run(&cli) {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(e) => {
-                eprintln!("error: {e}");
-                ExitCode::FAILURE
-            }
-        },
+    let command = match parse_args() {
+        Ok(command) => command,
         Err(e) => {
             eprintln!("error: {e}\n{HELP}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = match command {
+        Command::Emit(cli) => run(&cli).map(|()| true),
+        Command::Check { candidate, golden } => run_check(&candidate, &golden),
+        Command::Fuzz(options) => run_fuzz(options),
+    };
+    match outcome {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("error: {e}");
             ExitCode::FAILURE
         }
     }

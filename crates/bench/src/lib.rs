@@ -11,12 +11,22 @@
 //! * [`manifest`] — machine-readable run manifests written next to the
 //!   CSVs (provenance, λ-unit mode, solver histograms, metrics
 //!   snapshot), plus the JSON schema validator.
+//! * [`golden`] — tolerance-aware CSV differ driven by
+//!   `results/GOLDEN.toml`, the regression gate behind
+//!   `reproduce check`.
+//! * [`claims`] — the machine-readable registry of the paper's shape
+//!   claims (dips, V-minima, orderings, symmetries), evaluated against
+//!   generated artefacts.
+//! * [`differential`] — seeded model-vs-simulation fuzzing with greedy
+//!   shrinking of any disagreement to a minimal regression test.
 //!
 //! The `reproduce` binary drives everything:
 //!
 //! ```text
 //! cargo run --release -p hmcs-bench --bin reproduce -- fig4
 //! cargo run --release -p hmcs-bench --bin reproduce -- all --csv out/
+//! cargo run --release -p hmcs-bench --bin reproduce -- check out/
+//! cargo run --release -p hmcs-bench --bin reproduce -- fuzz --cases 25
 //! ```
 //!
 //! Criterion benches (one per figure, plus kernel micro-benches) live in
@@ -25,6 +35,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod claims;
+pub mod differential;
 pub mod experiments;
+pub mod golden;
 pub mod manifest;
 pub mod report;

@@ -386,6 +386,12 @@ impl Parser<'_> {
             self.expect(b':')?;
             self.skip_ws();
             let value = self.value()?;
+            // RFC 8259 leaves duplicate-key behaviour implementation-
+            // defined; for manifests a duplicate always means a writer
+            // bug, so reject rather than silently keep one of the two.
+            if pairs.iter().any(|(existing, _)| *existing == key) {
+                return Err(format!("duplicate key {key:?} at byte {}", self.pos));
+            }
             pairs.push((key, value));
             self.skip_ws();
             match self.bytes.get(self.pos) {
@@ -522,6 +528,37 @@ mod tests {
         assert!(parse_json("[1,]").is_err());
         assert!(parse_json("{\"a\":1} garbage").is_err());
         assert!(parse_json("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn parser_rejects_truncated_manifest() {
+        // A partially written manifest (interrupted run, full disk)
+        // must fail loudly at every truncation point, not just a few.
+        let json = manifest_json("fig4", &RunOptions::default(), 2, None);
+        let json = json.trim_end();
+        for cut in [1, json.len() / 4, json.len() / 2, json.len() - 1] {
+            assert!(parse_json(&json[..cut]).is_err(), "truncation at byte {cut} parsed");
+        }
+    }
+
+    #[test]
+    fn parser_rejects_nan_and_bare_tokens() {
+        // JSON has no NaN/Infinity literals; a writer that leaks one
+        // (e.g. formatting an uninitialised f64) must not validate.
+        assert!(parse_json("{\"x\": NaN}").is_err());
+        assert!(parse_json("{\"x\": -Infinity}").is_err());
+        assert!(parse_json("{\"x\": nan}").is_err());
+        assert!(parse_json("NaN").is_err());
+    }
+
+    #[test]
+    fn parser_rejects_duplicate_keys() {
+        assert!(parse_json("{\"a\":1,\"a\":2}").is_err());
+        // Nested objects are checked too, and the error names the key.
+        let err = parse_json("{\"outer\":{\"k\":1,\"k\":1}}").unwrap_err();
+        assert!(err.contains("duplicate key \"k\""), "unexpected error: {err}");
+        // Same key at different depths is fine.
+        assert!(parse_json("{\"a\":{\"a\":1},\"b\":{\"a\":2}}").is_ok());
     }
 
     #[test]

@@ -79,8 +79,11 @@ impl Equilibrium {
 /// Closed-form smallest per-processor rate that saturates any centre.
 /// Returns `f64::INFINITY` when no centre can saturate (e.g. `P = 0`
 /// makes ECN1/ICN2 idle and only ICN1 binds). Shared with the QNA
-/// evaluator so both paths bracket the fixed point identically.
-pub(crate) fn saturation_lambda(config: &SystemConfig, service: &ServiceTimes) -> f64 {
+/// evaluator so both paths bracket the fixed point identically, and
+/// public so harnesses (e.g. the differential fuzz driver in
+/// `hmcs-bench`) can sample offered rates at a controlled distance
+/// from the stability boundary.
+pub fn saturation_lambda(config: &SystemConfig, service: &ServiceTimes) -> f64 {
     let probe = TrafficRates::compute(config, 1.0); // rates per unit lambda
     let (mu1, mu_e, mu2) = service.rates();
     let mut sat = f64::INFINITY;

@@ -21,6 +21,77 @@ use hmcs_core::metrics;
 use hmcs_des::stats::{confidence_interval, OnlineStats};
 use std::time::Instant;
 
+/// A named simulation budget: how many messages (and replications,
+/// where applicable) validation runs spend per point.
+///
+/// The paper's budget (10,000 measured messages after 2,000 warm-up)
+/// is the default everywhere. CI gates run the same experiments under
+/// the reduced [`SimBudget::Ci`] budget so the whole golden-artefact
+/// job finishes in minutes; the tolerances in `results/GOLDEN.toml`
+/// are calibrated against the extra sampling noise this introduces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimBudget {
+    /// The paper's budget: 10,000 measured messages, 2,000 warm-up,
+    /// 5 replications where replication is used.
+    #[default]
+    Paper,
+    /// Reduced CI budget: 2,500 measured messages, 500 warm-up,
+    /// 3 replications. Sim columns get ~2–8% noisier than under
+    /// [`SimBudget::Paper`].
+    Ci,
+}
+
+/// The concrete run sizes a [`SimBudget`] stands for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicationPlan {
+    /// Independent replications per point.
+    pub replications: u32,
+    /// Measured messages per replication.
+    pub messages: u64,
+    /// Warm-up messages discarded per replication.
+    pub warmup: u64,
+}
+
+impl SimBudget {
+    /// Reads `HMCS_SIM_BUDGET` (`paper` | `ci`, case-insensitive;
+    /// unset or empty means `paper`). Unknown values fall back to
+    /// `paper` with a warn-once note in the metrics registry, so a
+    /// typo in a CI workflow degrades to the *more* rigorous budget.
+    pub fn from_env() -> SimBudget {
+        match std::env::var("HMCS_SIM_BUDGET") {
+            Err(_) => SimBudget::Paper,
+            Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+                "" | "paper" | "full" => SimBudget::Paper,
+                "ci" | "reduced" => SimBudget::Ci,
+                other => {
+                    metrics::warn_once(
+                        "sim.budget.env",
+                        format!("HMCS_SIM_BUDGET={other:?} not recognised; using paper budget"),
+                    );
+                    SimBudget::Paper
+                }
+            },
+        }
+    }
+
+    /// The replication plan for this budget.
+    pub fn plan(self) -> ReplicationPlan {
+        match self {
+            SimBudget::Paper => {
+                ReplicationPlan { replications: 5, messages: 10_000, warmup: 2_000 }
+            }
+            SimBudget::Ci => ReplicationPlan { replications: 3, messages: 2_500, warmup: 500 },
+        }
+    }
+
+    /// `(messages, warmup)` for single-run (non-replicated)
+    /// experiments, e.g. the `reproduce` figure sims.
+    pub fn single_run(self) -> (u64, u64) {
+        let plan = self.plan();
+        (plan.messages, plan.warmup)
+    }
+}
+
 /// Which simulator to replicate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Simulator {
@@ -164,6 +235,18 @@ mod tests {
     #[test]
     fn zero_replications_rejected() {
         assert!(run_replications(&base(), Simulator::Flow, 0).is_err());
+    }
+
+    #[test]
+    fn budget_presets_are_ordered() {
+        let paper = SimBudget::Paper.plan();
+        let ci = SimBudget::Ci.plan();
+        assert!(ci.messages < paper.messages);
+        assert!(ci.warmup < paper.warmup);
+        assert!(ci.replications <= paper.replications);
+        assert_eq!(SimBudget::Paper.single_run(), (10_000, 2_000));
+        assert_eq!(SimBudget::Ci.single_run(), (2_500, 500));
+        assert_eq!(SimBudget::default(), SimBudget::Paper);
     }
 
     #[test]
