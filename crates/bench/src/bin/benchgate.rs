@@ -1,0 +1,325 @@
+//! Assembles a machine-readable benchmark report and gates CI on it.
+//!
+//! Input is the JSON-lines file the vendored criterion harness appends
+//! to when `HMCS_BENCH_JSON` is set (one `{"id", "min_s", "mean_s",
+//! "max_s"}` object per line). The tool:
+//!
+//! 1. parses every row,
+//! 2. computes the observability overhead from the `batch_sweep`
+//!    bench's `instrumentation/metrics_on` vs
+//!    `instrumentation/metrics_off` rows and **fails** (exit 1) when it
+//!    exceeds the budget (`--max-overhead-pct`, default 10),
+//! 3. optionally folds in the per-figure `wall_clock_us` recorded by
+//!    `reproduce` manifests (`--manifests DIR`),
+//! 4. writes everything as one JSON document (`--out`, default
+//!    `BENCH_PR4.json`).
+//!
+//! The report is written before the gate verdict so a failing run still
+//! uploads a complete artefact.
+
+use hmcs_bench::manifest::{parse_json, JsonValue};
+use std::process::ExitCode;
+
+/// Default overhead budget (%). The bench itself documents a ≤2%
+/// target on quiet machines; shared CI runners need headroom for
+/// scheduler noise, so the gate only catches real regressions.
+const DEFAULT_MAX_OVERHEAD_PCT: f64 = 10.0;
+
+/// One parsed benchmark row.
+#[derive(Debug, Clone, PartialEq)]
+struct BenchRow {
+    id: String,
+    min_s: f64,
+    mean_s: f64,
+    max_s: f64,
+}
+
+/// The instrumentation-overhead verdict.
+#[derive(Debug, Clone, PartialEq)]
+struct GateVerdict {
+    metrics_on_mean_s: f64,
+    metrics_off_mean_s: f64,
+    overhead_pct: f64,
+    max_overhead_pct: f64,
+    pass: bool,
+}
+
+fn parse_rows(body: &str) -> Result<Vec<BenchRow>, String> {
+    let mut rows = Vec::new();
+    for (i, line) in body.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = parse_json(line).map_err(|e| format!("row {}: {e}", i + 1))?;
+        let field = |k: &str| -> Result<f64, String> {
+            v.get(k)
+                .and_then(JsonValue::as_num)
+                .ok_or_else(|| format!("row {}: missing numeric \"{k}\"", i + 1))
+        };
+        rows.push(BenchRow {
+            id: v
+                .get("id")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("row {}: missing \"id\"", i + 1))?
+                .to_string(),
+            min_s: field("min_s")?,
+            mean_s: field("mean_s")?,
+            max_s: field("max_s")?,
+        });
+    }
+    Ok(rows)
+}
+
+/// Judges the instrumentation rows. The on/off pair measures the same
+/// 72-point grid, so their ratio isolates the metrics layer's cost.
+fn judge(rows: &[BenchRow], max_overhead_pct: f64) -> Result<GateVerdict, String> {
+    let mean_of = |id: &str| -> Result<f64, String> {
+        rows.iter()
+            .find(|r| r.id == id)
+            .map(|r| r.mean_s)
+            .ok_or_else(|| format!("no \"{id}\" row — did the batch_sweep bench run?"))
+    };
+    let on = mean_of("instrumentation/metrics_on")?;
+    let off = mean_of("instrumentation/metrics_off")?;
+    if off <= 0.0 {
+        return Err("metrics_off mean is not positive".to_string());
+    }
+    let overhead_pct = (on / off - 1.0) * 100.0;
+    Ok(GateVerdict {
+        metrics_on_mean_s: on,
+        metrics_off_mean_s: off,
+        overhead_pct,
+        max_overhead_pct,
+        pass: overhead_pct <= max_overhead_pct,
+    })
+}
+
+/// Pulls `(artefact, figure wall_clock_us)` out of every
+/// `manifest_*.json` in `dir` that carries a figure section.
+fn figure_wall_clocks(dir: &std::path::Path) -> Vec<(String, f64)> {
+    let mut clocks = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return clocks;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let Some(artefact) = name.strip_prefix("manifest_").and_then(|n| n.strip_suffix(".json"))
+        else {
+            continue;
+        };
+        let Ok(body) = std::fs::read_to_string(entry.path()) else {
+            continue;
+        };
+        let Ok(doc) = parse_json(&body) else {
+            continue;
+        };
+        if let Some(us) =
+            doc.get("figure").and_then(|f| f.get("wall_clock_us")).and_then(JsonValue::as_num)
+        {
+            clocks.push((artefact.to_string(), us));
+        }
+    }
+    clocks.sort_by(|a, b| a.0.cmp(&b.0));
+    clocks
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push(' '),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn report_json(
+    rows: &[BenchRow],
+    verdict: &GateVerdict,
+    clocks: &[(String, f64)],
+    meta: &[(String, String)],
+) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": \"hmcs-bench-gate/1\",");
+    let meta_items: Vec<String> =
+        meta.iter().map(|(k, v)| format!("{}: {}", json_escape(k), json_escape(v))).collect();
+    let _ = writeln!(out, "  \"meta\": {{{}}},", meta_items.join(", "));
+    let _ = writeln!(out, "  \"gate\": {{");
+    let _ = writeln!(out, "    \"metrics_on_mean_s\": {},", verdict.metrics_on_mean_s);
+    let _ = writeln!(out, "    \"metrics_off_mean_s\": {},", verdict.metrics_off_mean_s);
+    let _ = writeln!(out, "    \"overhead_pct\": {},", verdict.overhead_pct);
+    let _ = writeln!(out, "    \"max_overhead_pct\": {},", verdict.max_overhead_pct);
+    let _ = writeln!(out, "    \"pass\": {}", verdict.pass);
+    let _ = writeln!(out, "  }},");
+    let clock_items: Vec<String> =
+        clocks.iter().map(|(k, v)| format!("{}: {v}", json_escape(k))).collect();
+    let _ = writeln!(out, "  \"figure_wall_clock_us\": {{{}}},", clock_items.join(", "));
+    let _ = writeln!(out, "  \"benches\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"id\": {}, \"min_s\": {}, \"mean_s\": {}, \"max_s\": {}}}{comma}",
+            json_escape(&r.id),
+            r.min_s,
+            r.mean_s,
+            r.max_s
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: benchgate ROWS.jsonl [--manifests DIR] [--out PATH] \
+         [--max-overhead-pct X] [--meta key=value]..."
+    );
+    std::process::exit(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut rows_path: Option<String> = None;
+    let mut manifests: Option<String> = None;
+    let mut out_path = "BENCH_PR4.json".to_string();
+    let mut max_overhead_pct = DEFAULT_MAX_OVERHEAD_PCT;
+    let mut meta: Vec<(String, String)> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--manifests" => manifests = Some(it.next().unwrap_or_else(|| usage())),
+            "--out" => out_path = it.next().unwrap_or_else(|| usage()),
+            "--max-overhead-pct" => {
+                max_overhead_pct =
+                    it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--meta" => {
+                let kv = it.next().unwrap_or_else(|| usage());
+                let (k, v) = kv.split_once('=').unwrap_or_else(|| usage());
+                meta.push((k.to_string(), v.to_string()));
+            }
+            _ if rows_path.is_none() && !arg.starts_with('-') => rows_path = Some(arg),
+            _ => usage(),
+        }
+    }
+    let Some(rows_path) = rows_path else { usage() };
+
+    let body = match std::fs::read_to_string(&rows_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: cannot read {rows_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let rows = match parse_rows(&body) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let verdict = match judge(&rows, max_overhead_pct) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let clocks = manifests
+        .as_deref()
+        .map(|d| figure_wall_clocks(std::path::Path::new(d)))
+        .unwrap_or_default();
+
+    let report = report_json(&rows, &verdict, &clocks, &meta);
+    if let Err(e) = std::fs::write(&out_path, &report) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        return ExitCode::from(2);
+    }
+    println!(
+        "benchgate: {} row(s), instrumentation overhead {:.2}% (budget {:.2}%) — {}",
+        rows.len(),
+        verdict.overhead_pct,
+        verdict.max_overhead_pct,
+        if verdict.pass { "PASS" } else { "FAIL" }
+    );
+    println!("report written to {out_path}");
+    if verdict.pass {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<BenchRow> {
+        parse_rows(concat!(
+            "{\"id\": \"instrumentation/metrics_on\", \"min_s\": 0.010, \"mean_s\": 0.0104, \"max_s\": 0.011}\n",
+            "{\"id\": \"instrumentation/metrics_off\", \"min_s\": 0.010, \"mean_s\": 0.0100, \"max_s\": 0.011}\n",
+            "{\"id\": \"figure_grid/workers/1\", \"min_s\": 0.02, \"mean_s\": 0.021, \"max_s\": 0.022}\n",
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn rows_parse_with_ids_and_times() {
+        let rows = rows();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2].id, "figure_grid/workers/1");
+        assert_eq!(rows[0].mean_s, 0.0104);
+    }
+
+    #[test]
+    fn gate_passes_inside_budget_and_fails_outside() {
+        let rows = rows();
+        // 4% overhead: passes a 10% budget, fails a 2% budget.
+        let ok = judge(&rows, 10.0).unwrap();
+        assert!(ok.pass);
+        assert!((ok.overhead_pct - 4.0).abs() < 1e-9);
+        let bad = judge(&rows, 2.0).unwrap();
+        assert!(!bad.pass);
+    }
+
+    #[test]
+    fn gate_requires_both_instrumentation_rows() {
+        let only_on = parse_rows(
+            "{\"id\": \"instrumentation/metrics_on\", \"min_s\": 1, \"mean_s\": 1, \"max_s\": 1}",
+        )
+        .unwrap();
+        assert!(judge(&only_on, 10.0).is_err());
+    }
+
+    #[test]
+    fn report_is_valid_json_carrying_the_verdict() {
+        let rows = rows();
+        let verdict = judge(&rows, 10.0).unwrap();
+        let clocks = vec![("fig4".to_string(), 28583.8)];
+        let meta = vec![("budget".to_string(), "ci".to_string())];
+        let doc = parse_json(&report_json(&rows, &verdict, &clocks, &meta)).unwrap();
+        assert_eq!(doc.get("schema").and_then(JsonValue::as_str), Some("hmcs-bench-gate/1"));
+        assert_eq!(
+            doc.get("meta").and_then(|m| m.get("budget")).and_then(JsonValue::as_str),
+            Some("ci")
+        );
+        assert_eq!(doc.get("gate").and_then(|g| g.get("pass")), Some(&JsonValue::Bool(true)));
+        assert_eq!(
+            doc.get("figure_wall_clock_us").and_then(|c| c.get("fig4")).and_then(JsonValue::as_num),
+            Some(28583.8)
+        );
+        match doc.get("benches") {
+            Some(JsonValue::Arr(items)) => assert_eq!(items.len(), 3),
+            other => panic!("benches should be an array, got {other:?}"),
+        }
+    }
+}

@@ -14,6 +14,7 @@
 //! Tables 1–2, the §6 blocking/non-blocking ratio claim and the
 //! reproduction's ablations.
 
+use crate::simcache;
 use hmcs_core::batch::{self, BatchOptions, EvalStats, EvalStatsSummary};
 use hmcs_core::config::{QueueAccounting, ServiceTimeModel, SystemConfig};
 use hmcs_core::error::ModelError;
@@ -23,8 +24,6 @@ use hmcs_core::scenario::{
 };
 use hmcs_core::sweep;
 use hmcs_sim::config::SimConfig;
-use hmcs_sim::flow::FlowSimulator;
-use hmcs_sim::packet::PacketSimulator;
 use hmcs_topology::technology::NetworkTechnology;
 use hmcs_topology::transmission::{Architecture, HopModel};
 
@@ -203,12 +202,18 @@ pub fn run_figure_with(
                     SimConfig::new(sys)
                         .with_messages(opts.messages)
                         .with_warmup(opts.warmup)
-                        .with_seed(opts.seed),
+                        .with_seed(opts.seed)
+                        // The figure only plots means; skip the P²
+                        // marker updates and the per-event center
+                        // statistics neither the CSVs nor the summary
+                        // read.
+                        .with_quantiles(false)
+                        .with_center_stats(false),
                 );
             }
         }
         batch::par_map(&sim_configs, batch_options.resolved_workers(), |cfg| {
-            FlowSimulator::run(cfg).map(|r| r.mean_latency_ms())
+            simcache::flow_run(cfg).map(|r| r.mean_latency_ms())
         })
         .into_iter()
         .map(|r| r.map(Some))
@@ -332,11 +337,13 @@ pub fn run_ablation_accounting(opts: &RunOptions) -> Result<Vec<AccountingRow>, 
         let single = AnalyticalModel::evaluate(&sys.with_accounting(QueueAccounting::SingleQueue))?
             .latency
             .mean_message_latency_ms();
-        let sim = FlowSimulator::run(
+        let sim = simcache::flow_run(
             &SimConfig::new(sys)
                 .with_messages(opts.messages)
                 .with_warmup(opts.warmup)
-                .with_seed(opts.seed),
+                .with_seed(opts.seed)
+                .with_quantiles(false)
+                .with_center_stats(false),
         )?
         .mean_latency_ms();
         rows.push(AccountingRow {
@@ -382,11 +389,13 @@ pub fn run_ablation_hops(opts: &RunOptions) -> Result<Vec<HopsRow>, ModelError> 
         {
             let sys = base.with_hop_model(hop);
             let analysis = AnalyticalModel::evaluate(&sys)?.latency.mean_message_latency_ms();
-            let sim = FlowSimulator::run(
+            let sim = simcache::flow_run(
                 &SimConfig::new(sys)
                     .with_messages(opts.messages)
                     .with_warmup(opts.warmup)
-                    .with_seed(opts.seed),
+                    .with_seed(opts.seed)
+                    .with_quantiles(false)
+                    .with_center_stats(false),
             )?
             .mean_latency_ms();
             if analysis_slot == 0 {
@@ -433,11 +442,13 @@ pub fn run_ablation_service(opts: &RunOptions) -> Result<Vec<ServiceRow>, ModelE
             .with_lambda(opts.lambda_per_us)
             .with_service_model(model);
         let analysis = AnalyticalModel::evaluate(&sys)?.latency.mean_message_latency_ms();
-        let sim = FlowSimulator::run(
+        let sim = simcache::flow_run(
             &SimConfig::new(sys)
                 .with_messages(opts.messages)
                 .with_warmup(opts.warmup)
-                .with_seed(opts.seed),
+                .with_seed(opts.seed)
+                .with_quantiles(false)
+                .with_center_stats(false),
         )?
         .mean_latency_ms();
         rows.push(ServiceRow { model: name, scv: model.scv(), analysis_ms: analysis, sim_ms: sim });
@@ -469,9 +480,11 @@ pub fn run_packet_validation(opts: &RunOptions) -> Result<Vec<PacketRow>, ModelE
         let sim_cfg = SimConfig::new(sys)
             .with_messages(opts.messages)
             .with_warmup(opts.warmup)
-            .with_seed(opts.seed);
-        let flow = FlowSimulator::run(&sim_cfg)?.mean_latency_ms();
-        let packet = PacketSimulator::run(&sim_cfg)?.mean_latency_ms();
+            .with_seed(opts.seed)
+            .with_quantiles(false)
+            .with_center_stats(false);
+        let flow = simcache::flow_run(&sim_cfg)?.mean_latency_ms();
+        let packet = simcache::packet_run(&sim_cfg)?.mean_latency_ms();
         rows.push(PacketRow {
             clusters: c,
             analysis_ms: analysis,
@@ -582,7 +595,9 @@ pub fn run_coc_validation(opts: &RunOptions) -> Result<Vec<CocValidationRow>, Mo
             &CocSimConfig::new(cfg)
                 .with_messages(opts.messages)
                 .with_warmup(opts.warmup)
-                .with_seed(opts.seed),
+                .with_seed(opts.seed)
+                .with_quantiles(false)
+                .with_center_stats(false),
         )?;
         rows.push(CocValidationRow {
             system: name,
@@ -641,11 +656,13 @@ pub fn run_bounds(opts: &RunOptions) -> Result<Vec<BoundsRow>, ModelError> {
         let x_bound = operational::throughput_upper_bound(n, d_total, d_max, z);
         let model = AnalyticalModel::evaluate(&sys)?;
         let sim_lambda = if opts.with_simulation {
-            FlowSimulator::run(
+            simcache::flow_run(
                 &SimConfig::new(sys)
                     .with_messages(opts.messages)
                     .with_warmup(opts.warmup)
-                    .with_seed(opts.seed),
+                    .with_seed(opts.seed)
+                    .with_quantiles(false)
+                    .with_center_stats(false),
             )?
             .effective_lambda_per_us
         } else {

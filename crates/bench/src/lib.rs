@@ -41,3 +41,4 @@ pub mod experiments;
 pub mod golden;
 pub mod manifest;
 pub mod report;
+pub mod simcache;

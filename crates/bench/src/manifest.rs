@@ -137,16 +137,24 @@ fn histogram_json(h: &HistogramSnapshot) -> String {
 }
 
 fn git_describe() -> Option<String> {
-    let out = std::process::Command::new("git")
-        .args(["describe", "--always", "--dirty"])
-        .output()
-        .ok()?;
-    if !out.status.success() {
-        return None;
-    }
-    let s = String::from_utf8(out.stdout).ok()?;
-    let s = s.trim();
-    (!s.is_empty()).then(|| s.to_string())
+    // `git describe --dirty` stats the entire working tree; at one
+    // subprocess per manifest it dominated `reproduce all`'s non-sim
+    // time. The description cannot change mid-process, so run it once.
+    static DESCRIBE: std::sync::OnceLock<Option<String>> = std::sync::OnceLock::new();
+    DESCRIBE
+        .get_or_init(|| {
+            let out = std::process::Command::new("git")
+                .args(["describe", "--always", "--dirty"])
+                .output()
+                .ok()?;
+            if !out.status.success() {
+                return None;
+            }
+            let s = String::from_utf8(out.stdout).ok()?;
+            let s = s.trim();
+            (!s.is_empty()).then(|| s.to_string())
+        })
+        .clone()
 }
 
 fn unix_time_s() -> u64 {

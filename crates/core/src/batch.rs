@@ -116,6 +116,28 @@ where
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
+    par_map_init(items, workers, || (), |(), item| f(item))
+}
+
+/// [`par_map`] with per-worker scratch state: each worker calls `init`
+/// once and threads the resulting value mutably through every item it
+/// claims.
+///
+/// This is the hook for expensive reusable resources — e.g. a
+/// simulator instance whose arenas and event list stay warm across the
+/// replications one worker processes. Correctness contract on `f`: its
+/// result must depend only on the item (the state may cache or reuse
+/// storage but must not leak information between items), so the output
+/// stays bit-identical to the sequential path regardless of worker
+/// count or claim order. With one worker (or one item) no threads are
+/// spawned and a single state value is used throughout.
+pub fn par_map_init<T, S, U, FInit, F>(items: &[T], workers: usize, init: FInit, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    FInit: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> U + Sync,
+{
     let workers = workers.max(1).min(items.len());
     let instrumented = metrics::enabled();
     if instrumented {
@@ -123,7 +145,8 @@ where
         metrics::counter(keys::BATCH_ITEMS).add(items.len() as u64);
     }
     if workers <= 1 {
-        return items.iter().map(f).collect();
+        let mut state = init();
+        return items.iter().map(|item| f(&mut state, item)).collect();
     }
 
     let cursor = AtomicUsize::new(0);
@@ -137,6 +160,7 @@ where
                     // results stay bit-identical to the sequential path.
                     let spawned = Instant::now();
                     let mut busy = std::time::Duration::ZERO;
+                    let mut state = init();
                     let mut local = Vec::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -145,11 +169,11 @@ where
                         }
                         if instrumented {
                             let t0 = Instant::now();
-                            let out = f(&items[i]);
+                            let out = f(&mut state, &items[i]);
                             busy += t0.elapsed();
                             local.push((i, out));
                         } else {
-                            local.push((i, f(&items[i])));
+                            local.push((i, f(&mut state, &items[i])));
                         }
                     }
                     if instrumented {
@@ -372,6 +396,38 @@ mod tests {
         assert!(out[0].is_ok());
         assert!(out[1].is_err());
         assert!(out[2].is_ok());
+    }
+
+    #[test]
+    fn par_map_init_matches_sequential_order_and_results() {
+        let items: Vec<u64> = (0..97).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for workers in [1, 2, 5, 32] {
+            let out = par_map_init(
+                &items,
+                workers,
+                // Per-worker scratch buffer standing in for a reusable
+                // simulator instance.
+                Vec::<u64>::new,
+                |scratch, &x| {
+                    scratch.push(x);
+                    x * x + 1
+                },
+            );
+            assert_eq!(out, expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn par_map_init_builds_one_state_per_worker() {
+        use std::sync::atomic::AtomicUsize;
+        let inits = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..64).collect();
+        let out = par_map_init(&items, 4, || inits.fetch_add(1, Ordering::Relaxed), |_state, &x| x);
+        assert_eq!(out, items);
+        // One init per worker — never one per item.
+        let states = inits.load(Ordering::Relaxed);
+        assert!(states <= 4, "expected at most 4 states, got {states}");
     }
 
     #[test]

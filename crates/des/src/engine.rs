@@ -21,6 +21,29 @@ impl<E> Scheduler<E> {
         Scheduler { queue: EventQueue::new(), events_scheduled: 0, peak_pending: 0 }
     }
 
+    fn with_capacity(capacity: usize) -> Self {
+        Scheduler {
+            queue: EventQueue::with_capacity(capacity),
+            events_scheduled: 0,
+            peak_pending: 0,
+        }
+    }
+
+    /// Grows the future-event list to hold at least `additional` more
+    /// pending events without reallocating.
+    pub fn reserve(&mut self, additional: usize) {
+        self.queue.reserve(additional);
+    }
+
+    /// Drops all pending events and zeroes the lifetime counters, so a
+    /// reused scheduler behaves exactly like a fresh one while keeping
+    /// the event list's storage warm.
+    fn reset(&mut self) {
+        self.queue.reset();
+        self.events_scheduled = 0;
+        self.peak_pending = 0;
+    }
+
     /// Schedules `event` at the absolute time `at`.
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
         self.events_scheduled += 1;
@@ -87,6 +110,29 @@ impl<M: Model> Engine<M> {
     /// Creates an engine at time zero with an empty event list.
     pub fn new(model: M) -> Self {
         Engine { model, scheduler: Scheduler::new(), now: SimTime::ZERO, events_processed: 0 }
+    }
+
+    /// Creates an engine whose future-event list is pre-sized for
+    /// `capacity` pending events, so a run with a known peak event
+    /// population (e.g. one think-time event per traffic source)
+    /// never reallocates the event list.
+    pub fn with_capacity(model: M, capacity: usize) -> Self {
+        Engine {
+            model,
+            scheduler: Scheduler::with_capacity(capacity),
+            now: SimTime::ZERO,
+            events_processed: 0,
+        }
+    }
+
+    /// Rewinds the engine to time zero with an empty event list and
+    /// zeroed counters, keeping the model and the event-list storage.
+    /// The caller is responsible for resetting the model's own state;
+    /// after that, a reused engine reproduces a fresh engine exactly.
+    pub fn reset(&mut self) {
+        self.scheduler.reset();
+        self.now = SimTime::ZERO;
+        self.events_processed = 0;
     }
 
     /// Current simulation time.
@@ -275,6 +321,41 @@ mod tests {
         e.run_to_completion();
         assert_eq!(e.scheduler().pending(), 0);
         assert_eq!(e.scheduler().peak_pending(), 5, "peak survives the drain");
+    }
+
+    #[test]
+    fn with_capacity_and_reset_reproduce_a_fresh_run() {
+        let model =
+            |n| Chain { remaining: n, spacing: SimTime::from_us(10.0), fired_at: Vec::new() };
+        let mut fresh = Engine::new(model(4));
+        fresh.scheduler_mut().schedule_at(SimTime::ZERO, ());
+        fresh.run_to_completion();
+
+        let mut reused = Engine::with_capacity(model(4), 8);
+        reused.scheduler_mut().schedule_at(SimTime::ZERO, ());
+        reused.run_to_completion();
+        // Rewind the engine, restore the model, and run again.
+        reused.reset();
+        *reused.model_mut() = model(4);
+        reused.scheduler_mut().schedule_at(SimTime::ZERO, ());
+        reused.run_to_completion();
+
+        assert_eq!(reused.now(), fresh.now());
+        assert_eq!(reused.events_processed(), fresh.events_processed());
+        assert_eq!(reused.model().fired_at, fresh.model().fired_at);
+        assert_eq!(reused.scheduler().events_scheduled(), fresh.scheduler().events_scheduled());
+        assert_eq!(reused.scheduler().peak_pending(), fresh.scheduler().peak_pending());
+    }
+
+    #[test]
+    fn scheduler_reserve_grows_the_event_list() {
+        let mut e =
+            Engine::new(Chain { remaining: 0, spacing: SimTime::ZERO, fired_at: Vec::new() });
+        e.scheduler_mut().reserve(64);
+        for i in 0..64 {
+            e.scheduler_mut().schedule_at(SimTime::from_us(i as f64), ());
+        }
+        assert_eq!(e.scheduler().pending(), 64);
     }
 
     #[test]

@@ -53,6 +53,19 @@ impl P2Quantile {
         self.count
     }
 
+    /// Discards all observations, returning the estimator to its
+    /// just-constructed state for the same quantile level (the initial
+    /// buffer keeps its storage).
+    pub fn reset(&mut self) {
+        let q = self.q;
+        self.heights = [0.0; 5];
+        self.positions = [1.0, 2.0, 3.0, 4.0, 5.0];
+        self.desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0];
+        self.increments = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0];
+        self.count = 0;
+        self.initial.clear();
+    }
+
     /// Adds one observation.
     pub fn record(&mut self, x: f64) {
         self.count += 1;
@@ -242,5 +255,28 @@ mod tests {
     #[test]
     fn level_accessor() {
         assert_eq!(P2Quantile::new(0.25).level(), 0.25);
+    }
+
+    #[test]
+    fn reset_is_bit_identical_to_a_fresh_estimator() {
+        let mut reused = P2Quantile::new(0.95);
+        // Pollute with one stream, then reset.
+        for i in 0..500 {
+            reused.record((i % 37) as f64 * 0.25);
+        }
+        reused.reset();
+        assert_eq!(reused.count(), 0);
+        assert_eq!(reused.estimate(), None);
+        let mut fresh = P2Quantile::new(0.95);
+        for i in 0..1000u64 {
+            let x = ((i * 2654435761) % 10007) as f64 * 1e-3;
+            reused.record(x);
+            fresh.record(x);
+        }
+        assert_eq!(
+            reused.estimate().unwrap().to_bits(),
+            fresh.estimate().unwrap().to_bits(),
+            "reset estimator must replay a stream exactly like a fresh one"
+        );
     }
 }

@@ -30,6 +30,7 @@ pub struct FcfsServer<T> {
     arrivals: u64,
     departures: u64,
     busy_area: TimeWeighted,
+    instrumented: bool,
 }
 
 impl<T: Clone> Default for FcfsServer<T> {
@@ -49,7 +50,21 @@ impl<T: Clone> FcfsServer<T> {
             arrivals: 0,
             departures: 0,
             busy_area: TimeWeighted::new(),
+            instrumented: true,
         }
+    }
+
+    /// Switches the per-event statistics (waiting times, time-weighted
+    /// queue length, busy area) on or off. With instrumentation off the
+    /// queueing *behaviour* is unchanged — directives, ordering, and
+    /// arrival/departure counts stay exact — but
+    /// [`FcfsServer::waiting_time_stats`],
+    /// [`FcfsServer::mean_number_in_system`] and
+    /// [`FcfsServer::utilization`] report empty/zero. Callers that only
+    /// read latency means can turn it off to drop two time-weighted
+    /// updates per event from the hot path. Survives [`FcfsServer::reset`].
+    pub fn set_instrumented(&mut self, instrumented: bool) {
+        self.instrumented = instrumented;
     }
 
     /// Number of customers present (waiting + in service).
@@ -73,7 +88,9 @@ impl<T: Clone> FcfsServer<T> {
         self.arrivals += 1;
         let directive = if self.in_service.is_none() {
             self.in_service = Some((customer.clone(), now));
-            self.waiting_times.record(0.0);
+            if self.instrumented {
+                self.waiting_times.record(0.0);
+            }
             ServiceDirective::StartService(customer)
         } else {
             self.waiting.push_back((customer, now));
@@ -95,7 +112,9 @@ impl<T: Clone> FcfsServer<T> {
         self.departures += 1;
         let directive = match self.waiting.pop_front() {
             Some((next, arrived)) => {
-                self.waiting_times.record(now - arrived);
+                if self.instrumented {
+                    self.waiting_times.record(now - arrived);
+                }
                 self.in_service = Some((next.clone(), now));
                 ServiceDirective::StartService(next)
             }
@@ -106,8 +125,24 @@ impl<T: Clone> FcfsServer<T> {
     }
 
     fn record_state(&mut self, now: f64) {
+        if !self.instrumented {
+            return;
+        }
         self.queue_length.update(now, self.len() as f64);
         self.busy_area.update(now, if self.is_busy() { 1.0 } else { 0.0 });
+    }
+
+    /// Returns the server to its just-constructed state while keeping
+    /// the waiting deque's storage, so a reused server behaves exactly
+    /// like a fresh one without reallocating.
+    pub fn reset(&mut self) {
+        self.waiting.clear();
+        self.in_service = None;
+        self.waiting_times = OnlineStats::new();
+        self.queue_length = TimeWeighted::new();
+        self.busy_area = TimeWeighted::new();
+        self.arrivals = 0;
+        self.departures = 0;
     }
 
     /// Statistics of time spent waiting before service starts.
@@ -199,5 +234,34 @@ mod tests {
     fn completion_on_idle_server_is_a_bug() {
         let mut s: FcfsServer<u32> = FcfsServer::new();
         s.complete(1.0);
+    }
+
+    #[test]
+    fn reset_restores_the_fresh_state() {
+        let mut s: FcfsServer<u32> = FcfsServer::new();
+        s.arrive(0.0, 1);
+        s.arrive(1.0, 2);
+        s.complete(5.0);
+        s.reset();
+        assert!(s.is_empty());
+        assert!(!s.is_busy());
+        assert_eq!(s.arrivals(), 0);
+        assert_eq!(s.departures(), 0);
+        assert_eq!(s.waiting_time_stats().count(), 0);
+        // A replayed history produces the same statistics as on a
+        // fresh server.
+        let mut fresh: FcfsServer<u32> = FcfsServer::new();
+        for q in [&mut s, &mut fresh] {
+            q.arrive(0.0, 1);
+            q.arrive(1.0, 2);
+            q.complete(5.0);
+            q.complete(8.0);
+        }
+        assert_eq!(s.waiting_time_stats(), fresh.waiting_time_stats());
+        assert_eq!(s.utilization(10.0).to_bits(), fresh.utilization(10.0).to_bits());
+        assert_eq!(
+            s.mean_number_in_system(10.0).to_bits(),
+            fresh.mean_number_in_system(10.0).to_bits()
+        );
     }
 }

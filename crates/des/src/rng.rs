@@ -11,7 +11,7 @@
 //!   perturb unrelated streams.
 
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 
 /// SplitMix64 — used only to expand `(master_seed, stream_id)` into the
 /// 64-bit seed for a stream. Standard constants from Steele et al.
@@ -121,6 +121,66 @@ impl RngStream {
     pub fn bernoulli(&mut self, p: f64) -> bool {
         debug_assert!((0.0..=1.0).contains(&p));
         self.uniform() < p
+    }
+
+    /// The next raw 64 bits of the stream (one underlying draw).
+    #[inline]
+    fn next_raw(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+}
+
+/// A precomputed uniform-integer sampler over `[0, n)`.
+///
+/// [`RngStream::uniform_below`] recomputes its rejection zone —
+/// `u64::MAX - (u64::MAX % span)`, an integer division — on every
+/// call. The simulators draw destinations from the same one or two
+/// ranges millions of times per run, so this caches the `(span, zone)`
+/// pair once at model-build time. A draw consumes the same underlying
+/// 64-bit stream values and applies the same rejection rule, so the
+/// samples are **bit-identical** to the per-call path.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformInt {
+    span: u64,
+    zone: u64,
+}
+
+impl UniformInt {
+    /// Builds the sampler for `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "uniform_below needs a positive bound");
+        let span = n as u64;
+        UniformInt { span, zone: u64::MAX - (u64::MAX % span) }
+    }
+
+    /// A uniform draw from `[0, n)` on `stream` — bit-identical to
+    /// `stream.uniform_below(n)`.
+    #[inline]
+    pub fn sample(&self, stream: &mut RngStream) -> usize {
+        // Unbiased rejection sampling, mirroring `gen_range` exactly.
+        loop {
+            let v = stream.next_raw();
+            if v < self.zone {
+                return (v % self.span) as usize;
+            }
+        }
+    }
+
+    /// A uniform draw from `0..=n` **excluding** `skip` — bit-identical
+    /// to `stream.uniform_excluding(n + 1, skip)` for a sampler built
+    /// with `UniformInt::new(n)`.
+    #[inline]
+    pub fn sample_excluding(&self, stream: &mut RngStream, skip: usize) -> usize {
+        let draw = self.sample(stream);
+        if draw >= skip {
+            draw + 1
+        } else {
+            draw
+        }
     }
 }
 
@@ -237,6 +297,41 @@ mod tests {
         let mut r = RngStream::new(17, 0);
         let hits = (0..100_000).filter(|_| r.bernoulli(0.3)).count();
         assert!((hits as f64 / 100_000.0 - 0.3).abs() < 0.01);
+    }
+
+    #[test]
+    fn uniform_int_is_bit_identical_to_uniform_below() {
+        for n in [1usize, 2, 3, 7, 10, 255, 1000, 65_537] {
+            let sampler = UniformInt::new(n);
+            let mut a = RngStream::new(99, 4);
+            let mut b = RngStream::new(99, 4);
+            for _ in 0..2_000 {
+                assert_eq!(sampler.sample(&mut a), b.uniform_below(n), "n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_int_excluding_is_bit_identical() {
+        let n = 12;
+        let sampler = UniformInt::new(n - 1);
+        let mut a = RngStream::new(123, 8);
+        let mut b = RngStream::new(123, 8);
+        for skip in 0..n {
+            for _ in 0..500 {
+                assert_eq!(
+                    sampler.sample_excluding(&mut a, skip),
+                    b.uniform_excluding(n, skip),
+                    "skip = {skip}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn uniform_int_rejects_zero_bound() {
+        UniformInt::new(0);
     }
 
     #[test]

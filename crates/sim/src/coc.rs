@@ -30,12 +30,27 @@ pub struct CocSimConfig {
     pub warmup_messages: u64,
     /// Master seed.
     pub seed: u64,
+    /// Whether the sink keeps P² latency-quantile estimators. Same
+    /// contract as [`crate::config::SimConfig::track_quantiles`]: with
+    /// it off, `quantiles` is `None` and every other statistic is
+    /// bit-identical.
+    pub track_quantiles: bool,
+    /// Whether the service centers keep per-event statistics. Same
+    /// contract as [`crate::config::SimConfig::track_center_stats`].
+    pub track_center_stats: bool,
 }
 
 impl CocSimConfig {
     /// Creates a run configuration with paper-style defaults.
     pub fn new(system: CocConfig) -> Self {
-        CocSimConfig { system, messages: 10_000, warmup_messages: 0, seed: 0x5EED }
+        CocSimConfig {
+            system,
+            messages: 10_000,
+            warmup_messages: 0,
+            seed: 0x5EED,
+            track_quantiles: true,
+            track_center_stats: true,
+        }
     }
 
     /// Sets the measured-message budget.
@@ -53,6 +68,18 @@ impl CocSimConfig {
     /// Sets the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Toggles the sink's P² latency-quantile estimators.
+    pub fn with_quantiles(mut self, track_quantiles: bool) -> Self {
+        self.track_quantiles = track_quantiles;
+        self
+    }
+
+    /// Toggles the service centers' per-event statistics.
+    pub fn with_center_stats(mut self, track_center_stats: bool) -> Self {
+        self.track_center_stats = track_center_stats;
         self
     }
 }
@@ -105,6 +132,13 @@ struct CocModel {
     p99: P2Quantile,
 }
 
+/// Builds one service center honouring the config's statistics flag.
+fn coc_center(cfg: &CocSimConfig) -> FcfsServer<MsgId> {
+    let mut server = FcfsServer::new();
+    server.set_instrumented(cfg.track_center_stats);
+    server
+}
+
 impl CocModel {
     fn new(cfg: CocSimConfig) -> Result<Self, ModelError> {
         cfg.system.validate()?;
@@ -121,9 +155,9 @@ impl CocModel {
             think_rng: RngStream::new(cfg.seed, 21),
             dest_rng: RngStream::new(cfg.seed, 22),
             svc_rng: RngStream::new(cfg.seed, 23),
-            icn1: (0..clusters).map(|_| FcfsServer::new()).collect(),
-            ecn1: (0..clusters).map(|_| FcfsServer::new()).collect(),
-            icn2: FcfsServer::new(),
+            icn1: (0..clusters).map(|_| coc_center(&cfg)).collect(),
+            ecn1: (0..clusters).map(|_| coc_center(&cfg)).collect(),
+            icn2: coc_center(&cfg),
             msgs: Vec::new(),
             free_ids: Vec::new(),
             delivered: 0,
@@ -163,13 +197,17 @@ impl CocModel {
         self.delivered += 1;
         if self.delivered > self.cfg.warmup_messages {
             self.latency.record(latency);
-            self.p50.record(latency);
-            self.p95.record(latency);
-            self.p99.record(latency);
-            if self.cluster_of_node[msg.src] == self.cluster_of_node[msg.dst] {
-                self.internal_latency.record(latency);
-            } else {
-                self.external_latency.record(latency);
+            if self.cfg.track_quantiles {
+                self.p50.record(latency);
+                self.p95.record(latency);
+                self.p99.record(latency);
+            }
+            if self.cfg.track_center_stats {
+                if self.cluster_of_node[msg.src] == self.cluster_of_node[msg.dst] {
+                    self.internal_latency.record(latency);
+                } else {
+                    self.external_latency.record(latency);
+                }
             }
         }
         let think = self.think_rng.exponential(self.cfg.system.lambda_per_us);

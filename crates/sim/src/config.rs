@@ -26,6 +26,24 @@ pub struct SimConfig {
     pub blocked_sources: bool,
     /// Destination-selection pattern (assumption 3 by default).
     pub pattern: TrafficPattern,
+    /// Whether the sink maintains streaming P² latency-quantile
+    /// estimators (p50/p95/p99). On by default; consumers that only
+    /// read means (the figure pipelines) can switch the three
+    /// per-delivery marker updates off. The flag never changes any
+    /// other statistic — with it off, [`crate::result::SimResult::quantiles`]
+    /// is `None` and everything else is bit-identical.
+    pub track_quantiles: bool,
+    /// Whether the run keeps diagnostic statistics beyond the overall
+    /// latency/throughput: per-center waiting times and time-weighted
+    /// queue length / busy area, plus the internal-vs-external latency
+    /// split. On by default; consumers that only read the overall
+    /// latency and throughput (the figure pipelines) can switch them
+    /// off to drop the per-event time-weighted updates from the hot
+    /// path. Queueing behaviour and every overall statistic are
+    /// bit-identical either way — with the flag off, the per-center
+    /// observations, utilizations and per-class latencies in
+    /// [`crate::result::SimResult`] read empty/zero.
+    pub track_center_stats: bool,
 }
 
 impl SimConfig {
@@ -40,6 +58,8 @@ impl SimConfig {
             seed: 0x5EED,
             blocked_sources: true,
             pattern: TrafficPattern::Uniform,
+            track_quantiles: true,
+            track_center_stats: true,
         }
     }
 
@@ -70,6 +90,18 @@ impl SimConfig {
     /// Sets the traffic pattern.
     pub fn with_pattern(mut self, pattern: TrafficPattern) -> Self {
         self.pattern = pattern;
+        self
+    }
+
+    /// Toggles the sink's P² latency-quantile estimators.
+    pub fn with_quantiles(mut self, track_quantiles: bool) -> Self {
+        self.track_quantiles = track_quantiles;
+        self
+    }
+
+    /// Toggles the service centers' per-event statistics.
+    pub fn with_center_stats(mut self, track_center_stats: bool) -> Self {
+        self.track_center_stats = track_center_stats;
         self
     }
 

@@ -34,7 +34,7 @@ use hmcs_core::service::ServiceTimes;
 use hmcs_des::engine::{Engine, Model, Scheduler};
 use hmcs_des::quantile::P2Quantile;
 use hmcs_des::queue::{FcfsServer, ServiceDirective};
-use hmcs_des::rng::RngStream;
+use hmcs_des::rng::{RngStream, UniformInt};
 use hmcs_des::stats::OnlineStats;
 use hmcs_des::time::SimTime;
 
@@ -69,6 +69,7 @@ enum Ev {
     Icn2Done,
 }
 
+#[derive(Debug)]
 struct FlowModel {
     cfg: SimConfig,
     n0: usize,
@@ -77,6 +78,11 @@ struct FlowModel {
     think_rng: RngStream,
     dest_rng: RngStream,
     svc_rng: RngStream,
+    /// Precomputed sampler over the `n - 1` non-source destinations.
+    dest_any: UniformInt,
+    /// Precomputed sampler over the `n0 - 1` non-source cluster-local
+    /// destinations (`None` for single-node clusters).
+    dest_intra: Option<UniformInt>,
     icn1: Vec<FcfsServer<MsgId>>,
     ecn1: Vec<FcfsServer<MsgId>>,
     icn2: FcfsServer<MsgId>,
@@ -91,6 +97,13 @@ struct FlowModel {
     p99: P2Quantile,
 }
 
+/// Builds one service center honouring the config's statistics flag.
+fn center(cfg: &SimConfig) -> FcfsServer<MsgId> {
+    let mut server = FcfsServer::new();
+    server.set_instrumented(cfg.track_center_stats);
+    server
+}
+
 impl FlowModel {
     fn new(cfg: SimConfig) -> Result<Self, ModelError> {
         cfg.validate()?;
@@ -103,9 +116,12 @@ impl FlowModel {
             think_rng: RngStream::new(cfg.seed, 1),
             dest_rng: RngStream::new(cfg.seed, 2),
             svc_rng: RngStream::new(cfg.seed, 3),
-            icn1: (0..clusters).map(|_| FcfsServer::new()).collect(),
-            ecn1: (0..clusters).map(|_| FcfsServer::new()).collect(),
-            icn2: FcfsServer::new(),
+            dest_any: UniformInt::new(cfg.system.total_nodes() - 1),
+            dest_intra: (cfg.system.nodes_per_cluster >= 2)
+                .then(|| UniformInt::new(cfg.system.nodes_per_cluster - 1)),
+            icn1: (0..clusters).map(|_| center(&cfg)).collect(),
+            ecn1: (0..clusters).map(|_| center(&cfg)).collect(),
+            icn2: center(&cfg),
             msgs: Vec::new(),
             free_ids: Vec::new(),
             delivered: 0,
@@ -117,6 +133,34 @@ impl FlowModel {
             p99: P2Quantile::new(0.99),
             cfg,
         })
+    }
+
+    /// Returns the model to the state `FlowModel::new` would produce
+    /// for the same system with `seed`, keeping every allocation
+    /// (server deques, message table, free list) warm. The RNG streams
+    /// are rebuilt with the same stream ids, so a reset model replays
+    /// a fresh model's sample path bit for bit.
+    fn reset(&mut self, seed: u64) {
+        self.cfg.seed = seed;
+        self.think_rng = RngStream::new(seed, 1);
+        self.dest_rng = RngStream::new(seed, 2);
+        self.svc_rng = RngStream::new(seed, 3);
+        for q in &mut self.icn1 {
+            q.reset();
+        }
+        for q in &mut self.ecn1 {
+            q.reset();
+        }
+        self.icn2.reset();
+        self.msgs.clear();
+        self.free_ids.clear();
+        self.delivered = 0;
+        self.latency = OnlineStats::new();
+        self.internal_latency = OnlineStats::new();
+        self.external_latency = OnlineStats::new();
+        self.p50.reset();
+        self.p95.reset();
+        self.p99.reset();
     }
 
     fn cluster_of(&self, node: usize) -> usize {
@@ -134,15 +178,16 @@ impl FlowModel {
 
     fn pick_destination(&mut self, src: usize) -> usize {
         match self.cfg.pattern {
-            TrafficPattern::Uniform => self.dest_rng.uniform_excluding(self.n, src),
+            TrafficPattern::Uniform => self.dest_any.sample_excluding(&mut self.dest_rng, src),
             TrafficPattern::Localized { locality } => {
-                if self.n0 >= 2 && self.dest_rng.bernoulli(locality) {
-                    // Uniform within the source's cluster, excluding the
-                    // source itself.
-                    let base = self.cluster_of(src) * self.n0;
-                    base + self.dest_rng.uniform_excluding(self.n0, src - base)
-                } else {
-                    self.dest_rng.uniform_excluding(self.n, src)
+                match self.dest_intra {
+                    Some(intra) if self.dest_rng.bernoulli(locality) => {
+                        // Uniform within the source's cluster, excluding
+                        // the source itself.
+                        let base = self.cluster_of(src) * self.n0;
+                        base + intra.sample_excluding(&mut self.dest_rng, src - base)
+                    }
+                    _ => self.dest_any.sample_excluding(&mut self.dest_rng, src),
                 }
             }
             TrafficPattern::Hotspot { node, fraction } => {
@@ -150,7 +195,7 @@ impl FlowModel {
                 if src != hot && self.dest_rng.bernoulli(fraction) {
                     hot
                 } else {
-                    self.dest_rng.uniform_excluding(self.n, src)
+                    self.dest_any.sample_excluding(&mut self.dest_rng, src)
                 }
             }
         }
@@ -178,13 +223,17 @@ impl FlowModel {
         self.delivered += 1;
         if self.delivered > self.cfg.warmup_messages {
             self.latency.record(latency);
-            self.p50.record(latency);
-            self.p95.record(latency);
-            self.p99.record(latency);
-            if self.cluster_of(msg.src) == self.cluster_of(msg.dst) {
-                self.internal_latency.record(latency);
-            } else {
-                self.external_latency.record(latency);
+            if self.cfg.track_quantiles {
+                self.p50.record(latency);
+                self.p95.record(latency);
+                self.p99.record(latency);
+            }
+            if self.cfg.track_center_stats {
+                if self.cluster_of(msg.src) == self.cluster_of(msg.dst) {
+                    self.internal_latency.record(latency);
+                } else {
+                    self.external_latency.record(latency);
+                }
             }
         }
         if self.cfg.blocked_sources {
@@ -285,23 +334,54 @@ pub struct FlowSimulator;
 impl FlowSimulator {
     /// Runs one simulation and returns the sink statistics.
     pub fn run(cfg: &SimConfig) -> Result<SimResult, ModelError> {
-        let mut engine = Engine::new(FlowModel::new(*cfg)?);
+        Ok(FlowSimInstance::new(cfg)?.run(cfg.seed))
+    }
+}
+
+/// A reusable flow-level simulator: build once per system
+/// configuration, then [`FlowSimInstance::run`] any number of seeds
+/// while the event list, server deques, and message table keep their
+/// storage warm. Every run is bit-identical to a fresh
+/// [`FlowSimulator::run`] of the same configuration and seed.
+#[derive(Debug)]
+pub struct FlowSimInstance {
+    engine: Engine<FlowModel>,
+}
+
+impl FlowSimInstance {
+    /// Builds the simulator for `cfg`'s system.
+    pub fn new(cfg: &SimConfig) -> Result<Self, ModelError> {
+        let model = FlowModel::new(*cfg)?;
+        // Pending-event bound: one Generate per source plus at most one
+        // Done per server (per-cluster ICN1 + ECN1 and the global ICN2).
+        let capacity = model.n + 2 * model.icn1.len() + 1;
+        Ok(FlowSimInstance { engine: Engine::with_capacity(model, capacity) })
+    }
+
+    /// Runs one replication seeded with `seed` and returns the sink
+    /// statistics.
+    pub fn run(&mut self, seed: u64) -> SimResult {
+        let engine = &mut self.engine;
+        engine.reset();
+        engine.model_mut().reset(seed);
+        let (n, lambda) = (engine.model().n, engine.model().cfg.system.lambda_per_us);
         // Every processor starts in the thinking state.
-        for node in 0..cfg.system.total_nodes() {
-            let think = engine.model_mut().think_rng.exponential(cfg.system.lambda_per_us);
+        for node in 0..n {
+            let think = engine.model_mut().think_rng.exponential(lambda);
             engine.scheduler_mut().schedule_at(SimTime::from_us(think), Ev::Generate { node });
         }
-        let target = cfg.messages;
+        let target = engine.model().cfg.messages;
         engine.run_until(None, None, |m| m.measured() >= target);
         let now = engine.now().as_us();
         // Bridge the engine's local counters into the global registry
-        // before the engine is consumed (the DES kernel deliberately
-        // knows nothing about hmcs-core).
+        // (the DES kernel deliberately knows nothing about hmcs-core).
         metrics::counter(metrics_keys::FLOW_EVENTS).add(engine.events_processed());
         metrics::histogram(metrics_keys::FLOW_PEAK_PENDING)
             .record(engine.scheduler().peak_pending() as u64);
-        let model = engine.into_model();
+        Self::collect(engine.model(), now)
+    }
 
+    fn collect(model: &FlowModel, now: f64) -> SimResult {
         let avg_center = |servers: &[FcfsServer<MsgId>]| -> CenterObservation {
             let k = servers.len() as f64;
             CenterObservation {
@@ -316,7 +396,7 @@ impl FlowSimulator {
         };
 
         let measured = model.latency.count();
-        Ok(SimResult {
+        SimResult {
             mean_latency_us: model.latency.mean(),
             latency: model.latency.clone(),
             quantiles: match (model.p50.estimate(), model.p95.estimate(), model.p99.estimate()) {
@@ -339,7 +419,7 @@ impl FlowSimulator {
                 utilization: model.icn2.utilization(now),
                 arrivals: model.icn2.arrivals(),
             },
-        })
+        }
     }
 }
 
@@ -374,6 +454,22 @@ mod tests {
         assert_eq!(a, b);
         let c = FlowSimulator::run(&cfg.with_seed(78)).unwrap();
         assert_ne!(a.mean_latency_us, c.mean_latency_us);
+    }
+
+    #[test]
+    fn reset_reuse_is_bit_identical_to_fresh_builds() {
+        // The reset-reuse contract: one instance run with
+        // seeds s1, s2, s1 must reproduce three fresh builds exactly —
+        // including the repeat of s1, which proves the reset leaks no
+        // state from the s2 run.
+        let cfg =
+            SimConfig::new(system(8, Architecture::NonBlocking)).with_messages(1_500).with_seed(7);
+        let fresh_a = FlowSimulator::run(&cfg).unwrap();
+        let fresh_b = FlowSimulator::run(&cfg.with_seed(8)).unwrap();
+        let mut instance = FlowSimInstance::new(&cfg).unwrap();
+        assert_eq!(instance.run(7), fresh_a);
+        assert_eq!(instance.run(8), fresh_b);
+        assert_eq!(instance.run(7), fresh_a);
     }
 
     #[test]
@@ -492,6 +588,42 @@ mod tests {
         assert!(q.p50_us > 0.0);
         assert!(q.p99_us <= r.latency.max().unwrap() + 1e-9);
         assert!(q.p50_us >= r.latency.min().unwrap() - 1e-9);
+    }
+
+    #[test]
+    fn disabling_quantiles_changes_nothing_else() {
+        let cfg =
+            SimConfig::new(system(8, Architecture::NonBlocking)).with_messages(2_000).with_seed(47);
+        let tracked = FlowSimulator::run(&cfg).unwrap();
+        let untracked = FlowSimulator::run(&cfg.with_quantiles(false)).unwrap();
+        assert!(tracked.quantiles.is_some());
+        assert!(untracked.quantiles.is_none());
+        let mut masked = tracked.clone();
+        masked.quantiles = None;
+        assert_eq!(masked, untracked);
+    }
+
+    #[test]
+    fn disabling_center_stats_keeps_every_delivery_statistic() {
+        let cfg =
+            SimConfig::new(system(8, Architecture::NonBlocking)).with_messages(2_000).with_seed(47);
+        let tracked = FlowSimulator::run(&cfg).unwrap();
+        let bare = FlowSimulator::run(&cfg.with_center_stats(false)).unwrap();
+        // The sample path is untouched: every latency / throughput
+        // statistic is bit-identical.
+        assert_eq!(bare.latency, tracked.latency);
+        assert_eq!(bare.mean_latency_us.to_bits(), tracked.mean_latency_us.to_bits());
+        assert_eq!(bare.throughput_per_us.to_bits(), tracked.throughput_per_us.to_bits());
+        assert_eq!(bare.quantiles, tracked.quantiles);
+        assert_eq!(bare.messages, tracked.messages);
+        assert_eq!(bare.icn1.arrivals, tracked.icn1.arrivals);
+        // Only the per-center observations go dark.
+        assert!(tracked.icn1.utilization > 0.0);
+        assert_eq!(bare.icn1.utilization, 0.0);
+        assert_eq!(bare.icn1.mean_number_in_system, 0.0);
+        assert!(bare.per_cluster_ecn1_utilization.iter().all(|&u| u == 0.0));
+        assert_eq!(bare.internal_latency.count(), 0);
+        assert_eq!(bare.external_latency.count(), 0);
     }
 
     #[test]

@@ -22,8 +22,11 @@
 //!
 //! [`coc`] extends the flow-level simulator to heterogeneous
 //! Cluster-of-Clusters systems (the paper's §7 future work), and
-//! [`replication`] runs independent replications in parallel threads
-//! with confidence intervals.
+//! [`replication`] runs independent replications with confidence
+//! intervals on the shared bounded worker pool ([`hmcs_core::batch`]):
+//! seeds are fixed by replication index, each worker reuses one
+//! simulator instance across the replications it claims, and the
+//! summary is identical for any worker count.
 //!
 //! ```
 //! use hmcs_core::config::SystemConfig;

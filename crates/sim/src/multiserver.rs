@@ -33,6 +33,7 @@ pub struct MultiServer<T> {
     occupancy: TimeWeighted,
     arrivals: u64,
     departures: u64,
+    instrumented: bool,
 }
 
 impl<T: Clone> MultiServer<T> {
@@ -51,7 +52,18 @@ impl<T: Clone> MultiServer<T> {
             occupancy: TimeWeighted::new(),
             arrivals: 0,
             departures: 0,
+            instrumented: true,
         }
+    }
+
+    /// Switches the per-event statistics (waiting times, time-weighted
+    /// occupancy) on or off. Queueing behaviour — directives, FIFO
+    /// order, arrival/departure counts — is unchanged either way; with
+    /// instrumentation off, [`MultiServer::waiting_time_stats`] stays
+    /// empty and [`MultiServer::mean_number_in_system`] reports zero.
+    /// Survives [`MultiServer::reset`].
+    pub fn set_instrumented(&mut self, instrumented: bool) {
+        self.instrumented = instrumented;
     }
 
     /// Server count.
@@ -75,13 +87,17 @@ impl<T: Clone> MultiServer<T> {
         self.arrivals += 1;
         let directive = if (self.in_service.len() as u32) < self.capacity {
             self.in_service.push_back(customer.clone());
-            self.waiting_times.record(0.0);
+            if self.instrumented {
+                self.waiting_times.record(0.0);
+            }
             MultiDirective::Start(customer)
         } else {
             self.waiting.push_back((customer, now));
             MultiDirective::Idle
         };
-        self.occupancy.update(now, self.len() as f64);
+        if self.instrumented {
+            self.occupancy.update(now, self.len() as f64);
+        }
         directive
     }
 
@@ -98,13 +114,17 @@ impl<T: Clone> MultiServer<T> {
         let directive = match self.waiting.pop_front() {
             Some((next, arrived)) => {
                 // The freed server immediately takes the head waiter.
-                self.waiting_times.record(now - arrived);
+                if self.instrumented {
+                    self.waiting_times.record(now - arrived);
+                }
                 self.in_service.push_back(next.clone());
                 MultiDirective::Start(next)
             }
             None => MultiDirective::Idle,
         };
-        self.occupancy.update(now, self.len() as f64);
+        if self.instrumented {
+            self.occupancy.update(now, self.len() as f64);
+        }
         (done, directive)
     }
 
@@ -126,6 +146,18 @@ impl<T: Clone> MultiServer<T> {
     /// Total departures.
     pub fn departures(&self) -> u64 {
         self.departures
+    }
+
+    /// Returns the queue to its just-constructed state (same
+    /// `capacity`) while keeping both deques' storage, so a reused
+    /// queue behaves exactly like a fresh one without reallocating.
+    pub fn reset(&mut self) {
+        self.in_service.clear();
+        self.waiting.clear();
+        self.waiting_times = OnlineStats::new();
+        self.occupancy = TimeWeighted::new();
+        self.arrivals = 0;
+        self.departures = 0;
     }
 }
 
@@ -203,5 +235,34 @@ mod tests {
     #[should_panic(expected = "at least one server")]
     fn zero_capacity_rejected() {
         let _: MultiServer<u32> = MultiServer::new(0);
+    }
+
+    #[test]
+    fn reset_restores_the_fresh_state() {
+        let mut q: MultiServer<u32> = MultiServer::new(2);
+        q.arrive(0.0, 1);
+        q.arrive(0.0, 2);
+        q.arrive(1.0, 3);
+        q.complete(4.0);
+        q.reset();
+        assert!(q.is_empty());
+        assert_eq!(q.capacity(), 2);
+        assert_eq!(q.arrivals(), 0);
+        assert_eq!(q.departures(), 0);
+        assert_eq!(q.waiting_time_stats().count(), 0);
+        // A replayed history produces the same statistics as on a
+        // fresh queue.
+        let mut fresh: MultiServer<u32> = MultiServer::new(2);
+        for s in [&mut q, &mut fresh] {
+            s.arrive(0.0, 1);
+            s.arrive(0.0, 2);
+            s.complete(10.0);
+            s.complete(10.0);
+        }
+        assert_eq!(q.waiting_time_stats(), fresh.waiting_time_stats());
+        assert_eq!(
+            q.mean_number_in_system(20.0).to_bits(),
+            fresh.mean_number_in_system(20.0).to_bits()
+        );
     }
 }

@@ -33,7 +33,7 @@ use hmcs_core::metrics;
 use hmcs_core::routing::TrafficPattern;
 use hmcs_des::engine::{Engine, Model, Scheduler};
 use hmcs_des::quantile::P2Quantile;
-use hmcs_des::rng::RngStream;
+use hmcs_des::rng::{RngStream, UniformInt};
 use hmcs_des::stats::OnlineStats;
 use hmcs_des::time::SimTime;
 use hmcs_topology::transmission::Architecture;
@@ -49,13 +49,14 @@ enum Step {
     Queue(usize),
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct Msg {
     src: usize,
     dst: usize,
     created_us: f64,
-    itinerary: Vec<Step>,
-    cursor: usize,
+    /// Number of steps this message's arena slot holds.
+    len: u32,
+    cursor: u32,
 }
 
 /// Which of the three tiers a fabric instance implements (used to
@@ -83,6 +84,12 @@ struct TierFabric {
     pods_per_stage: Vec<usize>,
     /// Tier entry latency α.
     injection_us: f64,
+    /// Precomputed routing table (fat-tree only): the **global**
+    /// resource index of endpoint `a`'s pod at stage `s`, flattened as
+    /// `pod_path[a * stages + (s - 1)]`. Routes become pure table
+    /// reads — no division, no allocation — and the per-message
+    /// `route()` walk is reduced to emitting slices of this table.
+    pod_path: Vec<u32>,
 }
 
 impl TierFabric {
@@ -119,7 +126,7 @@ impl TierFabric {
                     stage_offsets.push(acc);
                     acc += p;
                 }
-                TierFabric {
+                let mut fabric = TierFabric {
                     arch,
                     endpoints,
                     down_radix,
@@ -129,7 +136,16 @@ impl TierFabric {
                     stage_offsets,
                     pods_per_stage,
                     injection_us,
+                    pod_path: Vec::new(),
+                };
+                let mut pod_path = Vec::with_capacity(endpoints * stages as usize);
+                for a in 0..endpoints {
+                    for s in 1..=stages {
+                        pod_path.push((fabric.base + fabric.pod_of(a, s)) as u32);
+                    }
                 }
+                fabric.pod_path = pod_path;
+                fabric
             }
             Architecture::Blocking => {
                 let k = endpoints.div_ceil(ports);
@@ -143,6 +159,9 @@ impl TierFabric {
                     stage_offsets: vec![0],
                     pods_per_stage: vec![k],
                     injection_us,
+                    // The linear array routes by switch arithmetic; no
+                    // table is needed.
+                    pod_path: Vec::new(),
                 }
             }
         }
@@ -190,7 +209,114 @@ impl TierFabric {
         self.stage_offsets[s as usize - 1] + a / block
     }
 
+    /// Upper bound on the number of hops `emit_route` can produce.
+    fn max_route_len(&self) -> usize {
+        match self.arch {
+            Architecture::Blocking => self.pods_per_stage[0],
+            Architecture::NonBlocking => 2 * self.stages as usize - 1,
+        }
+    }
+
+    /// Upper bound on the number of hops `emit_route_up` /
+    /// `emit_route_down` can produce.
+    fn max_leg_len(&self) -> usize {
+        match self.arch {
+            Architecture::Blocking => self.pods_per_stage[0],
+            Architecture::NonBlocking => self.stages as usize,
+        }
+    }
+
+    /// Emits the full route between two endpoints (global resource
+    /// indices, in hop order) from the precomputed tables — the
+    /// allocation-free counterpart of [`TierFabric::route`].
+    #[inline]
+    fn emit_route(&self, a: usize, b: usize, emit: &mut impl FnMut(usize)) {
+        debug_assert_ne!(a, b, "routing requires distinct endpoints");
+        match self.arch {
+            Architecture::Blocking => {
+                let sa = a / self.ports;
+                let sb = b / self.ports;
+                if sa <= sb {
+                    for s in sa..=sb {
+                        emit(self.base + s);
+                    }
+                } else {
+                    for s in (sb..=sa).rev() {
+                        emit(self.base + s);
+                    }
+                }
+            }
+            Architecture::NonBlocking => {
+                let st = self.stages as usize;
+                let pa = &self.pod_path[a * st..(a + 1) * st];
+                let pb = &self.pod_path[b * st..(b + 1) * st];
+                // Meet stage: lowest stage at which the endpoints share
+                // a pod (pods are equal exactly when the endpoints fall
+                // in the same stage block).
+                let mut meet = st;
+                for s in 0..st - 1 {
+                    if pa[s] == pb[s] {
+                        meet = s + 1;
+                        break;
+                    }
+                }
+                for &p in &pa[..meet] {
+                    emit(p as usize);
+                }
+                for &p in pb[..meet - 1].iter().rev() {
+                    emit(p as usize);
+                }
+            }
+        }
+    }
+
+    /// Emits the route from endpoint `a` up to the fabric's
+    /// root/gateway — the allocation-free counterpart of
+    /// [`TierFabric::route_up`].
+    #[inline]
+    fn emit_route_up(&self, a: usize, emit: &mut impl FnMut(usize)) {
+        match self.arch {
+            Architecture::Blocking => {
+                let sa = a / self.ports;
+                for s in (0..=sa).rev() {
+                    emit(self.base + s);
+                }
+            }
+            Architecture::NonBlocking => {
+                let st = self.stages as usize;
+                for &p in &self.pod_path[a * st..(a + 1) * st] {
+                    emit(p as usize);
+                }
+            }
+        }
+    }
+
+    /// Emits the route from the root/gateway down to endpoint `b` —
+    /// the allocation-free counterpart of [`TierFabric::route_down`].
+    #[inline]
+    fn emit_route_down(&self, b: usize, emit: &mut impl FnMut(usize)) {
+        match self.arch {
+            Architecture::Blocking => {
+                let sb = b / self.ports;
+                for s in 0..=sb {
+                    emit(self.base + s);
+                }
+            }
+            Architecture::NonBlocking => {
+                let st = self.stages as usize;
+                for &p in self.pod_path[b * st..(b + 1) * st].iter().rev() {
+                    emit(p as usize);
+                }
+            }
+        }
+    }
+
     /// Full route between two endpoints (global resource indices).
+    ///
+    /// Retained as the test oracle for the precomputed-table path
+    /// (`emit_route`): the property tests assert both produce identical
+    /// hop sequences across fuzzed configurations.
+    #[cfg(test)]
     fn route(&self, a: usize, b: usize) -> Vec<usize> {
         assert_ne!(a, b, "routing requires distinct endpoints");
         match self.arch {
@@ -229,7 +355,9 @@ impl TierFabric {
     }
 
     /// Route from endpoint `a` up to the fabric's root/gateway
-    /// (fat-tree: the root pod; linear array: switch 0).
+    /// (fat-tree: the root pod; linear array: switch 0). Test oracle
+    /// for `emit_route_up`.
+    #[cfg(test)]
     fn route_up(&self, a: usize) -> Vec<usize> {
         match self.arch {
             Architecture::Blocking => {
@@ -244,7 +372,8 @@ impl TierFabric {
 
     /// Route from the root/gateway down to endpoint `b` (excluding a
     /// repeated root visit is the caller's concern — this includes the
-    /// root).
+    /// root). Test oracle for `emit_route_down`.
+    #[cfg(test)]
     fn route_down(&self, b: usize) -> Vec<usize> {
         let mut up = self.route_up(b);
         up.reverse();
@@ -267,6 +396,7 @@ enum Ev {
     },
 }
 
+#[derive(Debug)]
 struct PacketModel {
     cfg: SimConfig,
     n0: usize,
@@ -279,7 +409,20 @@ struct PacketModel {
     resource_tier: Vec<Tier>,
     think_rng: RngStream,
     dest_rng: RngStream,
+    /// Precomputed sampler over the `n - 1` non-source destinations.
+    dest_any: UniformInt,
+    /// Precomputed sampler over the `n0 - 1` non-source cluster-local
+    /// destinations (`None` for single-node clusters).
+    dest_intra: Option<UniformInt>,
     msgs: Vec<Msg>,
+    /// Flat shared itinerary arena: message `id` owns the fixed-stride
+    /// slot `steps[id * stride .. id * stride + msgs[id].len]`. Slots
+    /// are recycled through `free_ids` together with the message
+    /// table, so steady-state message creation allocates nothing.
+    steps: Vec<Step>,
+    /// Arena slot width: an upper bound (from the fabric shapes) on
+    /// any itinerary's step count.
+    stride: usize,
     free_ids: Vec<MsgId>,
     delivered: u64,
     latency: OnlineStats,
@@ -315,7 +458,9 @@ impl PacketModel {
                 tech.latency_us,
             );
             for cap in fabric.pod_capacities() {
-                resources.push(MultiServer::new(cap));
+                let mut pod = MultiServer::new(cap);
+                pod.set_instrumented(cfg.track_center_stats);
+                resources.push(pod);
                 resource_service_us.push(hop);
                 resource_tier.push(tier);
             }
@@ -328,6 +473,13 @@ impl PacketModel {
             (0..sys.clusters).map(|_| add_fabric(sys.ecn1, n0, Tier::Ecn1)).collect();
         let icn2 = add_fabric(sys.icn2, sys.clusters.max(2), Tier::Icn2);
 
+        // Arena slot width: the longest possible itinerary is either an
+        // intra-cluster trip (delay + ICN1 route) or an inter-cluster
+        // trip (three delays + ECN1 up + ICN2 route + ECN1 down).
+        let intra_max = 1 + icn1[0].max_route_len();
+        let inter_max = 3 + 2 * ecn1[0].max_leg_len() + icn2.max_route_len();
+        let stride = intra_max.max(inter_max);
+
         Ok(PacketModel {
             n0,
             n: sys.total_nodes(),
@@ -339,7 +491,11 @@ impl PacketModel {
             resource_tier,
             think_rng: RngStream::new(cfg.seed, 11),
             dest_rng: RngStream::new(cfg.seed, 12),
+            dest_any: UniformInt::new(sys.total_nodes() - 1),
+            dest_intra: (n0 >= 2).then(|| UniformInt::new(n0 - 1)),
             msgs: Vec::new(),
+            steps: Vec::new(),
+            stride,
             free_ids: Vec::new(),
             delivered: 0,
             latency: OnlineStats::new(),
@@ -352,32 +508,64 @@ impl PacketModel {
         })
     }
 
+    /// Returns the model to the state `PacketModel::new` would produce
+    /// for the same system with `seed`, keeping the expensive parts —
+    /// fabrics, routing tables, resource vector, itinerary arena —
+    /// allocated. The RNG streams are rebuilt with the same stream
+    /// ids, so a reset model replays a fresh model's sample path bit
+    /// for bit.
+    fn reset(&mut self, seed: u64) {
+        self.cfg.seed = seed;
+        self.think_rng = RngStream::new(seed, 11);
+        self.dest_rng = RngStream::new(seed, 12);
+        for r in &mut self.resources {
+            r.reset();
+        }
+        self.msgs.clear();
+        // The arena is repopulated alongside `msgs`; clearing keeps its
+        // capacity.
+        self.steps.clear();
+        self.free_ids.clear();
+        self.delivered = 0;
+        self.latency = OnlineStats::new();
+        self.internal_latency = OnlineStats::new();
+        self.external_latency = OnlineStats::new();
+        self.p50.reset();
+        self.p95.reset();
+        self.p99.reset();
+    }
+
     fn cluster_of(&self, node: usize) -> usize {
         node / self.n0
     }
 
     fn pick_destination(&mut self, src: usize) -> usize {
         match self.cfg.pattern {
-            TrafficPattern::Uniform => self.dest_rng.uniform_excluding(self.n, src),
-            TrafficPattern::Localized { locality } => {
-                if self.n0 >= 2 && self.dest_rng.bernoulli(locality) {
+            TrafficPattern::Uniform => self.dest_any.sample_excluding(&mut self.dest_rng, src),
+            TrafficPattern::Localized { locality } => match self.dest_intra {
+                Some(intra) if self.dest_rng.bernoulli(locality) => {
                     let base = self.cluster_of(src) * self.n0;
-                    base + self.dest_rng.uniform_excluding(self.n0, src - base)
-                } else {
-                    self.dest_rng.uniform_excluding(self.n, src)
+                    base + intra.sample_excluding(&mut self.dest_rng, src - base)
                 }
-            }
+                _ => self.dest_any.sample_excluding(&mut self.dest_rng, src),
+            },
             TrafficPattern::Hotspot { node, fraction } => {
                 let hot = node.min(self.n - 1);
                 if src != hot && self.dest_rng.bernoulli(fraction) {
                     hot
                 } else {
-                    self.dest_rng.uniform_excluding(self.n, src)
+                    self.dest_any.sample_excluding(&mut self.dest_rng, src)
                 }
             }
         }
     }
 
+    /// Builds a message's itinerary as a fresh `Vec`.
+    ///
+    /// Retained as the test oracle for the arena path
+    /// (`write_itinerary`): the property tests assert both produce
+    /// identical step sequences across fuzzed configurations.
+    #[cfg(test)]
     fn build_itinerary(&self, src: usize, dst: usize) -> Vec<Step> {
         let sc = self.cluster_of(src);
         let dc = self.cluster_of(dst);
@@ -400,25 +588,72 @@ impl PacketModel {
         steps
     }
 
-    fn alloc_msg(&mut self, msg: Msg) -> MsgId {
-        if let Some(id) = self.free_ids.pop() {
-            self.msgs[id] = msg;
-            id
+    /// Writes the `src → dst` itinerary into message `id`'s arena slot
+    /// from the precomputed routing tables and returns its length.
+    fn write_itinerary(&mut self, id: MsgId, src: usize, dst: usize) -> u32 {
+        let sc = src / self.n0;
+        let dc = dst / self.n0;
+        let (sl, dl) = (src - sc * self.n0, dst - dc * self.n0);
+        let slot = &mut self.steps[id * self.stride..(id + 1) * self.stride];
+        let mut w = 0usize;
+        if sc == dc {
+            let fabric = &self.icn1[sc];
+            slot[w] = Step::Delay(fabric.injection_us);
+            w += 1;
+            fabric.emit_route(sl, dl, &mut |r| {
+                slot[w] = Step::Queue(r);
+                w += 1;
+            });
         } else {
-            self.msgs.push(msg);
-            self.msgs.len() - 1
+            let up = &self.ecn1[sc];
+            slot[w] = Step::Delay(up.injection_us);
+            w += 1;
+            up.emit_route_up(sl, &mut |r| {
+                slot[w] = Step::Queue(r);
+                w += 1;
+            });
+            slot[w] = Step::Delay(self.icn2.injection_us);
+            w += 1;
+            self.icn2.emit_route(sc, dc, &mut |r| {
+                slot[w] = Step::Queue(r);
+                w += 1;
+            });
+            let down = &self.ecn1[dc];
+            slot[w] = Step::Delay(down.injection_us);
+            w += 1;
+            down.emit_route_down(dl, &mut |r| {
+                slot[w] = Step::Queue(r);
+                w += 1;
+            });
         }
+        w as u32
+    }
+
+    /// Creates a message (recycling a freed id and its arena slot when
+    /// one exists) and writes its itinerary.
+    fn alloc_msg(&mut self, src: usize, dst: usize, created_us: f64) -> MsgId {
+        let id = match self.free_ids.pop() {
+            Some(id) => id,
+            None => {
+                self.msgs.push(Msg { src: 0, dst: 0, created_us: 0.0, len: 0, cursor: 0 });
+                self.steps.resize(self.msgs.len() * self.stride, Step::Delay(0.0));
+                self.msgs.len() - 1
+            }
+        };
+        let len = self.write_itinerary(id, src, dst);
+        self.msgs[id] = Msg { src, dst, created_us, len, cursor: 0 };
+        id
     }
 
     /// Moves `msg` to its next itinerary step (or delivers it).
     fn advance(&mut self, now: SimTime, s: &mut Scheduler<Ev>, id: MsgId) {
-        let cursor = self.msgs[id].cursor;
-        if cursor >= self.msgs[id].itinerary.len() {
+        let m = self.msgs[id];
+        if m.cursor >= m.len {
             self.deliver(now, s, id);
             return;
         }
-        self.msgs[id].cursor += 1;
-        match self.msgs[id].itinerary[cursor] {
+        self.msgs[id].cursor = m.cursor + 1;
+        match self.steps[id * self.stride + m.cursor as usize] {
             Step::Delay(d) => {
                 s.schedule_in(now, SimTime::from_us(d), Ev::Advance { msg: id });
             }
@@ -441,13 +676,17 @@ impl PacketModel {
         self.delivered += 1;
         if self.delivered > self.cfg.warmup_messages {
             self.latency.record(latency);
-            self.p50.record(latency);
-            self.p95.record(latency);
-            self.p99.record(latency);
-            if self.cluster_of(src) == self.cluster_of(dst) {
-                self.internal_latency.record(latency);
-            } else {
-                self.external_latency.record(latency);
+            if self.cfg.track_quantiles {
+                self.p50.record(latency);
+                self.p95.record(latency);
+                self.p99.record(latency);
+            }
+            if self.cfg.track_center_stats {
+                if self.cluster_of(src) == self.cluster_of(dst) {
+                    self.internal_latency.record(latency);
+                } else {
+                    self.external_latency.record(latency);
+                }
             }
         }
         if self.cfg.blocked_sources {
@@ -468,14 +707,7 @@ impl Model for PacketModel {
         match event {
             Ev::Generate { node } => {
                 let dst = self.pick_destination(node);
-                let itinerary = self.build_itinerary(node, dst);
-                let id = self.alloc_msg(Msg {
-                    src: node,
-                    dst,
-                    created_us: now.as_us(),
-                    itinerary,
-                    cursor: 0,
-                });
+                let id = self.alloc_msg(node, dst, now.as_us());
                 self.advance(now, s, id);
                 if !self.cfg.blocked_sources {
                     let gap = self.think_rng.exponential(self.cfg.system.lambda_per_us);
@@ -505,21 +737,54 @@ pub struct PacketSimulator;
 impl PacketSimulator {
     /// Runs one packet-level simulation.
     pub fn run(cfg: &SimConfig) -> Result<SimResult, ModelError> {
-        let mut engine = Engine::new(PacketModel::new(*cfg)?);
-        for node in 0..cfg.system.total_nodes() {
-            let think = engine.model_mut().think_rng.exponential(cfg.system.lambda_per_us);
+        Ok(PacketSimInstance::new(cfg)?.run(cfg.seed))
+    }
+}
+
+/// A reusable packet-level simulator: build once per system
+/// configuration (paying the fabric and routing-table construction a
+/// single time), then [`PacketSimInstance::run`] any number of seeds
+/// while every arena keeps its storage warm. Every run is
+/// bit-identical to a fresh [`PacketSimulator::run`] of the same
+/// configuration and seed.
+#[derive(Debug)]
+pub struct PacketSimInstance {
+    engine: Engine<PacketModel>,
+}
+
+impl PacketSimInstance {
+    /// Builds the simulator (fabrics, routing tables, resources) for
+    /// `cfg`'s system.
+    pub fn new(cfg: &SimConfig) -> Result<Self, ModelError> {
+        let model = PacketModel::new(*cfg)?;
+        // Pending-event bound: one Generate/Advance per source or
+        // in-flight message plus at most one HopDone per resource.
+        let capacity = model.n + model.resources.len();
+        Ok(PacketSimInstance { engine: Engine::with_capacity(model, capacity) })
+    }
+
+    /// Runs one replication seeded with `seed` and returns the sink
+    /// statistics.
+    pub fn run(&mut self, seed: u64) -> SimResult {
+        let engine = &mut self.engine;
+        engine.reset();
+        engine.model_mut().reset(seed);
+        let (n, lambda) = (engine.model().n, engine.model().cfg.system.lambda_per_us);
+        for node in 0..n {
+            let think = engine.model_mut().think_rng.exponential(lambda);
             engine.scheduler_mut().schedule_at(SimTime::from_us(think), Ev::Generate { node });
         }
-        let target = cfg.messages;
+        let target = engine.model().cfg.messages;
         engine.run_until(None, None, |m| m.measured() >= target);
         let now = engine.now().as_us();
-        // Bridge the engine's local counters into the global registry
-        // before the engine is consumed.
+        // Bridge the engine's local counters into the global registry.
         metrics::counter(metrics_keys::PACKET_EVENTS).add(engine.events_processed());
         metrics::histogram(metrics_keys::PACKET_PEAK_PENDING)
             .record(engine.scheduler().peak_pending() as u64);
-        let model = engine.into_model();
+        Self::collect(engine.model(), now)
+    }
 
+    fn collect(model: &PacketModel, now: f64) -> SimResult {
         let tier_obs = |tier: Tier| -> CenterObservation {
             let idx: Vec<usize> =
                 (0..model.resources.len()).filter(|&i| model.resource_tier[i] == tier).collect();
@@ -538,7 +803,7 @@ impl PacketSimulator {
         };
 
         let measured = model.latency.count();
-        Ok(SimResult {
+        SimResult {
             mean_latency_us: model.latency.mean(),
             latency: model.latency.clone(),
             quantiles: match (model.p50.estimate(), model.p95.estimate(), model.p99.estimate()) {
@@ -557,6 +822,117 @@ impl PacketSimulator {
             icn1: tier_obs(Tier::Icn1),
             ecn1: tier_obs(Tier::Ecn1),
             icn2: tier_obs(Tier::Icn2),
-        })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmcs_core::config::SystemConfig;
+    use hmcs_core::Scenario;
+    use proptest::prelude::*;
+
+    fn model(sys: SystemConfig) -> PacketModel {
+        PacketModel::new(SimConfig::new(sys)).expect("valid config")
+    }
+
+    /// Reads back the itinerary the arena path wrote for `src → dst`.
+    fn arena_itinerary(m: &mut PacketModel, src: usize, dst: usize) -> Vec<Step> {
+        let id = m.alloc_msg(src, dst, 0.0);
+        let len = m.msgs[id].len as usize;
+        assert!(len <= m.stride, "itinerary overflows its arena slot");
+        let steps = m.steps[id * m.stride..id * m.stride + len].to_vec();
+        m.free_ids.push(id);
+        steps
+    }
+
+    /// Every (src, dst) pair of a few small systems: the precomputed
+    /// tables reproduce the per-message oracle exactly, covering every
+    /// fat-tree meet stage and linear-array direction.
+    #[test]
+    fn tables_match_oracle_exhaustively_on_small_systems() {
+        for arch in [Architecture::NonBlocking, Architecture::Blocking] {
+            for (c, n0) in [(1usize, 16usize), (4, 8), (8, 2), (2, 32)] {
+                let sys = SystemConfig::new(c, n0, 1024, 2.5e-4, Scenario::Case1, arch)
+                    .expect("valid shape");
+                let mut m = model(sys);
+                let n = c * n0;
+                for src in 0..n {
+                    for dst in 0..n {
+                        if src == dst {
+                            continue;
+                        }
+                        let oracle = m.build_itinerary(src, dst);
+                        let got = arena_itinerary(&mut m, src, dst);
+                        assert_eq!(got, oracle, "src {src} dst {dst} C={c} N0={n0} {arch:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// The reset-reuse contract: one instance run with seeds
+    /// s1, s2, s1 must reproduce three fresh builds exactly —
+    /// including the repeat of s1, which proves the reset leaks no
+    /// state from the s2 run.
+    #[test]
+    fn reset_reuse_is_bit_identical_to_fresh_builds() {
+        let sys = SystemConfig::paper_preset(Scenario::Case1, 4, Architecture::NonBlocking)
+            .expect("valid preset");
+        let cfg = SimConfig::new(sys).with_messages(600).with_seed(21);
+        let fresh_a = PacketSimulator::run(&cfg).unwrap();
+        let fresh_b = PacketSimulator::run(&cfg.with_seed(22)).unwrap();
+        let mut instance = PacketSimInstance::new(&cfg).unwrap();
+        assert_eq!(instance.run(21), fresh_a);
+        assert_eq!(instance.run(22), fresh_b);
+        assert_eq!(instance.run(21), fresh_a);
+    }
+
+    /// Recycled arena slots hold exactly the new message's itinerary —
+    /// a shorter itinerary written over a longer one must not expose
+    /// stale steps.
+    #[test]
+    fn recycled_slots_do_not_leak_stale_steps() {
+        let sys = SystemConfig::new(4, 8, 1024, 2.5e-4, Scenario::Case1, Architecture::Blocking)
+            .expect("valid shape");
+        let mut m = model(sys);
+        // External message (long itinerary), then an internal one
+        // (short) reusing the same id.
+        let long = arena_itinerary(&mut m, 0, 31);
+        let short = arena_itinerary(&mut m, 0, 1);
+        assert!(short.len() < long.len());
+        assert_eq!(short, m.build_itinerary(0, 1));
+    }
+
+    proptest! {
+        /// Fuzzed configs across the 16–512-processor validity region:
+        /// the precomputed routing tables yield itineraries identical
+        /// to the old per-message `route()`/`build_itinerary` oracle.
+        #[test]
+        fn precomputed_tables_match_per_message_oracle(
+            clusters in 1usize..33,
+            n0 in 1usize..65,
+            nonblocking in any::<bool>(),
+            case1 in any::<bool>(),
+            pair_seed in 0u64..u64::MAX,
+        ) {
+            let total = clusters * n0;
+            prop_assume!((16..=512).contains(&total));
+            let arch =
+                if nonblocking { Architecture::NonBlocking } else { Architecture::Blocking };
+            let scenario = if case1 { Scenario::Case1 } else { Scenario::Case2 };
+            let sys = SystemConfig::new(clusters, n0, 1024, 2.5e-4, scenario, arch)
+                .expect("shapes in the validity region are accepted");
+            let mut m = model(sys);
+            let mut pairs = RngStream::new(pair_seed, 0);
+            for _ in 0..64 {
+                let src = pairs.uniform_below(total);
+                let dst = pairs.uniform_excluding(total, src);
+                let oracle = m.build_itinerary(src, dst);
+                let got = arena_itinerary(&mut m, src, dst);
+                prop_assert_eq!(got, oracle);
+            }
+        }
     }
 }

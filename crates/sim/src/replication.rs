@@ -11,11 +11,11 @@
 //! deterministic regardless of the worker count.
 
 use crate::config::SimConfig;
-use crate::flow::FlowSimulator;
+use crate::flow::FlowSimInstance;
 use crate::metrics_keys;
-use crate::packet::PacketSimulator;
+use crate::packet::PacketSimInstance;
 use crate::result::SimResult;
-use hmcs_core::batch::{par_map, BatchOptions};
+use hmcs_core::batch::{par_map_init, BatchOptions};
 use hmcs_core::error::ModelError;
 use hmcs_core::metrics;
 use hmcs_des::stats::{confidence_interval, OnlineStats};
@@ -101,6 +101,29 @@ pub enum Simulator {
     Packet,
 }
 
+/// One worker's reusable simulator instance.
+#[derive(Debug)]
+enum Instance {
+    Flow(FlowSimInstance),
+    Packet(PacketSimInstance),
+}
+
+impl Instance {
+    fn new(base: &SimConfig, simulator: Simulator) -> Result<Self, ModelError> {
+        Ok(match simulator {
+            Simulator::Flow => Instance::Flow(FlowSimInstance::new(base)?),
+            Simulator::Packet => Instance::Packet(PacketSimInstance::new(base)?),
+        })
+    }
+
+    fn run(&mut self, seed: u64) -> SimResult {
+        match self {
+            Instance::Flow(i) => i.run(seed),
+            Instance::Packet(i) => i.run(seed),
+        }
+    }
+}
+
 /// Summary over independent replications.
 #[derive(Debug, Clone)]
 pub struct ReplicationSummary {
@@ -156,20 +179,30 @@ pub fn run_replications_with(
     base.validate()?;
     metrics::counter(metrics_keys::REPLICATION_BATCHES).incr();
     let seeds: Vec<u64> = (0..replications).map(|i| base.seed.wrapping_add(u64::from(i))).collect();
-    let results = par_map(&seeds, options.resolved_workers(), |&seed| {
-        let cfg = base.with_seed(seed);
-        let started = Instant::now();
-        let result = match simulator {
-            Simulator::Flow => FlowSimulator::run(&cfg),
-            Simulator::Packet => PacketSimulator::run(&cfg),
-        };
-        // Wall-clock only: observes the run, never feeds back into it,
-        // so the summary stays deterministic in seed order.
-        metrics::counter(metrics_keys::REPLICATION_RUNS).incr();
-        metrics::histogram(metrics_keys::REPLICATION_WALL_US)
-            .record_f64(started.elapsed().as_secs_f64() * 1e6);
-        result
-    });
+    // Each worker builds one simulator instance lazily on its first
+    // replication and reuses it (via the bit-identical `reset(seed)`
+    // path) for every further replication it claims, so fabric and
+    // routing-table construction is paid once per worker, not once per
+    // replication.
+    let results = par_map_init(
+        &seeds,
+        options.resolved_workers(),
+        || None,
+        |instance: &mut Option<Instance>, &seed| -> Result<SimResult, ModelError> {
+            let started = Instant::now();
+            let instance = match instance {
+                Some(i) => i,
+                None => instance.insert(Instance::new(base, simulator)?),
+            };
+            let result = instance.run(seed);
+            // Wall-clock only: observes the run, never feeds back into
+            // it, so the summary stays deterministic in seed order.
+            metrics::counter(metrics_keys::REPLICATION_RUNS).incr();
+            metrics::histogram(metrics_keys::REPLICATION_WALL_US)
+                .record_f64(started.elapsed().as_secs_f64() * 1e6);
+            Ok(result)
+        },
+    );
     let mut replication_results = Vec::with_capacity(replications as usize);
     let mut latency_means = OnlineStats::new();
     let mut effective_lambdas = OnlineStats::new();
@@ -207,6 +240,28 @@ mod tests {
         let ci = summary.latency_ci95_us();
         assert!(ci < summary.mean_latency_us(), "CI {ci} vs mean {}", summary.mean_latency_us());
         assert!(summary.mean_effective_lambda() > 0.0);
+    }
+
+    #[test]
+    fn reused_instances_match_independent_runs_exactly() {
+        // The pool reuses one simulator per worker through
+        // `reset(seed)`; every replication must still equal a fresh
+        // standalone run of the same seed, bit for bit.
+        use crate::flow::FlowSimulator;
+        use crate::packet::PacketSimulator;
+        let base = base();
+        for (simulator, n) in [(Simulator::Flow, 3u32), (Simulator::Packet, 2u32)] {
+            let summary =
+                run_replications_with(&base, simulator, n, BatchOptions::with_workers(2)).unwrap();
+            for (i, rep) in summary.replications.iter().enumerate() {
+                let cfg = base.with_seed(base.seed.wrapping_add(i as u64));
+                let fresh = match simulator {
+                    Simulator::Flow => FlowSimulator::run(&cfg).unwrap(),
+                    Simulator::Packet => PacketSimulator::run(&cfg).unwrap(),
+                };
+                assert_eq!(rep, &fresh, "{simulator:?} replication {i}");
+            }
+        }
     }
 
     #[test]

@@ -13,6 +13,13 @@
 //! per-iteration wall-clock time in criterion's familiar
 //! `time: [a b c]` shape, so relative comparisons (e.g. sequential vs
 //! parallel sweeps) read the same way as with the real harness.
+//!
+//! Two environment variables extend the real harness for CI use:
+//! `HMCS_BENCH_SMOKE=1` switches to a quick smoke measurement (a ~12×
+//! smaller per-sample budget, at most 5 samples), and
+//! `HMCS_BENCH_JSON=<path>` appends one JSON line per benchmark
+//! (`{"id", "min_s", "mean_s", "max_s"}`) so downstream tooling can
+//! gate on the numbers without scraping the human-readable report.
 
 #![forbid(unsafe_code)]
 
@@ -21,6 +28,38 @@ use std::time::{Duration, Instant};
 
 /// Per-sample wall-clock budget used to size iteration batches.
 const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(60);
+
+/// Per-sample budget in smoke mode (`HMCS_BENCH_SMOKE=1`): CI wants a
+/// quick went-fast/went-slow signal, not tight confidence intervals.
+const SMOKE_SAMPLE_TIME: Duration = Duration::from_millis(5);
+
+/// Sample-count cap applied in smoke mode.
+const SMOKE_SAMPLE_SIZE: usize = 5;
+
+/// True when `HMCS_BENCH_SMOKE` is set to anything but `0`: benches
+/// run with a ~12× smaller per-sample budget and at most
+/// [`SMOKE_SAMPLE_SIZE`] samples.
+fn smoke_mode() -> bool {
+    std::env::var_os("HMCS_BENCH_SMOKE").is_some_and(|v| v != "0")
+}
+
+/// Appends one machine-readable result row to the JSON-lines file named
+/// by `HMCS_BENCH_JSON` (if set). Each row is a flat object:
+/// `{"id": ..., "min_s": ..., "mean_s": ..., "max_s": ...}`.
+fn emit_json_row(path: &str, id: &str, min: f64, mean: f64, max: f64) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut escaped = String::with_capacity(id.len());
+    for c in id.chars() {
+        match c {
+            '"' => escaped.push_str("\\\""),
+            '\\' => escaped.push_str("\\\\"),
+            c if (c as u32) < 0x20 => escaped.push(' '),
+            c => escaped.push(c),
+        }
+    }
+    let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    writeln!(f, "{{\"id\": \"{escaped}\", \"min_s\": {min}, \"mean_s\": {mean}, \"max_s\": {max}}}")
+}
 
 /// Top-level benchmark driver.
 pub struct Criterion {
@@ -153,19 +192,25 @@ fn run_benchmark<F>(id: &str, sample_size: usize, throughput: Option<Throughput>
 where
     F: FnMut(&mut Bencher),
 {
+    let (target_time, sample_size) = if smoke_mode() {
+        (SMOKE_SAMPLE_TIME, sample_size.clamp(2, SMOKE_SAMPLE_SIZE))
+    } else {
+        (TARGET_SAMPLE_TIME, sample_size)
+    };
+
     // Calibration: find an iteration batch whose one run lands near the
     // per-sample budget.
     let mut iters: u64 = 1;
     loop {
         let mut b = Bencher { iters, elapsed: Duration::ZERO };
         f(&mut b);
-        if b.elapsed >= TARGET_SAMPLE_TIME || iters >= 1 << 20 {
+        if b.elapsed >= target_time || iters >= 1 << 20 {
             break;
         }
         let grow = if b.elapsed.is_zero() {
             16
         } else {
-            (TARGET_SAMPLE_TIME.as_secs_f64() / b.elapsed.as_secs_f64()).ceil() as u64
+            (target_time.as_secs_f64() / b.elapsed.as_secs_f64()).ceil() as u64
         };
         iters = iters.saturating_mul(grow.clamp(2, 16)).min(1 << 20);
     }
@@ -182,6 +227,11 @@ where
     let mean = per_iter.iter().sum::<f64>() / per_iter.len().max(1) as f64;
 
     println!("{id:<50} time: [{} {} {}]", fmt_time(min), fmt_time(mean), fmt_time(max));
+    if let Ok(path) = std::env::var("HMCS_BENCH_JSON") {
+        if let Err(e) = emit_json_row(&path, id, min, mean, max) {
+            eprintln!("warning: could not append to {path}: {e}");
+        }
+    }
     if let Some(t) = throughput {
         let (amount, unit) = match t {
             Throughput::Elements(n) => (n as f64, "elem/s"),
@@ -250,6 +300,21 @@ mod tests {
             b.iter(|| std::hint::black_box(1u64 + 1));
         });
         assert!(ran >= 2, "calibration plus samples should invoke the closure");
+    }
+
+    #[test]
+    fn json_rows_append_and_escape() {
+        let path = std::env::temp_dir().join(format!("criterion_json_{}", std::process::id()));
+        let path = path.to_str().unwrap();
+        let _ = std::fs::remove_file(path);
+        emit_json_row(path, "g/bench \"x\"", 1e-6, 2e-6, 3e-6).unwrap();
+        emit_json_row(path, "g/other", 4e-6, 5e-6, 6e-6).unwrap();
+        let body = std::fs::read_to_string(path).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], "{\"id\": \"g/bench \\\"x\\\"\", \"min_s\": 0.000001, \"mean_s\": 0.000002, \"max_s\": 0.000003}");
+        assert!(lines[1].contains("\"id\": \"g/other\""));
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]
