@@ -11,16 +11,20 @@
 //! figure-scale run from a literal-λ run.
 //!
 //! The workspace has no JSON dependency (offline, vendored-only
-//! builds), so this module hand-rolls both the writer and the minimal
-//! recursive-descent parser [`validate`] uses to schema-check a
-//! manifest. The parser accepts general JSON; the validator then
+//! builds); the writer primitives and the minimal recursive-descent
+//! parser [`validate`] uses to schema-check a manifest live in the
+//! shared [`hmcs_core::json`] module (re-exported here for existing
+//! callers). The parser accepts general JSON; the validator then
 //! checks the manifest schema proper.
 
 use crate::experiments::{FigureData, RunOptions};
+use hmcs_core::json::{json_num, json_str};
 use hmcs_core::metrics::{self, HistogramSnapshot};
 use hmcs_core::scenario::{PAPER_LAMBDA_LITERAL_PER_US, PAPER_LAMBDA_PER_US};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+
+pub use hmcs_core::json::{parse_json, JsonValue};
 
 /// Schema identifier stamped into (and required from) every manifest.
 pub const MANIFEST_SCHEMA: &str = "hmcs-run-manifest/1";
@@ -161,258 +165,9 @@ fn unix_time_s() -> u64 {
     std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).map_or(0, |d| d.as_secs())
 }
 
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-/// Rust's `{}` float formatting never emits exponents, NaN excepted —
-/// map non-finite values to null so the document stays valid JSON.
-fn json_num(x: f64) -> String {
-    if x.is_finite() {
-        format!("{x}")
-    } else {
-        "null".to_string()
-    }
-}
-
 // ---------------------------------------------------------------------
-// Validation: a minimal JSON parser + manifest schema checks.
+// Validation: manifest schema checks over the shared JSON parser.
 // ---------------------------------------------------------------------
-
-/// A parsed JSON value (just enough for schema validation).
-#[derive(Debug, Clone, PartialEq)]
-pub enum JsonValue {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// Any number.
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<JsonValue>),
-    /// An object, in document order.
-    Obj(Vec<(String, JsonValue)>),
-}
-
-impl JsonValue {
-    /// Looks up a key in an object value.
-    pub fn get(&self, key: &str) -> Option<&JsonValue> {
-        match self {
-            JsonValue::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// The numeric value, if this is a number.
-    pub fn as_num(&self) -> Option<f64> {
-        match self {
-            JsonValue::Num(x) => Some(*x),
-            _ => None,
-        }
-    }
-
-    /// The string value, if this is a string.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            JsonValue::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-}
-
-/// Parses a JSON document.
-pub fn parse_json(input: &str) -> Result<JsonValue, String> {
-    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
-    p.skip_ws();
-    let v = p.value()?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return Err(format!("trailing garbage at byte {}", p.pos));
-    }
-    Ok(v)
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl Parser<'_> {
-    fn skip_ws(&mut self) {
-        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
-            self.pos += 1;
-        }
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        if self.bytes.get(self.pos) == Some(&b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected {:?} at byte {}", b as char, self.pos))
-        }
-    }
-
-    fn value(&mut self) -> Result<JsonValue, String> {
-        match self.bytes.get(self.pos) {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
-            Some(b't') => self.literal("true", JsonValue::Bool(true)),
-            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
-            Some(b'n') => self.literal("null", JsonValue::Null),
-            Some(_) => self.number(),
-            None => Err("unexpected end of input".to_string()),
-        }
-    }
-
-    fn literal(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
-            self.pos += lit.len();
-            Ok(v)
-        } else {
-            Err(format!("bad literal at byte {}", self.pos))
-        }
-    }
-
-    fn number(&mut self) -> Result<JsonValue, String> {
-        let start = self.pos;
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
-        {
-            self.pos += 1;
-        }
-        std::str::from_utf8(&self.bytes[start..self.pos])
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .map(JsonValue::Num)
-            .ok_or_else(|| format!("bad number at byte {start}"))
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.bytes.get(self.pos) {
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.bytes.get(self.pos) {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .and_then(|h| u32::from_str_radix(h, 16).ok())
-                                .and_then(char::from_u32)
-                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
-                            out.push(hex);
-                            self.pos += 4;
-                        }
-                        _ => return Err(format!("bad escape at byte {}", self.pos)),
-                    }
-                    self.pos += 1;
-                }
-                Some(_) => {
-                    // Advance over one UTF-8 scalar (input is a &str,
-                    // so boundaries are well-formed).
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| "invalid utf-8".to_string())?;
-                    let c = rest.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
-                }
-                None => return Err("unterminated string".to_string()),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<JsonValue, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.bytes.get(self.pos) == Some(&b']') {
-            self.pos += 1;
-            return Ok(JsonValue::Arr(items));
-        }
-        loop {
-            self.skip_ws();
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.bytes.get(self.pos) {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(JsonValue::Arr(items));
-                }
-                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
-            }
-        }
-    }
-
-    fn object(&mut self) -> Result<JsonValue, String> {
-        self.expect(b'{')?;
-        let mut pairs = Vec::new();
-        self.skip_ws();
-        if self.bytes.get(self.pos) == Some(&b'}') {
-            self.pos += 1;
-            return Ok(JsonValue::Obj(pairs));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            self.skip_ws();
-            let value = self.value()?;
-            // RFC 8259 leaves duplicate-key behaviour implementation-
-            // defined; for manifests a duplicate always means a writer
-            // bug, so reject rather than silently keep one of the two.
-            if pairs.iter().any(|(existing, _)| *existing == key) {
-                return Err(format!("duplicate key {key:?} at byte {}", self.pos));
-            }
-            pairs.push((key, value));
-            self.skip_ws();
-            match self.bytes.get(self.pos) {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(JsonValue::Obj(pairs));
-                }
-                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
-            }
-        }
-    }
-}
 
 fn check_histogram(h: &JsonValue, what: &str) -> Result<(), String> {
     for field in ["count", "sum", "max", "mean"] {
@@ -514,31 +269,6 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parser_round_trips_escapes_and_nesting() {
-        let doc =
-            parse_json(r#"{"a":[1,2.5,-3e2],"b":{"c":"x\"y\\z\n"},"d":null,"e":true}"#).unwrap();
-        assert_eq!(doc.get("b").unwrap().get("c").unwrap().as_str(), Some("x\"y\\z\n"));
-        assert_eq!(
-            doc.get("a"),
-            Some(&JsonValue::Arr(vec![
-                JsonValue::Num(1.0),
-                JsonValue::Num(2.5),
-                JsonValue::Num(-300.0)
-            ]))
-        );
-        assert_eq!(doc.get("d"), Some(&JsonValue::Null));
-        assert_eq!(doc.get("e"), Some(&JsonValue::Bool(true)));
-    }
-
-    #[test]
-    fn parser_rejects_malformed_documents() {
-        assert!(parse_json("{").is_err());
-        assert!(parse_json("[1,]").is_err());
-        assert!(parse_json("{\"a\":1} garbage").is_err());
-        assert!(parse_json("\"unterminated").is_err());
-    }
-
-    #[test]
     fn parser_rejects_truncated_manifest() {
         // A partially written manifest (interrupted run, full disk)
         // must fail loudly at every truncation point, not just a few.
@@ -550,23 +280,13 @@ mod tests {
     }
 
     #[test]
-    fn parser_rejects_nan_and_bare_tokens() {
-        // JSON has no NaN/Infinity literals; a writer that leaks one
-        // (e.g. formatting an uninitialised f64) must not validate.
-        assert!(parse_json("{\"x\": NaN}").is_err());
-        assert!(parse_json("{\"x\": -Infinity}").is_err());
-        assert!(parse_json("{\"x\": nan}").is_err());
-        assert!(parse_json("NaN").is_err());
-    }
-
-    #[test]
-    fn parser_rejects_duplicate_keys() {
+    fn reexported_parser_keeps_duplicate_key_rejection() {
+        // The parser moved to hmcs_core::json (where its full test
+        // suite lives); manifests rely on the RFC 8259 duplicate-key
+        // rejection through this re-export, so pin it here too.
         assert!(parse_json("{\"a\":1,\"a\":2}").is_err());
-        // Nested objects are checked too, and the error names the key.
         let err = parse_json("{\"outer\":{\"k\":1,\"k\":1}}").unwrap_err();
         assert!(err.contains("duplicate key \"k\""), "unexpected error: {err}");
-        // Same key at different depths is fine.
-        assert!(parse_json("{\"a\":{\"a\":1},\"b\":{\"a\":2}}").is_ok());
     }
 
     #[test]

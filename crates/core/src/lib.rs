@@ -40,6 +40,9 @@
 //! * [`sweep`] — parameter sweeps (the figures' x-axes).
 //! * [`metrics`] — process-global counters/histograms recording solver,
 //!   QNA and batch-pool behaviour (the observability layer).
+//! * [`json`] — the shared hand-rolled JSON writer/parser (the
+//!   workspace builds offline with no serde), used by the run
+//!   manifests and the `hmcs-serve` daemon.
 //!
 //! ## Example
 //!
@@ -63,6 +66,7 @@ pub mod batch;
 pub mod cluster_of_clusters;
 pub mod config;
 pub mod error;
+pub mod json;
 pub mod latency;
 pub mod metrics;
 pub mod model;

@@ -92,8 +92,19 @@ pub fn message_size_sweep(
     base: &SystemConfig,
     sizes: &[u64],
 ) -> Result<Vec<SweepPoint<u64>>, ModelError> {
+    message_size_sweep_with(base, sizes, BatchOptions::default())
+}
+
+/// [`message_size_sweep`] with an explicit worker policy, for callers
+/// that already provide their own parallelism (e.g. the serving
+/// daemon's worker pool runs each request's sweep sequentially).
+pub fn message_size_sweep_with(
+    base: &SystemConfig,
+    sizes: &[u64],
+    options: BatchOptions,
+) -> Result<Vec<SweepPoint<u64>>, ModelError> {
     let configs: Vec<SystemConfig> = sizes.iter().map(|&m| base.with_message_bytes(m)).collect();
-    collect_points(sizes.to_vec(), batch::evaluate_many(&configs, BatchOptions::default()))
+    collect_points(sizes.to_vec(), batch::evaluate_many(&configs, options))
 }
 
 /// Sweeps the per-processor generation rate (λ) at a fixed shape —

@@ -1,0 +1,558 @@
+//! Request parsing and response building for the `/v1/*` endpoints.
+//!
+//! Requests and responses are plain JSON handled by the workspace's
+//! shared [`hmcs_core::json`] module. Parsing is strict: unknown fields
+//! are rejected (catching typos like `lambda_per_ms` before they
+//! silently fall back to a default), enum fields must match an
+//! allow-list, and numeric fields are range-checked by
+//! [`SystemConfig`]'s own validation.
+//!
+//! **Error payloads never echo raw request bytes unescaped.** Every
+//! error message — including ones that quote a client-supplied field
+//! name — passes through [`json_str`] in [`error_body`], so a body full
+//! of quotes and control characters still produces a valid JSON error
+//! document.
+//!
+//! Float formatting uses [`json_num`], which prints the shortest
+//! round-tripping decimal: a client that parses `mean_latency_us` back
+//! with `str::parse::<f64>()` recovers the model's output **bit for
+//! bit**, which is what lets the suite assert served results are
+//! identical to in-process `reproduce` output.
+
+use hmcs_core::batch::{self, BatchOptions};
+use hmcs_core::config::SystemConfig;
+use hmcs_core::json::{json_num, json_str, parse_json, JsonValue};
+use hmcs_core::model::PerformanceReport;
+use hmcs_core::scenario::{Scenario, PAPER_LAMBDA_PER_US, PAPER_TOTAL_NODES};
+use hmcs_core::sweep::{self, SweepPoint};
+use hmcs_topology::transmission::Architecture;
+
+/// Hard cap on sweep points per request; larger sweeps must be split
+/// (or run offline through `reproduce`), keeping one request from
+/// monopolising a worker for minutes.
+pub const MAX_SWEEP_POINTS: usize = 4096;
+
+/// A structured API error: HTTP status plus a machine-readable code
+/// and a human-readable message for the JSON error body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// HTTP status to answer with.
+    pub status: u16,
+    /// Stable machine-readable error code.
+    pub code: &'static str,
+    /// Human-readable detail. May embed client-supplied text; it is
+    /// escaped at serialisation time by [`error_body`].
+    pub message: String,
+}
+
+impl ApiError {
+    fn bad_request(code: &'static str, message: impl Into<String>) -> Self {
+        ApiError { status: 400, code, message: message.into() }
+    }
+
+    /// Renders this error as its JSON body.
+    pub fn body(&self) -> String {
+        error_body(self.code, &self.message)
+    }
+}
+
+/// Builds the canonical error document. `message` is escaped here —
+/// this is the single choke point that keeps client bytes from
+/// reaching the wire unescaped.
+pub fn error_body(code: &str, message: &str) -> String {
+    format!(r#"{{"error":{{"code":{},"message":{}}}}}"#, json_str(code), json_str(message))
+}
+
+/// Which parameter `POST /v1/sweep` varies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepSpec {
+    /// Sweep λ (messages/µs) at a fixed shape.
+    Lambda(Vec<f64>),
+    /// Sweep the cluster count at fixed total nodes.
+    Clusters(Vec<usize>),
+    /// Sweep the message size in bytes.
+    MessageBytes(Vec<u64>),
+}
+
+/// The canonical coalescing key for an evaluate request. `Debug`
+/// formatting prints floats as shortest round-tripping decimals, so
+/// the key is injective on the config's bits — two requests share a
+/// key exactly when they describe the same evaluation.
+pub fn evaluate_key(config: &SystemConfig) -> String {
+    format!("evaluate/{config:?}")
+}
+
+/// The canonical coalescing key for a sweep request.
+pub fn sweep_key(config: &SystemConfig, spec: &SweepSpec) -> String {
+    format!("sweep/{spec:?}/{config:?}")
+}
+
+/// Parses a `POST /v1/evaluate` body into a validated [`SystemConfig`].
+pub fn parse_evaluate(body: &str) -> Result<SystemConfig, ApiError> {
+    let value = parse_json(body).map_err(|e| ApiError::bad_request("invalid_json", e))?;
+    let obj = as_request_object(&value)?;
+    check_fields(obj, &ALLOWED_CONFIG_FIELDS)?;
+    config_from(obj)
+}
+
+/// Parses a `POST /v1/sweep` body into a base config plus sweep spec.
+pub fn parse_sweep(body: &str) -> Result<(SystemConfig, SweepSpec), ApiError> {
+    let value = parse_json(body).map_err(|e| ApiError::bad_request("invalid_json", e))?;
+    let obj = as_request_object(&value)?;
+    let mut allowed: Vec<&str> = ALLOWED_CONFIG_FIELDS.to_vec();
+    allowed.extend_from_slice(&["parameter", "values"]);
+    check_fields(obj, &allowed)?;
+
+    let parameter = get_str(obj, "parameter")?
+        .ok_or_else(|| ApiError::bad_request("missing_field", "'parameter' is required"))?;
+    let values = match obj.iter().find(|(k, _)| k == "values") {
+        Some((_, JsonValue::Arr(items))) => items,
+        Some(_) => return Err(ApiError::bad_request("invalid_field", "'values' must be an array")),
+        None => return Err(ApiError::bad_request("missing_field", "'values' is required")),
+    };
+    if values.is_empty() {
+        return Err(ApiError::bad_request("invalid_field", "'values' must be non-empty"));
+    }
+    if values.len() > MAX_SWEEP_POINTS {
+        return Err(ApiError::bad_request(
+            "sweep_too_large",
+            format!("'values' has {} points; the cap is {MAX_SWEEP_POINTS}", values.len()),
+        ));
+    }
+
+    let spec =
+        match parameter.as_str() {
+            "lambda" => SweepSpec::Lambda(numeric_values(values, "values")?),
+            "clusters" => SweepSpec::Clusters(
+                integer_values(values, "values")?.into_iter().map(|v| v as usize).collect(),
+            ),
+            "message_bytes" => SweepSpec::MessageBytes(integer_values(values, "values")?),
+            other => return Err(ApiError::bad_request(
+                "invalid_field",
+                format!(
+                    "unknown sweep parameter '{other}'; expected lambda, clusters or message_bytes"
+                ),
+            )),
+        };
+    let config = config_from(obj)?;
+    Ok((config, spec))
+}
+
+/// Evaluates one config and renders the response document.
+pub fn evaluate_response(config: &SystemConfig) -> Result<String, ApiError> {
+    let (report, _stats) = batch::evaluate_one(config, None, None).map_err(|e| ApiError {
+        status: 422,
+        code: "evaluation_failed",
+        message: e.to_string(),
+    })?;
+    Ok(render_evaluate(config, &report))
+}
+
+/// Runs the requested sweep **sequentially** (the worker pool provides
+/// request-level parallelism; nesting the batch engine's own pool
+/// inside each request would oversubscribe the host) and renders the
+/// response document.
+pub fn sweep_response(config: &SystemConfig, spec: &SweepSpec) -> Result<String, ApiError> {
+    let failed = |e: hmcs_core::error::ModelError| ApiError {
+        status: 422,
+        code: "evaluation_failed",
+        message: e.to_string(),
+    };
+    let (parameter, points): (&str, Vec<(f64, PerformanceReport)>) = match spec {
+        SweepSpec::Lambda(values) => (
+            "lambda",
+            sweep::lambda_sweep(config, values)
+                .map_err(failed)?
+                .into_iter()
+                .map(|SweepPoint { x, report, .. }| (x, report))
+                .collect(),
+        ),
+        SweepSpec::Clusters(values) => (
+            "clusters",
+            sweep::cluster_sweep_with(
+                config,
+                config.total_nodes(),
+                values,
+                BatchOptions::sequential(),
+            )
+            .map_err(failed)?
+            .into_iter()
+            .map(|SweepPoint { x, report, .. }| (x as f64, report))
+            .collect(),
+        ),
+        SweepSpec::MessageBytes(values) => (
+            "message_bytes",
+            sweep::message_size_sweep_with(config, values, BatchOptions::sequential())
+                .map_err(failed)?
+                .into_iter()
+                .map(|SweepPoint { x, report, .. }| (x as f64, report))
+                .collect(),
+        ),
+    };
+
+    let mut out = String::with_capacity(256 + points.len() * 160);
+    out.push_str("{\"schema\":\"hmcs-serve-sweep/1\",\"parameter\":");
+    out.push_str(&json_str(parameter));
+    out.push_str(",\"config\":");
+    push_config(&mut out, config);
+    out.push_str(",\"points\":[");
+    for (i, (x, report)) in points.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"x\":");
+        out.push_str(&json_num(*x));
+        out.push_str(",\"mean_latency_us\":");
+        out.push_str(&json_num(report.latency.mean_message_latency_us));
+        out.push_str(",\"throughput_per_us\":");
+        out.push_str(&json_num(report.throughput_per_us));
+        out.push_str(",\"bottleneck_utilization\":");
+        out.push_str(&json_num(report.equilibrium.bottleneck_utilization()));
+        out.push_str(",\"retained_fraction\":");
+        out.push_str(&json_num(report.equilibrium.retained_fraction));
+        out.push('}');
+    }
+    out.push_str("]}");
+    Ok(out)
+}
+
+/// Renders the full evaluate response document.
+pub fn render_evaluate(config: &SystemConfig, report: &PerformanceReport) -> String {
+    let eq = &report.equilibrium;
+    let lat = &report.latency;
+    let mut out = String::with_capacity(640);
+    out.push_str("{\"schema\":\"hmcs-serve-evaluate/1\",\"config\":");
+    push_config(&mut out, config);
+    out.push_str(",\"latency_us\":{\"mean\":");
+    out.push_str(&json_num(lat.mean_message_latency_us));
+    out.push_str(",\"internal\":");
+    out.push_str(&json_num(lat.internal_latency_us));
+    out.push_str(",\"external\":");
+    out.push_str(&json_num(lat.external_latency_us));
+    out.push_str(",\"sojourn_icn1\":");
+    out.push_str(&json_num(lat.sojourn_icn1_us));
+    out.push_str(",\"sojourn_ecn1\":");
+    out.push_str(&json_num(lat.sojourn_ecn1_us));
+    out.push_str(",\"sojourn_icn2\":");
+    out.push_str(&json_num(lat.sojourn_icn2_us));
+    out.push_str("},\"external_probability\":");
+    out.push_str(&json_num(lat.external_probability));
+    out.push_str(",\"utilization\":{\"icn1\":");
+    out.push_str(&json_num(eq.icn1.utilization));
+    out.push_str(",\"ecn1\":");
+    out.push_str(&json_num(eq.ecn1.utilization));
+    out.push_str(",\"icn2\":");
+    out.push_str(&json_num(eq.icn2.utilization));
+    out.push_str(",\"bottleneck\":");
+    out.push_str(&json_num(eq.bottleneck_utilization()));
+    out.push_str("},\"throughput_per_us\":");
+    out.push_str(&json_num(report.throughput_per_us));
+    out.push_str(",\"solver\":{\"iterations\":");
+    out.push_str(&eq.solver_iterations.to_string());
+    out.push_str(",\"lambda_eff\":");
+    out.push_str(&json_num(eq.lambda_eff));
+    out.push_str(",\"retained_fraction\":");
+    out.push_str(&json_num(eq.retained_fraction));
+    out.push_str(",\"total_waiting\":");
+    out.push_str(&json_num(eq.total_waiting));
+    out.push_str("}}");
+    out
+}
+
+const ALLOWED_CONFIG_FIELDS: [&str; 6] =
+    ["scenario", "architecture", "clusters", "nodes_per_cluster", "message_bytes", "lambda_per_us"];
+
+fn as_request_object(value: &JsonValue) -> Result<&[(String, JsonValue)], ApiError> {
+    match value {
+        JsonValue::Obj(fields) => Ok(fields),
+        _ => Err(ApiError::bad_request("invalid_json", "request body must be a JSON object")),
+    }
+}
+
+/// Rejects fields outside `allowed`. The offending name is quoted in
+/// the message — client bytes — and is escaped downstream by
+/// [`error_body`].
+fn check_fields(obj: &[(String, JsonValue)], allowed: &[&str]) -> Result<(), ApiError> {
+    for (key, _) in obj {
+        if !allowed.contains(&key.as_str()) {
+            return Err(ApiError::bad_request(
+                "unknown_field",
+                format!("unknown field '{key}'; expected one of {}", allowed.join(", ")),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn get_str(obj: &[(String, JsonValue)], key: &str) -> Result<Option<String>, ApiError> {
+    match obj.iter().find(|(k, _)| k == key) {
+        None => Ok(None),
+        Some((_, JsonValue::Str(s))) => Ok(Some(s.clone())),
+        Some(_) => Err(ApiError::bad_request("invalid_field", format!("'{key}' must be a string"))),
+    }
+}
+
+fn get_u64(obj: &[(String, JsonValue)], key: &str) -> Result<Option<u64>, ApiError> {
+    match obj.iter().find(|(k, _)| k == key) {
+        None => Ok(None),
+        Some((_, v)) => match v.as_u64() {
+            Some(n) => Ok(Some(n)),
+            None => Err(ApiError::bad_request(
+                "invalid_field",
+                format!("'{key}' must be a non-negative integer"),
+            )),
+        },
+    }
+}
+
+fn get_f64(obj: &[(String, JsonValue)], key: &str) -> Result<Option<f64>, ApiError> {
+    match obj.iter().find(|(k, _)| k == key) {
+        None => Ok(None),
+        Some((_, JsonValue::Num(x))) => Ok(Some(*x)),
+        Some(_) => Err(ApiError::bad_request("invalid_field", format!("'{key}' must be a number"))),
+    }
+}
+
+fn numeric_values(items: &[JsonValue], key: &str) -> Result<Vec<f64>, ApiError> {
+    items
+        .iter()
+        .map(|v| match v {
+            JsonValue::Num(x) => Ok(*x),
+            _ => Err(ApiError::bad_request(
+                "invalid_field",
+                format!("'{key}' entries must be numbers"),
+            )),
+        })
+        .collect()
+}
+
+fn integer_values(items: &[JsonValue], key: &str) -> Result<Vec<u64>, ApiError> {
+    items
+        .iter()
+        .map(|v| {
+            v.as_u64().ok_or_else(|| {
+                ApiError::bad_request(
+                    "invalid_field",
+                    format!("'{key}' entries must be non-negative integers"),
+                )
+            })
+        })
+        .collect()
+}
+
+fn config_from(obj: &[(String, JsonValue)]) -> Result<SystemConfig, ApiError> {
+    let scenario = match get_str(obj, "scenario")?.as_deref() {
+        None | Some("case1") => Scenario::Case1,
+        Some("case2") => Scenario::Case2,
+        Some(other) => {
+            return Err(ApiError::bad_request(
+                "invalid_field",
+                format!("unknown scenario '{other}'; expected case1 or case2"),
+            ))
+        }
+    };
+    let architecture = match get_str(obj, "architecture")?.as_deref() {
+        None | Some("nonblocking") => Architecture::NonBlocking,
+        Some("blocking") => Architecture::Blocking,
+        Some(other) => {
+            return Err(ApiError::bad_request(
+                "invalid_field",
+                format!("unknown architecture '{other}'; expected nonblocking or blocking"),
+            ))
+        }
+    };
+    let clusters = get_u64(obj, "clusters")?
+        .ok_or_else(|| ApiError::bad_request("missing_field", "'clusters' is required"))?
+        as usize;
+    let nodes_per_cluster = match get_u64(obj, "nodes_per_cluster")? {
+        Some(n) => n as usize,
+        None => {
+            if clusters == 0 || !PAPER_TOTAL_NODES.is_multiple_of(clusters) {
+                return Err(ApiError::bad_request(
+                    "invalid_field",
+                    format!(
+                        "'clusters' = {clusters} does not divide the default \
+                         {PAPER_TOTAL_NODES} total nodes; pass nodes_per_cluster explicitly"
+                    ),
+                ));
+            }
+            PAPER_TOTAL_NODES / clusters
+        }
+    };
+    let message_bytes = get_u64(obj, "message_bytes")?.unwrap_or(1024);
+    let lambda_per_us = get_f64(obj, "lambda_per_us")?.unwrap_or(PAPER_LAMBDA_PER_US);
+
+    SystemConfig::new(
+        clusters,
+        nodes_per_cluster,
+        message_bytes,
+        lambda_per_us,
+        scenario,
+        architecture,
+    )
+    .map_err(|e| ApiError::bad_request("invalid_config", e.to_string()))
+}
+
+fn push_config(out: &mut String, config: &SystemConfig) {
+    out.push_str("{\"clusters\":");
+    out.push_str(&config.clusters.to_string());
+    out.push_str(",\"nodes_per_cluster\":");
+    out.push_str(&config.nodes_per_cluster.to_string());
+    out.push_str(",\"message_bytes\":");
+    out.push_str(&config.message_bytes.to_string());
+    out.push_str(",\"lambda_per_us\":");
+    out.push_str(&json_num(config.lambda_per_us));
+    out.push_str(",\"architecture\":");
+    out.push_str(&json_str(match config.architecture {
+        Architecture::NonBlocking => "nonblocking",
+        Architecture::Blocking => "blocking",
+    }));
+    out.push_str(",\"icn1\":");
+    out.push_str(&json_str(config.icn1.name));
+    out.push_str(",\"ecn1\":");
+    out.push_str(&json_str(config.ecn1.name));
+    out.push_str(",\"icn2\":");
+    out.push_str(&json_str(config.icn2.name));
+    out.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmcs_core::model::AnalyticalModel;
+
+    #[test]
+    fn evaluate_accepts_minimal_and_full_requests() {
+        let cfg = parse_evaluate(r#"{"clusters": 16}"#).unwrap();
+        assert_eq!(cfg.clusters, 16);
+        assert_eq!(cfg.nodes_per_cluster, 16);
+        assert_eq!(cfg.message_bytes, 1024);
+        assert_eq!(cfg.lambda_per_us, PAPER_LAMBDA_PER_US);
+        assert_eq!(cfg.architecture, Architecture::NonBlocking);
+
+        let cfg = parse_evaluate(
+            r#"{"scenario":"case2","architecture":"blocking","clusters":8,
+                "nodes_per_cluster":4,"message_bytes":512,"lambda_per_us":1e-4}"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.clusters, 8);
+        assert_eq!(cfg.nodes_per_cluster, 4);
+        assert_eq!(cfg.message_bytes, 512);
+        assert_eq!(cfg.lambda_per_us, 1e-4);
+        assert_eq!(cfg.architecture, Architecture::Blocking);
+        assert_eq!(cfg.icn1.name, "Fast Ethernet");
+    }
+
+    #[test]
+    fn evaluate_rejects_unknown_fields_and_bad_values() {
+        let err = parse_evaluate(r#"{"clusters":4,"lambda_per_ms":0.25}"#).unwrap_err();
+        assert_eq!(err.code, "unknown_field");
+        assert!(err.message.contains("lambda_per_ms"));
+
+        let err = parse_evaluate(r#"{"clusters":0}"#).unwrap_err();
+        assert_eq!(err.status, 400);
+
+        let err = parse_evaluate(r#"{"clusters":3}"#).unwrap_err();
+        assert!(err.message.contains("does not divide"), "{}", err.message);
+
+        let err = parse_evaluate(r#"{"clusters":4,"scenario":"case9"}"#).unwrap_err();
+        assert_eq!(err.code, "invalid_field");
+
+        let err = parse_evaluate(r#"not json"#).unwrap_err();
+        assert_eq!(err.code, "invalid_json");
+
+        // Duplicate keys are a parse error (RFC 8259 strictness lives
+        // in the shared parser).
+        let err = parse_evaluate(r#"{"clusters":4,"clusters":8}"#).unwrap_err();
+        assert_eq!(err.code, "invalid_json");
+    }
+
+    #[test]
+    fn error_bodies_escape_client_bytes() {
+        // A field name full of quotes, backslashes and control bytes
+        // must still serialise to a valid JSON document.
+        let body = "{\"evil\\\"}{\\u0001\": 1, \"clusters\": 4}";
+        let err = parse_evaluate(body).unwrap_err();
+        assert_eq!(err.code, "unknown_field");
+        let rendered = err.body();
+        let reparsed = parse_json(&rendered).expect("error body must be valid JSON");
+        let msg = reparsed.get("error").and_then(|e| e.get("message")).and_then(|m| m.as_str());
+        let msg = msg.expect("error.message present");
+        assert!(msg.contains("evil\"}{\u{1}"), "raw bytes preserved in the decoded message");
+        assert!(rendered.contains("\\u0001"), "control byte escaped on the wire: {rendered}");
+        assert!(!rendered.contains('\u{1}'), "no raw control bytes on the wire");
+    }
+
+    #[test]
+    fn sweep_parses_all_three_parameters_and_caps_size() {
+        let (cfg, spec) =
+            parse_sweep(r#"{"clusters":16,"parameter":"lambda","values":[1e-4,2e-4]}"#).unwrap();
+        assert_eq!(cfg.clusters, 16);
+        assert_eq!(spec, SweepSpec::Lambda(vec![1e-4, 2e-4]));
+
+        let (_, spec) =
+            parse_sweep(r#"{"clusters":16,"parameter":"clusters","values":[4,16,64]}"#).unwrap();
+        assert_eq!(spec, SweepSpec::Clusters(vec![4, 16, 64]));
+
+        let (_, spec) =
+            parse_sweep(r#"{"clusters":16,"parameter":"message_bytes","values":[256,1024]}"#)
+                .unwrap();
+        assert_eq!(spec, SweepSpec::MessageBytes(vec![256, 1024]));
+
+        let err = parse_sweep(r#"{"clusters":16,"parameter":"lambda","values":[]}"#).unwrap_err();
+        assert_eq!(err.code, "invalid_field");
+
+        let big: Vec<String> = (0..=MAX_SWEEP_POINTS).map(|i| format!("{}e-6", i + 1)).collect();
+        let body =
+            format!(r#"{{"clusters":16,"parameter":"lambda","values":[{}]}}"#, big.join(","));
+        let err = parse_sweep(&body).unwrap_err();
+        assert_eq!(err.code, "sweep_too_large");
+    }
+
+    #[test]
+    fn evaluate_response_is_bit_identical_to_in_process_evaluation() {
+        let cfg = parse_evaluate(r#"{"clusters":16,"architecture":"blocking"}"#).unwrap();
+        let body = evaluate_response(&cfg).unwrap();
+        let doc = parse_json(&body).unwrap();
+        let served = doc
+            .get("latency_us")
+            .and_then(|l| l.get("mean"))
+            .and_then(|m| m.as_num())
+            .expect("latency_us.mean present");
+        let direct = AnalyticalModel::evaluate(&cfg).unwrap();
+        assert_eq!(
+            served.to_bits(),
+            direct.latency.mean_message_latency_us.to_bits(),
+            "served latency must round-trip bit-identically"
+        );
+    }
+
+    #[test]
+    fn sweep_response_matches_individual_evaluations() {
+        let (cfg, spec) =
+            parse_sweep(r#"{"clusters":16,"parameter":"clusters","values":[4,64]}"#).unwrap();
+        let body = sweep_response(&cfg, &spec).unwrap();
+        let doc = parse_json(&body).unwrap();
+        let points = doc.get("points").and_then(|p| p.as_arr()).unwrap();
+        assert_eq!(points.len(), 2);
+        for (point, clusters) in points.iter().zip([4usize, 64]) {
+            let x = point.get("x").and_then(|x| x.as_num()).unwrap();
+            assert_eq!(x as usize, clusters);
+            let served = point.get("mean_latency_us").and_then(|m| m.as_num()).unwrap();
+            let direct_cfg = parse_evaluate(&format!(r#"{{"clusters":{clusters}}}"#)).unwrap();
+            let direct = AnalyticalModel::evaluate(&direct_cfg).unwrap();
+            assert_eq!(served.to_bits(), direct.latency.mean_message_latency_us.to_bits());
+        }
+    }
+
+    #[test]
+    fn coalescing_keys_distinguish_configs_and_endpoints() {
+        let a = parse_evaluate(r#"{"clusters":16}"#).unwrap();
+        let b = parse_evaluate(r#"{"clusters":32}"#).unwrap();
+        let a2 = parse_evaluate(r#"{"clusters":16,"message_bytes":1024}"#).unwrap();
+        assert_ne!(evaluate_key(&a), evaluate_key(&b));
+        assert_eq!(evaluate_key(&a), evaluate_key(&a2), "defaults normalise to the same key");
+        let spec = SweepSpec::Lambda(vec![1e-4]);
+        assert_ne!(evaluate_key(&a), sweep_key(&a, &spec));
+    }
+}

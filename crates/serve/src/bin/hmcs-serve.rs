@@ -1,0 +1,102 @@
+//! The `hmcs-serve` daemon binary.
+//!
+//! Thin shell around [`hmcs_serve::server::Server`]: parse flags,
+//! install signal handlers, start serving, and drain gracefully on
+//! SIGINT/SIGTERM — the process exits 0 after a clean drain, which CI
+//! asserts.
+
+use hmcs_serve::server::{Server, ServerConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Set by the signal handler; polled by the main loop.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+// `std` links libc already; declaring `signal` directly avoids a
+// dependency for the one call the daemon needs. The handler only
+// touches an atomic, which is async-signal-safe.
+extern "C" {
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+extern "C" fn on_signal(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+const USAGE: &str = "usage: hmcs-serve [options]
+
+options:
+  --addr HOST:PORT        bind address (default 127.0.0.1:8377)
+  --workers N             worker threads (default: HMCS_POOL_WORKERS or
+                          available parallelism)
+  --queue-capacity N      admission queue bound (default 64)
+  --deadline-ms N         per-request deadline in ms (default 10000)
+  --retry-after-s N       Retry-After value on shed responses (default 1)
+  --max-body-bytes N      request body cap (default 1048576)
+  --handler-latency-ms N  artificial /v1/* latency, fault injection
+                          for soak tests (default 0)
+  --help                  print this help
+";
+
+fn parse_args() -> Result<ServerConfig, String> {
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        if flag == "--help" || flag == "-h" {
+            print!("{USAGE}");
+            std::process::exit(0);
+        }
+        let value = args.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        let bad = |_| format!("invalid value {value:?} for {flag}");
+        match flag.as_str() {
+            "--addr" => config.addr = value.clone(),
+            "--workers" => config.workers = value.parse().map_err(bad)?,
+            "--queue-capacity" => config.queue_capacity = value.parse().map_err(bad)?,
+            "--deadline-ms" => {
+                config.deadline = Duration::from_millis(value.parse().map_err(bad)?);
+            }
+            "--retry-after-s" => config.retry_after_s = value.parse().map_err(bad)?,
+            "--max-body-bytes" => config.max_body_bytes = value.parse().map_err(bad)?,
+            "--handler-latency-ms" => {
+                config.handler_latency = Duration::from_millis(value.parse().map_err(bad)?);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(config)
+}
+
+fn main() {
+    let config = match parse_args() {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+
+    let server = match Server::start(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: failed to start server: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("hmcs-serve listening on http://{}", server.local_addr());
+
+    while !SHUTDOWN.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("hmcs-serve: draining {} queued request(s)", server.queue_len());
+    server.shutdown();
+    eprintln!("hmcs-serve: drained, exiting");
+}

@@ -1,0 +1,260 @@
+//! In-flight request deduplication.
+//!
+//! Concurrent identical requests are common in serving workloads
+//! (dashboards refreshing the same sweep, retry storms); computing each
+//! copy wastes the worker pool. The [`Coalescer`] maps a canonical
+//! request key to an in-flight computation slot: the first arrival (the
+//! *leader*) computes, every later arrival (a *follower*) blocks on the
+//! slot and receives a clone of the leader's result — byte-identical,
+//! since responses are deterministic functions of the canonical key.
+//!
+//! The keying scheme generalises `hmcs-bench`'s sim cache: a config's
+//! `Debug` rendering is injective (floats print as shortest
+//! round-tripping strings), so two requests share a key exactly when
+//! their parsed configurations are bit-identical.
+//!
+//! Unlike the sim cache this is **not** a result cache: a slot lives
+//! only while its computation is in flight, so memory is bounded by
+//! the worker pool and results can never go stale.
+//!
+//! Followers wait with a deadline. If the leader disappears (panic) or
+//! overruns the follower's budget, the follower reports failure and
+//! the server answers `503` — a stuck computation degrades to load
+//! shedding instead of hanging the pool.
+
+use crate::keys;
+use hmcs_core::metrics;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+struct SlotState<V> {
+    value: Option<V>,
+    abandoned: bool,
+}
+
+struct Slot<V> {
+    state: Mutex<SlotState<V>>,
+    ready: Condvar,
+}
+
+/// How one [`Coalescer::run`] call was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// This call was the leader and performed the computation.
+    Computed,
+    /// This call received a clone of a concurrent leader's result.
+    Coalesced,
+    /// The leader did not deliver within the wait budget.
+    TimedOut,
+}
+
+/// Deduplicates concurrent computations by canonical key.
+pub struct Coalescer<V: Clone> {
+    inflight: Mutex<HashMap<String, Arc<Slot<V>>>>,
+}
+
+impl<V: Clone> Default for Coalescer<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Removes the leader's slot on unwind so a panicking computation
+/// cannot strand future identical requests on a slot that will never
+/// complete; waiting followers observe `abandoned` and fail fast.
+struct LeaderGuard<'a, V: Clone> {
+    owner: &'a Coalescer<V>,
+    key: &'a str,
+    slot: &'a Arc<Slot<V>>,
+    completed: bool,
+}
+
+impl<V: Clone> Drop for LeaderGuard<'_, V> {
+    fn drop(&mut self) {
+        self.owner.inflight.lock().expect("coalescer poisoned").remove(self.key);
+        if !self.completed {
+            self.slot.state.lock().expect("slot poisoned").abandoned = true;
+        }
+        self.slot.ready.notify_all();
+    }
+}
+
+impl<V: Clone> Coalescer<V> {
+    /// Creates an empty coalescer.
+    pub fn new() -> Self {
+        Coalescer { inflight: Mutex::new(HashMap::new()) }
+    }
+
+    /// Runs `compute` under `key`, joining an identical in-flight
+    /// computation when one exists. Followers wait at most
+    /// `wait_budget`.
+    pub fn run(
+        &self,
+        key: &str,
+        wait_budget: Duration,
+        compute: impl FnOnce() -> V,
+    ) -> (Option<V>, Outcome) {
+        let slot = {
+            let mut inflight = self.inflight.lock().expect("coalescer poisoned");
+            if let Some(existing) = inflight.get(key) {
+                let existing = Arc::clone(existing);
+                drop(inflight);
+                metrics::counter(keys::COALESCE_HITS).incr();
+                return match self.follow(&existing, wait_budget) {
+                    Some(v) => (Some(v), Outcome::Coalesced),
+                    None => (None, Outcome::TimedOut),
+                };
+            }
+            let slot = Arc::new(Slot {
+                state: Mutex::new(SlotState { value: None, abandoned: false }),
+                ready: Condvar::new(),
+            });
+            inflight.insert(key.to_string(), Arc::clone(&slot));
+            slot
+        };
+
+        metrics::counter(keys::COALESCE_COMPUTATIONS).incr();
+        let mut guard = LeaderGuard { owner: self, key, slot: &slot, completed: false };
+        let value = compute();
+        slot.state.lock().expect("slot poisoned").value = Some(value.clone());
+        guard.completed = true;
+        drop(guard); // removes the inflight entry, then wakes followers
+        (Some(value), Outcome::Computed)
+    }
+
+    fn follow(&self, slot: &Slot<V>, wait_budget: Duration) -> Option<V> {
+        let deadline = Instant::now() + wait_budget;
+        let mut state = slot.state.lock().expect("slot poisoned");
+        loop {
+            if let Some(v) = &state.value {
+                return Some(v.clone());
+            }
+            if state.abandoned {
+                return None;
+            }
+            // A lapsed deadline falls out here as `None` after one
+            // last value check above.
+            let remaining = deadline.checked_duration_since(Instant::now())?;
+            state = slot.ready.wait_timeout(state, remaining).expect("slot poisoned").0;
+        }
+    }
+
+    /// Number of in-flight computations (tests/metrics only).
+    pub fn inflight_len(&self) -> usize {
+        self.inflight.lock().expect("coalescer poisoned").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+
+    #[test]
+    fn solo_requests_compute_and_clean_up() {
+        let c: Coalescer<u64> = Coalescer::new();
+        let (v, outcome) = c.run("k", Duration::from_secs(1), || 42);
+        assert_eq!(v, Some(42));
+        assert_eq!(outcome, Outcome::Computed);
+        assert_eq!(c.inflight_len(), 0);
+    }
+
+    #[test]
+    fn concurrent_identical_requests_share_one_computation() {
+        let c: Arc<Coalescer<u64>> = Arc::new(Coalescer::new());
+        let computations = Arc::new(AtomicUsize::new(0));
+        let barrier = Arc::new(Barrier::new(8));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let (c, computations, barrier) =
+                    (Arc::clone(&c), Arc::clone(&computations), Arc::clone(&barrier));
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    c.run("same", Duration::from_secs(10), || {
+                        computations.fetch_add(1, Ordering::SeqCst);
+                        // Hold the slot open long enough that siblings
+                        // arrive while the computation is in flight.
+                        std::thread::sleep(Duration::from_millis(50));
+                        7u64
+                    })
+                })
+            })
+            .collect();
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let computed = results.iter().filter(|(_, o)| *o == Outcome::Computed).count();
+        let coalesced = results.iter().filter(|(_, o)| *o == Outcome::Coalesced).count();
+        assert!(results.iter().all(|(v, _)| *v == Some(7)));
+        assert_eq!(computed, computations.load(Ordering::SeqCst));
+        assert!(computed < 8, "at least one request must coalesce");
+        assert_eq!(computed + coalesced, 8);
+        assert_eq!(c.inflight_len(), 0);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce() {
+        let c: Coalescer<u64> = Coalescer::new();
+        let (a, oa) = c.run("a", Duration::from_secs(1), || 1);
+        let (b, ob) = c.run("b", Duration::from_secs(1), || 2);
+        assert_eq!((a, oa), (Some(1), Outcome::Computed));
+        assert_eq!((b, ob), (Some(2), Outcome::Computed));
+    }
+
+    #[test]
+    fn followers_time_out_rather_than_hang() {
+        let c: Arc<Coalescer<u64>> = Arc::new(Coalescer::new());
+        let barrier = Arc::new(Barrier::new(2));
+        let leader = {
+            let (c, barrier) = (Arc::clone(&c), Arc::clone(&barrier));
+            std::thread::spawn(move || {
+                c.run("slow", Duration::from_secs(10), || {
+                    barrier.wait(); // follower is about to join
+                    std::thread::sleep(Duration::from_millis(300));
+                    1u64
+                })
+            })
+        };
+        barrier.wait();
+        // Give the leader's entry a moment to be observable, then join
+        // with a budget far shorter than the leader's compute time.
+        std::thread::sleep(Duration::from_millis(20));
+        let (v, outcome) = c.run("slow", Duration::from_millis(30), || 2u64);
+        assert_eq!(outcome, Outcome::TimedOut);
+        assert_eq!(v, None);
+        let (lv, lo) = leader.join().unwrap();
+        assert_eq!((lv, lo), (Some(1), Outcome::Computed));
+        assert_eq!(c.inflight_len(), 0);
+    }
+
+    #[test]
+    fn panicking_leader_abandons_the_slot() {
+        let c: Arc<Coalescer<u64>> = Arc::new(Coalescer::new());
+        let barrier = Arc::new(Barrier::new(2));
+        let leader = {
+            let (c, barrier) = (Arc::clone(&c), Arc::clone(&barrier));
+            std::thread::spawn(move || {
+                c.run("doomed", Duration::from_secs(1), || {
+                    barrier.wait();
+                    std::thread::sleep(Duration::from_millis(50));
+                    panic!("computation failed");
+                })
+            })
+        };
+        barrier.wait();
+        std::thread::sleep(Duration::from_millis(10));
+        let (v, outcome) = c.run("doomed", Duration::from_secs(5), || 3u64);
+        // Either we joined the doomed slot and saw it abandoned, or we
+        // arrived after cleanup and computed fresh.
+        assert!(
+            (v.is_none() && outcome == Outcome::TimedOut)
+                || (v == Some(3) && outcome == Outcome::Computed),
+            "unexpected outcome: {v:?} {outcome:?}"
+        );
+        assert!(leader.join().is_err(), "leader panicked by design");
+        // The slot must not leak: new identical requests compute fresh.
+        let (v2, o2) = c.run("doomed", Duration::from_secs(1), || 4u64);
+        assert_eq!((v2, o2), (Some(4), Outcome::Computed));
+        assert_eq!(c.inflight_len(), 0);
+    }
+}

@@ -1,0 +1,292 @@
+//! A minimal hand-rolled HTTP/1.1 subset.
+//!
+//! Just enough protocol for the daemon: one request per connection
+//! (`Connection: close` on every response), `Content-Length` bodies
+//! only, bounded header and body sizes, and no dependency beyond
+//! `std::io`. The parser is strict where it matters for robustness —
+//! malformed request lines, oversized headers/bodies, and
+//! `Transfer-Encoding` (which this server deliberately does not
+//! implement) are all rejected with precise status codes rather than
+//! being misread.
+
+use std::io::{Read, Write};
+
+/// Hard cap on the request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The method verb, uppercase as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// The path with any query string stripped.
+    pub path: String,
+    /// The raw body (exactly `Content-Length` bytes).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be read. Each variant maps to one status.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Protocol violation → `400`.
+    Malformed(String),
+    /// Head or body over the configured cap → `431` / `413`.
+    TooLarge(&'static str),
+    /// Unsupported mechanism (`Transfer-Encoding`) → `501`.
+    Unsupported(&'static str),
+    /// Socket error or timeout → no response possible / `408`.
+    Io(std::io::Error),
+}
+
+impl ReadError {
+    /// The HTTP status this error maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            ReadError::Malformed(_) => 400,
+            ReadError::TooLarge("head") => 431,
+            ReadError::TooLarge(_) => 413,
+            ReadError::Unsupported(_) => 501,
+            ReadError::Io(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                408
+            }
+            ReadError::Io(_) => 400,
+        }
+    }
+
+    /// A short human-readable reason (never echoes raw request bytes).
+    pub fn reason(&self) -> String {
+        match self {
+            ReadError::Malformed(what) => format!("malformed request: {what}"),
+            ReadError::TooLarge(what) => format!("request {what} too large"),
+            ReadError::Unsupported(what) => format!("{what} not supported"),
+            ReadError::Io(e) => format!("read failed: {}", e.kind()),
+        }
+    }
+}
+
+/// Reads one request from `stream`, enforcing [`MAX_HEAD_BYTES`] and
+/// `max_body_bytes`.
+pub fn read_request(stream: &mut impl Read, max_body_bytes: usize) -> Result<Request, ReadError> {
+    // Read until the blank line terminating the head, byte-bounded.
+    let mut head = Vec::with_capacity(512);
+    let mut body_start = Vec::new();
+    let mut buf = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&head) {
+            break pos;
+        }
+        if head.len() >= MAX_HEAD_BYTES {
+            return Err(ReadError::TooLarge("head"));
+        }
+        let n = stream.read(&mut buf).map_err(ReadError::Io)?;
+        if n == 0 {
+            return Err(ReadError::Malformed("connection closed before request head".into()));
+        }
+        head.extend_from_slice(&buf[..n]);
+    };
+    body_start.extend_from_slice(&head[head_end..]);
+    head.truncate(head_end);
+
+    let head_text = std::str::from_utf8(&head)
+        .map_err(|_| ReadError::Malformed("request head is not UTF-8".into()))?;
+    let mut lines = head_text.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Err(ReadError::Malformed("bad request line".into())),
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(ReadError::Malformed("unsupported HTTP version".into()));
+    }
+
+    let mut content_length: usize = 0;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ReadError::Malformed("header without ':'".into()));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                content_length = value
+                    .parse()
+                    .map_err(|_| ReadError::Malformed("unparseable Content-Length".into()))?;
+            }
+            "transfer-encoding" => return Err(ReadError::Unsupported("Transfer-Encoding")),
+            _ => {}
+        }
+    }
+    if content_length > max_body_bytes {
+        return Err(ReadError::TooLarge("body"));
+    }
+
+    let mut body = body_start;
+    if body.len() > content_length {
+        return Err(ReadError::Malformed("body longer than Content-Length".into()));
+    }
+    while body.len() < content_length {
+        let n = stream.read(&mut buf).map_err(ReadError::Io)?;
+        if n == 0 {
+            return Err(ReadError::Malformed("connection closed mid-body".into()));
+        }
+        body.extend_from_slice(&buf[..n]);
+        if body.len() > content_length {
+            return Err(ReadError::Malformed("body longer than Content-Length".into()));
+        }
+    }
+
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    Ok(Request { method: method.to_string(), path, body })
+}
+
+/// Index just past the `\r\n\r\n` head terminator, if present.
+fn find_head_end(bytes: &[u8]) -> Option<usize> {
+    bytes.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+/// One response, serialised by [`write_response`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Emits a `Retry-After: <seconds>` header when set (load shed).
+    pub retry_after_s: Option<u64>,
+    /// The response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A `200` JSON response.
+    pub fn json(body: String) -> Self {
+        Response { status: 200, content_type: "application/json", retry_after_s: None, body }
+    }
+
+    /// A `200` plain-text response.
+    pub fn text(body: String) -> Self {
+        Response {
+            status: 200,
+            content_type: "text/plain; charset=utf-8",
+            retry_after_s: None,
+            body,
+        }
+    }
+
+    /// The standard reason phrase for this status.
+    pub fn reason_phrase(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            413 => "Payload Too Large",
+            431 => "Request Header Fields Too Large",
+            500 => "Internal Server Error",
+            501 => "Not Implemented",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+}
+
+/// Serialises `response` onto `stream` (one-shot; the connection is
+/// closed afterwards, matching the advertised `Connection: close`).
+pub fn write_response(stream: &mut impl Write, response: &Response) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
+        response.status,
+        response.reason_phrase(),
+        response.content_type,
+        response.body.len()
+    );
+    if let Some(seconds) = response.retry_after_s {
+        head.push_str(&format!("retry-after: {seconds}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &[u8]) -> Result<Request, ReadError> {
+        read_request(&mut std::io::Cursor::new(raw.to_vec()), 1024)
+    }
+
+    #[test]
+    fn parses_a_simple_post() {
+        let req = parse(b"POST /v1/evaluate HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd")
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/evaluate");
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn parses_get_without_body_and_strips_query() {
+        let req = parse(b"GET /metrics?verbose=1 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/metrics");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_request_lines() {
+        assert_eq!(parse(b"NONSENSE\r\n\r\n").unwrap_err().status(), 400);
+        assert_eq!(parse(b"GET /x HTTP/9.9\r\n\r\n").unwrap_err().status(), 400);
+        assert_eq!(parse(b"GET  HTTP/1.1\r\n\r\n").unwrap_err().status(), 400);
+        assert_eq!(parse(b"").unwrap_err().status(), 400);
+    }
+
+    #[test]
+    fn rejects_oversized_bodies_and_heads() {
+        let err = parse(b"POST /x HTTP/1.1\r\nContent-Length: 99999\r\n\r\n").unwrap_err();
+        assert_eq!(err.status(), 413);
+        let mut big = b"GET /x HTTP/1.1\r\n".to_vec();
+        big.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES + 16));
+        assert_eq!(parse(&big).unwrap_err().status(), 431);
+    }
+
+    #[test]
+    fn rejects_transfer_encoding() {
+        let err = parse(b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").unwrap_err();
+        assert_eq!(err.status(), 501);
+    }
+
+    #[test]
+    fn rejects_truncated_bodies() {
+        let err = parse(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc").unwrap_err();
+        assert_eq!(err.status(), 400);
+    }
+
+    #[test]
+    fn response_serialisation_includes_retry_after() {
+        let mut out = Vec::new();
+        let resp = Response {
+            status: 503,
+            content_type: "application/json",
+            retry_after_s: Some(2),
+            body: "{}".into(),
+        };
+        write_response(&mut out, &resp).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("retry-after: 2\r\n"));
+        assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

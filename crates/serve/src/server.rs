@@ -1,0 +1,465 @@
+//! The serving loop: acceptor thread, bounded queue, worker pool.
+//!
+//! ## Lifecycle
+//!
+//! [`Server::start`] binds the listener, spawns one acceptor thread
+//! and a pool of workers, and returns immediately. The acceptor admits
+//! connections into a [`queue::Bounded`]; when the queue is full it
+//! answers `503` + `Retry-After` inline without occupying a worker
+//! (load shedding). Workers pop jobs, parse the request, route it, and
+//! write the response — one request per connection.
+//!
+//! ## Deadlines
+//!
+//! [`ServerConfig::deadline`] bounds the time from accept to the start
+//! of processing: a job that sat in queue longer is answered `503`
+//! without computing (its result would be stale anyway — the client
+//! has likely timed out). The remaining budget also bounds socket
+//! reads/writes and the wait of a coalescing follower, so a slow peer
+//! cannot pin a worker indefinitely.
+//!
+//! ## Shutdown
+//!
+//! [`Server::shutdown`] stops the acceptor first, then closes the
+//! queue. Workers drain every job that was already admitted before
+//! exiting — an accepted request is never dropped mid-flight.
+
+use crate::coalesce::Coalescer;
+use crate::http::{self, Request, Response};
+use crate::queue::Bounded;
+use crate::{api, keys};
+use hmcs_core::batch::BatchOptions;
+use hmcs_core::metrics;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address. Port 0 asks the OS for a free port (tests).
+    pub addr: String,
+    /// Worker threads; 0 defers to [`BatchOptions`]'s policy
+    /// (`HMCS_POOL_WORKERS` or available parallelism).
+    pub workers: usize,
+    /// Bounded queue capacity — the admission budget beyond the
+    /// requests currently being processed.
+    pub queue_capacity: usize,
+    /// Per-request budget from accept to processing; also bounds
+    /// socket I/O and coalescing waits.
+    pub deadline: Duration,
+    /// Value of the `Retry-After` header on shed responses.
+    pub retry_after_s: u64,
+    /// Hard cap on request bodies.
+    pub max_body_bytes: usize,
+    /// Artificial pre-compute latency on `/v1/*` requests. Fault
+    /// injection for tests and soak runs (deterministically provokes
+    /// queue buildup, shedding and deadline expiry); zero in service.
+    pub handler_latency: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:8377".into(),
+            workers: 0,
+            queue_capacity: 64,
+            deadline: Duration::from_secs(10),
+            retry_after_s: 1,
+            max_body_bytes: 1 << 20,
+            handler_latency: Duration::ZERO,
+        }
+    }
+}
+
+/// One admitted connection, timestamped for deadline accounting.
+struct Job {
+    stream: TcpStream,
+    accepted_at: Instant,
+}
+
+/// Shared state between the acceptor and the workers.
+struct Shared {
+    config: ServerConfig,
+    queue: Bounded<Job>,
+    coalescer: Coalescer<Response>,
+    shutdown: AtomicBool,
+}
+
+/// A running daemon. Dropping the handle without calling
+/// [`Server::shutdown`] leaves the threads serving (detached).
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `config.addr` and spawns the serving threads.
+    pub fn start(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+
+        let worker_count = if config.workers == 0 {
+            BatchOptions::default().resolved_workers()
+        } else {
+            config.workers
+        };
+        let shared = Arc::new(Shared {
+            queue: Bounded::new(config.queue_capacity),
+            coalescer: Coalescer::new(),
+            shutdown: AtomicBool::new(false),
+            config,
+        });
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("hmcs-serve-acceptor".into())
+                .spawn(move || accept_loop(&listener, &shared))?
+        };
+        let workers = (0..worker_count)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("hmcs-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+
+        Ok(Server { shared, local_addr, acceptor, workers })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Jobs currently waiting in the admission queue (tests/metrics).
+    pub fn queue_len(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Stops accepting, drains every admitted request, joins all
+    /// threads. Blocks until the drain completes.
+    pub fn shutdown(self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // The acceptor observes the flag within one poll interval and
+        // closes the queue itself, so nothing can be admitted after
+        // close — workers then drain and exit.
+        let _ = self.acceptor.join();
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// How often the non-blocking acceptor re-checks the shutdown flag
+/// when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => admit(stream, shared),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            // Transient accept errors (ECONNABORTED etc.): back off
+            // briefly rather than spinning or dying.
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+    // Closing here — after the last accept — guarantees no admitted
+    // job can race the close, so the workers' drain sees everything.
+    shared.queue.close();
+}
+
+fn admit(stream: TcpStream, shared: &Shared) {
+    metrics::histogram(keys::QUEUE_DEPTH).record(shared.queue.len() as u64);
+    let job = Job { stream, accepted_at: Instant::now() };
+    match shared.queue.try_push(job) {
+        Ok(()) => {
+            metrics::counter(keys::REQUESTS_ACCEPTED).incr();
+        }
+        Err((job, _full_or_closed)) => {
+            metrics::counter(keys::ADMISSION_REJECTED).incr();
+            shed(job.stream, shared);
+        }
+    }
+}
+
+/// Answers a connection we refuse to queue: `503` + `Retry-After`,
+/// written inline on the acceptor thread with a short timeout so a
+/// slow client cannot stall admission.
+fn shed(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let response = Response {
+        status: 503,
+        content_type: "application/json",
+        retry_after_s: Some(shared.config.retry_after_s),
+        body: api::error_body("overloaded", "admission queue full; retry later"),
+    };
+    count_status(response.status);
+    let _ = http::write_response(&mut stream, &response);
+    drain_unread(&mut stream);
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        handle(job, shared);
+    }
+}
+
+fn handle(job: Job, shared: &Shared) {
+    metrics::counter(keys::REQUESTS_STARTED).incr();
+    let Job { mut stream, accepted_at } = job;
+
+    let deadline = shared.config.deadline;
+    let Some(remaining) = deadline.checked_sub(accepted_at.elapsed()) else {
+        metrics::counter(keys::DEADLINE_EXPIRED).incr();
+        let response = Response {
+            status: 503,
+            content_type: "application/json",
+            retry_after_s: Some(shared.config.retry_after_s),
+            body: api::error_body("deadline_expired", "request waited in queue past its deadline"),
+        };
+        finish(&mut stream, &response, accepted_at);
+        return;
+    };
+
+    // A slow or stalled peer gets the request's remaining budget, not
+    // a worker forever.
+    let io_budget = remaining.max(Duration::from_millis(1));
+    let _ = stream.set_read_timeout(Some(io_budget));
+    let _ = stream.set_write_timeout(Some(io_budget));
+
+    let request = match http::read_request(&mut stream, shared.config.max_body_bytes) {
+        Ok(request) => request,
+        Err(e) => {
+            let response = Response {
+                status: e.status(),
+                content_type: "application/json",
+                retry_after_s: None,
+                body: api::error_body("bad_request", &e.reason()),
+            };
+            finish(&mut stream, &response, accepted_at);
+            return;
+        }
+    };
+
+    let response = route(&request, remaining, shared);
+    finish(&mut stream, &response, accepted_at);
+}
+
+fn route(request: &Request, remaining: Duration, shared: &Shared) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            metrics::counter(keys::REQ_HEALTHZ).incr();
+            Response::text("ok\n".into())
+        }
+        ("GET", "/metrics") => {
+            metrics::counter(keys::REQ_METRICS).incr();
+            Response::text(metrics::global().snapshot().render())
+        }
+        ("GET", "/version") => Response::json(format!(
+            r#"{{"schema":"hmcs-serve/1","crate":"hmcs-serve","version":"{}"}}"#,
+            env!("CARGO_PKG_VERSION")
+        )),
+        ("POST", "/v1/evaluate") => {
+            metrics::counter(keys::REQ_EVALUATE).incr();
+            coalesced(shared, remaining, request, |body| {
+                let config = api::parse_evaluate(body)?;
+                Ok((api::evaluate_key(&config), move || api::evaluate_response(&config)))
+            })
+        }
+        ("POST", "/v1/sweep") => {
+            metrics::counter(keys::REQ_SWEEP).incr();
+            coalesced(shared, remaining, request, |body| {
+                let (config, spec) = api::parse_sweep(body)?;
+                Ok((api::sweep_key(&config, &spec), move || api::sweep_response(&config, &spec)))
+            })
+        }
+        (_, "/healthz" | "/metrics" | "/version" | "/v1/evaluate" | "/v1/sweep") => {
+            metrics::counter(keys::REQ_OTHER).incr();
+            Response {
+                status: 405,
+                content_type: "application/json",
+                retry_after_s: None,
+                body: api::error_body("method_not_allowed", "see the endpoint table in the docs"),
+            }
+        }
+        _ => {
+            metrics::counter(keys::REQ_OTHER).incr();
+            Response {
+                status: 404,
+                content_type: "application/json",
+                retry_after_s: None,
+                body: api::error_body("not_found", "unknown endpoint"),
+            }
+        }
+    }
+}
+
+/// Parses a `/v1/*` body, then runs the computation through the
+/// coalescer: identical concurrent requests share one evaluation and
+/// all receive byte-identical responses.
+fn coalesced<F, C>(shared: &Shared, remaining: Duration, request: &Request, prepare: F) -> Response
+where
+    F: FnOnce(&str) -> Result<(String, C), api::ApiError>,
+    C: FnOnce() -> Result<String, api::ApiError>,
+{
+    let Ok(body) = std::str::from_utf8(&request.body) else {
+        return error_response(api::ApiError {
+            status: 400,
+            code: "invalid_json",
+            message: "request body is not UTF-8".into(),
+        });
+    };
+    let (key, compute) = match prepare(body) {
+        Ok(prepared) => prepared,
+        Err(e) => return error_response(e),
+    };
+    let (value, outcome) = shared.coalescer.run(&key, remaining, || {
+        // Fault injection: the sleep sits *inside* the coalescing slot
+        // so it widens the in-flight window exactly like a genuinely
+        // slow computation would.
+        if !shared.config.handler_latency.is_zero() {
+            std::thread::sleep(shared.config.handler_latency);
+        }
+        match compute() {
+            Ok(body) => Response::json(body),
+            Err(e) => error_response(e),
+        }
+    });
+    match (value, outcome) {
+        (Some(response), _) => response,
+        (None, _) => Response {
+            status: 503,
+            content_type: "application/json",
+            retry_after_s: Some(shared.config.retry_after_s),
+            body: api::error_body(
+                "coalesce_timeout",
+                "an identical in-flight request did not finish within the deadline",
+            ),
+        },
+    }
+}
+
+fn error_response(e: api::ApiError) -> Response {
+    Response {
+        status: e.status,
+        content_type: "application/json",
+        retry_after_s: None,
+        body: e.body(),
+    }
+}
+
+fn finish(stream: &mut TcpStream, response: &Response, accepted_at: Instant) {
+    count_status(response.status);
+    // The peer may already be gone (shed test clients, health probes
+    // that hang up early); nothing useful to do with the error.
+    let _ = http::write_response(stream, response);
+    drain_unread(stream);
+    metrics::histogram(keys::REQUEST_US).record(accepted_at.elapsed().as_micros() as u64);
+}
+
+/// Discards any request bytes still unread (error paths answer before
+/// consuming the body). Closing a socket with pending input makes the
+/// kernel send `RST`, which can destroy the response before the client
+/// reads it; draining first turns the close into an orderly `FIN`.
+fn drain_unread(stream: &mut TcpStream) {
+    use std::io::Read;
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let mut sink = [0u8; 1024];
+    // Bounded: at most ~256 KiB or 250 ms per connection.
+    for _ in 0..256 {
+        match stream.read(&mut sink) {
+            Ok(n) if n > 0 => continue,
+            _ => break,
+        }
+    }
+}
+
+fn count_status(status: u16) {
+    let key = match status / 100 {
+        2 => keys::STATUS_2XX,
+        4 => keys::STATUS_4XX,
+        _ => keys::STATUS_5XX,
+    };
+    metrics::counter(key).incr();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    fn request(addr: SocketAddr, raw: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(raw.as_bytes()).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    fn test_config() -> ServerConfig {
+        ServerConfig { addr: "127.0.0.1:0".into(), workers: 2, ..ServerConfig::default() }
+    }
+
+    #[test]
+    fn healthz_and_version_respond() {
+        let server = Server::start(test_config()).unwrap();
+        let addr = server.local_addr();
+        let reply = request(addr, "GET /healthz HTTP/1.1\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 200 OK\r\n"), "{reply}");
+        assert!(reply.ends_with("ok\n"));
+        let reply = request(addr, "GET /version HTTP/1.1\r\n\r\n");
+        assert!(reply.contains("hmcs-serve"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_paths_and_methods_get_structured_errors() {
+        let server = Server::start(test_config()).unwrap();
+        let addr = server.local_addr();
+        let reply = request(addr, "GET /nope HTTP/1.1\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 404"), "{reply}");
+        assert!(reply.contains(r#""code":"not_found""#));
+        let reply = request(addr, "DELETE /healthz HTTP/1.1\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 405"), "{reply}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn evaluate_round_trips_over_the_socket() {
+        let server = Server::start(test_config()).unwrap();
+        let body = r#"{"clusters":16}"#;
+        let reply = request(
+            server.local_addr(),
+            &format!("POST /v1/evaluate HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}", body.len()),
+        );
+        assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+        assert!(reply.contains(r#""schema":"hmcs-serve-evaluate/1""#));
+        assert!(reply.contains(r#""mean":"#));
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_bodies_get_escaped_400s() {
+        let server = Server::start(test_config()).unwrap();
+        let body = "{\"ctrl\u{1}\": \"\u{2}\"";
+        let reply = request(
+            server.local_addr(),
+            &format!("POST /v1/evaluate HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}", body.len()),
+        );
+        assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+        let json_body = reply.split("\r\n\r\n").nth(1).unwrap();
+        hmcs_core::json::parse_json(json_body).expect("error body is valid JSON");
+        server.shutdown();
+    }
+}

@@ -1,0 +1,362 @@
+//! Loopback end-to-end tests for the `hmcs-serve` daemon.
+//!
+//! Each test starts a real [`Server`] on port 0 and talks to it over
+//! TCP from client threads, asserting the serving-stack guarantees the
+//! crate advertises: served results are **bit-identical** to
+//! in-process evaluation, identical concurrent requests **coalesce**
+//! into fewer computations, the admission queue **sheds load** with
+//! `503` + `Retry-After`, queue waits past the deadline are refused,
+//! malformed input yields escaped structured errors, and shutdown
+//! **drains** every accepted request.
+//!
+//! The metrics registry is process-global and shared across tests, so
+//! every test (a) serialises on [`SERIAL`] and (b) asserts on counter
+//! *deltas*, never absolute values.
+
+use hmcs_core::json::parse_json;
+use hmcs_core::metrics;
+use hmcs_core::model::AnalyticalModel;
+use hmcs_core::scenario::Scenario;
+use hmcs_serve::keys;
+use hmcs_serve::server::{Server, ServerConfig};
+use hmcs_topology::transmission::Architecture;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Mutex, MutexGuard};
+use std::thread;
+use std::time::{Duration, Instant};
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serialise() -> MutexGuard<'static, ()> {
+    // A panicking test poisons the mutex; later tests still run.
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Sends raw bytes, returns the full response (headers + body).
+fn send_raw(addr: SocketAddr, raw: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw).expect("request write");
+    let mut out = String::new();
+    stream.read_to_string(&mut out).expect("response read");
+    out
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> String {
+    send_raw(
+        addr,
+        format!("POST {path} HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}", body.len()).as_bytes(),
+    )
+}
+
+fn status_of(response: &str) -> u16 {
+    response.split(' ').nth(1).and_then(|s| s.parse().ok()).expect("status line")
+}
+
+fn body_of(response: &str) -> &str {
+    response.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("")
+}
+
+fn poll_until(budget: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + budget;
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        thread::sleep(Duration::from_millis(5));
+    }
+    false
+}
+
+fn test_config() -> ServerConfig {
+    ServerConfig { addr: "127.0.0.1:0".into(), workers: 2, ..ServerConfig::default() }
+}
+
+#[test]
+fn served_evaluate_is_bit_identical_to_in_process_evaluation() {
+    let _guard = serialise();
+    let server = Server::start(test_config()).unwrap();
+    let addr = server.local_addr();
+
+    for (clusters, scenario, architecture) in [
+        (16usize, Scenario::Case1, Architecture::NonBlocking),
+        (64, Scenario::Case2, Architecture::Blocking),
+    ] {
+        let scenario_name = match scenario {
+            Scenario::Case1 => "case1",
+            Scenario::Case2 => "case2",
+        };
+        let arch_name = match architecture {
+            Architecture::NonBlocking => "nonblocking",
+            Architecture::Blocking => "blocking",
+        };
+        let request = format!(
+            r#"{{"clusters":{clusters},"scenario":"{scenario_name}","architecture":"{arch_name}"}}"#
+        );
+        let response = post(addr, "/v1/evaluate", &request);
+        assert_eq!(status_of(&response), 200, "{response}");
+        let doc = parse_json(body_of(&response)).expect("valid JSON body");
+
+        let config = hmcs_core::SystemConfig::new(
+            clusters,
+            256 / clusters,
+            1024,
+            hmcs_core::scenario::PAPER_LAMBDA_PER_US,
+            scenario,
+            architecture,
+        )
+        .unwrap();
+        let direct = AnalyticalModel::evaluate(&config).unwrap();
+
+        let served = |path: &[&str]| -> f64 {
+            let mut v = &doc;
+            for key in path {
+                v = v.get(key).unwrap_or_else(|| panic!("{path:?} missing"));
+            }
+            v.as_num().unwrap_or_else(|| panic!("{path:?} not a number"))
+        };
+        assert_eq!(
+            served(&["latency_us", "mean"]).to_bits(),
+            direct.latency.mean_message_latency_us.to_bits(),
+            "mean latency must survive the wire bit for bit (C={clusters})"
+        );
+        assert_eq!(
+            served(&["latency_us", "internal"]).to_bits(),
+            direct.latency.internal_latency_us.to_bits()
+        );
+        assert_eq!(
+            served(&["latency_us", "external"]).to_bits(),
+            direct.latency.external_latency_us.to_bits()
+        );
+        assert_eq!(served(&["throughput_per_us"]).to_bits(), direct.throughput_per_us.to_bits());
+        assert_eq!(
+            served(&["utilization", "bottleneck"]).to_bits(),
+            direct.equilibrium.bottleneck_utilization().to_bits()
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn served_sweep_matches_in_process_sweep() {
+    let _guard = serialise();
+    let server = Server::start(test_config()).unwrap();
+    let response = post(
+        server.local_addr(),
+        "/v1/sweep",
+        r#"{"clusters":16,"parameter":"clusters","values":[4,16,64]}"#,
+    );
+    assert_eq!(status_of(&response), 200, "{response}");
+    let doc = parse_json(body_of(&response)).unwrap();
+    let points = doc.get("points").and_then(|p| p.as_arr()).expect("points array");
+    assert_eq!(points.len(), 3);
+    for (point, clusters) in points.iter().zip([4usize, 16, 64]) {
+        let config = hmcs_core::SystemConfig::new(
+            clusters,
+            256 / clusters,
+            1024,
+            hmcs_core::scenario::PAPER_LAMBDA_PER_US,
+            Scenario::Case1,
+            Architecture::NonBlocking,
+        )
+        .unwrap();
+        let direct = AnalyticalModel::evaluate(&config).unwrap();
+        let served = point.get("mean_latency_us").and_then(|m| m.as_num()).unwrap();
+        assert_eq!(served.to_bits(), direct.latency.mean_message_latency_us.to_bits());
+    }
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_identical_requests_coalesce() {
+    let _guard = serialise();
+    // The artificial handler latency holds the first request's
+    // computation open long enough that the others arrive while it is
+    // in flight — making the coalescing window deterministic.
+    let server = Server::start(ServerConfig {
+        workers: 4,
+        handler_latency: Duration::from_millis(200),
+        ..test_config()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+
+    let computations_before = metrics::counter(keys::COALESCE_COMPUTATIONS).get();
+    let hits_before = metrics::counter(keys::COALESCE_HITS).get();
+
+    const CLIENTS: usize = 8;
+    let bodies: Vec<String> = {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| thread::spawn(move || post(addr, "/v1/evaluate", r#"{"clusters":32}"#)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    };
+
+    for response in &bodies {
+        assert_eq!(status_of(response), 200, "{response}");
+    }
+    let first = body_of(&bodies[0]);
+    assert!(
+        bodies.iter().all(|r| body_of(r) == first),
+        "coalesced responses must be byte-identical"
+    );
+
+    let computations = metrics::counter(keys::COALESCE_COMPUTATIONS).get() - computations_before;
+    let hits = metrics::counter(keys::COALESCE_HITS).get() - hits_before;
+    assert!(
+        (computations as usize) < CLIENTS,
+        "computation count ({computations}) must be below request count ({CLIENTS})"
+    );
+    assert!(hits >= 1, "at least one request must be served from a peer's computation");
+    assert_eq!(computations as usize + hits as usize, CLIENTS);
+    server.shutdown();
+}
+
+#[test]
+fn admission_queue_sheds_load_with_retry_after() {
+    let _guard = serialise();
+    // One worker busy for 500 ms + a single queue slot: the third
+    // concurrent request deterministically finds the budget exhausted.
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        handler_latency: Duration::from_millis(500),
+        ..test_config()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+    let started_before = metrics::counter(keys::REQUESTS_STARTED).get();
+    let shed_before = metrics::counter(keys::ADMISSION_REJECTED).get();
+
+    let first = thread::spawn(move || post(addr, "/v1/evaluate", r#"{"clusters":4}"#));
+    assert!(
+        poll_until(Duration::from_secs(2), || {
+            metrics::counter(keys::REQUESTS_STARTED).get() > started_before
+        }),
+        "worker must pick up the first request"
+    );
+    let second = thread::spawn(move || post(addr, "/v1/evaluate", r#"{"clusters":4}"#));
+    assert!(
+        poll_until(Duration::from_secs(2), || server.queue_len() == 1),
+        "second request must occupy the only queue slot"
+    );
+
+    let third = post(addr, "/v1/evaluate", r#"{"clusters":4}"#);
+    assert_eq!(status_of(&third), 503, "{third}");
+    assert!(third.contains("retry-after:"), "shed response must carry Retry-After: {third}");
+    assert!(third.contains(r#""code":"overloaded""#), "{third}");
+    assert!(metrics::counter(keys::ADMISSION_REJECTED).get() > shed_before);
+
+    // The admitted requests are unaffected by the shed one.
+    assert_eq!(status_of(&first.join().unwrap()), 200);
+    assert_eq!(status_of(&second.join().unwrap()), 200);
+    server.shutdown();
+}
+
+#[test]
+fn queue_wait_past_deadline_is_refused_without_computing() {
+    let _guard = serialise();
+    let server = Server::start(ServerConfig {
+        workers: 1,
+        queue_capacity: 4,
+        deadline: Duration::from_millis(100),
+        handler_latency: Duration::from_millis(400),
+        ..test_config()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+    let started_before = metrics::counter(keys::REQUESTS_STARTED).get();
+    let expired_before = metrics::counter(keys::DEADLINE_EXPIRED).get();
+
+    // First request occupies the worker for 400 ms; the second sits in
+    // queue past its 100 ms deadline and must be refused unprocessed.
+    let first = thread::spawn(move || post(addr, "/v1/evaluate", r#"{"clusters":8}"#));
+    assert!(poll_until(Duration::from_secs(2), || {
+        metrics::counter(keys::REQUESTS_STARTED).get() > started_before
+    }));
+    let second = post(addr, "/v1/evaluate", r#"{"clusters":8}"#);
+    assert_eq!(status_of(&second), 503, "{second}");
+    assert!(second.contains(r#""code":"deadline_expired""#), "{second}");
+    assert!(metrics::counter(keys::DEADLINE_EXPIRED).get() > expired_before);
+    assert_eq!(status_of(&first.join().unwrap()), 200, "in-deadline request still served");
+    server.shutdown();
+}
+
+#[test]
+fn malformed_input_yields_escaped_structured_errors() {
+    let _guard = serialise();
+    let server = Server::start(test_config()).unwrap();
+    let addr = server.local_addr();
+
+    // A body full of quotes and control bytes: the error must come
+    // back as *valid* JSON with everything escaped.
+    let hostile = "{\"a\u{1}\"\u{2}: \"un\"terminated";
+    let response = post(addr, "/v1/evaluate", hostile);
+    assert_eq!(status_of(&response), 400, "{response}");
+    let body = body_of(&response);
+    parse_json(body).expect("error body must parse as JSON despite hostile input");
+    assert!(!body.chars().any(|c| (c as u32) < 0x20 && c != '\n'), "no raw control bytes");
+
+    // An unknown field whose *name* carries hostile bytes — the echo
+    // of the field name must be escaped on the wire.
+    let hostile_field = "{\"cl\\u0001usters\\\"\": 4}";
+    let response = post(addr, "/v1/evaluate", hostile_field);
+    assert_eq!(status_of(&response), 400, "{response}");
+    let body = body_of(&response);
+    let doc = parse_json(body).expect("valid JSON");
+    let message = doc.get("error").and_then(|e| e.get("message")).and_then(|m| m.as_str()).unwrap();
+    assert!(message.contains("cl\u{1}usters\""), "decoded message preserves the field name");
+    assert!(body.contains("\\u0001"), "control byte escaped on the wire: {body}");
+
+    // Non-HTTP garbage on the socket gets a 400, not a hang or drop.
+    let response = send_raw(addr, b"\x00\x01\x02 total nonsense\r\n\r\n");
+    assert_eq!(status_of(&response), 400, "{response}");
+
+    // Wrong method and wrong path keep structured shapes too.
+    let response = send_raw(addr, b"PUT /v1/evaluate HTTP/1.1\r\n\r\n");
+    assert_eq!(status_of(&response), 405);
+    let response = send_raw(addr, b"GET /v9/nothing HTTP/1.1\r\n\r\n");
+    assert_eq!(status_of(&response), 404);
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_every_accepted_request() {
+    let _guard = serialise();
+    let server = Server::start(ServerConfig {
+        workers: 2,
+        queue_capacity: 64,
+        handler_latency: Duration::from_millis(200),
+        ..test_config()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+    let accepted_before = metrics::counter(keys::REQUESTS_ACCEPTED).get();
+
+    const CLIENTS: usize = 6;
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            thread::spawn(move || {
+                post(addr, "/v1/evaluate", &format!(r#"{{"clusters":{}}}"#, 1 << i))
+            })
+        })
+        .collect();
+    assert!(
+        poll_until(Duration::from_secs(2), || {
+            metrics::counter(keys::REQUESTS_ACCEPTED).get() - accepted_before >= CLIENTS as u64
+        }),
+        "all clients must be admitted before shutdown begins"
+    );
+
+    // Shut down while most requests are still queued or mid-compute:
+    // every one of them must still receive a complete response.
+    server.shutdown();
+    for handle in handles {
+        let response = handle.join().expect("client thread");
+        assert_eq!(status_of(&response), 200, "drained request completed: {response}");
+        parse_json(body_of(&response)).expect("complete, valid body after drain");
+    }
+
+    // The listener is gone: new connections are refused.
+    assert!(TcpStream::connect(addr).is_err(), "post-shutdown connects must fail");
+}
