@@ -16,6 +16,13 @@
 //!
 //! The report is written before the gate verdict so a failing run still
 //! uploads a complete artefact.
+//!
+//! A second mode, `benchgate serve SUMMARY.json`, gates the
+//! `hmcs-loadgen/1` document produced by the load generator instead:
+//! it checks achieved throughput against `--min-rps` (and optionally
+//! P99 against `--max-p99-us`), requires zero error responses, and
+//! writes a `hmcs-serve-bench/1` report embedding the validated
+//! summary verbatim — the committed `BENCH_SERVE.json` artefact.
 
 use hmcs_bench::manifest::{parse_json, JsonValue};
 use std::process::ExitCode;
@@ -178,16 +185,168 @@ fn report_json(
     out
 }
 
+/// The serving-throughput verdict extracted from a loadgen summary.
+#[derive(Debug, Clone, PartialEq)]
+struct ServeVerdict {
+    achieved_rps: f64,
+    min_rps: f64,
+    p99_us: f64,
+    max_p99_us: Option<f64>,
+    errors: u64,
+    pass: bool,
+}
+
+/// Validates an `hmcs-loadgen/1` document against the thresholds.
+/// Throughput below `min_rps`, any error response, or (when bounded) a
+/// P99 above `max_p99_us` fails the gate.
+fn judge_serve(
+    doc: &JsonValue,
+    min_rps: f64,
+    max_p99_us: Option<f64>,
+) -> Result<ServeVerdict, String> {
+    if doc.get("schema").and_then(JsonValue::as_str) != Some("hmcs-loadgen/1") {
+        return Err("not an hmcs-loadgen/1 document".to_string());
+    }
+    let measured = doc.get("measured").ok_or("missing \"measured\" section")?;
+    let achieved_rps = measured
+        .get("achieved_rps")
+        .and_then(JsonValue::as_num)
+        .ok_or("missing numeric \"measured.achieved_rps\"")?;
+    let p99_us = measured
+        .get("latency_us")
+        .and_then(|l| l.get("p99"))
+        .and_then(JsonValue::as_num)
+        .ok_or("missing numeric \"measured.latency_us.p99\"")?;
+    let errors = doc
+        .get("requests")
+        .and_then(|r| r.get("errors"))
+        .and_then(JsonValue::as_u64)
+        .ok_or("missing integer \"requests.errors\"")?;
+    let pass =
+        achieved_rps >= min_rps && errors == 0 && max_p99_us.is_none_or(|budget| p99_us <= budget);
+    Ok(ServeVerdict { achieved_rps, min_rps, p99_us, max_p99_us, errors, pass })
+}
+
+/// Renders the committed `hmcs-serve-bench/1` artefact: the gate
+/// verdict plus the loadgen summary embedded verbatim (it is already
+/// validated JSON, so embedding keeps every measured number).
+fn serve_report_json(
+    verdict: &ServeVerdict,
+    summary_raw: &str,
+    meta: &[(String, String)],
+) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": \"hmcs-serve-bench/1\",");
+    let meta_items: Vec<String> =
+        meta.iter().map(|(k, v)| format!("{}: {}", json_escape(k), json_escape(v))).collect();
+    let _ = writeln!(out, "  \"meta\": {{{}}},", meta_items.join(", "));
+    let _ = writeln!(out, "  \"gate\": {{");
+    let _ = writeln!(out, "    \"min_rps\": {},", verdict.min_rps);
+    let _ = writeln!(out, "    \"achieved_rps\": {},", verdict.achieved_rps);
+    let _ = writeln!(out, "    \"p99_us\": {},", verdict.p99_us);
+    let _ = writeln!(
+        out,
+        "    \"max_p99_us\": {},",
+        verdict.max_p99_us.map_or("null".to_string(), |v| v.to_string())
+    );
+    let _ = writeln!(out, "    \"errors\": {},", verdict.errors);
+    let _ = writeln!(out, "    \"pass\": {}", verdict.pass);
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"loadgen\": {}", summary_raw.trim());
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn serve_main(args: Vec<String>) -> ExitCode {
+    let mut summary_path: Option<String> = None;
+    let mut out_path = "BENCH_SERVE.json".to_string();
+    let mut min_rps: Option<f64> = None;
+    let mut max_p99_us: Option<f64> = None;
+    let mut meta: Vec<(String, String)> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out_path = it.next().unwrap_or_else(|| usage()),
+            "--min-rps" => {
+                min_rps = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()));
+            }
+            "--max-p99-us" => {
+                max_p99_us =
+                    Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()));
+            }
+            "--meta" => {
+                let kv = it.next().unwrap_or_else(|| usage());
+                let (k, v) = kv.split_once('=').unwrap_or_else(|| usage());
+                meta.push((k.to_string(), v.to_string()));
+            }
+            _ if summary_path.is_none() && !arg.starts_with('-') => summary_path = Some(arg),
+            _ => usage(),
+        }
+    }
+    let (Some(summary_path), Some(min_rps)) = (summary_path, min_rps) else { usage() };
+
+    let raw = match std::fs::read_to_string(&summary_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: cannot read {summary_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let doc = match parse_json(&raw) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {summary_path} is not valid JSON: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let verdict = match judge_serve(&doc, min_rps, max_p99_us) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = serve_report_json(&verdict, &raw, &meta);
+    if let Err(e) = std::fs::write(&out_path, &report) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        return ExitCode::from(2);
+    }
+    println!(
+        "benchgate serve: {:.0} req/s (floor {:.0}), p99 {:.0} µs{}, {} error(s) — {}",
+        verdict.achieved_rps,
+        verdict.min_rps,
+        verdict.p99_us,
+        verdict.max_p99_us.map_or(String::new(), |budget| format!(" (budget {budget:.0} µs)")),
+        verdict.errors,
+        if verdict.pass { "PASS" } else { "FAIL" }
+    );
+    println!("report written to {out_path}");
+    if verdict.pass {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: benchgate ROWS.jsonl [--manifests DIR] [--out PATH] \
-         [--max-overhead-pct X] [--meta key=value]..."
+         [--max-overhead-pct X] [--meta key=value]...\n\
+         \x20      benchgate serve SUMMARY.json --min-rps X [--max-p99-us Y] \
+         [--out PATH] [--meta key=value]..."
     );
     std::process::exit(2)
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("serve") {
+        args.remove(0);
+        return serve_main(args);
+    }
     let mut rows_path: Option<String> = None;
     let mut manifests: Option<String> = None;
     let mut out_path = "BENCH_PR4.json".to_string();
@@ -321,5 +480,64 @@ mod tests {
             Some(JsonValue::Arr(items)) => assert_eq!(items.len(), 3),
             other => panic!("benches should be an array, got {other:?}"),
         }
+    }
+
+    fn loadgen_summary(rps: f64, p99: u64, errors: u64) -> String {
+        format!(
+            concat!(
+                r#"{{"schema":"hmcs-loadgen/1","mode":"closed","addr":"127.0.0.1:1","#,
+                r#""connections":2,"pipeline":16,"target_rps":null,"duration_s":3,"warmup_s":1,"#,
+                r#""mix":{{"sweep_permille":0,"clusters":16,"message_bytes":[1024]}},"#,
+                r#""requests":{{"sent":10,"completed":10,"errors":{errors},"dropped":0,"reconnects":0}},"#,
+                r#""measured":{{"requests":10,"achieved_rps":{rps},"#,
+                r#""latency_us":{{"p50":50,"p90":80,"p99":{p99},"p999":{p99},"mean":60,"max":{p99}}}}}}}"#,
+            ),
+            rps = rps,
+            p99 = p99,
+            errors = errors,
+        )
+    }
+
+    #[test]
+    fn serve_gate_enforces_throughput_errors_and_tail() {
+        let doc = parse_json(&loadgen_summary(120000.0, 400, 0)).unwrap();
+        let ok = judge_serve(&doc, 100000.0, None).unwrap();
+        assert!(ok.pass);
+        assert_eq!(ok.achieved_rps, 120000.0);
+
+        let slow = judge_serve(&doc, 150000.0, None).unwrap();
+        assert!(!slow.pass, "throughput below the floor must fail");
+
+        let tail = judge_serve(&doc, 100000.0, Some(100.0)).unwrap();
+        assert!(!tail.pass, "p99 above the budget must fail");
+
+        let errored = parse_json(&loadgen_summary(120000.0, 400, 3)).unwrap();
+        assert!(!judge_serve(&errored, 100000.0, None).unwrap().pass, "errors must fail");
+
+        let wrong_schema = parse_json(r#"{"schema":"nope/1"}"#).unwrap();
+        assert!(judge_serve(&wrong_schema, 1.0, None).is_err());
+    }
+
+    #[test]
+    fn serve_report_embeds_the_summary_verbatim() {
+        let raw = loadgen_summary(120000.0, 400, 0);
+        let verdict = judge_serve(&parse_json(&raw).unwrap(), 100000.0, Some(1000.0)).unwrap();
+        let report = serve_report_json(&verdict, &raw, &[("host".into(), "ci".into())]);
+        let doc = parse_json(&report).expect("report is valid JSON");
+        assert_eq!(doc.get("schema").and_then(JsonValue::as_str), Some("hmcs-serve-bench/1"));
+        assert_eq!(doc.get("gate").and_then(|g| g.get("pass")), Some(&JsonValue::Bool(true)));
+        assert_eq!(
+            doc.get("gate").and_then(|g| g.get("max_p99_us")).and_then(JsonValue::as_num),
+            Some(1000.0)
+        );
+        assert_eq!(
+            doc.get("loadgen").and_then(|l| l.get("schema")).and_then(JsonValue::as_str),
+            Some("hmcs-loadgen/1"),
+            "the loadgen document rides along inside the report"
+        );
+        assert_eq!(
+            doc.get("meta").and_then(|m| m.get("host")).and_then(JsonValue::as_str),
+            Some("ci")
+        );
     }
 }

@@ -120,20 +120,21 @@ pub fn parse_sweep(body: &str) -> Result<(SystemConfig, SweepSpec), ApiError> {
         ));
     }
 
-    let spec =
-        match parameter.as_str() {
-            "lambda" => SweepSpec::Lambda(numeric_values(values, "values")?),
-            "clusters" => SweepSpec::Clusters(
-                integer_values(values, "values")?.into_iter().map(|v| v as usize).collect(),
-            ),
-            "message_bytes" => SweepSpec::MessageBytes(integer_values(values, "values")?),
-            other => return Err(ApiError::bad_request(
+    let spec = match parameter.as_str() {
+        "lambda" => SweepSpec::Lambda(numeric_values(values, "values")?),
+        "clusters" => SweepSpec::Clusters(
+            integer_values(values, "values")?.into_iter().map(|v| v as usize).collect(),
+        ),
+        "message_bytes" => SweepSpec::MessageBytes(integer_values(values, "values")?),
+        other => {
+            return Err(ApiError::bad_request(
                 "invalid_field",
                 format!(
                     "unknown sweep parameter '{other}'; expected lambda, clusters or message_bytes"
                 ),
-            )),
-        };
+            ))
+        }
+    };
     let config = config_from(obj)?;
     Ok((config, spec))
 }

@@ -36,6 +36,12 @@ options:
   --deadline-ms N         per-request deadline in ms (default 10000)
   --retry-after-s N       Retry-After value on shed responses (default 1)
   --max-body-bytes N      request body cap (default 1048576)
+  --idle-timeout-ms N     close kept-alive connections idle this long
+                          (default 5000)
+  --max-conn-requests N   requests served per connection before the
+                          server closes it (default 100000)
+  --batch-window-us N     micro-batching gather window for distinct
+                          evaluate points; 0 disables (default 0)
   --handler-latency-ms N  artificial /v1/* latency, fault injection
                           for soak tests (default 0)
   --help                  print this help
@@ -60,6 +66,13 @@ fn parse_args() -> Result<ServerConfig, String> {
             }
             "--retry-after-s" => config.retry_after_s = value.parse().map_err(bad)?,
             "--max-body-bytes" => config.max_body_bytes = value.parse().map_err(bad)?,
+            "--idle-timeout-ms" => {
+                config.idle_timeout = Duration::from_millis(value.parse().map_err(bad)?);
+            }
+            "--max-conn-requests" => config.max_conn_requests = value.parse().map_err(bad)?,
+            "--batch-window-us" => {
+                config.batch_window = Duration::from_micros(value.parse().map_err(bad)?);
+            }
             "--handler-latency-ms" => {
                 config.handler_latency = Duration::from_millis(value.parse().map_err(bad)?);
             }

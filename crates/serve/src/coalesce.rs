@@ -52,6 +52,8 @@ pub enum Outcome {
 /// Deduplicates concurrent computations by canonical key.
 pub struct Coalescer<V: Clone> {
     inflight: Mutex<HashMap<String, Arc<Slot<V>>>>,
+    hits: &'static metrics::Counter,
+    computations: &'static metrics::Counter,
 }
 
 impl<V: Clone> Default for Coalescer<V> {
@@ -81,9 +83,24 @@ impl<V: Clone> Drop for LeaderGuard<'_, V> {
 }
 
 impl<V: Clone> Coalescer<V> {
-    /// Creates an empty coalescer.
+    /// Creates an empty coalescer counting into the serve-standard
+    /// [`crate::keys::COALESCE_HITS`] /
+    /// [`crate::keys::COALESCE_COMPUTATIONS`] metrics.
     pub fn new() -> Self {
-        Coalescer { inflight: Mutex::new(HashMap::new()) }
+        Self::with_counters(
+            metrics::counter(keys::COALESCE_HITS),
+            metrics::counter(keys::COALESCE_COMPUTATIONS),
+        )
+    }
+
+    /// Creates a coalescer counting into caller-supplied metrics —
+    /// lets tests observe exactly their own coalescer without racing
+    /// other users of the process-global registry.
+    pub fn with_counters(
+        hits: &'static metrics::Counter,
+        computations: &'static metrics::Counter,
+    ) -> Self {
+        Coalescer { inflight: Mutex::new(HashMap::new()), hits, computations }
     }
 
     /// Runs `compute` under `key`, joining an identical in-flight
@@ -100,7 +117,7 @@ impl<V: Clone> Coalescer<V> {
             if let Some(existing) = inflight.get(key) {
                 let existing = Arc::clone(existing);
                 drop(inflight);
-                metrics::counter(keys::COALESCE_HITS).incr();
+                self.hits.incr();
                 return match self.follow(&existing, wait_budget) {
                     Some(v) => (Some(v), Outcome::Coalesced),
                     None => (None, Outcome::TimedOut),
@@ -114,9 +131,13 @@ impl<V: Clone> Coalescer<V> {
             slot
         };
 
-        metrics::counter(keys::COALESCE_COMPUTATIONS).incr();
         let mut guard = LeaderGuard { owner: self, key, slot: &slot, completed: false };
         let value = compute();
+        // Counted only on successful completion: a panicking leader
+        // never finished a computation, and counting it up front would
+        // drift the e2e invariant `computations + hits == requests`
+        // under faults.
+        self.computations.incr();
         slot.state.lock().expect("slot poisoned").value = Some(value.clone());
         guard.completed = true;
         drop(guard); // removes the inflight entry, then wakes followers
@@ -225,6 +246,38 @@ mod tests {
         let (lv, lo) = leader.join().unwrap();
         assert_eq!((lv, lo), (Some(1), Outcome::Computed));
         assert_eq!(c.inflight_len(), 0);
+    }
+
+    #[test]
+    fn panicking_leader_is_not_counted_as_a_computation() {
+        // Regression: the computation counter used to be incremented
+        // *before* running `compute`, so a panicking leader inflated
+        // it and `computations + hits == requests` drifted under
+        // faults. Only completed computations may count. Private
+        // counter keys keep the assertion race-free against other
+        // tests sharing the global registry.
+        let computations = metrics::counter("test.coalesce.panic.computations");
+        let before = computations.get();
+        let c: Arc<Coalescer<u64>> = Arc::new(Coalescer::with_counters(
+            metrics::counter("test.coalesce.panic.hits"),
+            computations,
+        ));
+        let doomed = {
+            let c = Arc::clone(&c);
+            std::thread::spawn(move || {
+                c.run("panics", Duration::from_secs(1), || -> u64 { panic!("fault injection") })
+            })
+        };
+        assert!(doomed.join().is_err(), "leader panicked by design");
+        assert_eq!(
+            computations.get(),
+            before,
+            "a panicking leader must not count as a completed computation"
+        );
+        // A successful run afterwards counts exactly once.
+        let (v, _) = c.run("panics", Duration::from_secs(1), || 5u64);
+        assert_eq!(v, Some(5));
+        assert_eq!(computations.get(), before + 1);
     }
 
     #[test]

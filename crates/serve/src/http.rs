@@ -1,18 +1,26 @@
-//! A minimal hand-rolled HTTP/1.1 subset.
+//! A minimal hand-rolled HTTP/1.1 subset with keep-alive.
 //!
-//! Just enough protocol for the daemon: one request per connection
-//! (`Connection: close` on every response), `Content-Length` bodies
-//! only, bounded header and body sizes, and no dependency beyond
-//! `std::io`. The parser is strict where it matters for robustness —
-//! malformed request lines, oversized headers/bodies, and
+//! Just enough protocol for the daemon: `Content-Length` bodies only,
+//! bounded header and body sizes, persistent connections via
+//! [`RequestReader`] (a per-connection buffered reader that carries
+//! pipelined bytes over from one request to the next), and no
+//! dependency beyond `std::io`. The parser is strict where it matters
+//! for robustness — malformed request lines, oversized headers/bodies,
+//! duplicate or non-numeric `Content-Length` values (the classic
+//! request-smuggling levers once connections are reused) and
 //! `Transfer-Encoding` (which this server deliberately does not
 //! implement) are all rejected with precise status codes rather than
 //! being misread.
 
 use std::io::{Read, Write};
+use std::time::Instant;
 
 /// Hard cap on the request head (request line + headers).
 pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// Socket read granularity. One read of a pipelined connection can
+/// pull many small requests into the buffer at once.
+const READ_CHUNK: usize = 8 * 1024;
 
 /// One parsed request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -23,6 +31,9 @@ pub struct Request {
     pub path: String,
     /// The raw body (exactly `Content-Length` bytes).
     pub body: Vec<u8>,
+    /// Whether this request ends the connection: `Connection: close`,
+    /// or HTTP/1.0 without an explicit `Connection: keep-alive`.
+    pub wants_close: bool,
 }
 
 /// Why a request could not be read. Each variant maps to one status.
@@ -69,83 +80,172 @@ impl ReadError {
     }
 }
 
-/// Reads one request from `stream`, enforcing [`MAX_HEAD_BYTES`] and
-/// `max_body_bytes`.
-pub fn read_request(stream: &mut impl Read, max_body_bytes: usize) -> Result<Request, ReadError> {
-    // Read until the blank line terminating the head, byte-bounded.
-    let mut head = Vec::with_capacity(512);
-    let mut body_start = Vec::new();
-    let mut buf = [0u8; 1024];
-    let head_end = loop {
-        if let Some(pos) = find_head_end(&head) {
-            break pos;
-        }
-        if head.len() >= MAX_HEAD_BYTES {
-            return Err(ReadError::TooLarge("head"));
-        }
-        let n = stream.read(&mut buf).map_err(ReadError::Io)?;
-        if n == 0 {
-            return Err(ReadError::Malformed("connection closed before request head".into()));
-        }
-        head.extend_from_slice(&buf[..n]);
-    };
-    body_start.extend_from_slice(&head[head_end..]);
-    head.truncate(head_end);
+/// A buffered per-connection request reader.
+///
+/// Under keep-alive, one socket read routinely pulls bytes belonging
+/// to *several* pipelined requests. The reader owns the carry-over
+/// buffer: [`RequestReader::read_request`] consumes exactly one
+/// request (head + `Content-Length` body) and leaves everything after
+/// it buffered for the next call — those bytes are the next request,
+/// not a protocol error.
+#[derive(Debug, Default)]
+pub struct RequestReader {
+    buf: Vec<u8>,
+}
 
-    let head_text = std::str::from_utf8(&head)
-        .map_err(|_| ReadError::Malformed("request head is not UTF-8".into()))?;
-    let mut lines = head_text.split("\r\n");
-    let request_line = lines.next().unwrap_or_default();
-    let mut parts = request_line.split(' ');
-    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
-        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
-        _ => return Err(ReadError::Malformed("bad request line".into())),
-    };
-    if version != "HTTP/1.1" && version != "HTTP/1.0" {
-        return Err(ReadError::Malformed("unsupported HTTP version".into()));
+impl RequestReader {
+    /// Creates a reader with an empty carry-over buffer.
+    pub fn new() -> Self {
+        RequestReader { buf: Vec::with_capacity(1024) }
     }
 
-    let mut content_length: usize = 0;
-    for line in lines {
-        if line.is_empty() {
-            continue;
-        }
-        let Some((name, value)) = line.split_once(':') else {
-            return Err(ReadError::Malformed("header without ':'".into()));
-        };
-        let name = name.trim().to_ascii_lowercase();
-        let value = value.trim();
-        match name.as_str() {
-            "content-length" => {
-                content_length = value
-                    .parse()
-                    .map_err(|_| ReadError::Malformed("unparseable Content-Length".into()))?;
+    /// Whether bytes of a further (pipelined) request are already
+    /// buffered — if so, the next [`RequestReader::read_request`] can
+    /// make progress without touching the socket.
+    pub fn has_buffered(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Reads one request, enforcing [`MAX_HEAD_BYTES`] and
+    /// `max_body_bytes`. Returns `Ok(None)` on a clean end of
+    /// connection (EOF before the first byte of a request). Socket
+    /// timeouts (`WouldBlock`/`TimedOut`) are retried until `deadline`,
+    /// so the stream's own read timeout may be a short slice.
+    pub fn read_request(
+        &mut self,
+        stream: &mut impl Read,
+        max_body_bytes: usize,
+        deadline: Instant,
+    ) -> Result<Option<Request>, ReadError> {
+        let mut chunk = [0u8; READ_CHUNK];
+        let head_end = loop {
+            if let Some(pos) = find_head_end(&self.buf) {
+                if pos > MAX_HEAD_BYTES {
+                    return Err(ReadError::TooLarge("head"));
+                }
+                break pos;
             }
-            "transfer-encoding" => return Err(ReadError::Unsupported("Transfer-Encoding")),
-            _ => {}
+            if self.buf.len() >= MAX_HEAD_BYTES {
+                return Err(ReadError::TooLarge("head"));
+            }
+            if self.fill(stream, &mut chunk, deadline)? == 0 {
+                if self.buf.is_empty() {
+                    return Ok(None); // clean close between requests
+                }
+                return Err(ReadError::Malformed("connection closed before request head".into()));
+            }
+        };
+
+        // `head_end` includes the final CRLFCRLF; parse without it.
+        let head_text = std::str::from_utf8(&self.buf[..head_end - 4])
+            .map_err(|_| ReadError::Malformed("request head is not UTF-8".into()))?;
+        let mut lines = head_text.split("\r\n");
+        let request_line = lines.next().unwrap_or_default();
+        let mut parts = request_line.split(' ');
+        let (method, target, version) =
+            match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+                _ => return Err(ReadError::Malformed("bad request line".into())),
+            };
+        if version != "HTTP/1.1" && version != "HTTP/1.0" {
+            return Err(ReadError::Malformed("unsupported HTTP version".into()));
         }
-    }
-    if content_length > max_body_bytes {
-        return Err(ReadError::TooLarge("body"));
+
+        let mut content_length: Option<usize> = None;
+        let mut close_token = false;
+        let mut keep_alive_token = false;
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                return Err(ReadError::Malformed("header without ':'".into()));
+            };
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim();
+            match name.as_str() {
+                "content-length" => {
+                    // RFC 7230 §3.3.2: duplicate or conflicting
+                    // Content-Length headers make the message boundary
+                    // ambiguous — under keep-alive that ambiguity is
+                    // how request smuggling starts, so *any* repeat is
+                    // rejected outright.
+                    if content_length.is_some() {
+                        return Err(ReadError::Malformed("duplicate Content-Length".into()));
+                    }
+                    // ASCII digits only: `usize::from_str` would also
+                    // accept a leading `+`, which no peer sends and
+                    // some proxies parse differently.
+                    if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
+                        return Err(ReadError::Malformed("unparseable Content-Length".into()));
+                    }
+                    content_length =
+                        Some(value.parse().map_err(|_| {
+                            ReadError::Malformed("unparseable Content-Length".into())
+                        })?);
+                }
+                "transfer-encoding" => return Err(ReadError::Unsupported("Transfer-Encoding")),
+                "connection" => {
+                    for token in value.split(',') {
+                        match token.trim().to_ascii_lowercase().as_str() {
+                            "close" => close_token = true,
+                            "keep-alive" => keep_alive_token = true,
+                            _ => {}
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        let content_length = content_length.unwrap_or(0);
+        if content_length > max_body_bytes {
+            return Err(ReadError::TooLarge("body"));
+        }
+        let wants_close = close_token || (version == "HTTP/1.0" && !keep_alive_token);
+        let path = target.split('?').next().unwrap_or(target).to_string();
+        let request_line = (method.to_string(), path);
+
+        // Consume the head; everything left in `buf` is body bytes and
+        // possibly the start of pipelined follow-up requests.
+        self.buf.drain(..head_end);
+        while self.buf.len() < content_length {
+            if self.fill(stream, &mut chunk, deadline)? == 0 {
+                return Err(ReadError::Malformed("connection closed mid-body".into()));
+            }
+        }
+        let body = self.buf[..content_length].to_vec();
+        self.buf.drain(..content_length);
+
+        Ok(Some(Request { method: request_line.0, path: request_line.1, body, wants_close }))
     }
 
-    let mut body = body_start;
-    if body.len() > content_length {
-        return Err(ReadError::Malformed("body longer than Content-Length".into()));
-    }
-    while body.len() < content_length {
-        let n = stream.read(&mut buf).map_err(ReadError::Io)?;
-        if n == 0 {
-            return Err(ReadError::Malformed("connection closed mid-body".into()));
+    /// One socket read into the buffer, retrying timeout-flavoured
+    /// errors until `deadline`. Returns the byte count (0 = EOF).
+    fn fill(
+        &mut self,
+        stream: &mut impl Read,
+        chunk: &mut [u8],
+        deadline: Instant,
+    ) -> Result<usize, ReadError> {
+        loop {
+            match stream.read(chunk) {
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    return Ok(n);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) && Instant::now() < deadline =>
+                {
+                    continue
+                }
+                Err(e) => return Err(ReadError::Io(e)),
+            }
         }
-        body.extend_from_slice(&buf[..n]);
-        if body.len() > content_length {
-            return Err(ReadError::Malformed("body longer than Content-Length".into()));
-        }
     }
-
-    let path = target.split('?').next().unwrap_or(target).to_string();
-    Ok(Request { method: method.to_string(), path, body })
 }
 
 /// Index just past the `\r\n\r\n` head terminator, if present.
@@ -200,31 +300,56 @@ impl Response {
     }
 }
 
-/// Serialises `response` onto `stream` (one-shot; the connection is
-/// closed afterwards, matching the advertised `Connection: close`).
-pub fn write_response(stream: &mut impl Write, response: &Response) -> std::io::Result<()> {
-    let mut head = format!(
-        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
+/// Appends the serialised response to `out`. `close` selects the
+/// advertised `connection:` disposition; the caller must actually
+/// close the socket when it says `close`. Appending lets the server
+/// cork several pipelined responses into one socket write.
+pub fn serialize_response(out: &mut Vec<u8>, response: &Response, close: bool) {
+    use std::io::Write as _;
+    let _ = write!(
+        out,
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
         response.status,
         response.reason_phrase(),
         response.content_type,
-        response.body.len()
+        response.body.len(),
+        if close { "close" } else { "keep-alive" },
     );
     if let Some(seconds) = response.retry_after_s {
-        head.push_str(&format!("retry-after: {seconds}\r\n"));
+        let _ = write!(out, "retry-after: {seconds}\r\n");
     }
-    head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(response.body.as_bytes())?;
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(response.body.as_bytes());
+}
+
+/// Serialises `response` onto `stream` in a single write.
+pub fn write_response(
+    stream: &mut impl Write,
+    response: &Response,
+    close: bool,
+) -> std::io::Result<()> {
+    let mut out = Vec::with_capacity(256 + response.body.len());
+    serialize_response(&mut out, response, close);
+    stream.write_all(&out)?;
     stream.flush()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Duration;
+
+    fn far() -> Instant {
+        Instant::now() + Duration::from_secs(30)
+    }
 
     fn parse(raw: &[u8]) -> Result<Request, ReadError> {
-        read_request(&mut std::io::Cursor::new(raw.to_vec()), 1024)
+        let mut reader = RequestReader::new();
+        match reader.read_request(&mut std::io::Cursor::new(raw.to_vec()), 1024, far()) {
+            Ok(Some(req)) => Ok(req),
+            Ok(None) => Err(ReadError::Malformed("clean close".into())),
+            Err(e) => Err(e),
+        }
     }
 
     #[test]
@@ -234,6 +359,7 @@ mod tests {
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/v1/evaluate");
         assert_eq!(req.body, b"abcd");
+        assert!(!req.wants_close, "HTTP/1.1 defaults to keep-alive");
     }
 
     #[test]
@@ -245,11 +371,78 @@ mod tests {
     }
 
     #[test]
+    fn connection_semantics_follow_the_version() {
+        assert!(parse(b"GET /x HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap().wants_close);
+        assert!(parse(b"GET /x HTTP/1.1\r\nConnection: Close\r\n\r\n").unwrap().wants_close);
+        assert!(
+            parse(b"GET /x HTTP/1.1\r\nConnection: foo, close\r\n\r\n").unwrap().wants_close,
+            "close anywhere in the token list wins"
+        );
+        assert!(parse(b"GET /x HTTP/1.0\r\n\r\n").unwrap().wants_close, "HTTP/1.0 defaults close");
+        assert!(
+            !parse(b"GET /x HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap().wants_close,
+            "explicit keep-alive overrides the 1.0 default"
+        );
+    }
+
+    #[test]
+    fn pipelined_requests_carry_over_instead_of_erroring() {
+        // Regression: bytes after the body used to be rejected as
+        // "body longer than Content-Length"; under keep-alive they are
+        // the *next* request and must be preserved for it.
+        let raw = b"POST /v1/evaluate HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcdGET /healthz HTTP/1.1\r\n\r\n";
+        let mut reader = RequestReader::new();
+        let mut cursor = std::io::Cursor::new(raw.to_vec());
+        let first = reader.read_request(&mut cursor, 1024, far()).unwrap().unwrap();
+        assert_eq!(first.path, "/v1/evaluate");
+        assert_eq!(first.body, b"abcd");
+        assert!(reader.has_buffered(), "second request is already buffered");
+        let second = reader.read_request(&mut cursor, 1024, far()).unwrap().unwrap();
+        assert_eq!(second.method, "GET");
+        assert_eq!(second.path, "/healthz");
+        assert!(second.body.is_empty());
+        // After the last request a clean EOF reads as end of stream.
+        assert!(reader.read_request(&mut cursor, 1024, far()).unwrap().is_none());
+    }
+
+    #[test]
+    fn clean_eof_before_any_request_is_not_an_error() {
+        let mut reader = RequestReader::new();
+        let got = reader.read_request(&mut std::io::Cursor::new(Vec::new()), 1024, far()).unwrap();
+        assert!(got.is_none());
+    }
+
+    #[test]
     fn rejects_malformed_request_lines() {
         assert_eq!(parse(b"NONSENSE\r\n\r\n").unwrap_err().status(), 400);
         assert_eq!(parse(b"GET /x HTTP/9.9\r\n\r\n").unwrap_err().status(), 400);
         assert_eq!(parse(b"GET  HTTP/1.1\r\n\r\n").unwrap_err().status(), 400);
-        assert_eq!(parse(b"").unwrap_err().status(), 400);
+    }
+
+    #[test]
+    fn rejects_duplicate_content_length() {
+        // Identical or conflicting repeats are both message-boundary
+        // ambiguities; RFC 7230 §3.3.2 requires rejection.
+        let err = parse(b"POST /x HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nabcd")
+            .unwrap_err();
+        assert_eq!(err.status(), 400);
+        assert!(err.reason().contains("duplicate"), "{}", err.reason());
+        let err = parse(b"POST /x HTTP/1.1\r\nContent-Length: 4\r\ncontent-length: 9\r\n\r\nabcd")
+            .unwrap_err();
+        assert_eq!(err.status(), 400);
+    }
+
+    #[test]
+    fn rejects_non_digit_content_length_forms() {
+        // `usize::from_str` accepts a leading `+`; the wire grammar
+        // does not.
+        for bad in ["+10", "-1", " 10", "0x10", "10 10", "1,0", ""] {
+            let raw = format!("POST /x HTTP/1.1\r\nContent-Length:{bad}\r\n\r\n");
+            let err = parse(raw.as_bytes()).unwrap_err();
+            assert_eq!(err.status(), 400, "Content-Length {bad:?} must be rejected");
+        }
+        // A plain digit string still parses.
+        assert!(parse(b"POST /x HTTP/1.1\r\nContent-Length: 0\r\n\r\n").is_ok());
     }
 
     #[test]
@@ -274,7 +467,7 @@ mod tests {
     }
 
     #[test]
-    fn response_serialisation_includes_retry_after() {
+    fn response_serialisation_includes_retry_after_and_disposition() {
         let mut out = Vec::new();
         let resp = Response {
             status: 503,
@@ -282,11 +475,17 @@ mod tests {
             retry_after_s: Some(2),
             body: "{}".into(),
         };
-        write_response(&mut out, &resp).unwrap();
+        write_response(&mut out, &resp, true).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
         assert!(text.contains("retry-after: 2\r\n"));
         assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.contains("connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::text("ok".into()), false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("connection: keep-alive\r\n"));
     }
 }

@@ -28,10 +28,22 @@
 //!   worker policy (explicit, `HMCS_POOL_WORKERS`, or available
 //!   parallelism), so the daemon and the batch engine obey the same
 //!   operator knobs.
+//! * **Keep-alive connections** — HTTP/1.1 persistent connections via
+//!   a buffered per-connection reader ([`http::RequestReader`]) that
+//!   carries pipelined bytes over between requests; responses to
+//!   already-buffered requests are corked into one socket write.
+//!   Idle timeouts and per-connection request caps bound how long one
+//!   client can hold a worker.
 //! * **Request coalescing** — identical concurrent evaluations share
 //!   one computation ([`coalesce::Coalescer`]); followers receive a
 //!   byte-identical clone of the leader's response. Keys generalise
 //!   the `Debug`-rendering scheme of `hmcs-bench`'s sim cache.
+//! * **Micro-batching** — with a non-zero gather window, *distinct*
+//!   evaluate points arriving close together are grouped by a
+//!   [`microbatch::Batcher`] into one `batch::par_map` call;
+//!   bit-identical results, amortised scheduling.
+//! * **Load generation** — [`loadgen`] implements the open-/closed-
+//!   loop benchmark client behind the `hmcs-loadgen` binary.
 //! * **Deadlines** — a request that waited in queue past its deadline
 //!   is answered `503` without computing; socket reads/writes are
 //!   bounded by the same budget, so a slow client cannot pin a worker.
@@ -59,6 +71,8 @@
 pub mod api;
 pub mod coalesce;
 pub mod http;
+pub mod loadgen;
+pub mod microbatch;
 pub mod queue;
 pub mod server;
 
@@ -98,4 +112,13 @@ pub mod keys {
     pub const COALESCE_HITS: &str = "serve.coalesce.hits";
     /// Counter: computations actually performed (coalescing leaders).
     pub const COALESCE_COMPUTATIONS: &str = "serve.coalesce.computations";
+    /// Counter: micro-batches computed (each is one `par_map` call).
+    pub const BATCH_BATCHES: &str = "serve.batch.batches";
+    /// Counter: evaluate points carried inside micro-batches. The
+    /// ratio to [`BATCH_BATCHES`] is the achieved mean batch size.
+    pub const BATCH_BATCHED_ITEMS: &str = "serve.batch.items";
+    /// Counter: kept-alive connections closed by the idle timeout.
+    pub const CONN_IDLE_CLOSED: &str = "serve.conn.idle_closed";
+    /// Counter: connections closed by the per-connection request cap.
+    pub const CONN_CAP_CLOSED: &str = "serve.conn.cap_closed";
 }

@@ -1,0 +1,278 @@
+//! Cross-request micro-batching of *distinct* computations.
+//!
+//! The [`crate::coalesce::Coalescer`] deduplicates concurrent
+//! **identical** requests; this module handles the complementary case:
+//! distinct evaluate points arriving close together in time. The first
+//! arrival becomes the batch *leader*: it waits one small gather
+//! window, takes every request that joined meanwhile, and runs the
+//! whole batch through a single batch-engine call (`batch::par_map`
+//! at the call site) — turning N independent model evaluations into
+//! one fan-out with shared scheduling overhead. Followers block on a
+//! per-item slot and receive exactly their own result.
+//!
+//! Because the batch function is required to be a pure per-item map
+//! (the server passes `par_map`, whose output is bit-identical to the
+//! sequential path by construction), batching changes scheduling only,
+//! never bytes.
+//!
+//! Requests arriving while a leader is computing start a *new* gather
+//! generation, so batches pipeline under sustained load rather than
+//! convoying behind the previous batch.
+//!
+//! A leader that panics abandons its followers' slots (they fail fast
+//! and the server degrades to load shedding) instead of stranding them
+//! — the same contract as the coalescer's `LeaderGuard`.
+
+use crate::keys;
+use hmcs_core::metrics;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+struct SlotState<V> {
+    value: Option<V>,
+    abandoned: bool,
+}
+
+struct Slot<V> {
+    state: Mutex<SlotState<V>>,
+    ready: Condvar,
+}
+
+impl<V> Slot<V> {
+    fn empty() -> Self {
+        Slot {
+            state: Mutex::new(SlotState { value: None, abandoned: false }),
+            ready: Condvar::new(),
+        }
+    }
+}
+
+struct Gather<T, V> {
+    gathering: bool,
+    pending: Vec<(T, Arc<Slot<V>>)>,
+}
+
+/// The boxed batch computation: a pure per-item map over the gathered
+/// items (`batch::par_map` in the server).
+type BatchFn<T, V> = Box<dyn Fn(&[T]) -> Vec<V> + Send + Sync>;
+
+/// Groups temporally close distinct items into one batched computation.
+pub struct Batcher<T, V> {
+    window: Duration,
+    compute: BatchFn<T, V>,
+    state: Mutex<Gather<T, V>>,
+}
+
+/// Marks the followers of a failed batch abandoned on unwind so a
+/// panicking batch computation cannot strand them on slots that will
+/// never fill.
+struct AbandonGuard<'a, V> {
+    slots: &'a [Arc<Slot<V>>],
+    completed: bool,
+}
+
+impl<V> Drop for AbandonGuard<'_, V> {
+    fn drop(&mut self) {
+        if self.completed {
+            return;
+        }
+        for slot in self.slots {
+            slot.state.lock().expect("batch slot poisoned").abandoned = true;
+            slot.ready.notify_all();
+        }
+    }
+}
+
+impl<T, V> Batcher<T, V> {
+    /// Creates a batcher gathering arrivals for `window` per batch.
+    /// `compute` must map each input item to its output positionally —
+    /// a pure per-item function, typically `batch::par_map`.
+    pub fn new(window: Duration, compute: impl Fn(&[T]) -> Vec<V> + Send + Sync + 'static) -> Self {
+        Batcher {
+            window,
+            compute: Box::new(compute),
+            state: Mutex::new(Gather { gathering: false, pending: Vec::new() }),
+        }
+    }
+
+    /// Submits one item. The caller either leads a batch (gather,
+    /// compute, distribute) or follows one (block until the leader
+    /// delivers, at most `wait_budget`). Returns `None` when the wait
+    /// budget lapses or the leader panicked.
+    pub fn submit(&self, item: T, wait_budget: Duration) -> Option<V> {
+        let item = {
+            let mut state = self.state.lock().expect("batcher poisoned");
+            if state.gathering {
+                let slot = Arc::new(Slot::empty());
+                state.pending.push((item, Arc::clone(&slot)));
+                drop(state);
+                return follow(&slot, wait_budget);
+            }
+            state.gathering = true;
+            item
+        };
+
+        // Leader: hold the gather window open, then take the batch.
+        if !self.window.is_zero() {
+            std::thread::sleep(self.window);
+        }
+        let followers = {
+            let mut state = self.state.lock().expect("batcher poisoned");
+            state.gathering = false;
+            std::mem::take(&mut state.pending)
+        };
+        let mut items = Vec::with_capacity(followers.len() + 1);
+        let mut slots = Vec::with_capacity(followers.len());
+        items.push(item);
+        for (follower_item, slot) in followers {
+            items.push(follower_item);
+            slots.push(slot);
+        }
+
+        let mut guard = AbandonGuard { slots: &slots, completed: false };
+        let mut values = (self.compute)(&items);
+        assert_eq!(values.len(), items.len(), "batch compute must be a per-item map");
+        metrics::counter(keys::BATCH_BATCHES).incr();
+        metrics::counter(keys::BATCH_BATCHED_ITEMS).add(items.len() as u64);
+
+        // Deliver follower results in reverse so pops stay O(1); the
+        // leader's own value is index 0.
+        for slot in slots.iter().rev() {
+            let value = values.pop().expect("one value per item");
+            let mut slot_state = slot.state.lock().expect("batch slot poisoned");
+            slot_state.value = Some(value);
+            drop(slot_state);
+            slot.ready.notify_all();
+        }
+        guard.completed = true;
+        values.pop()
+    }
+
+    /// Items currently waiting in an open gather window (tests only).
+    pub fn pending_len(&self) -> usize {
+        self.state.lock().expect("batcher poisoned").pending.len()
+    }
+}
+
+fn follow<V>(slot: &Slot<V>, wait_budget: Duration) -> Option<V> {
+    let deadline = Instant::now() + wait_budget;
+    let mut state = slot.state.lock().expect("batch slot poisoned");
+    loop {
+        if state.value.is_some() {
+            return state.value.take();
+        }
+        if state.abandoned {
+            return None;
+        }
+        let remaining = deadline.checked_duration_since(Instant::now())?;
+        state = slot.ready.wait_timeout(state, remaining).expect("batch slot poisoned").0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+
+    #[test]
+    fn solo_submit_computes_a_batch_of_one() {
+        let batcher = Batcher::new(Duration::from_millis(1), |items: &[u32]| {
+            items.iter().map(|x| x * 2).collect()
+        });
+        assert_eq!(batcher.submit(21, Duration::from_secs(1)), Some(42));
+        assert_eq!(batcher.pending_len(), 0);
+    }
+
+    #[test]
+    fn zero_window_degenerates_to_immediate_compute() {
+        let batcher =
+            Batcher::new(Duration::ZERO, |items: &[u32]| items.iter().map(|x| x + 1).collect());
+        assert_eq!(batcher.submit(7, Duration::from_secs(1)), Some(8));
+    }
+
+    #[test]
+    fn concurrent_distinct_items_share_one_computation() {
+        const N: usize = 6;
+        let calls = Arc::new(AtomicUsize::new(0));
+        let batcher: Arc<Batcher<u32, u32>> = {
+            let calls = Arc::clone(&calls);
+            Arc::new(Batcher::new(Duration::from_millis(200), move |items: &[u32]| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                items.iter().map(|x| x * 10).collect()
+            }))
+        };
+        let barrier = Arc::new(Barrier::new(N));
+        let handles: Vec<_> = (0..N as u32)
+            .map(|i| {
+                let (batcher, barrier) = (Arc::clone(&batcher), Arc::clone(&barrier));
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    batcher.submit(i, Duration::from_secs(10))
+                })
+            })
+            .collect();
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // Each submitter gets exactly its own item's result back.
+        let mut got: Vec<u32> = results.into_iter().map(|r| r.unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..N as u32).map(|i| i * 10).collect::<Vec<_>>());
+        // Everyone arrived inside the 200 ms window, so one batch ran.
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "distinct items must share one batch");
+        assert_eq!(batcher.pending_len(), 0);
+    }
+
+    #[test]
+    fn followers_time_out_rather_than_hang() {
+        let batcher: Arc<Batcher<u32, u32>> =
+            Arc::new(Batcher::new(Duration::from_millis(400), |items: &[u32]| items.to_vec()));
+        let leader = {
+            let batcher = Arc::clone(&batcher);
+            std::thread::spawn(move || batcher.submit(1, Duration::from_secs(5)))
+        };
+        // Join the leader's gather window, but with a tiny budget.
+        assert!(
+            poll(Duration::from_secs(1), || batcher.state.lock().unwrap().gathering),
+            "leader must be gathering"
+        );
+        let follower = batcher.submit(2, Duration::from_millis(10));
+        assert_eq!(follower, None, "budget shorter than the window times out");
+        assert_eq!(leader.join().unwrap(), Some(1));
+    }
+
+    #[test]
+    fn panicking_leader_abandons_followers() {
+        let batcher: Arc<Batcher<u32, u32>> =
+            Arc::new(Batcher::new(Duration::from_millis(200), |items: &[u32]| {
+                if items.contains(&13) {
+                    panic!("doomed batch");
+                }
+                items.to_vec()
+            }));
+        let leader = {
+            let batcher = Arc::clone(&batcher);
+            std::thread::spawn(move || batcher.submit(13, Duration::from_secs(5)))
+        };
+        assert!(
+            poll(Duration::from_secs(1), || batcher.state.lock().unwrap().gathering),
+            "leader must be gathering"
+        );
+        let follower = batcher.submit(2, Duration::from_secs(5));
+        assert_eq!(follower, None, "followers of a panicked batch fail fast");
+        assert!(leader.join().is_err(), "leader panicked by design");
+        // The batcher recovers: the next submit leads a fresh batch.
+        assert_eq!(batcher.submit(3, Duration::from_secs(1)), Some(3));
+        assert_eq!(batcher.pending_len(), 0);
+    }
+
+    fn poll(budget: Duration, mut cond: impl FnMut() -> bool) -> bool {
+        let deadline = Instant::now() + budget;
+        while Instant::now() < deadline {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        false
+    }
+}

@@ -4,31 +4,49 @@
 //!
 //! [`Server::start`] binds the listener, spawns one acceptor thread
 //! and a pool of workers, and returns immediately. The acceptor admits
-//! connections into a [`queue::Bounded`]; when the queue is full it
+//! *connections* into a [`queue::Bounded`]; when the queue is full it
 //! answers `503` + `Retry-After` inline without occupying a worker
-//! (load shedding). Workers pop jobs, parse the request, route it, and
-//! write the response — one request per connection.
+//! (load shedding). Workers pop connections and serve them with
+//! HTTP/1.1 keep-alive: a buffered [`http::RequestReader`] carries
+//! pipelined bytes over between requests, responses to already
+//! buffered requests are corked into one socket write, and the
+//! connection closes on `Connection: close`, idle timeout
+//! ([`ServerConfig::idle_timeout`]), the per-connection request cap
+//! ([`ServerConfig::max_conn_requests`]), or shutdown.
 //!
 //! ## Deadlines
 //!
-//! [`ServerConfig::deadline`] bounds the time from accept to the start
-//! of processing: a job that sat in queue longer is answered `503`
-//! without computing (its result would be stale anyway — the client
-//! has likely timed out). The remaining budget also bounds socket
-//! reads/writes and the wait of a coalescing follower, so a slow peer
-//! cannot pin a worker indefinitely.
+//! [`ServerConfig::deadline`] bounds each request: for a connection's
+//! first request it runs from accept (queue wait counts — a job that
+//! sat longer is answered `503` without computing), for subsequent
+//! requests from the moment their first byte is awaited. The remaining
+//! budget also bounds socket reads and the wait of a coalescing
+//! follower, so a slow peer cannot pin a worker indefinitely.
+//!
+//! ## Micro-batching
+//!
+//! With a non-zero [`ServerConfig::batch_window`], *distinct* evaluate
+//! points arriving within the window are gathered by a
+//! [`microbatch::Batcher`] and run through one `batch::par_map` call
+//! (identical concurrent requests are still deduplicated upstream by
+//! the [`Coalescer`], so batches contain distinct points only).
+//! `par_map` is bit-identical to the sequential path, so batching
+//! never changes response bytes — only scheduling.
 //!
 //! ## Shutdown
 //!
 //! [`Server::shutdown`] stops the acceptor first, then closes the
-//! queue. Workers drain every job that was already admitted before
-//! exiting — an accepted request is never dropped mid-flight.
+//! queue. Workers drain every connection that was already admitted
+//! before exiting — an accepted request is never dropped mid-flight;
+//! kept-alive connections finish their current request and close.
 
 use crate::coalesce::Coalescer;
 use crate::http::{self, Request, Response};
+use crate::microbatch::Batcher;
 use crate::queue::Bounded;
 use crate::{api, keys};
-use hmcs_core::batch::BatchOptions;
+use hmcs_core::batch::{self, BatchOptions};
+use hmcs_core::config::SystemConfig;
 use hmcs_core::metrics;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -46,15 +64,27 @@ pub struct ServerConfig {
     /// (`HMCS_POOL_WORKERS` or available parallelism).
     pub workers: usize,
     /// Bounded queue capacity — the admission budget beyond the
-    /// requests currently being processed.
+    /// connections currently being served.
     pub queue_capacity: usize,
-    /// Per-request budget from accept to processing; also bounds
-    /// socket I/O and coalescing waits.
+    /// Per-request budget; also bounds socket I/O and coalescing
+    /// waits. For a connection's first request it includes queue wait.
     pub deadline: Duration,
     /// Value of the `Retry-After` header on shed responses.
     pub retry_after_s: u64,
     /// Hard cap on request bodies.
     pub max_body_bytes: usize,
+    /// How long a kept-alive connection may sit idle between requests
+    /// before the server closes it.
+    pub idle_timeout: Duration,
+    /// Requests served on one connection before the server closes it
+    /// (`connection: close` on the final response). Bounds how long a
+    /// single client can monopolise a worker.
+    pub max_conn_requests: u64,
+    /// Gather window for cross-request micro-batching of distinct
+    /// evaluate points; zero disables batching. Non-zero values trade
+    /// up to one window of added latency for one `par_map` call per
+    /// batch instead of per request.
+    pub batch_window: Duration,
     /// Artificial pre-compute latency on `/v1/*` requests. Fault
     /// injection for tests and soak runs (deterministically provokes
     /// queue buildup, shedding and deadline expiry); zero in service.
@@ -70,6 +100,9 @@ impl Default for ServerConfig {
             deadline: Duration::from_secs(10),
             retry_after_s: 1,
             max_body_bytes: 1 << 20,
+            idle_timeout: Duration::from_secs(5),
+            max_conn_requests: 100_000,
+            batch_window: Duration::ZERO,
             handler_latency: Duration::ZERO,
         }
     }
@@ -86,6 +119,7 @@ struct Shared {
     config: ServerConfig,
     queue: Bounded<Job>,
     coalescer: Coalescer<Response>,
+    batcher: Option<Batcher<SystemConfig, Response>>,
     shutdown: AtomicBool,
 }
 
@@ -110,9 +144,18 @@ impl Server {
         } else {
             config.workers
         };
+        let batcher = (!config.batch_window.is_zero()).then(|| {
+            let par_workers = BatchOptions::default().resolved_workers();
+            Batcher::new(config.batch_window, move |configs: &[SystemConfig]| {
+                batch::par_map(configs, par_workers, |config| {
+                    response_of(api::evaluate_response(config))
+                })
+            })
+        });
         let shared = Arc::new(Shared {
             queue: Bounded::new(config.queue_capacity),
             coalescer: Coalescer::new(),
+            batcher,
             shutdown: AtomicBool::new(false),
             config,
         });
@@ -140,12 +183,13 @@ impl Server {
         self.local_addr
     }
 
-    /// Jobs currently waiting in the admission queue (tests/metrics).
+    /// Connections currently waiting in the admission queue
+    /// (tests/metrics).
     pub fn queue_len(&self) -> usize {
         self.shared.queue.len()
     }
 
-    /// Stops accepting, drains every admitted request, joins all
+    /// Stops accepting, drains every admitted connection, joins all
     /// threads. Blocks until the drain completes.
     pub fn shutdown(self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
@@ -162,6 +206,15 @@ impl Server {
 /// How often the non-blocking acceptor re-checks the shutdown flag
 /// when no connection is pending.
 const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// Socket read-timeout slice. Blocking reads wake at this cadence so
+/// idle waits can observe shutdown and idle-timeout without a
+/// per-request `setsockopt`.
+const IO_SLICE: Duration = Duration::from_millis(100);
+
+/// Corked responses are flushed once the buffer crosses this size even
+/// if further pipelined requests are waiting.
+const FLUSH_BYTES: usize = 64 * 1024;
 
 fn accept_loop(listener: &TcpListener, shared: &Shared) {
     while !shared.shutdown.load(Ordering::SeqCst) {
@@ -204,7 +257,7 @@ fn shed(mut stream: TcpStream, shared: &Shared) {
         body: api::error_body("overloaded", "admission queue full; retry later"),
     };
     count_status(response.status);
-    let _ = http::write_response(&mut stream, &response);
+    let _ = http::write_response(&mut stream, &response, true);
     drain_unread(&mut stream);
 }
 
@@ -214,45 +267,170 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-fn handle(job: Job, shared: &Shared) {
-    metrics::counter(keys::REQUESTS_STARTED).incr();
-    let Job { mut stream, accepted_at } = job;
+/// What [`wait_for_data`] observed on an idle connection.
+enum Wait {
+    /// Bytes are readable; go parse a request.
+    Data,
+    /// The peer closed (or errored) — end the connection quietly.
+    Closed,
+    /// The wait budget lapsed with no bytes.
+    TimedOut,
+    /// Shutdown began while the connection was idle.
+    Shutdown,
+}
 
-    let deadline = shared.config.deadline;
-    let Some(remaining) = deadline.checked_sub(accepted_at.elapsed()) else {
+/// Waits for the first byte of the next request without consuming it,
+/// polling at [`IO_SLICE`] cadence so shutdown is observed promptly.
+/// `abort_on_shutdown` is false for a connection's *first* request
+/// (it was admitted before shutdown, so its request must be served).
+fn wait_for_data(
+    stream: &TcpStream,
+    shared: &Shared,
+    budget: Duration,
+    abort_on_shutdown: bool,
+) -> Wait {
+    let deadline = Instant::now() + budget;
+    let mut probe = [0u8; 1];
+    loop {
+        match stream.peek(&mut probe) {
+            Ok(0) => return Wait::Closed,
+            Ok(_) => return Wait::Data,
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                if abort_on_shutdown && shared.shutdown.load(Ordering::SeqCst) {
+                    return Wait::Shutdown;
+                }
+                if Instant::now() >= deadline {
+                    return Wait::TimedOut;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return Wait::Closed,
+        }
+    }
+}
+
+/// Serves one admitted connection until it closes.
+fn handle(job: Job, shared: &Shared) {
+    let Job { mut stream, accepted_at } = job;
+    let config = &shared.config;
+
+    // A job that sat in queue past its deadline is answered `503`
+    // without reading (its result would be stale anyway — the client
+    // has likely timed out).
+    if accepted_at.elapsed() >= config.deadline {
         metrics::counter(keys::DEADLINE_EXPIRED).incr();
         let response = Response {
             status: 503,
             content_type: "application/json",
-            retry_after_s: Some(shared.config.retry_after_s),
+            retry_after_s: Some(config.retry_after_s),
             body: api::error_body("deadline_expired", "request waited in queue past its deadline"),
         };
-        finish(&mut stream, &response, accepted_at);
+        count_status(response.status);
+        let _ = http::write_response(&mut stream, &response, true);
+        drain_unread(&mut stream);
         return;
-    };
+    }
 
-    // A slow or stalled peer gets the request's remaining budget, not
-    // a worker forever.
-    let io_budget = remaining.max(Duration::from_millis(1));
-    let _ = stream.set_read_timeout(Some(io_budget));
-    let _ = stream.set_write_timeout(Some(io_budget));
+    // One-time socket setup. Reads wake at IO_SLICE cadence (the
+    // reader and idle waits retry against their own deadlines), so no
+    // per-request setsockopt is needed on the hot path.
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(IO_SLICE));
+    let _ = stream.set_write_timeout(Some(config.deadline.max(Duration::from_millis(1))));
 
-    let request = match http::read_request(&mut stream, shared.config.max_body_bytes) {
-        Ok(request) => request,
-        Err(e) => {
-            let response = Response {
-                status: e.status(),
-                content_type: "application/json",
-                retry_after_s: None,
-                body: api::error_body("bad_request", &e.reason()),
+    let mut reader = http::RequestReader::new();
+    let mut out: Vec<u8> = Vec::with_capacity(2048);
+    let mut served: u64 = 0;
+    // First request: the clock started at accept (queue wait counts).
+    let mut request_start = accepted_at;
+
+    loop {
+        if !reader.has_buffered() {
+            let (budget, first) = if served == 0 {
+                (config.deadline.saturating_sub(accepted_at.elapsed()), true)
+            } else {
+                (config.idle_timeout, false)
             };
-            finish(&mut stream, &response, accepted_at);
+            match wait_for_data(&stream, shared, budget, !first) {
+                Wait::Data => {}
+                Wait::Closed | Wait::Shutdown => break,
+                Wait::TimedOut => {
+                    if first {
+                        let response = Response {
+                            status: 408,
+                            content_type: "application/json",
+                            retry_after_s: None,
+                            body: api::error_body("timeout", "no request received in time"),
+                        };
+                        count_status(response.status);
+                        let _ = http::write_response(&mut stream, &response, true);
+                    } else {
+                        metrics::counter(keys::CONN_IDLE_CLOSED).incr();
+                    }
+                    break;
+                }
+            }
+            if !first {
+                request_start = Instant::now();
+            }
+        }
+
+        let deadline = request_start + config.deadline;
+        let request = match reader.read_request(&mut stream, config.max_body_bytes, deadline) {
+            Ok(Some(request)) => request,
+            Ok(None) => break, // clean close between requests
+            Err(e) => {
+                // Protocol errors poison the framing; answer and close.
+                let response = Response {
+                    status: e.status(),
+                    content_type: "application/json",
+                    retry_after_s: None,
+                    body: api::error_body("bad_request", &e.reason()),
+                };
+                count_status(response.status);
+                out.clear();
+                http::serialize_response(&mut out, &response, true);
+                let _ = io::Write::write_all(&mut stream, &out);
+                drain_unread(&mut stream);
+                return;
+            }
+        };
+        metrics::counter(keys::REQUESTS_STARTED).incr();
+
+        let remaining =
+            deadline.saturating_duration_since(Instant::now()).max(Duration::from_millis(1));
+        let response = route(&request, remaining, shared);
+        served += 1;
+
+        let close = request.wants_close
+            || served >= config.max_conn_requests
+            || shared.shutdown.load(Ordering::SeqCst);
+        count_status(response.status);
+        http::serialize_response(&mut out, &response, close);
+        metrics::histogram(keys::REQUEST_US).record(request_start.elapsed().as_micros() as u64);
+
+        if close {
+            if served >= config.max_conn_requests {
+                metrics::counter(keys::CONN_CAP_CLOSED).incr();
+            }
+            let _ = io::Write::write_all(&mut stream, &out);
+            drain_unread(&mut stream);
             return;
         }
-    };
+        // Cork: while further pipelined requests are already buffered,
+        // keep accumulating responses and pay one write for the batch.
+        if !reader.has_buffered() || out.len() >= FLUSH_BYTES {
+            if io::Write::write_all(&mut stream, &out).is_err() {
+                return;
+            }
+            out.clear();
+        }
+        request_start = Instant::now();
+    }
 
-    let response = route(&request, remaining, shared);
-    finish(&mut stream, &response, accepted_at);
+    if !out.is_empty() {
+        let _ = io::Write::write_all(&mut stream, &out);
+    }
 }
 
 fn route(request: &Request, remaining: Duration, shared: &Shared) -> Response {
@@ -273,14 +451,21 @@ fn route(request: &Request, remaining: Duration, shared: &Shared) -> Response {
             metrics::counter(keys::REQ_EVALUATE).incr();
             coalesced(shared, remaining, request, |body| {
                 let config = api::parse_evaluate(body)?;
-                Ok((api::evaluate_key(&config), move || api::evaluate_response(&config)))
+                let key = api::evaluate_key(&config);
+                Ok((key, move || match &shared.batcher {
+                    Some(batcher) => batcher
+                        .submit(config, remaining)
+                        .unwrap_or_else(|| wait_exhausted(shared, "batch_timeout")),
+                    None => response_of(api::evaluate_response(&config)),
+                }))
             })
         }
         ("POST", "/v1/sweep") => {
             metrics::counter(keys::REQ_SWEEP).incr();
             coalesced(shared, remaining, request, |body| {
                 let (config, spec) = api::parse_sweep(body)?;
-                Ok((api::sweep_key(&config, &spec), move || api::sweep_response(&config, &spec)))
+                let key = api::sweep_key(&config, &spec);
+                Ok((key, move || response_of(api::sweep_response(&config, &spec))))
             })
         }
         (_, "/healthz" | "/metrics" | "/version" | "/v1/evaluate" | "/v1/sweep") => {
@@ -310,7 +495,7 @@ fn route(request: &Request, remaining: Duration, shared: &Shared) -> Response {
 fn coalesced<F, C>(shared: &Shared, remaining: Duration, request: &Request, prepare: F) -> Response
 where
     F: FnOnce(&str) -> Result<(String, C), api::ApiError>,
-    C: FnOnce() -> Result<String, api::ApiError>,
+    C: FnOnce() -> Response,
 {
     let Ok(body) = std::str::from_utf8(&request.body) else {
         return error_response(api::ApiError {
@@ -330,22 +515,29 @@ where
         if !shared.config.handler_latency.is_zero() {
             std::thread::sleep(shared.config.handler_latency);
         }
-        match compute() {
-            Ok(body) => Response::json(body),
-            Err(e) => error_response(e),
-        }
+        compute()
     });
     match (value, outcome) {
         (Some(response), _) => response,
-        (None, _) => Response {
-            status: 503,
-            content_type: "application/json",
-            retry_after_s: Some(shared.config.retry_after_s),
-            body: api::error_body(
-                "coalesce_timeout",
-                "an identical in-flight request did not finish within the deadline",
-            ),
-        },
+        (None, _) => wait_exhausted(shared, "coalesce_timeout"),
+    }
+}
+
+/// The `503` a request receives when the computation it was waiting on
+/// (a coalescing leader or a batch) did not deliver within its budget.
+fn wait_exhausted(shared: &Shared, code: &'static str) -> Response {
+    Response {
+        status: 503,
+        content_type: "application/json",
+        retry_after_s: Some(shared.config.retry_after_s),
+        body: api::error_body(code, "an in-flight computation did not finish within the deadline"),
+    }
+}
+
+fn response_of(result: Result<String, api::ApiError>) -> Response {
+    match result {
+        Ok(body) => Response::json(body),
+        Err(e) => error_response(e),
     }
 }
 
@@ -356,15 +548,6 @@ fn error_response(e: api::ApiError) -> Response {
         retry_after_s: None,
         body: e.body(),
     }
-}
-
-fn finish(stream: &mut TcpStream, response: &Response, accepted_at: Instant) {
-    count_status(response.status);
-    // The peer may already be gone (shed test clients, health probes
-    // that hang up early); nothing useful to do with the error.
-    let _ = http::write_response(stream, response);
-    drain_unread(stream);
-    metrics::histogram(keys::REQUEST_US).record(accepted_at.elapsed().as_micros() as u64);
 }
 
 /// Discards any request bytes still unread (error paths answer before
@@ -397,14 +580,37 @@ fn count_status(status: u16) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::{Read, Write};
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    /// Reads exactly one response (status line + headers +
+    /// `content-length` body) so it works on kept-alive connections.
+    fn read_one_response(reader: &mut BufReader<TcpStream>) -> String {
+        let mut head = String::new();
+        loop {
+            let mut line = String::new();
+            if reader.read_line(&mut line).unwrap() == 0 {
+                panic!("connection closed mid-response: {head:?}");
+            }
+            head.push_str(&line);
+            if line == "\r\n" {
+                break;
+            }
+        }
+        let content_length: usize = head
+            .lines()
+            .find_map(|l| l.to_ascii_lowercase().strip_prefix("content-length:").map(str::to_owned))
+            .and_then(|v| v.trim().parse().ok())
+            .expect("content-length header");
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).unwrap();
+        head + std::str::from_utf8(&body).unwrap()
+    }
 
     fn request(addr: SocketAddr, raw: &str) -> String {
-        let mut stream = TcpStream::connect(addr).unwrap();
-        stream.write_all(raw.as_bytes()).unwrap();
-        let mut out = String::new();
-        stream.read_to_string(&mut out).unwrap();
-        out
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        (&stream).write_all(raw.as_bytes()).unwrap();
+        read_one_response(&mut reader)
     }
 
     fn test_config() -> ServerConfig {
@@ -446,6 +652,21 @@ mod tests {
         assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
         assert!(reply.contains(r#""schema":"hmcs-serve-evaluate/1""#));
         assert!(reply.contains(r#""mean":"#));
+        server.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_serves_sequential_requests_on_one_connection() {
+        let server = Server::start(test_config()).unwrap();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        for _ in 0..3 {
+            (&stream).write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+            let reply = read_one_response(&mut reader);
+            assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+            assert!(reply.contains("connection: keep-alive\r\n"), "{reply}");
+        }
+        drop(stream);
         server.shutdown();
     }
 

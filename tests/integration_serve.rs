@@ -12,6 +12,10 @@
 //! The metrics registry is process-global and shared across tests, so
 //! every test (a) serialises on [`SERIAL`] and (b) asserts on counter
 //! *deltas*, never absolute values.
+//!
+//! Since the server speaks HTTP/1.1 keep-alive, the one-shot helpers
+//! send `connection: close`; the keep-alive tests read responses by
+//! their `content-length` through a shared [`BufReader`] instead.
 
 use hmcs_core::json::parse_json;
 use hmcs_core::metrics;
@@ -20,7 +24,7 @@ use hmcs_core::scenario::Scenario;
 use hmcs_serve::keys;
 use hmcs_serve::server::{Server, ServerConfig};
 use hmcs_topology::transmission::Architecture;
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::{Mutex, MutexGuard};
 use std::thread;
@@ -33,7 +37,10 @@ fn serialise() -> MutexGuard<'static, ()> {
     SERIAL.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-/// Sends raw bytes, returns the full response (headers + body).
+/// Sends raw bytes, returns the full response (headers + body). The
+/// caller's request must make the server close afterwards
+/// (`connection: close` or an error status) or this read blocks until
+/// the idle timeout.
 fn send_raw(addr: SocketAddr, raw: &[u8]) -> String {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream.write_all(raw).expect("request write");
@@ -45,8 +52,44 @@ fn send_raw(addr: SocketAddr, raw: &[u8]) -> String {
 fn post(addr: SocketAddr, path: &str, body: &str) -> String {
     send_raw(
         addr,
-        format!("POST {path} HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}", body.len()).as_bytes(),
+        format!(
+            "POST {path} HTTP/1.1\r\nconnection: close\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
     )
+}
+
+/// Serialises one request *without* `connection: close`, for
+/// keep-alive and pipelining tests.
+fn keepalive_request(path: &str, body: &str) -> Vec<u8> {
+    format!("POST {path} HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}", body.len()).into_bytes()
+}
+
+/// Reads exactly one response (head + `content-length` body) from a
+/// kept-alive connection. Returns `None` on EOF before a status line.
+fn read_keepalive_response(reader: &mut BufReader<TcpStream>) -> Option<String> {
+    let mut head = String::new();
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).expect("response read");
+        if n == 0 {
+            assert!(head.is_empty(), "connection died mid-response: {head:?}");
+            return None;
+        }
+        head.push_str(&line);
+        if line == "\r\n" {
+            break;
+        }
+    }
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| l.to_ascii_lowercase().strip_prefix("content-length:").map(str::to_owned))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("content-length header");
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("response body");
+    Some(head + std::str::from_utf8(&body).expect("UTF-8 body"))
 }
 
 fn status_of(response: &str) -> u16 {
@@ -313,9 +356,9 @@ fn malformed_input_yields_escaped_structured_errors() {
     assert_eq!(status_of(&response), 400, "{response}");
 
     // Wrong method and wrong path keep structured shapes too.
-    let response = send_raw(addr, b"PUT /v1/evaluate HTTP/1.1\r\n\r\n");
+    let response = send_raw(addr, b"PUT /v1/evaluate HTTP/1.1\r\nconnection: close\r\n\r\n");
     assert_eq!(status_of(&response), 405);
-    let response = send_raw(addr, b"GET /v9/nothing HTTP/1.1\r\n\r\n");
+    let response = send_raw(addr, b"GET /v9/nothing HTTP/1.1\r\nconnection: close\r\n\r\n");
     assert_eq!(status_of(&response), 404);
     server.shutdown();
 }
@@ -359,4 +402,233 @@ fn graceful_shutdown_drains_every_accepted_request() {
 
     // The listener is gone: new connections are refused.
     assert!(TcpStream::connect(addr).is_err(), "post-shutdown connects must fail");
+}
+
+#[test]
+fn keep_alive_connection_serves_bit_identical_results_including_pipelined() {
+    let _guard = serialise();
+    let server = Server::start(test_config()).unwrap();
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    let direct_mean = |clusters: usize| -> f64 {
+        let config = hmcs_core::SystemConfig::new(
+            clusters,
+            256 / clusters,
+            1024,
+            hmcs_core::scenario::PAPER_LAMBDA_PER_US,
+            Scenario::Case1,
+            Architecture::NonBlocking,
+        )
+        .unwrap();
+        AnalyticalModel::evaluate(&config).unwrap().latency.mean_message_latency_us
+    };
+    let served_mean = |response: &str| -> f64 {
+        parse_json(body_of(response))
+            .unwrap()
+            .get("latency_us")
+            .and_then(|l| l.get("mean"))
+            .and_then(|m| m.as_num())
+            .expect("latency_us.mean")
+    };
+
+    // Sequential reuse: several distinct evaluations over one socket.
+    for clusters in [4usize, 16, 64] {
+        let body = format!(r#"{{"clusters":{clusters}}}"#);
+        (&stream).write_all(&keepalive_request("/v1/evaluate", &body)).unwrap();
+        let response = read_keepalive_response(&mut reader).expect("response on live connection");
+        assert_eq!(status_of(&response), 200, "{response}");
+        assert!(response.contains("connection: keep-alive\r\n"), "{response}");
+        assert_eq!(
+            served_mean(&response).to_bits(),
+            direct_mean(clusters).to_bits(),
+            "sequential keep-alive result must be bit-identical (C={clusters})"
+        );
+    }
+
+    // Pipelined: three requests in one write, three in-order responses.
+    let mut burst = Vec::new();
+    for clusters in [8usize, 32, 128] {
+        burst.extend(keepalive_request("/v1/evaluate", &format!(r#"{{"clusters":{clusters}}}"#)));
+    }
+    (&stream).write_all(&burst).unwrap();
+    for clusters in [8usize, 32, 128] {
+        let response = read_keepalive_response(&mut reader).expect("pipelined response");
+        assert_eq!(status_of(&response), 200, "{response}");
+        assert_eq!(
+            served_mean(&response).to_bits(),
+            direct_mean(clusters).to_bits(),
+            "pipelined result must be bit-identical and in order (C={clusters})"
+        );
+    }
+    drop(stream);
+    server.shutdown();
+}
+
+#[test]
+fn idle_keep_alive_connections_are_closed_after_the_timeout() {
+    let _guard = serialise();
+    let server =
+        Server::start(ServerConfig { idle_timeout: Duration::from_millis(150), ..test_config() })
+            .unwrap();
+    let idle_closed_before = metrics::counter(keys::CONN_IDLE_CLOSED).get();
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    (&stream).write_all(&keepalive_request("/v1/evaluate", r#"{"clusters":4}"#)).unwrap();
+    let response = read_keepalive_response(&mut reader).expect("first response");
+    assert_eq!(status_of(&response), 200);
+
+    // Then go quiet: the server must hang up, not hold the worker.
+    let waited = Instant::now();
+    assert!(
+        read_keepalive_response(&mut reader).is_none(),
+        "server must close the idle connection"
+    );
+    assert!(waited.elapsed() >= Duration::from_millis(100), "not closed before the idle window");
+    assert!(metrics::counter(keys::CONN_IDLE_CLOSED).get() > idle_closed_before);
+    server.shutdown();
+}
+
+#[test]
+fn connection_close_is_honored_mid_stream() {
+    let _guard = serialise();
+    let server = Server::start(test_config()).unwrap();
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    // Three pipelined requests; the second says `Connection: close`.
+    // The server must answer the first two and drop the third.
+    let mut burst = keepalive_request("/v1/evaluate", r#"{"clusters":4}"#);
+    burst.extend_from_slice(
+        b"POST /v1/evaluate HTTP/1.1\r\nconnection: close\r\ncontent-length: 15\r\n\r\n{\"clusters\":16}",
+    );
+    burst.extend(keepalive_request("/v1/evaluate", r#"{"clusters":64}"#));
+    (&stream).write_all(&burst).unwrap();
+
+    let first = read_keepalive_response(&mut reader).expect("first response");
+    assert_eq!(status_of(&first), 200);
+    assert!(first.contains("connection: keep-alive\r\n"), "{first}");
+    let second = read_keepalive_response(&mut reader).expect("second response");
+    assert_eq!(status_of(&second), 200);
+    assert!(second.contains("connection: close\r\n"), "close advertised mid-stream: {second}");
+    assert!(
+        read_keepalive_response(&mut reader).is_none(),
+        "requests pipelined behind Connection: close must not be answered"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn request_cap_evicts_long_lived_connections() {
+    let _guard = serialise();
+    let server = Server::start(ServerConfig { max_conn_requests: 3, ..test_config() }).unwrap();
+    let cap_closed_before = metrics::counter(keys::CONN_CAP_CLOSED).get();
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    for i in 1..=3u32 {
+        (&stream).write_all(&keepalive_request("/v1/evaluate", r#"{"clusters":4}"#)).unwrap();
+        let response = read_keepalive_response(&mut reader).expect("response under the cap");
+        assert_eq!(status_of(&response), 200);
+        let expected = if i == 3 { "connection: close\r\n" } else { "connection: keep-alive\r\n" };
+        assert!(response.contains(expected), "request {i}: {response}");
+    }
+    assert!(
+        read_keepalive_response(&mut reader).is_none(),
+        "connection must be gone after the cap"
+    );
+    assert!(metrics::counter(keys::CONN_CAP_CLOSED).get() > cap_closed_before);
+
+    // The cap evicts the connection, not the client: a fresh
+    // connection serves again.
+    let response = post(server.local_addr(), "/v1/evaluate", r#"{"clusters":4}"#);
+    assert_eq!(status_of(&response), 200);
+    server.shutdown();
+}
+
+#[test]
+fn micro_batching_groups_distinct_points_with_bit_identical_results() {
+    let _guard = serialise();
+    let server = Server::start(ServerConfig {
+        workers: 8,
+        batch_window: Duration::from_millis(300),
+        ..test_config()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+    let batches_before = metrics::counter(keys::BATCH_BATCHES).get();
+    let items_before = metrics::counter(keys::BATCH_BATCHED_ITEMS).get();
+
+    // Five *distinct* model points land well inside one 300 ms gather
+    // window, so the batcher must run fewer par_map calls than points.
+    let cluster_counts = [2usize, 4, 8, 32, 128];
+    let handles: Vec<_> = cluster_counts
+        .iter()
+        .map(|&clusters| {
+            thread::spawn(move || {
+                post(addr, "/v1/evaluate", &format!(r#"{{"clusters":{clusters}}}"#))
+            })
+        })
+        .collect();
+    let responses: Vec<String> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    for (response, clusters) in responses.iter().zip(cluster_counts) {
+        assert_eq!(status_of(response), 200, "{response}");
+        let config = hmcs_core::SystemConfig::new(
+            clusters,
+            256 / clusters,
+            1024,
+            hmcs_core::scenario::PAPER_LAMBDA_PER_US,
+            Scenario::Case1,
+            Architecture::NonBlocking,
+        )
+        .unwrap();
+        let direct = AnalyticalModel::evaluate(&config).unwrap();
+        let served = parse_json(body_of(response))
+            .unwrap()
+            .get("latency_us")
+            .and_then(|l| l.get("mean"))
+            .and_then(|m| m.as_num())
+            .unwrap();
+        assert_eq!(
+            served.to_bits(),
+            direct.latency.mean_message_latency_us.to_bits(),
+            "batched evaluation must stay bit-identical (C={clusters})"
+        );
+    }
+
+    let batches = metrics::counter(keys::BATCH_BATCHES).get() - batches_before;
+    let items = metrics::counter(keys::BATCH_BATCHED_ITEMS).get() - items_before;
+    assert_eq!(items as usize, cluster_counts.len(), "every point flows through the batcher");
+    assert!(batches >= 1);
+    assert!(
+        (batches as usize) < cluster_counts.len(),
+        "distinct points must share batches ({batches} batches for {items} items)"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn loadgen_closed_loop_round_trips_against_a_live_server() {
+    let _guard = serialise();
+    let server = Server::start(test_config()).unwrap();
+    let summary = hmcs_serve::loadgen::run(&hmcs_serve::loadgen::LoadgenConfig {
+        addr: server.local_addr().to_string(),
+        mode: hmcs_serve::loadgen::Mode::Closed { pipeline: 4 },
+        connections: 1,
+        duration: Duration::from_millis(400),
+        warmup: Duration::from_millis(100),
+        mix: hmcs_serve::loadgen::MixConfig {
+            sweep_permille: 200,
+            clusters: 16,
+            message_bytes: vec![256, 1024],
+        },
+    })
+    .expect("loadgen run");
+    assert!(summary.measured_requests > 0, "a live server must produce samples");
+    assert_eq!(summary.errors, 0, "every response must be a 200: {summary:?}");
+    assert!(summary.achieved_rps > 0.0);
+    assert!(summary.latency.p50 > 0 && summary.latency.p50 <= summary.latency.p999);
+    parse_json(&summary.to_json()).expect("summary document is valid JSON");
+    server.shutdown();
 }
