@@ -331,11 +331,131 @@ fn serve_main(args: Vec<String>) -> ExitCode {
     }
 }
 
+/// The optimizer-throughput verdict extracted from an
+/// `hmcs-optimize-bench/1` summary (written by `reproduce optimize
+/// --opt-bench`).
+#[derive(Debug, Clone, PartialEq)]
+struct OptimizeVerdict {
+    evals_per_s: f64,
+    min_eps: f64,
+    evaluated: u64,
+    pass: bool,
+}
+
+/// Validates an `hmcs-optimize-bench/1` document: the measured
+/// evaluations/second must meet the floor and the run must have
+/// evaluated at least one point.
+fn judge_optimize(doc: &JsonValue, min_eps: f64) -> Result<OptimizeVerdict, String> {
+    if doc.get("schema").and_then(JsonValue::as_str) != Some("hmcs-optimize-bench/1") {
+        return Err("not an hmcs-optimize-bench/1 document".to_string());
+    }
+    let evals_per_s = doc
+        .get("evals_per_s")
+        .and_then(JsonValue::as_num)
+        .ok_or("missing numeric \"evals_per_s\"")?;
+    let evaluated =
+        doc.get("evaluated").and_then(JsonValue::as_u64).ok_or("missing integer \"evaluated\"")?;
+    let pass = evals_per_s >= min_eps && evaluated > 0;
+    Ok(OptimizeVerdict { evals_per_s, min_eps, evaluated, pass })
+}
+
+/// Renders the committed `hmcs-optimize-gate/1` artefact with the
+/// validated summary embedded verbatim.
+fn optimize_report_json(
+    verdict: &OptimizeVerdict,
+    summary_raw: &str,
+    meta: &[(String, String)],
+) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": \"hmcs-optimize-gate/1\",");
+    let meta_items: Vec<String> =
+        meta.iter().map(|(k, v)| format!("{}: {}", json_escape(k), json_escape(v))).collect();
+    let _ = writeln!(out, "  \"meta\": {{{}}},", meta_items.join(", "));
+    let _ = writeln!(out, "  \"gate\": {{");
+    let _ = writeln!(out, "    \"min_evals_per_s\": {},", verdict.min_eps);
+    let _ = writeln!(out, "    \"evals_per_s\": {},", verdict.evals_per_s);
+    let _ = writeln!(out, "    \"evaluated\": {},", verdict.evaluated);
+    let _ = writeln!(out, "    \"pass\": {}", verdict.pass);
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"optimize\": {}", summary_raw.trim());
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn optimize_main(args: Vec<String>) -> ExitCode {
+    let mut summary_path: Option<String> = None;
+    let mut out_path = "BENCH_OPTIMIZE.json".to_string();
+    let mut min_eps: Option<f64> = None;
+    let mut meta: Vec<(String, String)> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out_path = it.next().unwrap_or_else(|| usage()),
+            "--min-eps" => {
+                min_eps = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()));
+            }
+            "--meta" => {
+                let kv = it.next().unwrap_or_else(|| usage());
+                let (k, v) = kv.split_once('=').unwrap_or_else(|| usage());
+                meta.push((k.to_string(), v.to_string()));
+            }
+            _ if summary_path.is_none() && !arg.starts_with('-') => summary_path = Some(arg),
+            _ => usage(),
+        }
+    }
+    let (Some(summary_path), Some(min_eps)) = (summary_path, min_eps) else { usage() };
+
+    let raw = match std::fs::read_to_string(&summary_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: cannot read {summary_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let doc = match parse_json(&raw) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {summary_path} is not valid JSON: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let verdict = match judge_optimize(&doc, min_eps) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = optimize_report_json(&verdict, &raw, &meta);
+    if let Err(e) = std::fs::write(&out_path, &report) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        return ExitCode::from(2);
+    }
+    println!(
+        "benchgate optimize: {:.0} evals/s (floor {:.0}), {} evaluation(s) — {}",
+        verdict.evals_per_s,
+        verdict.min_eps,
+        verdict.evaluated,
+        if verdict.pass { "PASS" } else { "FAIL" }
+    );
+    println!("report written to {out_path}");
+    if verdict.pass {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: benchgate ROWS.jsonl [--manifests DIR] [--out PATH] \
          [--max-overhead-pct X] [--meta key=value]...\n\
          \x20      benchgate serve SUMMARY.json --min-rps X [--max-p99-us Y] \
+         [--out PATH] [--meta key=value]...\n\
+         \x20      benchgate optimize SUMMARY.json --min-eps X \
          [--out PATH] [--meta key=value]..."
     );
     std::process::exit(2)
@@ -346,6 +466,10 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("serve") {
         args.remove(0);
         return serve_main(args);
+    }
+    if args.first().map(String::as_str) == Some("optimize") {
+        args.remove(0);
+        return optimize_main(args);
     }
     let mut rows_path: Option<String> = None;
     let mut manifests: Option<String> = None;
@@ -516,6 +640,49 @@ mod tests {
 
         let wrong_schema = parse_json(r#"{"schema":"nope/1"}"#).unwrap();
         assert!(judge_serve(&wrong_schema, 1.0, None).is_err());
+    }
+
+    fn optimize_summary(eps: f64, evaluated: u64) -> String {
+        format!(
+            "{{\"schema\":\"hmcs-optimize-bench/1\",\"space_size\":1120,\"iterations\":5,\
+             \"evaluated\":{evaluated},\"wall_s\":0.5,\"evals_per_s\":{eps},\"workers\":2}}"
+        )
+    }
+
+    #[test]
+    fn optimize_gate_enforces_throughput_floor() {
+        let doc = parse_json(&optimize_summary(400000.0, 5600)).unwrap();
+        let ok = judge_optimize(&doc, 100000.0).unwrap();
+        assert!(ok.pass);
+        assert_eq!(ok.evaluated, 5600);
+
+        let slow = judge_optimize(&doc, 500000.0).unwrap();
+        assert!(!slow.pass, "throughput below the floor must fail");
+
+        let empty = parse_json(&optimize_summary(400000.0, 0)).unwrap();
+        assert!(!judge_optimize(&empty, 1.0).unwrap().pass, "zero evaluations must fail");
+
+        let wrong_schema = parse_json(r#"{"schema":"hmcs-loadgen/1"}"#).unwrap();
+        assert!(judge_optimize(&wrong_schema, 1.0).is_err());
+    }
+
+    #[test]
+    fn optimize_report_embeds_the_summary_verbatim() {
+        let raw = optimize_summary(400000.0, 5600);
+        let verdict = judge_optimize(&parse_json(&raw).unwrap(), 100000.0).unwrap();
+        let report = optimize_report_json(&verdict, &raw, &[("host".into(), "ci".into())]);
+        let doc = parse_json(&report).expect("report is valid JSON");
+        assert_eq!(doc.get("schema").and_then(JsonValue::as_str), Some("hmcs-optimize-gate/1"));
+        assert_eq!(doc.get("gate").and_then(|g| g.get("pass")), Some(&JsonValue::Bool(true)));
+        assert_eq!(
+            doc.get("optimize").and_then(|o| o.get("schema")).and_then(JsonValue::as_str),
+            Some("hmcs-optimize-bench/1"),
+            "the optimize summary rides along inside the report"
+        );
+        assert_eq!(
+            doc.get("gate").and_then(|g| g.get("min_evals_per_s")).and_then(JsonValue::as_num),
+            Some(100000.0)
+        );
     }
 
     #[test]

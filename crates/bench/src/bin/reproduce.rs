@@ -36,6 +36,8 @@ use hmcs_bench::manifest;
 use hmcs_bench::report::{eval_stats_line, ms, opt_ms, ratio, render_table, write_csv};
 use hmcs_bench::{claims, differential, golden};
 use hmcs_core::batch::BatchOptions;
+use hmcs_core::json::json_num;
+use hmcs_core::optimize::{self, Constraints, DesignSpace, OptimizeSpec, Workload};
 use hmcs_core::scenario::PAPER_LAMBDA_LITERAL_PER_US;
 use hmcs_sim::replication::SimBudget;
 use std::path::{Path, PathBuf};
@@ -46,6 +48,9 @@ struct Cli {
     opts: RunOptions,
     csv_dir: Option<PathBuf>,
     print_metrics: bool,
+    slo_ms: Option<f64>,
+    budget_usd: Option<f64>,
+    opt_bench: Option<PathBuf>,
 }
 
 enum Command {
@@ -74,6 +79,9 @@ fn parse_args() -> Result<Command, String> {
     let mut csv_dir = None;
     let mut golden_dir: Option<PathBuf> = None;
     let mut fuzz_cases: Option<u32> = None;
+    let mut slo_ms: Option<f64> = None;
+    let mut budget_usd: Option<f64> = None;
+    let mut opt_bench: Option<PathBuf> = None;
     let mut print_metrics = metrics_env_requested();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -114,6 +122,25 @@ fn parse_args() -> Result<Command, String> {
                         .parse()
                         .map_err(|e| format!("--cases: {e}"))?,
                 );
+            }
+            "--slo-ms" => {
+                slo_ms = Some(
+                    args.next()
+                        .ok_or("--slo-ms needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--slo-ms: {e}"))?,
+                );
+            }
+            "--budget-usd" => {
+                budget_usd = Some(
+                    args.next()
+                        .ok_or("--budget-usd needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--budget-usd: {e}"))?,
+                );
+            }
+            "--opt-bench" => {
+                opt_bench = Some(PathBuf::from(args.next().ok_or("--opt-bench needs a path")?));
             }
             "--metrics" => print_metrics = true,
             "--help" | "-h" => {
@@ -157,16 +184,26 @@ fn parse_args() -> Result<Command, String> {
     if artefacts.is_empty() {
         return Err("no artefact given; try --help".to_string());
     }
-    Ok(Command::Emit(Cli { artefacts, opts, csv_dir, print_metrics }))
+    Ok(Command::Emit(Cli {
+        artefacts,
+        opts,
+        csv_dir,
+        print_metrics,
+        slo_ms,
+        budget_usd,
+        opt_bench,
+    }))
 }
 
 const HELP: &str = "reproduce — regenerate the ICPPW'05 paper's tables and figures\n\
-  artefacts: table1 table2 fig4 fig5 fig6 fig7 figs claims\n\
+  artefacts: table1 table2 fig4 fig5 fig6 fig7 figs claims optimize\n\
              ablation-accounting ablation-hops ablation-service packet coc bounds all\n\
   checking:  check DIR [--golden GDIR]   diff DIR against the goldens (default results/)\n\
              fuzz [--cases N] [--seed N] differential model-vs-sim fuzzing\n\
   options:   --messages N --warmup N --seed N --lambda-literal --no-sim --csv DIR\n\
-             --metrics (or HMCS_METRICS=1); HMCS_SIM_BUDGET=ci shrinks sim budgets";
+             --metrics (or HMCS_METRICS=1); HMCS_SIM_BUDGET=ci shrinks sim budgets\n\
+  optimize:  --slo-ms X (default 30) --budget-usd Y (default 60000)\n\
+             --opt-bench PATH (write an hmcs-optimize-bench/1 throughput summary)";
 
 /// Writes `manifest_<artefact>.json` beside the CSVs (no-op without
 /// `--csv`): run provenance, options, λ-unit mode and the metrics
@@ -464,6 +501,190 @@ fn emit_bounds(cli: &Cli) -> Result<(), String> {
     Ok(())
 }
 
+/// Default mean-latency SLO for the optimize artefact (ms).
+const DEFAULT_OPTIMIZE_SLO_MS: f64 = 30.0;
+/// Default cost ceiling for the budget-capped optimize variant (USD).
+const DEFAULT_OPTIMIZE_BUDGET_USD: f64 = 60_000.0;
+
+/// The three committed optimize variants: the SLO-only frontier, the
+/// budget-capped frontier, and a strict-saturation frontier at λ/10
+/// (at the paper's λ every preset design sits above the open-queue
+/// boundary — the finite-population model self-throttles there — so
+/// the strict variant runs at a tenth of the offered rate, where the
+/// saturation constraint discriminates between fabrics instead of
+/// pruning everything).
+fn optimize_variants(cli: &Cli) -> [(&'static str, OptimizeSpec); 3] {
+    let slo_us = cli.slo_ms.unwrap_or(DEFAULT_OPTIMIZE_SLO_MS) * 1000.0;
+    let budget = cli.budget_usd.unwrap_or(DEFAULT_OPTIMIZE_BUDGET_USD);
+    let mut workload = Workload::paper_default();
+    workload.lambda_per_us = cli.opts.lambda_per_us;
+    let space = DesignSpace::paper_default(workload.total_nodes);
+    let spec = |workload: Workload, constraints: Constraints| OptimizeSpec {
+        workload,
+        constraints,
+        space: space.clone(),
+    };
+    let mut strict_workload = workload;
+    strict_workload.lambda_per_us = workload.lambda_per_us / 10.0;
+    [
+        (
+            "optimize_frontier",
+            spec(workload, Constraints { slo_latency_us: Some(slo_us), ..Default::default() }),
+        ),
+        (
+            "optimize_budget",
+            spec(
+                workload,
+                Constraints {
+                    slo_latency_us: Some(slo_us),
+                    budget_usd: Some(budget),
+                    ..Default::default()
+                },
+            ),
+        ),
+        (
+            "optimize_strict",
+            spec(
+                strict_workload,
+                Constraints {
+                    slo_latency_us: Some(slo_us),
+                    require_unsaturated: true,
+                    ..Default::default()
+                },
+            ),
+        ),
+    ]
+}
+
+fn emit_optimize(cli: &Cli) -> Result<(), String> {
+    let variants = optimize_variants(cli);
+    let mut diag_rows: Vec<Vec<String>> = Vec::new();
+    for (name, spec) in &variants {
+        let outcome =
+            optimize::optimize(spec, BatchOptions::default()).map_err(|e| e.to_string())?;
+        let rows: Vec<Vec<String>> = outcome.frontier.iter().map(optimize::frontier_row).collect();
+        let constraint_note = format!(
+            "λ={} SLO={} budget={} unsaturated={}",
+            json_num(spec.workload.lambda_per_us),
+            spec.constraints
+                .slo_latency_us
+                .map_or("-".to_string(), |v| format!("{:.0}ms", v / 1000.0)),
+            spec.constraints.budget_usd.map_or("-".to_string(), |v| format!("${v:.0}")),
+            spec.constraints.require_unsaturated,
+        );
+        println!(
+            "{}",
+            render_table(
+                &format!("{name} — Pareto frontier ({constraint_note})"),
+                &optimize::FRONTIER_COLUMNS,
+                &rows
+            )
+        );
+        let d = outcome.diagnostics;
+        println!(
+            "  space {} | invalid {} | saturated {} | over budget {} | failed {} | \
+             evaluated {} | above SLO {} | feasible {} | dominated {} | frontier {}\n",
+            outcome.space_size,
+            d.invalid,
+            d.saturated,
+            d.over_budget,
+            d.failed,
+            outcome.evaluated,
+            d.above_slo,
+            outcome.feasible,
+            d.dominated,
+            outcome.frontier.len(),
+        );
+        if let Some(dir) = &cli.csv_dir {
+            write_csv(&dir.join(format!("{name}.csv")), &optimize::FRONTIER_COLUMNS, &rows)
+                .map_err(|e| e.to_string())?;
+        }
+        let cheapest = outcome.cheapest_feasible();
+        diag_rows.push(vec![
+            name.to_string(),
+            json_num(spec.workload.lambda_per_us),
+            outcome.space_size.to_string(),
+            d.invalid.to_string(),
+            d.saturated.to_string(),
+            d.over_budget.to_string(),
+            d.failed.to_string(),
+            outcome.evaluated.to_string(),
+            d.above_slo.to_string(),
+            outcome.feasible.to_string(),
+            d.dominated.to_string(),
+            outcome.frontier.len().to_string(),
+            cheapest.map_or("-".to_string(), |p| p.design.key()),
+            cheapest.map_or("-".to_string(), |p| json_num(p.cost_usd)),
+        ]);
+    }
+    let diag_headers = [
+        "variant",
+        "lambda_per_us",
+        "space",
+        "invalid",
+        "saturated",
+        "over_budget",
+        "failed",
+        "evaluated",
+        "above_slo",
+        "feasible",
+        "dominated",
+        "frontier",
+        "cheapest_design",
+        "cheapest_cost_usd",
+    ];
+    println!(
+        "{}",
+        render_table("optimize — binding-constraint diagnostics", &diag_headers, &diag_rows)
+    );
+    if let Some(dir) = &cli.csv_dir {
+        write_csv(&dir.join("optimize_diagnostics.csv"), &diag_headers, &diag_rows)
+            .map_err(|e| e.to_string())?;
+    }
+    emit_manifest(cli, "optimize", None)?;
+    if let Some(path) = &cli.opt_bench {
+        write_optimize_bench(path, &variants[0].1)?;
+    }
+    Ok(())
+}
+
+/// Times repeated runs of the frontier spec and writes an
+/// `hmcs-optimize-bench/1` summary for `benchgate optimize`.
+fn write_optimize_bench(path: &Path, spec: &OptimizeSpec) -> Result<(), String> {
+    let options = BatchOptions::default();
+    let workers = options.resolved_workers();
+    let mut iterations = 0u64;
+    let mut evaluated = 0u64;
+    let start = std::time::Instant::now();
+    loop {
+        let outcome = optimize::optimize(spec, options).map_err(|e| e.to_string())?;
+        iterations += 1;
+        evaluated += outcome.evaluated as u64;
+        if iterations >= 3 && start.elapsed().as_secs_f64() >= 0.25 {
+            break;
+        }
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    let evals_per_s = evaluated as f64 / wall_s;
+    let body = format!(
+        "{{\"schema\":\"hmcs-optimize-bench/1\",\"space_size\":{},\"iterations\":{},\
+         \"evaluated\":{},\"wall_s\":{},\"evals_per_s\":{},\"workers\":{}}}\n",
+        spec.space.len(),
+        iterations,
+        evaluated,
+        json_num(wall_s),
+        json_num(evals_per_s),
+        workers,
+    );
+    std::fs::write(path, body).map_err(|e| format!("{}: {e}", path.display()))?;
+    println!(
+        "optimize bench: {evaluated} evaluations in {wall_s:.3} s \
+         ({evals_per_s:.0} evals/s on {workers} worker(s)) -> {}",
+        path.display()
+    );
+    Ok(())
+}
+
 /// Creates the `--csv` directory up front and proves it is writable,
 /// so a bad path fails with one clean message instead of a mid-run
 /// error after minutes of simulation.
@@ -522,6 +743,7 @@ fn run(cli: &Cli) -> Result<(), String> {
             "packet" => emit_packet(cli)?,
             "coc" => emit_coc(cli)?,
             "bounds" => emit_bounds(cli)?,
+            "optimize" => emit_optimize(cli)?,
             "all" => {
                 emit_tables(cli)?;
                 emit_table2(cli)?;
@@ -535,6 +757,7 @@ fn run(cli: &Cli) -> Result<(), String> {
                 emit_packet(cli)?;
                 emit_coc(cli)?;
                 emit_bounds(cli)?;
+                emit_optimize(cli)?;
             }
             other => return Err(format!("unknown artefact {other}; try --help")),
         }

@@ -38,6 +38,9 @@
 //! * [`qna`] — a QNA-style refinement that propagates arrival-process
 //!   variability (relaxing assumption 2).
 //! * [`sweep`] — parameter sweeps (the figures' x-axes).
+//! * [`optimize`] — the inverse problem: design-space enumeration to a
+//!   Pareto frontier of latency vs. cost under SLO/budget/saturation
+//!   constraints, with binding-constraint diagnostics.
 //! * [`metrics`] — process-global counters/histograms recording solver,
 //!   QNA and batch-pool behaviour (the observability layer).
 //! * [`json`] — the shared hand-rolled JSON writer/parser (the
@@ -70,6 +73,7 @@ pub mod json;
 pub mod latency;
 pub mod metrics;
 pub mod model;
+pub mod optimize;
 pub mod qna;
 pub mod rates;
 pub mod routing;

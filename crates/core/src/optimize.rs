@@ -1,0 +1,836 @@
+//! Capacity-planning design-space optimizer (the inverse problem).
+//!
+//! The model answers "given a design, what is the latency?"; this
+//! module answers the production question "given an SLO and a budget,
+//! which design?". It enumerates the discrete design space — cluster
+//! count `C`, intra- and inter-cluster technology from the
+//! [`NetworkTechnology::PRESETS`] catalogue, switch port count `Pr`,
+//! and blocking vs. non-blocking architecture — under one caller-fixed
+//! [`Workload`], evaluates every surviving point through
+//! [`batch::par_map`], and reduces the result to a Pareto frontier of
+//! mean latency vs. a pluggable [`CostModel`].
+//!
+//! The pipeline keeps *binding-constraint diagnostics*: every point
+//! eliminated before the frontier is attributed to the constraint that
+//! killed it ([`Diagnostics`]), so a caller can tell "the budget is
+//! binding" apart from "the workload saturates everything cheap".
+//!
+//! Determinism: enumeration order is fixed, the sort used for the
+//! Pareto reduction is stable, and all evaluations run through the
+//! batch engine (bit-identical sequential vs. parallel), so the
+//! frontier is byte-for-byte reproducible — `reproduce optimize`, the
+//! served `POST /v1/optimize` endpoint and the examples all return
+//! identical frontiers for identical specs.
+
+use crate::batch::{self, BatchOptions};
+use crate::config::SystemConfig;
+use crate::error::ModelError;
+use crate::json::json_num;
+use crate::scenario::{Scenario, PAPER_LAMBDA_PER_US, PAPER_TOTAL_NODES};
+use crate::service::ServiceTimes;
+use crate::solver;
+use hmcs_topology::fat_tree::FatTree;
+use hmcs_topology::linear_array::LinearArray;
+use hmcs_topology::switch::SwitchFabric;
+use hmcs_topology::technology::NetworkTechnology;
+use hmcs_topology::transmission::Architecture;
+use std::fmt;
+
+/// Switch traversal latency α_sw (µs) used for every enumerated
+/// fabric; the paper's Table-2 constant.
+pub const SWITCH_LATENCY_US: f64 = 10.0;
+
+/// Errors from design-space optimization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptimizeError {
+    /// The cost model has no price for this technology. Unknown
+    /// technologies are a hard error by design: a silent fallback
+    /// price would quietly misprice every design using a new preset.
+    UnknownTechnology(String),
+    /// The design space or workload is structurally unusable.
+    InvalidSpec(&'static str),
+    /// An underlying model error.
+    Model(ModelError),
+}
+
+impl fmt::Display for OptimizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptimizeError::UnknownTechnology(name) => {
+                write!(f, "no cost-catalogue entry for technology {name:?}")
+            }
+            OptimizeError::InvalidSpec(reason) => write!(f, "invalid optimize spec: {reason}"),
+            OptimizeError::Model(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OptimizeError {}
+
+impl From<ModelError> for OptimizeError {
+    fn from(e: ModelError) -> Self {
+        OptimizeError::Model(e)
+    }
+}
+
+/// The workload every candidate design must carry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Workload {
+    /// Table-1 scenario supplying defaults outside the searched axes
+    /// (accounting, hop and service models). The searched technology
+    /// axes override the scenario's icn1/ecn1/icn2 assignment, so two
+    /// workloads differing only in scenario produce identical
+    /// frontiers; the field exists so partial spaces (e.g. a
+    /// single-technology sweep) stay expressible.
+    pub scenario: Scenario,
+    /// Total processor count `N = C·N₀`, fixed across the space.
+    pub total_nodes: usize,
+    /// Fixed message length in bytes.
+    pub message_bytes: u64,
+    /// Per-processor generation rate λ in messages/µs.
+    pub lambda_per_us: f64,
+}
+
+impl Workload {
+    /// The paper's evaluation platform: 256 nodes, 1 KiB messages,
+    /// λ = 0.25 msg/ms.
+    pub fn paper_default() -> Self {
+        Workload {
+            scenario: Scenario::Case1,
+            total_nodes: PAPER_TOTAL_NODES,
+            message_bytes: 1024,
+            lambda_per_us: PAPER_LAMBDA_PER_US,
+        }
+    }
+
+    fn validate(&self) -> Result<(), OptimizeError> {
+        if self.total_nodes < 4 {
+            return Err(OptimizeError::InvalidSpec(
+                "total_nodes must be at least 4 (two clusters of two)",
+            ));
+        }
+        if self.message_bytes == 0 {
+            return Err(OptimizeError::InvalidSpec("message_bytes must be positive"));
+        }
+        if !self.lambda_per_us.is_finite() || self.lambda_per_us <= 0.0 {
+            return Err(OptimizeError::InvalidSpec("lambda_per_us must be positive and finite"));
+        }
+        Ok(())
+    }
+}
+
+/// Feasibility constraints; each one eliminates points and is
+/// attributed in [`Diagnostics`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Constraints {
+    /// Mean-latency SLO in µs; designs above it are infeasible.
+    pub slo_latency_us: Option<f64>,
+    /// Cost ceiling in USD; designs above it are infeasible.
+    pub budget_usd: Option<f64>,
+    /// Require λ strictly below each design's `saturation_lambda`.
+    /// The finite-population model self-throttles, so saturated
+    /// designs still evaluate (the paper's own operating point is
+    /// above the open-queue boundary); this flag excludes designs
+    /// that cannot keep up with the *offered* load.
+    pub require_unsaturated: bool,
+}
+
+/// The discrete axes of the search. The full space is the cross
+/// product of all five.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignSpace {
+    /// Candidate cluster counts `C`. Entries that do not divide the
+    /// workload's `total_nodes` are counted as invalid, not errors, so
+    /// one space can serve differently-sized workloads.
+    pub cluster_counts: Vec<usize>,
+    /// Candidate ICN1 technologies.
+    pub intra: Vec<NetworkTechnology>,
+    /// Candidate ECN1/ICN2 technologies (Table 1 ties those tiers).
+    pub inter: Vec<NetworkTechnology>,
+    /// Candidate switch port counts `Pr` (must be even, ≥ 2).
+    pub switch_ports: Vec<u32>,
+    /// Candidate architectures.
+    pub architectures: Vec<Architecture>,
+}
+
+impl DesignSpace {
+    /// The full built-in space for a `total_nodes`-processor system:
+    /// every cluster count in `[2, total_nodes/2]` dividing
+    /// `total_nodes`, all four technology presets on both axes, five
+    /// port counts, both architectures. For 256 nodes: 7·4·4·5·2 =
+    /// 1120 points.
+    pub fn paper_default(total_nodes: usize) -> Self {
+        let cluster_counts =
+            (2..=total_nodes / 2).filter(|c| total_nodes.is_multiple_of(*c)).collect::<Vec<_>>();
+        DesignSpace {
+            cluster_counts,
+            intra: NetworkTechnology::PRESETS.to_vec(),
+            inter: NetworkTechnology::PRESETS.to_vec(),
+            switch_ports: vec![8, 16, 24, 32, 48],
+            architectures: vec![Architecture::NonBlocking, Architecture::Blocking],
+        }
+    }
+
+    /// Number of points in the cross product.
+    pub fn len(&self) -> usize {
+        self.cluster_counts.len()
+            * self.intra.len()
+            * self.inter.len()
+            * self.switch_ports.len()
+            * self.architectures.len()
+    }
+
+    /// True when any axis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn validate(&self) -> Result<(), OptimizeError> {
+        if self.is_empty() {
+            return Err(OptimizeError::InvalidSpec("every design-space axis must be non-empty"));
+        }
+        for &p in &self.switch_ports {
+            if SwitchFabric::new(p, SWITCH_LATENCY_US).is_err() {
+                return Err(OptimizeError::InvalidSpec(
+                    "switch_ports entries must be even and at least 2",
+                ));
+            }
+        }
+        if self.cluster_counts.contains(&0) {
+            return Err(OptimizeError::InvalidSpec("cluster_counts entries must be positive"));
+        }
+        Ok(())
+    }
+}
+
+/// One full optimization request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizeSpec {
+    /// The fixed workload.
+    pub workload: Workload,
+    /// Feasibility constraints.
+    pub constraints: Constraints,
+    /// The search space.
+    pub space: DesignSpace,
+}
+
+impl OptimizeSpec {
+    /// The paper workload over the full built-in space with the given
+    /// constraints.
+    pub fn paper_default(constraints: Constraints) -> Self {
+        let workload = Workload::paper_default();
+        let space = DesignSpace::paper_default(workload.total_nodes);
+        OptimizeSpec { workload, constraints, space }
+    }
+}
+
+/// One candidate design: its model configuration plus the physical
+/// switch inventory the cost model prices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Design {
+    /// The model configuration for this point.
+    pub config: SystemConfig,
+    /// Switches across all `C` intra-cluster (ICN1) fabrics.
+    pub icn1_switches: usize,
+    /// Switches across all `C` inter-access (ECN1) fabrics.
+    pub ecn1_switches: usize,
+    /// Switches in the single global (ICN2) fabric over `C` clusters.
+    pub icn2_switches: usize,
+}
+
+impl Design {
+    /// Builds the design for one point of the space: the config
+    /// carries the workload plus the point's technology/switch/
+    /// architecture choices, the switch counts come from the matching
+    /// fabric model (fat-tree for non-blocking, linear array for
+    /// blocking).
+    pub fn build(
+        workload: &Workload,
+        clusters: usize,
+        intra: NetworkTechnology,
+        inter: NetworkTechnology,
+        ports: u32,
+        architecture: Architecture,
+    ) -> Result<Self, ModelError> {
+        if clusters == 0 || !workload.total_nodes.is_multiple_of(clusters) {
+            return Err(ModelError::InvalidConfig {
+                name: "clusters",
+                reason: "must divide the workload's total_nodes",
+            });
+        }
+        let nodes_per_cluster = workload.total_nodes / clusters;
+        let switch = SwitchFabric::new(ports, SWITCH_LATENCY_US).map_err(|_| {
+            ModelError::InvalidConfig { name: "switch_ports", reason: "must be even and >= 2" }
+        })?;
+        let mut config = SystemConfig::new(
+            clusters,
+            nodes_per_cluster,
+            workload.message_bytes,
+            workload.lambda_per_us,
+            workload.scenario,
+            architecture,
+        )?;
+        config.icn1 = intra;
+        config.ecn1 = inter;
+        config.icn2 = inter;
+        config = config.with_switch(switch);
+        let per_cluster = fabric_switch_count(nodes_per_cluster, switch, architecture)?;
+        let global = fabric_switch_count(clusters, switch, architecture)?;
+        Ok(Design {
+            config,
+            icn1_switches: clusters * per_cluster,
+            ecn1_switches: clusters * per_cluster,
+            icn2_switches: global,
+        })
+    }
+
+    /// Total physical switches across all tiers.
+    pub fn total_switches(&self) -> usize {
+        self.icn1_switches + self.ecn1_switches + self.icn2_switches
+    }
+
+    /// Stable human-readable identity for CSV keys and logs, e.g.
+    /// `C8x32/GigabitEthernet+FastEthernet/Pr24/nonblocking`.
+    pub fn key(&self) -> String {
+        format!(
+            "C{}x{}/{}+{}/Pr{}/{}",
+            self.config.clusters,
+            self.config.nodes_per_cluster,
+            compact_name(&self.config.icn1),
+            compact_name(&self.config.ecn1),
+            self.config.switch.ports(),
+            arch_code(self.config.architecture),
+        )
+    }
+}
+
+fn compact_name(tech: &NetworkTechnology) -> String {
+    tech.name.chars().filter(|c| !c.is_whitespace()).collect()
+}
+
+/// Short architecture code matching the serve wire names.
+pub fn arch_code(architecture: Architecture) -> &'static str {
+    match architecture {
+        Architecture::NonBlocking => "nonblocking",
+        Architecture::Blocking => "blocking",
+    }
+}
+
+fn fabric_switch_count(
+    nodes: usize,
+    switch: SwitchFabric,
+    architecture: Architecture,
+) -> Result<usize, ModelError> {
+    let count = match architecture {
+        Architecture::NonBlocking => FatTree::new(nodes, switch)
+            .map_err(|_| ModelError::InvalidConfig {
+                name: "fat_tree",
+                reason: "cannot build a fat-tree for this node/port combination",
+            })?
+            .switch_count(),
+        Architecture::Blocking => LinearArray::new(nodes, switch)
+            .map_err(|_| ModelError::InvalidConfig {
+                name: "linear_array",
+                reason: "cannot build a linear array for this node/port combination",
+            })?
+            .switch_count(),
+    };
+    Ok(count)
+}
+
+/// Prices one [`Design`] in USD. Implementations must be total over
+/// the technologies they are given or return
+/// [`OptimizeError::UnknownTechnology`] — never a fallback price.
+pub trait CostModel {
+    /// The acquisition cost of `design` in USD.
+    fn cost_usd(&self, design: &Design) -> Result<f64, OptimizeError>;
+}
+
+/// Per-port/per-NIC unit prices for one technology.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnitPrices {
+    /// Host adapter price per node, USD.
+    pub nic_usd: f64,
+    /// Switch price per port, USD.
+    pub port_usd: f64,
+}
+
+/// The built-in 2005 street-price catalogue. Exhaustive over
+/// [`NetworkTechnology::PRESETS`] (unit-tested); any other technology
+/// is a hard [`OptimizeError::UnknownTechnology`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CatalogCostModel;
+
+impl CatalogCostModel {
+    /// Unit prices for `tech`, or an error for unknown technologies.
+    pub fn unit_prices(tech: &NetworkTechnology) -> Result<UnitPrices, OptimizeError> {
+        match tech.name {
+            "Fast Ethernet" => Ok(UnitPrices { nic_usd: 15.0, port_usd: 8.0 }),
+            "Gigabit Ethernet" => Ok(UnitPrices { nic_usd: 60.0, port_usd: 25.0 }),
+            "Myrinet" => Ok(UnitPrices { nic_usd: 500.0, port_usd: 220.0 }),
+            "InfiniBand 4x" => Ok(UnitPrices { nic_usd: 700.0, port_usd: 300.0 }),
+            other => Err(OptimizeError::UnknownTechnology(other.to_string())),
+        }
+    }
+}
+
+impl CostModel for CatalogCostModel {
+    /// Every node carries one NIC per attached tier (ICN1 + ECN1);
+    /// switches are priced per port at their tier's technology.
+    fn cost_usd(&self, design: &Design) -> Result<f64, OptimizeError> {
+        let intra = Self::unit_prices(&design.config.icn1)?;
+        let inter = Self::unit_prices(&design.config.ecn1)?;
+        // ICN2 shares the inter-tier technology by construction; price
+        // it explicitly so a future per-tier axis stays correct.
+        let global = Self::unit_prices(&design.config.icn2)?;
+        let ports = design.config.switch.ports() as f64;
+        let nodes = design.config.total_nodes() as f64;
+        Ok(nodes * (intra.nic_usd + inter.nic_usd)
+            + ports
+                * (design.icn1_switches as f64 * intra.port_usd
+                    + design.ecn1_switches as f64 * inter.port_usd
+                    + design.icn2_switches as f64 * global.port_usd))
+    }
+}
+
+/// One fully-evaluated feasible design.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvaluatedDesign {
+    /// The design itself.
+    pub design: Design,
+    /// Cost under the active cost model, USD.
+    pub cost_usd: f64,
+    /// Mean message latency, µs.
+    pub latency_us: f64,
+    /// Delivered system throughput, messages/µs.
+    pub throughput_per_us: f64,
+    /// λ_eff/λ at equilibrium (1.0 = nothing throttled).
+    pub retained_fraction: f64,
+    /// Utilization of the most loaded service centre.
+    pub bottleneck_utilization: f64,
+    /// The design's closed-form saturation rate (msg/µs/processor).
+    pub saturation_lambda: f64,
+}
+
+/// Where the eliminated points went. `invalid` and `failed` are
+/// structural (unbuildable point, solver failure); the remaining
+/// counters attribute each elimination to the constraint that caused
+/// it. A pre-filtered point violating several constraints is counted
+/// under each, so `saturated + over_budget` may exceed the number of
+/// pruned points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Diagnostics {
+    /// Points that could not be built (non-divisor cluster count,
+    /// unbuildable fabric).
+    pub invalid: usize,
+    /// Points pruned by `require_unsaturated` (λ ≥ saturation).
+    pub saturated: usize,
+    /// Points pruned by the budget ceiling.
+    pub over_budget: usize,
+    /// Evaluated points whose model evaluation failed.
+    pub failed: usize,
+    /// Evaluated points above the latency SLO.
+    pub above_slo: usize,
+    /// Feasible points dominated by a cheaper-and-faster (or equal)
+    /// design.
+    pub dominated: usize,
+}
+
+/// The result of one optimization run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizeOutcome {
+    /// Size of the full cross-product space.
+    pub space_size: usize,
+    /// Points whose model evaluation succeeded.
+    pub evaluated: usize,
+    /// Evaluated points meeting every constraint.
+    pub feasible: usize,
+    /// The Pareto frontier, sorted by ascending cost with strictly
+    /// decreasing latency. `frontier.len() + diagnostics.dominated ==
+    /// feasible`.
+    pub frontier: Vec<EvaluatedDesign>,
+    /// Binding-constraint attribution for everything not on the
+    /// frontier.
+    pub diagnostics: Diagnostics,
+}
+
+impl OptimizeOutcome {
+    /// The cheapest design meeting every constraint (the frontier is
+    /// cost-sorted, so its first point).
+    pub fn cheapest_feasible(&self) -> Option<&EvaluatedDesign> {
+        self.frontier.first()
+    }
+}
+
+/// Runs the optimizer with the built-in [`CatalogCostModel`].
+pub fn optimize(
+    spec: &OptimizeSpec,
+    options: BatchOptions,
+) -> Result<OptimizeOutcome, OptimizeError> {
+    optimize_with(spec, &CatalogCostModel, options)
+}
+
+/// Runs the optimizer with a caller-supplied cost model: enumerate →
+/// pre-filter (budget, saturation) → batch-evaluate → SLO filter →
+/// Pareto reduction.
+pub fn optimize_with(
+    spec: &OptimizeSpec,
+    cost_model: &dyn CostModel,
+    options: BatchOptions,
+) -> Result<OptimizeOutcome, OptimizeError> {
+    spec.workload.validate()?;
+    spec.space.validate()?;
+    let mut diagnostics = Diagnostics::default();
+
+    // Enumerate + pre-filter. Candidate order is the deterministic
+    // cross-product order; everything downstream preserves it.
+    struct Candidate {
+        design: Design,
+        cost_usd: f64,
+        saturation_lambda: f64,
+    }
+    let mut candidates: Vec<Candidate> = Vec::new();
+    for &clusters in &spec.space.cluster_counts {
+        for &intra in &spec.space.intra {
+            for &inter in &spec.space.inter {
+                for &ports in &spec.space.switch_ports {
+                    for &architecture in &spec.space.architectures {
+                        let design = match Design::build(
+                            &spec.workload,
+                            clusters,
+                            intra,
+                            inter,
+                            ports,
+                            architecture,
+                        ) {
+                            Ok(d) => d,
+                            Err(_) => {
+                                diagnostics.invalid += 1;
+                                continue;
+                            }
+                        };
+                        // Unknown technology is a hard error, not a
+                        // skipped point (the satellite bugfix).
+                        let cost_usd = cost_model.cost_usd(&design)?;
+                        let service = match ServiceTimes::compute(&design.config) {
+                            Ok(s) => s,
+                            Err(_) => {
+                                diagnostics.invalid += 1;
+                                continue;
+                            }
+                        };
+                        let saturation_lambda = solver::saturation_lambda(&design.config, &service);
+                        let mut keep = true;
+                        if let Some(budget) = spec.constraints.budget_usd {
+                            if cost_usd > budget {
+                                diagnostics.over_budget += 1;
+                                keep = false;
+                            }
+                        }
+                        if spec.constraints.require_unsaturated
+                            && spec.workload.lambda_per_us >= saturation_lambda
+                        {
+                            diagnostics.saturated += 1;
+                            keep = false;
+                        }
+                        if keep {
+                            candidates.push(Candidate { design, cost_usd, saturation_lambda });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Evaluate every surviving point through the batch engine.
+    let configs: Vec<SystemConfig> = candidates.iter().map(|c| c.design.config).collect();
+    let results = batch::par_map(&configs, options.resolved_workers(), |cfg| {
+        batch::evaluate_one(cfg, None, None).map(|(report, _stats)| report)
+    });
+
+    // SLO post-filter.
+    let mut feasible_points: Vec<EvaluatedDesign> = Vec::new();
+    let mut evaluated = 0usize;
+    for (candidate, result) in candidates.iter().zip(results) {
+        let report = match result {
+            Ok(r) => r,
+            Err(_) => {
+                diagnostics.failed += 1;
+                continue;
+            }
+        };
+        evaluated += 1;
+        let latency_us = report.latency.mean_message_latency_us;
+        // NaN latencies must count as infeasible, hence is_none_or
+        // rather than a bare `latency > slo` comparison.
+        let meets_slo = spec.constraints.slo_latency_us.is_none_or(|slo| latency_us <= slo);
+        if !meets_slo {
+            diagnostics.above_slo += 1;
+            continue;
+        }
+        feasible_points.push(EvaluatedDesign {
+            design: candidate.design,
+            cost_usd: candidate.cost_usd,
+            latency_us,
+            throughput_per_us: report.throughput_per_us,
+            retained_fraction: report.equilibrium.retained_fraction,
+            bottleneck_utilization: report.equilibrium.bottleneck_utilization(),
+            saturation_lambda: candidate.saturation_lambda,
+        });
+    }
+    let feasible = feasible_points.len();
+
+    // Pareto staircase: stable sort by (cost, latency) — ties keep
+    // enumeration order — then keep strictly improving latency.
+    feasible_points.sort_by(|a, b| {
+        a.cost_usd.total_cmp(&b.cost_usd).then(a.latency_us.total_cmp(&b.latency_us))
+    });
+    let mut frontier: Vec<EvaluatedDesign> = Vec::new();
+    let mut best_latency = f64::INFINITY;
+    for point in feasible_points {
+        if point.latency_us < best_latency {
+            best_latency = point.latency_us;
+            frontier.push(point);
+        } else {
+            diagnostics.dominated += 1;
+        }
+    }
+
+    Ok(OptimizeOutcome { space_size: spec.space.len(), evaluated, feasible, frontier, diagnostics })
+}
+
+/// Column headers of the frontier CSV/JSON rendering shared by
+/// `reproduce optimize`, `/v1/optimize` and the examples.
+pub const FRONTIER_COLUMNS: [&str; 14] = [
+    "design",
+    "clusters",
+    "nodes_per_cluster",
+    "intra",
+    "inter",
+    "ports",
+    "architecture",
+    "switches",
+    "cost_usd",
+    "latency_us",
+    "throughput_per_us",
+    "retained_fraction",
+    "bottleneck_utilization",
+    "saturation_lambda",
+];
+
+/// Renders one frontier point as CSV/table cells matching
+/// [`FRONTIER_COLUMNS`]. Floats use the shortest-round-trip rendering
+/// ([`json_num`]) so the row is byte-stable and bit-faithful.
+pub fn frontier_row(point: &EvaluatedDesign) -> Vec<String> {
+    let cfg = &point.design.config;
+    vec![
+        point.design.key(),
+        cfg.clusters.to_string(),
+        cfg.nodes_per_cluster.to_string(),
+        cfg.icn1.name.to_string(),
+        cfg.ecn1.name.to_string(),
+        cfg.switch.ports().to_string(),
+        arch_code(cfg.architecture).to_string(),
+        point.design.total_switches().to_string(),
+        json_num(point.cost_usd),
+        json_num(point.latency_us),
+        json_num(point.throughput_per_us),
+        json_num(point.retained_fraction),
+        json_num(point.bottleneck_utilization),
+        json_num(point.saturation_lambda),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::AnalyticalModel;
+
+    fn small_space() -> DesignSpace {
+        DesignSpace {
+            cluster_counts: vec![4, 16],
+            intra: vec![NetworkTechnology::GIGABIT_ETHERNET, NetworkTechnology::FAST_ETHERNET],
+            inter: vec![NetworkTechnology::FAST_ETHERNET],
+            switch_ports: vec![8, 24],
+            architectures: vec![Architecture::NonBlocking],
+        }
+    }
+
+    fn spec(constraints: Constraints, space: DesignSpace) -> OptimizeSpec {
+        OptimizeSpec { workload: Workload::paper_default(), constraints, space }
+    }
+
+    #[test]
+    fn paper_default_space_size() {
+        let space = DesignSpace::paper_default(256);
+        assert_eq!(space.cluster_counts, vec![2, 4, 8, 16, 32, 64, 128]);
+        assert_eq!(space.len(), 7 * 4 * 4 * 5 * 2);
+    }
+
+    #[test]
+    fn catalogue_prices_every_preset() {
+        for tech in NetworkTechnology::PRESETS {
+            let prices = CatalogCostModel::unit_prices(&tech).unwrap();
+            assert!(prices.nic_usd > 0.0 && prices.port_usd > 0.0, "{}", tech.name);
+        }
+    }
+
+    #[test]
+    fn unknown_technology_is_a_hard_error() {
+        let custom = NetworkTechnology::new("Quadrics QsNet", 2.0, 900.0).unwrap();
+        assert_eq!(
+            CatalogCostModel::unit_prices(&custom),
+            Err(OptimizeError::UnknownTechnology("Quadrics QsNet".to_string()))
+        );
+        let mut space = small_space();
+        space.intra = vec![custom];
+        let err =
+            optimize(&spec(Constraints::default(), space), BatchOptions::sequential()).unwrap_err();
+        assert!(matches!(err, OptimizeError::UnknownTechnology(_)));
+    }
+
+    #[test]
+    fn frontier_is_a_strict_staircase() {
+        let outcome =
+            optimize(&spec(Constraints::default(), small_space()), BatchOptions::sequential())
+                .unwrap();
+        assert!(!outcome.frontier.is_empty());
+        for pair in outcome.frontier.windows(2) {
+            assert!(pair[0].cost_usd <= pair[1].cost_usd);
+            assert!(pair[0].latency_us > pair[1].latency_us);
+        }
+        assert_eq!(outcome.frontier.len() + outcome.diagnostics.dominated, outcome.feasible);
+    }
+
+    #[test]
+    fn frontier_points_are_bit_identical_to_direct_evaluation() {
+        let outcome =
+            optimize(&spec(Constraints::default(), small_space()), BatchOptions::sequential())
+                .unwrap();
+        for point in &outcome.frontier {
+            let direct = AnalyticalModel::evaluate(&point.design.config).unwrap();
+            assert_eq!(
+                point.latency_us.to_bits(),
+                direct.latency.mean_message_latency_us.to_bits()
+            );
+            assert_eq!(point.throughput_per_us.to_bits(), direct.throughput_per_us.to_bits());
+        }
+    }
+
+    #[test]
+    fn budget_constraint_is_attributed() {
+        let unconstrained =
+            optimize(&spec(Constraints::default(), small_space()), BatchOptions::sequential())
+                .unwrap();
+        let all_costs_max =
+            unconstrained.frontier.iter().map(|p| p.cost_usd).fold(0.0f64, f64::max);
+        let capped = Constraints { budget_usd: Some(all_costs_max - 1.0), ..Default::default() };
+        let outcome = optimize(&spec(capped, small_space()), BatchOptions::sequential()).unwrap();
+        assert!(outcome.diagnostics.over_budget > 0);
+        for point in &outcome.frontier {
+            assert!(point.cost_usd <= all_costs_max - 1.0);
+        }
+    }
+
+    #[test]
+    fn slo_constraint_is_attributed() {
+        let open =
+            optimize(&spec(Constraints::default(), small_space()), BatchOptions::sequential())
+                .unwrap();
+        let best = open.frontier.last().unwrap().latency_us;
+        let slo = Constraints { slo_latency_us: Some(best * 1.0001), ..Default::default() };
+        let outcome = optimize(&spec(slo, small_space()), BatchOptions::sequential()).unwrap();
+        assert!(outcome.diagnostics.above_slo > 0);
+        assert!(!outcome.frontier.is_empty());
+        for point in &outcome.frontier {
+            assert!(point.latency_us <= best * 1.0001);
+        }
+    }
+
+    #[test]
+    fn saturation_prefilter_prunes_slow_fabrics() {
+        // At the paper's λ the open-queue boundary sits below the
+        // offered rate for every preset fabric shape, so the strict
+        // mode prunes — it must attribute those points, not fail.
+        let strict = Constraints { require_unsaturated: true, ..Default::default() };
+        let outcome = optimize(&spec(strict, small_space()), BatchOptions::sequential()).unwrap();
+        assert_eq!(
+            outcome.diagnostics.saturated + outcome.evaluated + outcome.diagnostics.failed,
+            outcome.space_size - outcome.diagnostics.invalid
+        );
+        for point in &outcome.frontier {
+            assert!(point.design.config.lambda_per_us < point.saturation_lambda);
+        }
+    }
+
+    #[test]
+    fn cheapest_feasible_is_first_frontier_point() {
+        let outcome =
+            optimize(&spec(Constraints::default(), small_space()), BatchOptions::sequential())
+                .unwrap();
+        let cheapest = outcome.cheapest_feasible().unwrap();
+        assert_eq!(cheapest.cost_usd.to_bits(), outcome.frontier[0].cost_usd.to_bits());
+        for point in &outcome.frontier {
+            assert!(cheapest.cost_usd <= point.cost_usd);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bitwise() {
+        let seq =
+            optimize(&spec(Constraints::default(), small_space()), BatchOptions::sequential())
+                .unwrap();
+        let par =
+            optimize(&spec(Constraints::default(), small_space()), BatchOptions::with_workers(4))
+                .unwrap();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn non_divisor_cluster_counts_count_as_invalid() {
+        let mut space = small_space();
+        space.cluster_counts = vec![3, 16];
+        let outcome =
+            optimize(&spec(Constraints::default(), space), BatchOptions::sequential()).unwrap();
+        // The whole C=3 slab (2 intra × 1 inter × 2 ports × 1 arch).
+        assert_eq!(outcome.diagnostics.invalid, 4);
+        assert!(outcome.evaluated > 0);
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        let mut bad_ports = small_space();
+        bad_ports.switch_ports = vec![7];
+        assert!(matches!(
+            optimize(&spec(Constraints::default(), bad_ports), BatchOptions::sequential()),
+            Err(OptimizeError::InvalidSpec(_))
+        ));
+        let mut empty = small_space();
+        empty.architectures.clear();
+        assert!(matches!(
+            optimize(&spec(Constraints::default(), empty), BatchOptions::sequential()),
+            Err(OptimizeError::InvalidSpec(_))
+        ));
+        let mut wl = Workload::paper_default();
+        wl.lambda_per_us = -1.0;
+        let bad = OptimizeSpec {
+            workload: wl,
+            constraints: Constraints::default(),
+            space: small_space(),
+        };
+        assert!(matches!(
+            optimize(&bad, BatchOptions::sequential()),
+            Err(OptimizeError::InvalidSpec(_))
+        ));
+    }
+
+    #[test]
+    fn frontier_row_matches_columns() {
+        let outcome =
+            optimize(&spec(Constraints::default(), small_space()), BatchOptions::sequential())
+                .unwrap();
+        let row = frontier_row(&outcome.frontier[0]);
+        assert_eq!(row.len(), FRONTIER_COLUMNS.len());
+        assert!(row[0].starts_with('C'));
+    }
+}

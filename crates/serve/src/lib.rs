@@ -14,6 +14,7 @@
 //! |---|---|
 //! | `POST /v1/evaluate` | One QNA point: JSON config in, latency / utilization / solver diagnostics out |
 //! | `POST /v1/sweep` | A λ-, cluster- or message-size sweep over the same config |
+//! | `POST /v1/optimize` | Capacity planning: SLO/budget/workload in, latency-vs-cost Pareto frontier out |
 //! | `GET /healthz` | Liveness probe (`200 ok`) |
 //! | `GET /metrics` | Text dump of the process-global metrics registry |
 //! | `GET /version` | Schema + crate version |
@@ -88,6 +89,8 @@ pub mod keys {
     pub const REQ_EVALUATE: &str = "serve.requests.evaluate";
     /// Counter: `POST /v1/sweep` requests routed.
     pub const REQ_SWEEP: &str = "serve.requests.sweep";
+    /// Counter: `POST /v1/optimize` requests routed.
+    pub const REQ_OPTIMIZE: &str = "serve.requests.optimize";
     /// Counter: `GET /healthz` requests routed.
     pub const REQ_HEALTHZ: &str = "serve.requests.healthz";
     /// Counter: `GET /metrics` requests routed.

@@ -143,9 +143,14 @@ pub struct Summary {
 
 /// Nearest-rank quantile: the smallest sample such that at least
 /// `q·n` samples are ≤ it (`idx = ⌈q·n⌉ − 1` into the sorted slice).
-/// `sorted` must be ascending and non-empty.
+/// `sorted` must be ascending and non-empty; `q` must be in `(0, 1]` —
+/// out-of-range quantiles are a caller bug and panic instead of being
+/// silently clamped to the min/max sample.
 pub fn nearest_rank(sorted: &[u64], q: f64) -> u64 {
     assert!(!sorted.is_empty(), "quantile of an empty sample set");
+    assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1], got {q}");
+    // For q ∈ (0, 1] the rank is already in [1, n]; the clamp only
+    // guards against float rounding at the boundaries.
     let rank = (q * sorted.len() as f64).ceil() as usize;
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
@@ -674,10 +679,69 @@ mod tests {
         assert_eq!(nearest_rank(&sorted, 0.99), 990);
         assert_eq!(nearest_rank(&sorted, 0.999), 999);
         assert_eq!(nearest_rank(&sorted, 1.0), 1000);
-        // Tiny sets clamp sanely.
+    }
+
+    #[test]
+    fn nearest_rank_edge_cases_on_tiny_sets() {
+        // n = 1: every quantile is the single sample.
+        assert_eq!(nearest_rank(&[7], 1e-9), 7);
         assert_eq!(nearest_rank(&[7], 0.5), 7);
         assert_eq!(nearest_rank(&[7], 0.999), 7);
+        assert_eq!(nearest_rank(&[7], 1.0), 7);
+        // n = 2: the split sits at q = 0.5 (⌈q·2⌉ flips above it).
+        assert_eq!(nearest_rank(&[3, 9], 0.5), 3);
+        assert_eq!(nearest_rank(&[3, 9], 0.500001), 9);
         assert_eq!(nearest_rank(&[3, 9], 0.999), 9);
+        assert_eq!(nearest_rank(&[3, 9], 1.0), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in (0, 1]")]
+    fn nearest_rank_rejects_zero_quantile() {
+        nearest_rank(&[1, 2, 3], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in (0, 1]")]
+    fn nearest_rank_rejects_quantiles_above_one() {
+        nearest_rank(&[1, 2, 3], 1.5);
+    }
+
+    /// The definition, computed the slow way: the smallest sample with
+    /// at least `⌈q·n⌉` samples at or below it.
+    fn counting_oracle(sorted: &[u64], q: f64) -> u64 {
+        let need = (q * sorted.len() as f64).ceil();
+        for &candidate in sorted {
+            let at_or_below = sorted.iter().filter(|&&s| s <= candidate).count();
+            if at_or_below as f64 >= need {
+                return candidate;
+            }
+        }
+        *sorted.last().expect("non-empty")
+    }
+
+    #[test]
+    fn nearest_rank_matches_the_counting_oracle_on_random_samples() {
+        let mut rng = SplitMix64::new(0xDEAD_BEEF);
+        for trial in 0..200 {
+            let n = 1 + (rng.next_u64() % 64) as usize;
+            // Duplicate-heavy values stress the "smallest such sample"
+            // part of the definition.
+            let mut samples: Vec<u64> = (0..n).map(|_| rng.next_u64() % 16).collect();
+            samples.sort_unstable();
+            for &q in &[1e-6, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+                assert_eq!(
+                    nearest_rank(&samples, q),
+                    counting_oracle(&samples, q),
+                    "trial {trial}: n={n} q={q} samples={samples:?}"
+                );
+            }
+            // A handful of random quantiles in (0, 1] per trial.
+            for _ in 0..8 {
+                let q = ((rng.next_u64() % 1_000_000) + 1) as f64 / 1_000_000.0;
+                assert_eq!(nearest_rank(&samples, q), counting_oracle(&samples, q));
+            }
+        }
     }
 
     #[test]

@@ -450,7 +450,12 @@ fn route(request: &Request, remaining: Duration, shared: &Shared) -> Response {
         ("POST", "/v1/evaluate") => {
             metrics::counter(keys::REQ_EVALUATE).incr();
             coalesced(shared, remaining, request, |body| {
-                let config = api::parse_evaluate(body)?;
+                let (config, strict) = api::parse_evaluate(body)?;
+                // Strict requests fail fast here — before the
+                // coalescer or batcher ever sees the workload.
+                if strict {
+                    api::check_unsaturated(&config)?;
+                }
                 let key = api::evaluate_key(&config);
                 Ok((key, move || match &shared.batcher {
                     Some(batcher) => batcher
@@ -463,12 +468,26 @@ fn route(request: &Request, remaining: Duration, shared: &Shared) -> Response {
         ("POST", "/v1/sweep") => {
             metrics::counter(keys::REQ_SWEEP).incr();
             coalesced(shared, remaining, request, |body| {
-                let (config, spec) = api::parse_sweep(body)?;
+                let (config, spec, strict) = api::parse_sweep(body)?;
+                if strict {
+                    api::check_sweep_unsaturated(&config, &spec)?;
+                }
                 let key = api::sweep_key(&config, &spec);
                 Ok((key, move || response_of(api::sweep_response(&config, &spec))))
             })
         }
-        (_, "/healthz" | "/metrics" | "/version" | "/v1/evaluate" | "/v1/sweep") => {
+        ("POST", "/v1/optimize") => {
+            metrics::counter(keys::REQ_OPTIMIZE).incr();
+            coalesced(shared, remaining, request, |body| {
+                let spec = api::parse_optimize(body)?;
+                let key = api::optimize_key(&spec);
+                Ok((key, move || response_of(api::optimize_response(&spec))))
+            })
+        }
+        (
+            _,
+            "/healthz" | "/metrics" | "/version" | "/v1/evaluate" | "/v1/sweep" | "/v1/optimize",
+        ) => {
             metrics::counter(keys::REQ_OTHER).incr();
             Response {
                 status: 405,
@@ -502,6 +521,7 @@ where
             status: 400,
             code: "invalid_json",
             message: "request body is not UTF-8".into(),
+            data: Vec::new(),
         });
     };
     let (key, compute) = match prepare(body) {

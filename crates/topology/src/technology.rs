@@ -65,6 +65,19 @@ impl NetworkTechnology {
     pub const INFINIBAND: NetworkTechnology =
         NetworkTechnology { name: "InfiniBand 4x", latency_us: 6.0, bandwidth_mb_s: 700.0 };
 
+    /// Every built-in technology preset, ordered by bandwidth. The
+    /// canonical enumeration axis for design-space search: a sweep or
+    /// optimizer that consumes this list automatically picks up any
+    /// preset added later (and exhaustive `match`es over preset names,
+    /// like the capacity planner's cost catalogue, are tested against
+    /// it so a new preset cannot be silently mispriced).
+    pub const PRESETS: [NetworkTechnology; 4] = [
+        NetworkTechnology::FAST_ETHERNET,
+        NetworkTechnology::GIGABIT_ETHERNET,
+        NetworkTechnology::MYRINET,
+        NetworkTechnology::INFINIBAND,
+    ];
+
     /// Time to transmit one byte, β = 1/bandwidth, in µs/byte.
     #[inline]
     pub fn byte_time_us(&self) -> f64 {

@@ -1,49 +1,76 @@
-//! Capacity planning with the analytical model: for each cluster count,
-//! find the highest per-processor message rate the system can absorb
-//! while keeping mean message latency under an SLO — the kind of
-//! question a closed-form model answers in microseconds and a simulator
-//! answers in minutes.
+//! Capacity planning with the analytical model: given a latency SLO
+//! and a hardware budget, which buildable system should you buy — and
+//! which constraint is actually binding?
+//!
+//! A thin driver over [`hmcs_core::optimize`] (the same engine behind
+//! `reproduce optimize` and the daemon's `POST /v1/optimize`): it
+//! sweeps the SLO to show how the cheapest feasible design shifts as
+//! the latency requirement tightens, then applies the budget and
+//! reports the binding-constraint diagnostics.
 //!
 //! ```text
-//! cargo run --release -p hmcs-suite --example capacity_planning [slo_ms]
+//! cargo run --release -p hmcs-suite --example capacity_planning [budget_usd]
 //! ```
 
-use hmcs_core::config::SystemConfig;
-use hmcs_core::model::AnalyticalModel;
-use hmcs_core::scenario::{Scenario, PAPER_CLUSTER_COUNTS};
-use hmcs_core::sweep::max_lambda_within_latency;
-use hmcs_topology::transmission::Architecture;
+use hmcs_core::batch::BatchOptions;
+use hmcs_core::optimize::{self, Constraints, OptimizeSpec};
 
 fn main() {
-    let slo_ms: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10.0);
-    let slo_us = slo_ms * 1e3;
+    let budget_usd: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(60_000.0);
 
-    println!("SLO: mean message latency <= {slo_ms} ms; 256 nodes, Case 1, M = 1024 B.\n");
-    println!("{:>8} | {:>24} | {:>24}", "clusters", "non-blocking max rate", "blocking max rate");
-    println!("{:-<8}-+-{:-<24}-+-{:-<24}", "", "", "");
-
-    for &c in &PAPER_CLUSTER_COUNTS {
-        let mut cells = Vec::new();
-        for arch in [Architecture::NonBlocking, Architecture::Blocking] {
-            let base = SystemConfig::paper_preset(Scenario::Case1, c, arch).unwrap();
-            let best =
-                max_lambda_within_latency(&base, slo_us, 1e-9, 1e-1, 60).expect("model evaluates");
-            cells.push(match best {
-                Some(lam) => {
-                    // Verify the bound holds at the found rate.
-                    let at = AnalyticalModel::evaluate(&base.with_lambda(lam)).unwrap();
-                    debug_assert!(at.latency.mean_message_latency_us <= slo_us * 1.01);
-                    format!("{:.2} msg/ms per node", lam * 1e3)
-                }
-                None => "infeasible".to_string(),
-            });
+    println!("Cheapest buildable 256-node design per latency SLO (paper Case-1 workload):\n");
+    println!("{:>10} | {:>44} | {:>12} | {:>12}", "SLO (ms)", "design", "latency(ms)", "cost($)");
+    println!("{:-<10}-+-{:-<44}-+-{:-<12}-+-{:-<12}", "", "", "", "");
+    for slo_ms in [300.0, 100.0, 30.0, 10.0, 3.0, 1.0, 0.3] {
+        let spec = OptimizeSpec::paper_default(Constraints {
+            slo_latency_us: Some(slo_ms * 1e3),
+            ..Constraints::default()
+        });
+        let outcome = optimize::optimize(&spec, BatchOptions::default()).expect("paper space");
+        match outcome.cheapest_feasible() {
+            Some(point) => println!(
+                "{:>10} | {:>44} | {:>12.3} | {:>12.0}",
+                slo_ms,
+                point.design.key(),
+                point.latency_us / 1e3,
+                point.cost_usd
+            ),
+            None => println!("{slo_ms:>10} | {:>44} | {:>12} | {:>12}", "infeasible", "-", "-"),
         }
-        println!("{c:>8} | {:>24} | {:>24}", cells[0], cells[1]);
     }
 
-    println!();
-    println!("Reading: the non-blocking fat-tree sustains orders of magnitude more");
-    println!("traffic per node than the blocking linear array at the same SLO, and the");
-    println!("sustainable rate drops as the 256 nodes are split into more clusters");
-    println!("(more traffic crosses the slow inter-cluster tiers).");
+    println!("\nNow with the purse strings: SLO 10 ms AND budget ${budget_usd:.0}.");
+    let spec = OptimizeSpec::paper_default(Constraints {
+        slo_latency_us: Some(10_000.0),
+        budget_usd: Some(budget_usd),
+        ..Constraints::default()
+    });
+    let outcome = optimize::optimize(&spec, BatchOptions::default()).expect("paper space");
+    let d = &outcome.diagnostics;
+    println!(
+        "{} designs evaluated: {} over budget, {} above SLO, {} feasible, frontier of {}.",
+        outcome.evaluated,
+        d.over_budget,
+        d.above_slo,
+        outcome.feasible,
+        outcome.frontier.len()
+    );
+    match outcome.cheapest_feasible() {
+        Some(point) => println!(
+            "Buy: {} — ${:.0}, {:.3} ms mean latency, bottleneck utilization {:.3}.",
+            point.design.key(),
+            point.cost_usd,
+            point.latency_us / 1e3,
+            point.bottleneck_utilization
+        ),
+        None => {
+            let binding = if d.over_budget >= d.above_slo { "budget" } else { "SLO" };
+            println!("Nothing satisfies both constraints; the {binding} binds first.");
+        }
+    }
+    println!(
+        "\nReading: loosening the SLO walks the frontier toward commodity Ethernet and \
+         more clusters; tightening it forces low-latency fabrics whose cost rises \
+         faster than the latency falls."
+    );
 }

@@ -3,108 +3,73 @@
 //! design space and examining various parameters" when "building a
 //! cost-effective high-performance parallel processing system".
 //!
-//! This example fixes a 256-node workload and asks: across cluster
-//! counts, interconnect technologies and switch port counts, which
-//! configurations meet a 30 ms latency budget, and what is the cheapest
-//! (by a simple cost model) that does?
+//! A thin driver over [`hmcs_core::optimize`]: the enumeration, the
+//! cost model and the Pareto reduction all live in the library (shared
+//! with `reproduce optimize` and the daemon's `POST /v1/optimize`).
+//! The catalogue cost model is exhaustive over the presets — an
+//! unknown technology is a hard error, never a silently-priced guess.
 //!
 //! ```text
-//! cargo run --release -p hmcs-suite --example design_space
+//! cargo run --release -p hmcs-suite --example design_space [slo_ms]
 //! ```
 
-use hmcs_core::config::SystemConfig;
-use hmcs_core::model::AnalyticalModel;
-use hmcs_core::scenario::Scenario;
-use hmcs_topology::switch::SwitchFabric;
-use hmcs_topology::technology::NetworkTechnology;
-use hmcs_topology::transmission::Architecture;
-
-/// A crude 2005-era street-price model (USD) for illustration: per-NIC
-/// cost times node count plus per-switch-port cost.
-fn cost_usd(tech: NetworkTechnology, ports: u32, switches: usize, nics: usize) -> f64 {
-    let (nic, port) = match tech.name {
-        "Fast Ethernet" => (15.0, 8.0),
-        "Gigabit Ethernet" => (60.0, 25.0),
-        "Myrinet" => (500.0, 220.0),
-        "InfiniBand 4x" => (700.0, 300.0),
-        _ => (100.0, 50.0),
-    };
-    nic * nics as f64 + port * (ports as usize * switches) as f64
-}
+use hmcs_core::batch::BatchOptions;
+use hmcs_core::optimize::{self, Constraints, OptimizeSpec};
 
 fn main() {
-    const BUDGET_MS: f64 = 30.0;
-    let techs = [
-        NetworkTechnology::FAST_ETHERNET,
-        NetworkTechnology::GIGABIT_ETHERNET,
-        NetworkTechnology::MYRINET,
-    ];
-    println!("Design space: 256 nodes, uniform traffic at 0.25 msg/ms, non-blocking fabrics.");
-    println!("Latency budget: {BUDGET_MS} ms (analytical model).\n");
-    println!(
-        "{:>8} {:>18} {:>18} {:>6} {:>12} {:>12}  verdict",
-        "clusters", "intra-tech", "inter-tech", "ports", "latency(ms)", "cost($)"
-    );
+    let slo_ms: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(30.0);
+    let spec = OptimizeSpec::paper_default(Constraints {
+        slo_latency_us: Some(slo_ms * 1e3),
+        ..Constraints::default()
+    });
 
-    let mut best: Option<(f64, String)> = None;
-    for clusters in [4usize, 16, 64] {
-        for intra in techs {
-            for inter in techs {
-                for ports in [8u32, 24, 48] {
-                    let switch = SwitchFabric::new(ports, 10.0).unwrap();
-                    let mut cfg = SystemConfig::paper_preset(
-                        Scenario::Case1,
-                        clusters,
-                        Architecture::NonBlocking,
-                    )
-                    .unwrap()
-                    .with_switch(switch);
-                    cfg.icn1 = intra;
-                    cfg.ecn1 = inter;
-                    cfg.icn2 = inter;
-                    let report = match AnalyticalModel::evaluate(&cfg) {
-                        Ok(r) => r,
-                        Err(_) => continue,
-                    };
-                    let latency = report.latency.mean_message_latency_ms();
-                    // Count switches across all fabrics for the cost model.
-                    let tiers = hmcs_core::service::TierModels::build(&cfg).unwrap();
-                    let switch_count = {
-                        use hmcs_topology::fat_tree::FatTree;
-                        let per_cluster =
-                            FatTree::new(cfg.nodes_per_cluster, switch).unwrap().switch_count();
-                        let global = FatTree::new(clusters, switch).unwrap().switch_count();
-                        2 * clusters * per_cluster + global
-                    };
-                    let _ = tiers;
-                    let cost = cost_usd(intra, ports, switch_count, 2 * 256);
-                    let ok = latency <= BUDGET_MS;
-                    if ok {
-                        let label =
-                            format!("C={clusters} {} / {} Pr={ports}", intra.name, inter.name);
-                        if best.as_ref().is_none_or(|(c, _)| cost < *c) {
-                            best = Some((cost, label));
-                        }
-                    }
-                    println!(
-                        "{:>8} {:>18} {:>18} {:>6} {:>12.3} {:>12.0}  {}",
-                        clusters,
-                        intra.name,
-                        inter.name,
-                        ports,
-                        latency,
-                        cost,
-                        if ok { "meets budget" } else { "-" }
-                    );
-                }
-            }
-        }
+    println!(
+        "Design space: {} candidate designs over {} nodes ({} cluster splits x \
+         {} intra x {} inter technologies x {} port counts x {} architectures).",
+        spec.space.len(),
+        spec.workload.total_nodes,
+        spec.space.cluster_counts.len(),
+        spec.space.intra.len(),
+        spec.space.inter.len(),
+        spec.space.switch_ports.len(),
+        spec.space.architectures.len(),
+    );
+    println!("Latency budget: {slo_ms} ms (analytical model).\n");
+
+    let outcome = optimize::optimize(&spec, BatchOptions::default()).expect("paper-preset space");
+
+    println!(
+        "{:>44} {:>8} {:>12} {:>12} {:>8}",
+        "design", "switches", "latency(ms)", "cost($)", "util"
+    );
+    for point in &outcome.frontier {
+        println!(
+            "{:>44} {:>8} {:>12.3} {:>12.0} {:>8.3}",
+            point.design.key(),
+            point.design.total_switches(),
+            point.latency_us / 1e3,
+            point.cost_usd,
+            point.bottleneck_utilization,
+        );
     }
-    println!();
-    match best {
-        Some((cost, label)) => {
-            println!("Cheapest configuration meeting the budget: {label} at ~${cost:.0}")
-        }
-        None => println!("No configuration met the budget."),
+
+    let d = &outcome.diagnostics;
+    println!(
+        "\n{} evaluated, {} feasible ({} invalid, {} above SLO, {} dominated).",
+        outcome.evaluated, outcome.feasible, d.invalid, d.above_slo, d.dominated
+    );
+    match outcome.cheapest_feasible() {
+        Some(point) => println!(
+            "Cheapest design meeting the budget: {} at ~${:.0} ({:.3} ms).",
+            point.design.key(),
+            point.cost_usd,
+            point.latency_us / 1e3
+        ),
+        None => println!("No design met the budget."),
     }
+    println!(
+        "\nReading: every frontier row is a rational purchase — anything cheaper is \
+         slower, anything faster costs more. Fast Ethernet anchors the cheap end; \
+         the expensive end buys Myrinet/InfiniBand fabrics and fewer, larger clusters."
+    );
 }

@@ -609,6 +609,158 @@ fn micro_batching_groups_distinct_points_with_bit_identical_results() {
 }
 
 #[test]
+fn strict_saturated_workloads_get_structured_422s_and_lenient_ones_succeed() {
+    let _guard = serialise();
+    let server = Server::start(test_config()).unwrap();
+    let addr = server.local_addr();
+
+    // The paper's default λ is far above open-queue saturation for
+    // this shape. Without the flag the finite-population model
+    // self-throttles and the request succeeds (regression: the flag
+    // must stay opt-in).
+    let lenient = post(addr, "/v1/evaluate", r#"{"clusters":16}"#);
+    assert_eq!(status_of(&lenient), 200, "{lenient}");
+
+    // With the flag, the same workload is refused with the computed
+    // boundary in the body — bit-identical to the in-process solver.
+    let strict = post(addr, "/v1/evaluate", r#"{"clusters":16,"require_unsaturated":true}"#);
+    assert_eq!(status_of(&strict), 422, "{strict}");
+    let doc = parse_json(body_of(&strict)).expect("error body is valid JSON");
+    let error = doc.get("error").expect("error object");
+    assert_eq!(error.get("code").and_then(|c| c.as_str()), Some("workload_saturated"));
+    let served_sat =
+        error.get("saturation_lambda").and_then(|v| v.as_num()).expect("saturation_lambda field");
+    let config = hmcs_core::SystemConfig::new(
+        16,
+        16,
+        1024,
+        hmcs_core::scenario::PAPER_LAMBDA_PER_US,
+        Scenario::Case1,
+        Architecture::NonBlocking,
+    )
+    .unwrap();
+    let service = hmcs_core::service::ServiceTimes::compute(&config).unwrap();
+    let direct_sat = hmcs_core::solver::saturation_lambda(&config, &service);
+    assert_eq!(
+        served_sat.to_bits(),
+        direct_sat.to_bits(),
+        "served saturation boundary must match the solver bit for bit"
+    );
+    assert_eq!(
+        error.get("lambda_per_us").and_then(|v| v.as_num()),
+        Some(hmcs_core::scenario::PAPER_LAMBDA_PER_US)
+    );
+
+    // A strict request under the boundary still succeeds.
+    let under = post(
+        addr,
+        "/v1/evaluate",
+        &format!(
+            r#"{{"clusters":16,"lambda_per_us":{},"require_unsaturated":true}}"#,
+            direct_sat * 0.5
+        ),
+    );
+    assert_eq!(status_of(&under), 200, "{under}");
+
+    // Strict sweeps refuse saturated points and name the x-value.
+    let sweep = post(
+        addr,
+        "/v1/sweep",
+        &format!(
+            r#"{{"clusters":16,"parameter":"lambda","values":[{},{}],"require_unsaturated":true}}"#,
+            direct_sat * 0.5,
+            direct_sat * 2.0
+        ),
+    );
+    assert_eq!(status_of(&sweep), 422, "{sweep}");
+    let doc = parse_json(body_of(&sweep)).unwrap();
+    assert_eq!(
+        doc.get("error").and_then(|e| e.get("code")).and_then(|c| c.as_str()),
+        Some("workload_saturated")
+    );
+    // The same sweep without the flag still serves every point.
+    let lenient_sweep = post(
+        addr,
+        "/v1/sweep",
+        &format!(
+            r#"{{"clusters":16,"parameter":"lambda","values":[{},{}]}}"#,
+            direct_sat * 0.5,
+            direct_sat * 2.0
+        ),
+    );
+    assert_eq!(status_of(&lenient_sweep), 200, "{lenient_sweep}");
+    server.shutdown();
+}
+
+#[test]
+fn served_optimize_is_bit_identical_to_in_process_optimization() {
+    let _guard = serialise();
+    // The full preset space (1120 designs) runs sequentially inside
+    // one request; give it a roomy deadline for slow CI hosts.
+    let server =
+        Server::start(ServerConfig { deadline: Duration::from_secs(60), ..test_config() }).unwrap();
+    let addr = server.local_addr();
+    let optimize_before = metrics::counter(keys::REQ_OPTIMIZE).get();
+
+    let body = r#"{"slo_ms":30,"budget_usd":60000}"#;
+    let response = post(addr, "/v1/optimize", body);
+    assert_eq!(status_of(&response), 200, "{response}");
+    let doc = parse_json(body_of(&response)).expect("valid JSON body");
+    assert_eq!(doc.get("schema").and_then(|s| s.as_str()), Some("hmcs-serve-optimize/1"));
+    assert!(metrics::counter(keys::REQ_OPTIMIZE).get() > optimize_before);
+
+    // In-process reference: the same body through the same parser and
+    // the library optimizer.
+    let spec = hmcs_serve::api::parse_optimize(body).unwrap();
+    let direct =
+        hmcs_core::optimize::optimize(&spec, hmcs_core::batch::BatchOptions::sequential()).unwrap();
+
+    assert_eq!(doc.get("space_size").and_then(|v| v.as_u64()), Some(direct.space_size as u64));
+    assert_eq!(doc.get("evaluated").and_then(|v| v.as_u64()), Some(direct.evaluated as u64));
+    assert_eq!(doc.get("feasible").and_then(|v| v.as_u64()), Some(direct.feasible as u64));
+    let served_frontier = doc.get("frontier").and_then(|f| f.as_arr()).expect("frontier array");
+    assert_eq!(served_frontier.len(), direct.frontier.len());
+    for (served, direct_point) in served_frontier.iter().zip(&direct.frontier) {
+        assert_eq!(
+            served.get("design").and_then(|d| d.as_str()),
+            Some(direct_point.design.key().as_str()),
+            "frontier order and identity must match"
+        );
+        for (field, expected) in [
+            ("cost_usd", direct_point.cost_usd),
+            ("latency_us", direct_point.latency_us),
+            ("throughput_per_us", direct_point.throughput_per_us),
+            ("retained_fraction", direct_point.retained_fraction),
+            ("bottleneck_utilization", direct_point.bottleneck_utilization),
+            ("saturation_lambda", direct_point.saturation_lambda),
+        ] {
+            let served_value = served
+                .get(field)
+                .and_then(|v| v.as_num())
+                .unwrap_or_else(|| panic!("{field} missing"));
+            assert_eq!(
+                served_value.to_bits(),
+                expected.to_bits(),
+                "served {field} must round-trip bit-identically"
+            );
+        }
+    }
+    let cheapest = doc.get("cheapest_feasible").expect("cheapest_feasible present");
+    match direct.cheapest_feasible() {
+        Some(point) => assert_eq!(
+            cheapest.get("design").and_then(|d| d.as_str()),
+            Some(point.design.key().as_str())
+        ),
+        None => assert!(matches!(cheapest, hmcs_core::json::JsonValue::Null)),
+    }
+
+    // Bad specs are 400s, not 500s or hangs.
+    let bad = post(addr, "/v1/optimize", r#"{"slo_ms":0}"#);
+    assert_eq!(status_of(&bad), 400, "{bad}");
+    server.shutdown();
+}
+
+#[test]
 fn loadgen_closed_loop_round_trips_against_a_live_server() {
     let _guard = serialise();
     let server = Server::start(test_config()).unwrap();

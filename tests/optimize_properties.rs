@@ -1,0 +1,224 @@
+//! Property tests for the capacity-planning optimizer: for any
+//! workload, constraint set and (small) design space, the reported
+//! Pareto frontier must be exactly the set of non-dominated feasible
+//! designs, bit-identical to direct `AnalyticalModel` evaluation, with
+//! self-consistent binding-constraint diagnostics.
+
+use hmcs_core::batch::BatchOptions;
+use hmcs_core::model::AnalyticalModel;
+use hmcs_core::optimize::{
+    self, CatalogCostModel, Constraints, CostModel, Design, DesignSpace, OptimizeSpec, Workload,
+};
+use hmcs_core::scenario::Scenario;
+use hmcs_core::service::ServiceTimes;
+use hmcs_core::solver;
+use hmcs_topology::technology::NetworkTechnology;
+use hmcs_topology::transmission::Architecture;
+use proptest::prelude::*;
+
+fn any_scenario() -> impl Strategy<Value = Scenario> {
+    prop_oneof![Just(Scenario::Case1), Just(Scenario::Case2)]
+}
+
+fn maybe(range: std::ops::Range<f64>) -> impl Strategy<Value = Option<f64>> {
+    prop_oneof![Just(None), range.prop_map(Some)]
+}
+
+fn any_tech_pair() -> impl Strategy<Value = (usize, usize)> {
+    // Indices into the preset catalogue; intra and inter pick
+    // different (possibly equal) entries.
+    (0usize..NetworkTechnology::PRESETS.len(), 0usize..NetworkTechnology::PRESETS.len())
+}
+
+/// A small spec: ≤ 3 cluster splits × 2 technologies per axis ×
+/// 2 port counts × 2 architectures keeps the brute-force oracle cheap.
+fn any_spec() -> impl Strategy<Value = OptimizeSpec> {
+    (
+        (prop_oneof![Just(8usize), Just(16), Just(32)], any_scenario(), 1u64..8192, -7.0f64..-3.5),
+        (any_tech_pair(), maybe(0.5f64..500.0), maybe(3.0f64..6.0), any::<bool>()),
+    )
+        .prop_map(
+            |(
+                (total_nodes, scenario, bytes, lambda_exp),
+                ((ti, tj), slo_ms, budget_exp, strict),
+            )| {
+                let workload = Workload {
+                    scenario,
+                    total_nodes,
+                    message_bytes: bytes,
+                    lambda_per_us: 10f64.powf(lambda_exp),
+                };
+                let presets = NetworkTechnology::PRESETS;
+                let space = DesignSpace {
+                    cluster_counts: DesignSpace::paper_default(total_nodes).cluster_counts,
+                    intra: vec![presets[ti], presets[tj]],
+                    inter: vec![presets[tj]],
+                    switch_ports: vec![8, 16],
+                    architectures: vec![Architecture::NonBlocking, Architecture::Blocking],
+                };
+                OptimizeSpec {
+                    workload,
+                    constraints: Constraints {
+                        slo_latency_us: slo_ms.map(|v| v * 1e3),
+                        budget_usd: budget_exp.map(|e| 10f64.powf(e)),
+                        require_unsaturated: strict,
+                    },
+                    space,
+                }
+            },
+        )
+}
+
+/// Brute-force oracle: every feasible (design, cost, latency) triple
+/// in the space, via direct single-point evaluation.
+fn feasible_by_brute_force(spec: &OptimizeSpec) -> Vec<(String, f64, f64)> {
+    let mut out = Vec::new();
+    for &clusters in &spec.space.cluster_counts {
+        for &intra in &spec.space.intra {
+            for &inter in &spec.space.inter {
+                for &ports in &spec.space.switch_ports {
+                    for &arch in &spec.space.architectures {
+                        let Ok(design) =
+                            Design::build(&spec.workload, clusters, intra, inter, ports, arch)
+                        else {
+                            continue;
+                        };
+                        let cost = CatalogCostModel.cost_usd(&design).expect("preset catalogue");
+                        if spec.constraints.budget_usd.is_some_and(|b| cost > b) {
+                            continue;
+                        }
+                        let Ok(service) = ServiceTimes::compute(&design.config) else {
+                            continue;
+                        };
+                        if spec.constraints.require_unsaturated
+                            && spec.workload.lambda_per_us
+                                >= solver::saturation_lambda(&design.config, &service)
+                        {
+                            continue;
+                        }
+                        let Ok(report) = AnalyticalModel::evaluate(&design.config) else {
+                            continue;
+                        };
+                        let latency = report.latency.mean_message_latency_us;
+                        if !spec.constraints.slo_latency_us.is_none_or(|slo| latency <= slo) {
+                            continue;
+                        }
+                        out.push((design.key(), cost, latency));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The frontier is a strict staircase of non-dominated feasible
+    /// designs, every feasible design is dominated-or-equalled by some
+    /// frontier point, and the diagnostics counters balance.
+    #[test]
+    fn frontier_is_exactly_the_non_dominated_feasible_set(spec in any_spec()) {
+        let outcome = optimize::optimize(&spec, BatchOptions::sequential()).unwrap();
+
+        // Accounting identities.
+        prop_assert_eq!(outcome.feasible, outcome.frontier.len() + outcome.diagnostics.dominated);
+        prop_assert_eq!(
+            outcome.evaluated,
+            outcome.feasible + outcome.diagnostics.above_slo
+        );
+        prop_assert!(outcome.evaluated <= outcome.space_size);
+
+        // Strict staircase: cost strictly rises, latency strictly falls.
+        for pair in outcome.frontier.windows(2) {
+            prop_assert!(pair[0].cost_usd < pair[1].cost_usd);
+            prop_assert!(pair[0].latency_us > pair[1].latency_us);
+        }
+
+        // Oracle comparison: the frontier is feasible, non-dominated,
+        // and covers (dominates-or-equals) every feasible design.
+        let feasible = feasible_by_brute_force(&spec);
+        prop_assert_eq!(outcome.feasible, feasible.len());
+        for point in &outcome.frontier {
+            let key = point.design.key();
+            prop_assert!(
+                feasible.iter().any(|(k, c, l)| *k == key
+                    && c.to_bits() == point.cost_usd.to_bits()
+                    && l.to_bits() == point.latency_us.to_bits()),
+                "frontier point {} must appear in the brute-force feasible set", key
+            );
+            prop_assert!(
+                !feasible.iter().any(|(k, c, l)| *k != key
+                    && *c <= point.cost_usd
+                    && *l <= point.latency_us
+                    && (*c < point.cost_usd || *l < point.latency_us)),
+                "frontier point {} must not be dominated", key
+            );
+        }
+        for (key, cost, latency) in &feasible {
+            prop_assert!(
+                outcome.frontier.iter().any(|p| p.cost_usd <= *cost && p.latency_us <= *latency),
+                "feasible design {} must be dominated-or-equalled by the frontier", key
+            );
+        }
+
+        // The cheapest feasible design is the frontier's first point.
+        if let Some(cheapest) = outcome.cheapest_feasible() {
+            for (_, cost, _) in &feasible {
+                prop_assert!(cheapest.cost_usd <= *cost);
+            }
+        } else {
+            prop_assert!(feasible.is_empty());
+        }
+    }
+
+    /// Every frontier metric is bit-identical to evaluating the same
+    /// config directly — the optimizer adds selection, never drift.
+    #[test]
+    fn frontier_points_are_bit_identical_to_direct_evaluation(spec in any_spec()) {
+        let outcome = optimize::optimize(&spec, BatchOptions::sequential()).unwrap();
+        for point in &outcome.frontier {
+            let report = AnalyticalModel::evaluate(&point.design.config).unwrap();
+            prop_assert_eq!(
+                point.latency_us.to_bits(),
+                report.latency.mean_message_latency_us.to_bits()
+            );
+            prop_assert_eq!(
+                point.throughput_per_us.to_bits(),
+                report.throughput_per_us.to_bits()
+            );
+            prop_assert_eq!(
+                point.retained_fraction.to_bits(),
+                report.equilibrium.retained_fraction.to_bits()
+            );
+            prop_assert_eq!(
+                point.bottleneck_utilization.to_bits(),
+                report.equilibrium.bottleneck_utilization().to_bits()
+            );
+            let service = ServiceTimes::compute(&point.design.config).unwrap();
+            prop_assert_eq!(
+                point.saturation_lambda.to_bits(),
+                solver::saturation_lambda(&point.design.config, &service).to_bits()
+            );
+            prop_assert_eq!(
+                point.cost_usd.to_bits(),
+                CatalogCostModel.cost_usd(&point.design).unwrap().to_bits()
+            );
+        }
+    }
+
+    /// Parallel and sequential optimization agree bitwise, so the
+    /// served (sequential) frontier equals the artefact (parallel) one.
+    #[test]
+    fn parallel_optimize_matches_sequential_bitwise(spec in any_spec()) {
+        let sequential = optimize::optimize(&spec, BatchOptions::sequential()).unwrap();
+        let parallel = optimize::optimize(&spec, BatchOptions::with_workers(4)).unwrap();
+        prop_assert_eq!(sequential.frontier.len(), parallel.frontier.len());
+        for (a, b) in sequential.frontier.iter().zip(&parallel.frontier) {
+            prop_assert_eq!(a.design.key(), b.design.key());
+            prop_assert_eq!(a.latency_us.to_bits(), b.latency_us.to_bits());
+            prop_assert_eq!(a.cost_usd.to_bits(), b.cost_usd.to_bits());
+        }
+    }
+}
