@@ -8,7 +8,7 @@
 //! reproduce fuzz [--cases N] [--seed N]  differential model-vs-sim fuzz
 //!
 //! Artefacts:
-//!   table1 table2 fig4 fig5 fig6 fig7 figs claims
+//!   table1 table2 fig4 fig5 fig6 fig7 figs claims optimize sensitivity
 //!   ablation-accounting ablation-hops ablation-service packet coc bounds all
 //!
 //! Options:
@@ -33,13 +33,18 @@ use hmcs_bench::experiments::{
     self, FigureData, FigureSpec, RunOptions, ALL_FIGURES, FIG4, FIG5, FIG6, FIG7,
 };
 use hmcs_bench::manifest;
-use hmcs_bench::report::{eval_stats_line, ms, opt_ms, ratio, render_table, write_csv};
+use hmcs_bench::report::{
+    eval_stats_line, ms, opt_ms, ratio, render_table, write_atomic, write_csv,
+};
 use hmcs_bench::{claims, differential, golden};
 use hmcs_core::batch::BatchOptions;
 use hmcs_core::json::json_num;
 use hmcs_core::optimize::{self, Constraints, DesignSpace, OptimizeSpec, Workload};
-use hmcs_core::scenario::PAPER_LAMBDA_LITERAL_PER_US;
+use hmcs_core::scenario::{Scenario, PAPER_CLUSTER_COUNTS, PAPER_LAMBDA_LITERAL_PER_US};
+use hmcs_core::sensitivity;
+use hmcs_core::SystemConfig;
 use hmcs_sim::replication::SimBudget;
+use hmcs_topology::transmission::Architecture;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -196,7 +201,7 @@ fn parse_args() -> Result<Command, String> {
 }
 
 const HELP: &str = "reproduce — regenerate the ICPPW'05 paper's tables and figures\n\
-  artefacts: table1 table2 fig4 fig5 fig6 fig7 figs claims optimize\n\
+  artefacts: table1 table2 fig4 fig5 fig6 fig7 figs claims optimize sensitivity\n\
              ablation-accounting ablation-hops ablation-service packet coc bounds all\n\
   checking:  check DIR [--golden GDIR]   diff DIR against the goldens (default results/)\n\
              fuzz [--cases N] [--seed N] differential model-vs-sim fuzzing\n\
@@ -501,6 +506,70 @@ fn emit_bounds(cli: &Cli) -> Result<(), String> {
     Ok(())
 }
 
+/// The sensitivity artefact: central finite-difference derivatives of
+/// the mean latency over the paper's cluster sweep (Case 1, M = 1024,
+/// both architectures), plus the Newton-polished largest λ meeting the
+/// optimize SLO. All probes run through the batched kernel; floats use
+/// the shortest-round-trip rendering so the CSV is byte-stable.
+fn emit_sensitivity(cli: &Cli) -> Result<(), String> {
+    let slo_us = cli.slo_ms.unwrap_or(DEFAULT_OPTIMIZE_SLO_MS) * 1000.0;
+    let headers = [
+        "key",
+        "clusters",
+        "nodes_per_cluster",
+        "architecture",
+        "latency_us",
+        "dlatency_dlambda",
+        "dlatency_dbyte",
+        "dlatency_dnode",
+        "saturation_lambda",
+        "lambda_headroom",
+        "max_lambda_slo",
+    ];
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for arch in [Architecture::NonBlocking, Architecture::Blocking] {
+        for &clusters in &PAPER_CLUSTER_COUNTS {
+            let config = SystemConfig::paper_preset(Scenario::Case1, clusters, arch)
+                .map_err(|e| e.to_string())?
+                .with_lambda(cli.opts.lambda_per_us);
+            let s = sensitivity::evaluate(&config).map_err(|e| e.to_string())?;
+            let at_slo =
+                sensitivity::lambda_for_latency(&config, slo_us).map_err(|e| e.to_string())?;
+            rows.push(vec![
+                format!("{}/C{}", optimize::arch_code(arch), clusters),
+                clusters.to_string(),
+                config.nodes_per_cluster.to_string(),
+                optimize::arch_code(arch).to_string(),
+                json_num(s.latency_us),
+                json_num(s.dlatency_dlambda),
+                json_num(s.dlatency_dbyte),
+                json_num(s.dlatency_dnode),
+                json_num(s.saturation_lambda),
+                json_num(s.lambda_headroom),
+                at_slo.map_or("-".to_string(), json_num),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &format!(
+                "sensitivity — dT_W/d(lambda, M, N) over the cluster sweep \
+                 (Case 1, M=1024, lambda={}, SLO={:.0}ms)",
+                json_num(cli.opts.lambda_per_us),
+                slo_us / 1000.0
+            ),
+            &headers,
+            &rows
+        )
+    );
+    if let Some(dir) = &cli.csv_dir {
+        write_csv(&dir.join("sensitivity.csv"), &headers, &rows).map_err(|e| e.to_string())?;
+    }
+    emit_manifest(cli, "sensitivity", None)?;
+    Ok(())
+}
+
 /// Default mean-latency SLO for the optimize artefact (ms).
 const DEFAULT_OPTIMIZE_SLO_MS: f64 = 30.0;
 /// Default cost ceiling for the budget-capped optimize variant (USD).
@@ -676,7 +745,7 @@ fn write_optimize_bench(path: &Path, spec: &OptimizeSpec) -> Result<(), String> 
         json_num(evals_per_s),
         workers,
     );
-    std::fs::write(path, body).map_err(|e| format!("{}: {e}", path.display()))?;
+    write_atomic(path, body.as_bytes()).map_err(|e| format!("{}: {e}", path.display()))?;
     println!(
         "optimize bench: {evaluated} evaluations in {wall_s:.3} s \
          ({evals_per_s:.0} evals/s on {workers} worker(s)) -> {}",
@@ -744,6 +813,7 @@ fn run(cli: &Cli) -> Result<(), String> {
             "coc" => emit_coc(cli)?,
             "bounds" => emit_bounds(cli)?,
             "optimize" => emit_optimize(cli)?,
+            "sensitivity" => emit_sensitivity(cli)?,
             "all" => {
                 emit_tables(cli)?;
                 emit_table2(cli)?;
@@ -758,6 +828,7 @@ fn run(cli: &Cli) -> Result<(), String> {
                 emit_coc(cli)?;
                 emit_bounds(cli)?;
                 emit_optimize(cli)?;
+                emit_sensitivity(cli)?;
             }
             other => return Err(format!("unknown artefact {other}; try --help")),
         }

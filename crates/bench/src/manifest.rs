@@ -107,9 +107,8 @@ pub fn write_manifest(
     workers: usize,
     figure: Option<&FigureData>,
 ) -> std::io::Result<PathBuf> {
-    std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("manifest_{artefact}.json"));
-    std::fs::write(&path, manifest_json(artefact, opts, workers, figure))?;
+    crate::report::write_atomic(&path, manifest_json(artefact, opts, workers, figure).as_bytes())?;
     Ok(path)
 }
 

@@ -53,10 +53,32 @@ pub fn write_csv(path: &Path, headers: &[&str], rows: &[Vec<String>]) -> io::Res
         out.push_str(&row.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
         out.push('\n');
     }
+    write_atomic(path, out.as_bytes())
+}
+
+/// Writes `contents` to `path` atomically: the bytes land in a
+/// `.tmp`-suffixed sibling first and are renamed over the target only
+/// on success, so a crash or full disk mid-write can corrupt the
+/// scratch file but never a previously good artefact (goldens, bench
+/// reports and manifests are diffed byte-for-byte — a truncated
+/// half-write must not masquerade as a regression). Creates parent
+/// directories as needed.
+pub fn write_atomic(path: &Path, contents: &[u8]) -> io::Result<()> {
     if let Some(dir) = path.parent() {
-        std::fs::create_dir_all(dir)?;
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
     }
-    std::fs::write(path, out)
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        // Renames only fail in degenerate spots (target is a
+        // directory, cross-device link); don't leave the scratch
+        // file behind.
+        let _ = std::fs::remove_file(&tmp);
+    })
 }
 
 /// Formats a latency in ms with 3 decimals.

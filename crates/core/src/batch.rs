@@ -290,11 +290,18 @@ pub fn evaluate_one(
 }
 
 /// Evaluates a batch of configurations on the pool, in input order.
+///
+/// Runs on the batched structure-of-arrays kernel
+/// ([`crate::kernel::BatchKernel`]): each worker advances one
+/// contiguous block of lanes in lockstep. Every result is bit-identical
+/// to [`evaluate_one`] on the same configuration — the scalar path
+/// stays as the differential oracle the kernel is property-tested
+/// against.
 pub fn evaluate_many(
     configs: &[SystemConfig],
     options: BatchOptions,
 ) -> Vec<Result<(PerformanceReport, EvalStats), ModelError>> {
-    par_map(configs, options.resolved_workers(), |cfg| evaluate_one(cfg, None, None))
+    crate::kernel::evaluate_batch(configs, options.resolved_workers())
 }
 
 #[cfg(test)]

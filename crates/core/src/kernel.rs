@@ -1,0 +1,838 @@
+//! Batched structure-of-arrays fixed-point kernel.
+//!
+//! The figure drivers, the parameter sweeps, `/v1/sweep` and the
+//! optimizer all evaluate *grids* of configurations, yet the scalar
+//! path ([`crate::batch::evaluate_one`]) re-derives everything per
+//! point: it validates the config, rebuilds the topology service
+//! times, and every one of the ~45 bisection probes re-runs the
+//! traffic equations (eqs. 1–5), re-constructs the three service
+//! distributions and re-validates an [`MG1`](hmcs_queueing::mg1::MG1)
+//! per centre.
+//!
+//! [`BatchKernel`] hoists everything λ-independent out of the loop
+//! once per *lane* (one lane = one configuration) into flat `f64`
+//! arrays — traffic coefficients, per-tier service moments, bracket
+//! state — and then advances the bisection of **all** lanes in
+//! lockstep with per-lane convergence masking: one pass over the
+//! fixed-point loop moves the whole sweep forward by one probe. The
+//! inner evaluation reduces to ~20 flops and three stability branches
+//! per lane.
+//!
+//! ## Bit-identity contract
+//!
+//! The kernel is an *optimisation*, not a re-derivation: it replicates
+//! the scalar solver's floating-point operation sequence exactly —
+//! same association, same branch structure, same probe ordering, same
+//! degenerate-bracket conventions — so every lane's
+//! [`PerformanceReport`] equals [`crate::batch::evaluate_one`]'s
+//! output to `f64::to_bits`, including the solver iteration count and
+//! every error variant. The scalar path is kept as the differential
+//! oracle: `tests/kernel_properties.rs` fuzzes lane-vs-scalar equality
+//! over the 16–512-processor validity region and the `kernel_grid`
+//! bench asserts it on the figure lambda grid.
+
+use crate::batch::{self, EvalStats};
+use crate::config::{QueueAccounting, SystemConfig};
+use crate::error::ModelError;
+use crate::metrics::{self, keys};
+use crate::model::{AnalyticalModel, PerformanceReport};
+use crate::service::ServiceTimes;
+use crate::solver;
+use hmcs_queueing::fixed_point::SEEDED_REL_TOL;
+use hmcs_queueing::QueueingError;
+use std::time::Instant;
+
+/// Mirrors `SolverOptions::max_iterations` in the scalar solver: the
+/// cap on fixed-point function evaluations per lane.
+const MAX_EVALS: usize = 500;
+
+/// Mean number in system of an M/G/1 centre from precomputed moments,
+/// or `f64::INFINITY` when unstable — the lane-local replica of the
+/// scalar `center_l` (`None` becomes `INFINITY`, which is what the
+/// scalar caller substitutes anyway). `mean`/`m2` are `f64::INFINITY`
+/// for tiers whose service distribution failed validation, which makes
+/// any positive arrival read as unstable, exactly like the scalar
+/// path's `MG1::new(..).ok()`.
+///
+/// Written select-style (both arms computed, conditionally chosen) so
+/// the lockstep loop's evaluations stay straight-line: the speculative
+/// division is IEEE-safe (a non-positive denominator yields ±inf/nan,
+/// discarded by the select) and the chosen value is bit-identical to
+/// the scalar branch.
+#[inline(always)]
+fn center_l_fast(lambda: f64, mean: f64, m2: f64) -> f64 {
+    let rho = lambda * mean;
+    let wq = lambda * m2 / (2.0 * (1.0 - rho));
+    let l = lambda * (wq + mean);
+    if lambda <= 0.0 {
+        0.0
+    } else if rho >= 1.0 {
+        f64::INFINITY
+    } else {
+        l
+    }
+}
+
+/// The `Option` form of [`center_l_fast`], for the solve tail where the
+/// scalar path's `None`-vs-`Some` distinction is observable (the
+/// back-off stability predicate asks "were all centres stable", not
+/// "was the sum finite").
+#[inline]
+fn center_l_checked(lambda: f64, mean: f64, m2: f64) -> Option<f64> {
+    if lambda <= 0.0 {
+        return Some(0.0);
+    }
+    let rho = lambda * mean;
+    if rho >= 1.0 {
+        return None;
+    }
+    let wq = lambda * m2 / (2.0 * (1.0 - rho));
+    Some(lambda * (wq + mean))
+}
+
+/// Eq. 7 root function `g(x) − x` for lane `$i`, expanded over the SoA
+/// columns named at the call site. Every probe in the kernel expands
+/// from this one macro, so the endpoint pass and the lockstep passes
+/// share a single floating-point op sequence — the bit-identity
+/// contract reduced to one definition. (A macro rather than a helper
+/// function: the math must land *textually* inside each probe loop for
+/// the autovectoriser to see straight-line code; an out-of-line call
+/// defeats it.)
+macro_rules! eval_f {
+    (
+        $i:expr, $x:expr;
+        $a_icn1:ident, $a_fwd:ident, $a_icn2:ident, $c:ident, $w_e1:ident,
+        $mean_i1:ident, $m2_i1:ident, $mean_e1:ident, $m2_e1:ident,
+        $mean_i2:ident, $m2_i2:ident, $lambda:ident, $n:ident
+    ) => {{
+        let i = $i;
+        let x = $x;
+        let icn1 = $a_icn1[i] * x;
+        let fwd = $a_fwd[i] * x;
+        let icn2 = $a_icn2[i] * x;
+        let ecn1_total = fwd + icn2 / $c[i];
+        let l_i1 = center_l_fast(icn1, $mean_i1[i], $m2_i1[i]);
+        let l_e1 = center_l_fast(ecn1_total, $mean_e1[i], $m2_e1[i]);
+        let l_i2 = center_l_fast(icn2, $mean_i2[i], $m2_i2[i]);
+        let l = $c[i] * ($w_e1[i] * l_e1 + l_i1) + l_i2;
+        $lambda[i] * ($n[i] - l.min($n[i])) / $n[i] - x
+    }};
+}
+
+/// Evaluates `out[i] = f(x[i])` branchless over every lane — the
+/// endpoint probes at the head of the scalar `bisect_seeded`, run as
+/// one data-parallel pass.
+///
+/// The probe loops live in free functions because Rust attaches
+/// `noalias` to reference *parameters* only. Reborrowed as locals
+/// inside `solve`, the ~15 columns would force the autovectoriser to
+/// prove disjointness with runtime overlap checks — more than LLVM
+/// will emit ("loop not vectorized: too many memory checks needed") —
+/// and the pass would silently run scalar, forfeiting most of the
+/// kernel's speedup. `inline(never)` keeps the parameter attributes
+/// load-bearing instead of relying on the inliner to preserve the
+/// aliasing scopes.
+#[allow(clippy::too_many_arguments)]
+#[inline(never)]
+fn probe_pass(
+    out: &mut [f64],
+    x: &[f64],
+    a_icn1: &[f64],
+    a_fwd: &[f64],
+    a_icn2: &[f64],
+    c: &[f64],
+    w_e1: &[f64],
+    mean_i1: &[f64],
+    m2_i1: &[f64],
+    mean_e1: &[f64],
+    m2_e1: &[f64],
+    mean_i2: &[f64],
+    m2_i2: &[f64],
+    lambda: &[f64],
+    n: &[f64],
+) {
+    let len = out.len();
+    // Pre-slice every column to the shared length so the per-index
+    // bounds checks fold away (a reachable panic edge inside the loop
+    // would also defeat vectorisation).
+    let (x, a_icn1, a_fwd, a_icn2, c, w_e1) =
+        (&x[..len], &a_icn1[..len], &a_fwd[..len], &a_icn2[..len], &c[..len], &w_e1[..len]);
+    let (mean_i1, m2_i1, mean_e1, m2_e1, mean_i2, m2_i2, lambda, n) = (
+        &mean_i1[..len],
+        &m2_i1[..len],
+        &mean_e1[..len],
+        &m2_e1[..len],
+        &mean_i2[..len],
+        &m2_i2[..len],
+        &lambda[..len],
+        &n[..len],
+    );
+    macro_rules! f {
+        ($i:expr, $x:expr) => {
+            eval_f!(
+                $i, $x;
+                a_icn1, a_fwd, a_icn2, c, w_e1,
+                mean_i1, m2_i1, mean_e1, m2_e1, mean_i2, m2_i2, lambda, n
+            )
+        };
+    }
+    for i in 0..len {
+        out[i] = f!(i, x[i]);
+    }
+}
+
+/// One lockstep bisection pass over every lane: probe the midpoint,
+/// record the convergence verdict and residual, and advance the
+/// bracket select-style — the bisection's inherently unpredictable
+/// sign branch becomes a blend, and the loop body straight-line SIMD.
+/// Terminal lanes hold degenerate brackets (`lo == hi == v` gives
+/// `mid == v` exactly), so their convergence mask holds and nothing
+/// moves. See [`probe_pass`] for why this is a free function.
+#[allow(clippy::too_many_arguments)]
+#[inline(never)]
+fn lockstep_pass(
+    lo: &mut [f64],
+    hi: &mut [f64],
+    flo: &mut [f64],
+    mids: &mut [f64],
+    fms: &mut [f64],
+    convf: &mut [f64],
+    a_icn1: &[f64],
+    a_fwd: &[f64],
+    a_icn2: &[f64],
+    c: &[f64],
+    w_e1: &[f64],
+    mean_i1: &[f64],
+    m2_i1: &[f64],
+    mean_e1: &[f64],
+    m2_e1: &[f64],
+    mean_i2: &[f64],
+    m2_i2: &[f64],
+    lambda: &[f64],
+    n: &[f64],
+) {
+    let len = lo.len();
+    let (hi, flo, mids, fms, convf) =
+        (&mut hi[..len], &mut flo[..len], &mut mids[..len], &mut fms[..len], &mut convf[..len]);
+    let (a_icn1, a_fwd, a_icn2, c, w_e1) =
+        (&a_icn1[..len], &a_fwd[..len], &a_icn2[..len], &c[..len], &w_e1[..len]);
+    let (mean_i1, m2_i1, mean_e1, m2_e1, mean_i2, m2_i2, lambda, n) = (
+        &mean_i1[..len],
+        &m2_i1[..len],
+        &mean_e1[..len],
+        &m2_e1[..len],
+        &mean_i2[..len],
+        &m2_i2[..len],
+        &lambda[..len],
+        &n[..len],
+    );
+    macro_rules! f {
+        ($i:expr, $x:expr) => {
+            eval_f!(
+                $i, $x;
+                a_icn1, a_fwd, a_icn2, c, w_e1,
+                mean_i1, m2_i1, mean_e1, m2_e1, mean_i2, m2_i2, lambda, n
+            )
+        };
+    }
+    for i in 0..len {
+        let lane_lo = lo[i];
+        let lane_hi = hi[i];
+        let mid = 0.5 * (lane_lo + lane_hi);
+        let conv =
+            mid <= lane_lo || mid >= lane_hi || (lane_hi - lane_lo) <= SEEDED_REL_TOL * mid.abs();
+        let fm = f!(i, mid);
+        // Scalar: `fmid.signum() == flo.signum()` moves the low edge,
+        // else the high edge. Both are non-zero and non-NaN when the
+        // update mask is live (an exact zero parks the lane in the
+        // bookkeeping sweep before the next pass; `f` is finite for
+        // validated lanes), so comparing signs via `> 0` is
+        // equivalent.
+        let upd = !conv && fm != 0.0;
+        let same_sign = (fm > 0.0) == (flo[i] > 0.0);
+        let up_lo = upd && same_sign;
+        let up_hi = upd && !same_sign;
+        mids[i] = mid;
+        fms[i] = fm;
+        convf[i] = if conv { 1.0 } else { 0.0 };
+        lo[i] = if up_lo { mid } else { lane_lo };
+        flo[i] = if up_lo { fm } else { flo[i] };
+        hi[i] = if up_hi { mid } else { lane_hi };
+    }
+}
+
+/// Per-lane solver outcome, tracked alongside the SoA state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum LaneState {
+    /// Still bisecting.
+    Active,
+    /// Bisection converged at `value` after `iterations` evaluations.
+    Done,
+    /// Preparation or solving failed; the error is in `errors[i]`.
+    Failed,
+}
+
+/// A batch of fixed-point solves advanced in lockstep.
+///
+/// Build one with [`BatchKernel::new`] (per-lane service times, the
+/// general heterogeneous-shape case) or [`BatchKernel::with_service`]
+/// (one shared shape swept over λ), then call [`BatchKernel::solve`].
+/// Results come back in lane order, each lane bit-identical to
+/// [`crate::batch::evaluate_one`] on the same configuration.
+#[derive(Debug)]
+pub struct BatchKernel {
+    configs: Vec<SystemConfig>,
+    service: Vec<ServiceTimes>,
+    // --- per-lane λ-independent constants (structure of arrays) ---
+    lambda: Vec<f64>,
+    n: Vec<f64>,
+    c: Vec<f64>,
+    a_icn1: Vec<f64>,
+    a_fwd: Vec<f64>,
+    a_icn2: Vec<f64>,
+    w_e1: Vec<f64>,
+    mean_i1: Vec<f64>,
+    m2_i1: Vec<f64>,
+    mean_e1: Vec<f64>,
+    m2_e1: Vec<f64>,
+    mean_i2: Vec<f64>,
+    m2_i2: Vec<f64>,
+    hi0: Vec<f64>,
+    // --- per-lane bracket / convergence state ---
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    flo: Vec<f64>,
+    evals: Vec<usize>,
+    value: Vec<f64>,
+    iterations: Vec<usize>,
+    state: Vec<LaneState>,
+    errors: Vec<Option<ModelError>>,
+}
+
+impl BatchKernel {
+    /// Prepares one lane per configuration, computing each lane's
+    /// service times from its own topology (the scalar
+    /// `evaluate_one(cfg, None, None)` contract).
+    pub fn new(configs: &[SystemConfig]) -> Self {
+        Self::build(configs, None)
+    }
+
+    /// Prepares one lane per configuration reusing one precomputed
+    /// (λ-independent) [`ServiceTimes`] for every lane — the λ-grid
+    /// case where all lanes share a shape.
+    pub fn with_service(configs: &[SystemConfig], shared: &ServiceTimes) -> Self {
+        Self::build(configs, Some(shared))
+    }
+
+    fn build(configs: &[SystemConfig], shared: Option<&ServiceTimes>) -> Self {
+        let lanes = configs.len();
+        let mut k = BatchKernel {
+            configs: configs.to_vec(),
+            service: vec![ServiceTimes { icn1_us: 0.0, ecn1_us: 0.0, icn2_us: 0.0 }; lanes],
+            lambda: vec![0.0; lanes],
+            n: vec![0.0; lanes],
+            c: vec![0.0; lanes],
+            a_icn1: vec![0.0; lanes],
+            a_fwd: vec![0.0; lanes],
+            a_icn2: vec![0.0; lanes],
+            w_e1: vec![0.0; lanes],
+            mean_i1: vec![0.0; lanes],
+            m2_i1: vec![0.0; lanes],
+            mean_e1: vec![0.0; lanes],
+            m2_e1: vec![0.0; lanes],
+            mean_i2: vec![0.0; lanes],
+            m2_i2: vec![0.0; lanes],
+            hi0: vec![0.0; lanes],
+            lo: vec![0.0; lanes],
+            hi: vec![0.0; lanes],
+            flo: vec![0.0; lanes],
+            evals: vec![0; lanes],
+            value: vec![0.0; lanes],
+            iterations: vec![0; lanes],
+            state: vec![LaneState::Active; lanes],
+            errors: vec![None; lanes],
+        };
+        for (i, config) in configs.iter().enumerate() {
+            if let Err(e) = config.validate() {
+                k.fail(i, e);
+                continue;
+            }
+            let service = match shared {
+                Some(s) => *s,
+                None => match ServiceTimes::compute(config) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        k.fail(i, e);
+                        continue;
+                    }
+                },
+            };
+            k.service[i] = service;
+            k.lambda[i] = config.lambda_per_us;
+            k.n[i] = config.total_nodes() as f64;
+            let p = crate::routing::external_probability(config.clusters, config.nodes_per_cluster);
+            let n0 = config.nodes_per_cluster as f64;
+            let c = config.clusters as f64;
+            k.c[i] = c;
+            // Traffic-equation coefficients (eqs. 1–5): the scalar path
+            // computes `n0 * (1.0 - p) * x` etc. per probe; hoisting the
+            // full left-associated prefix keeps the bits identical.
+            k.a_icn1[i] = n0 * (1.0 - p);
+            k.a_fwd[i] = n0 * p;
+            k.a_icn2[i] = c * n0 * p;
+            k.w_e1[i] = match config.accounting {
+                QueueAccounting::PaperLiteral => 2.0,
+                QueueAccounting::SingleQueue => 1.0,
+            };
+            let moments = |service_us: f64| -> (f64, f64) {
+                let dist = config.service_model.distribution(service_us);
+                if dist.validate().is_err() {
+                    // A positive arrival at an invalid tier must read as
+                    // unstable, like the scalar `MG1::new(..).ok()`.
+                    return (f64::INFINITY, f64::INFINITY);
+                }
+                (dist.mean(), dist.second_moment())
+            };
+            (k.mean_i1[i], k.m2_i1[i]) = moments(service.icn1_us);
+            (k.mean_e1[i], k.m2_e1[i]) = moments(service.ecn1_us);
+            (k.mean_i2[i], k.m2_i2[i]) = moments(service.icn2_us);
+            let sat = solver::saturation_lambda(config, &service);
+            k.hi0[i] = config.lambda_per_us.min(sat * (1.0 - 1e-12));
+            k.hi[i] = k.hi0[i];
+        }
+        k
+    }
+
+    fn fail(&mut self, i: usize, e: ModelError) {
+        self.state[i] = LaneState::Failed;
+        self.errors[i] = Some(e);
+    }
+
+    /// Eq. 6 at offered rate `x` for lane `i`; `None` when any centre
+    /// is unstable at that rate. Replicates the scalar `total_waiting`
+    /// operation for operation — the tail's stability predicate needs
+    /// the scalar's `None`, not the loop's propagated infinity.
+    #[inline]
+    fn total_waiting_lane(&self, i: usize, x: f64) -> Option<f64> {
+        let icn1 = self.a_icn1[i] * x;
+        let fwd = self.a_fwd[i] * x;
+        let icn2 = self.a_icn2[i] * x;
+        let feedback = icn2 / self.c[i];
+        let ecn1_total = fwd + feedback;
+        let l_i1 = center_l_checked(icn1, self.mean_i1[i], self.m2_i1[i])?;
+        let l_e1 = center_l_checked(ecn1_total, self.mean_e1[i], self.m2_e1[i])?;
+        let l_i2 = center_l_checked(icn2, self.mean_i2[i], self.m2_i2[i])?;
+        Some(self.c[i] * (self.w_e1[i] * l_e1 + l_i1) + l_i2)
+    }
+
+    /// Runs the cold-start bisection of every lane in lockstep, then
+    /// assembles one result per lane in input order.
+    ///
+    /// Per-lane `EvalStats::eval_time_us` is the batch wall clock
+    /// divided evenly over the lanes (the lockstep loop has no
+    /// meaningful per-lane clock); `solver_iterations` is exact.
+    pub fn solve(mut self) -> Vec<Result<(PerformanceReport, EvalStats), ModelError>> {
+        let start = Instant::now();
+        let lanes = self.configs.len();
+
+        {
+            // Distinct `&mut` slices of the bracket state: the disjoint
+            // borrows carry noalias guarantees that field accesses
+            // through `self` do not, and pre-slicing to a shared length
+            // lets the bounds checks fold away.
+            let lo = &mut self.lo[..lanes];
+            let hi = &mut self.hi[..lanes];
+            let flo = &mut self.flo[..lanes];
+            let evals = &mut self.evals[..lanes];
+            let value = &mut self.value[..lanes];
+            let iterations = &mut self.iterations[..lanes];
+            let state = &mut self.state[..lanes];
+            let errors = &mut self.errors[..lanes];
+            let a_icn1 = &self.a_icn1[..lanes];
+            let a_fwd = &self.a_fwd[..lanes];
+            let a_icn2 = &self.a_icn2[..lanes];
+            let c = &self.c[..lanes];
+            let w_e1 = &self.w_e1[..lanes];
+            let mean_i1 = &self.mean_i1[..lanes];
+            let m2_i1 = &self.m2_i1[..lanes];
+            let mean_e1 = &self.mean_e1[..lanes];
+            let m2_e1 = &self.m2_e1[..lanes];
+            let mean_i2 = &self.mean_i2[..lanes];
+            let m2_i2 = &self.m2_i2[..lanes];
+            let lambda = &self.lambda[..lanes];
+            let n = &self.n[..lanes];
+
+            // Endpoint probes — the head of the scalar `bisect_seeded`
+            // with no seed (the path every golden artefact takes) —
+            // run branchless over every lane so they vectorise like the
+            // main passes. Lanes that failed preparation hold a
+            // degenerate `lo == hi == 0` bracket: their probes compute
+            // garbage that the triage below never reads.
+            let mut f_los = vec![0.0f64; lanes];
+            let mut f_his = vec![0.0f64; lanes];
+            probe_pass(
+                &mut f_los, lo, a_icn1, a_fwd, a_icn2, c, w_e1, mean_i1, m2_i1, mean_e1, m2_e1,
+                mean_i2, m2_i2, lambda, n,
+            );
+            probe_pass(
+                &mut f_his, hi, a_icn1, a_fwd, a_icn2, c, w_e1, mean_i1, m2_i1, mean_e1, m2_e1,
+                mean_i2, m2_i2, lambda, n,
+            );
+
+            // Triage: the scalar head's decision order per lane.
+            // Terminal lanes collapse their bracket to a fixed point of
+            // the bisection (`lo == hi == v` gives `mid == v` exactly),
+            // which keeps them inert through the branchless passes
+            // below without a per-lane mask.
+            let mut active_count = 0usize;
+            for i in 0..lanes {
+                if state[i] != LaneState::Active {
+                    continue;
+                }
+                let f_lo = f_los[i];
+                let f_hi = f_his[i];
+                evals[i] = 2;
+                if f_lo == 0.0 {
+                    value[i] = lo[i];
+                    iterations[i] = evals[i];
+                    state[i] = LaneState::Done;
+                    hi[i] = lo[i];
+                } else if f_hi == 0.0 {
+                    value[i] = hi[i];
+                    iterations[i] = evals[i];
+                    state[i] = LaneState::Done;
+                    lo[i] = hi[i];
+                } else if f_lo.signum() == f_hi.signum() {
+                    state[i] = LaneState::Failed;
+                    errors[i] = Some(ModelError::Queueing(QueueingError::InvalidParameter {
+                        name: "bracket",
+                        reason: "f(lo) and f(hi) must have opposite signs",
+                    }));
+                    lo[i] = 0.0;
+                    hi[i] = 0.0;
+                } else {
+                    flo[i] = f_lo;
+                    active_count += 1;
+                }
+            }
+
+            // Lockstep bisection, two sub-steps per pass:
+            //
+            //  1. [`lockstep_pass`] — a branchless data-parallel sweep
+            //     over *all* lanes that probes the midpoint, records
+            //     the convergence verdict and residual, and advances
+            //     the bracket select-style.
+            //
+            //  2. a scalar bookkeeping sweep that replays the scalar
+            //     solver's per-iteration decision order — max-evals
+            //     failure, relative convergence, exact root — on the
+            //     recorded verdicts. Only state transitions happen
+            //     here, at most once per lane per pass.
+            let mut mids = vec![0.0f64; lanes];
+            let mut fms = vec![0.0f64; lanes];
+            let mut convf = vec![0.0f64; lanes];
+            while active_count > 0 {
+                lockstep_pass(
+                    lo, hi, flo, &mut mids, &mut fms, &mut convf, a_icn1, a_fwd, a_icn2, c, w_e1,
+                    mean_i1, m2_i1, mean_e1, m2_e1, mean_i2, m2_i2, lambda, n,
+                );
+                for i in 0..lanes {
+                    if state[i] != LaneState::Active {
+                        continue;
+                    }
+                    if evals[i] >= MAX_EVALS {
+                        // The scalar solver checks the evaluation budget
+                        // before the convergence test; `fms[i]` is the
+                        // residual at exactly the midpoint it would have
+                        // probed.
+                        state[i] = LaneState::Failed;
+                        errors[i] = Some(ModelError::SolverFailed { residual: fms[i].abs() });
+                        lo[i] = 0.0;
+                        hi[i] = 0.0;
+                        active_count -= 1;
+                        continue;
+                    }
+                    if convf[i] != 0.0 {
+                        // Relative convergence. The scalar solver spends
+                        // one extra evaluation probing the residual here;
+                        // `f` is pure and the residual is discarded
+                        // downstream, so the kernel skips the probe but
+                        // still counts it in `iterations` to keep the
+                        // reported count identical.
+                        value[i] = mids[i];
+                        iterations[i] = evals[i] + 1;
+                        state[i] = LaneState::Done;
+                        lo[i] = mids[i];
+                        hi[i] = mids[i];
+                        active_count -= 1;
+                        continue;
+                    }
+                    evals[i] += 1;
+                    if fms[i] == 0.0 {
+                        value[i] = mids[i];
+                        iterations[i] = evals[i];
+                        state[i] = LaneState::Done;
+                        lo[i] = mids[i];
+                        hi[i] = mids[i];
+                        active_count -= 1;
+                    }
+                }
+            }
+        }
+
+        // Per-lane tail: saturation back-off, equilibrium assembly and
+        // the same solver metrics the scalar path records. Metric
+        // values accumulate in plain locals and merge into the shared
+        // registry once at the end — each registry lookup is a
+        // mutex-guarded name walk and each shared record is four
+        // atomics, per lane — and only when something was recorded, so
+        // a batch that records nothing also registers nothing, like
+        // the scalar path.
+        let mut solves = 0u64;
+        let mut iter_batch = metrics::HistogramBatch::new();
+        let mut bracket_batch = metrics::HistogramBatch::new();
+        let mut backoff_activations = 0u64;
+        let mut backoff_batch = metrics::HistogramBatch::new();
+        let mut out: Vec<Result<(PerformanceReport, EvalStats), ModelError>> =
+            Vec::with_capacity(lanes);
+        for i in 0..lanes {
+            if self.state[i] == LaneState::Failed {
+                out.push(Err(self.errors[i].clone().expect("failed lane carries its error")));
+                continue;
+            }
+            // `solver::back_off_to_stable` with its stability probe and
+            // the subsequent eq.-6 evaluation fused: the probe at each
+            // candidate rate *is* that evaluation, and the function is
+            // pure, so keeping the successful probe's value gives the
+            // exact bits the scalar path's recompute produces.
+            let mut lambda_eff = self.value[i];
+            let mut backoff_steps = 0u32;
+            let mut total = self.total_waiting_lane(i, lambda_eff);
+            if total.is_none() {
+                let mut step = 1e-9;
+                while step < 1.0 {
+                    lambda_eff *= 1.0 - step;
+                    backoff_steps += 1;
+                    total = self.total_waiting_lane(i, lambda_eff);
+                    if total.is_some() {
+                        break;
+                    }
+                    step *= 2.0;
+                }
+            }
+            let Some(total) = total else {
+                out.push(Err(ModelError::SolverFailed { residual: f64::INFINITY }));
+                continue;
+            };
+            solves += 1;
+            iter_batch.record(self.iterations[i] as u64);
+            if self.lambda[i] > 0.0 {
+                bracket_batch.record_f64(self.hi0[i] / self.lambda[i] * 1e6);
+            }
+            if backoff_steps > 0 {
+                backoff_activations += 1;
+                backoff_batch.record(backoff_steps as u64);
+            }
+            match solver::assemble_equilibrium(
+                &self.configs[i],
+                &self.service[i],
+                lambda_eff,
+                total,
+                self.iterations[i],
+            ) {
+                Ok(eq) => {
+                    let report = AnalyticalModel::report_from_equilibrium(
+                        &self.configs[i],
+                        &self.service[i],
+                        eq,
+                    );
+                    let stats =
+                        EvalStats { eval_time_us: 0.0, solver_iterations: self.iterations[i] };
+                    out.push(Ok((report, stats)));
+                }
+                Err(e) => out.push(Err(e)),
+            }
+        }
+        if solves > 0 {
+            metrics::counter(keys::SOLVER_SOLVES).add(solves);
+            iter_batch.flush_into(metrics::histogram(keys::SOLVER_ITERATIONS));
+            bracket_batch.flush_into(metrics::histogram(keys::SOLVER_BRACKET_PPM));
+        }
+        if backoff_activations > 0 {
+            metrics::counter(keys::SOLVER_BACKOFF_ACTIVATIONS).add(backoff_activations);
+            backoff_batch.flush_into(metrics::histogram(keys::SOLVER_BACKOFF_STEPS));
+        }
+
+        let per_lane_us =
+            if lanes == 0 { 0.0 } else { start.elapsed().as_secs_f64() * 1e6 / lanes as f64 };
+        let mut eval_time_batch = metrics::HistogramBatch::new();
+        for r in out.iter_mut().flatten() {
+            r.1.eval_time_us = per_lane_us;
+            eval_time_batch.record_f64(per_lane_us);
+        }
+        if !eval_time_batch.is_empty() {
+            eval_time_batch.flush_into(metrics::histogram(keys::BATCH_EVAL_TIME_US));
+        }
+        out
+    }
+}
+
+/// Evaluates a batch of configurations through [`BatchKernel`], split
+/// into one contiguous lane block per worker on the shared pool.
+///
+/// This is the engine behind [`crate::batch::evaluate_many`]: results
+/// arrive in input order and every lane is bit-identical to the scalar
+/// [`crate::batch::evaluate_one`] — chunking cannot change bits
+/// because lanes never exchange information.
+pub fn evaluate_batch(
+    configs: &[SystemConfig],
+    workers: usize,
+) -> Vec<Result<(PerformanceReport, EvalStats), ModelError>> {
+    if configs.is_empty() {
+        return Vec::new();
+    }
+    let workers = workers.max(1).min(configs.len());
+    let chunk = configs.len().div_ceil(workers);
+    let chunks: Vec<&[SystemConfig]> = configs.chunks(chunk).collect();
+    // `par_map` counts one item per chunk; top the batch-items counter
+    // up to the per-configuration count the scalar path reported so
+    // operator dashboards keep their meaning.
+    if metrics::enabled() && configs.len() > chunks.len() {
+        metrics::counter(keys::BATCH_ITEMS).add((configs.len() - chunks.len()) as u64);
+    }
+    let nested = batch::par_map(&chunks, workers, |block| BatchKernel::new(block).solve());
+    nested.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServiceTimeModel;
+    use crate::scenario::{Scenario, PAPER_CLUSTER_COUNTS};
+    use hmcs_topology::transmission::Architecture;
+
+    fn cfg(clusters: usize, arch: Architecture) -> SystemConfig {
+        SystemConfig::paper_preset(Scenario::Case1, clusters, arch).unwrap()
+    }
+
+    fn assert_bitwise_eq(kernel: &PerformanceReport, scalar: &PerformanceReport) {
+        assert_eq!(
+            kernel.equilibrium.lambda_eff.to_bits(),
+            scalar.equilibrium.lambda_eff.to_bits(),
+            "lambda_eff bits diverge"
+        );
+        assert_eq!(
+            kernel.latency.mean_message_latency_us.to_bits(),
+            scalar.latency.mean_message_latency_us.to_bits(),
+            "latency bits diverge"
+        );
+        assert_eq!(
+            kernel.equilibrium.solver_iterations, scalar.equilibrium.solver_iterations,
+            "solver iteration counts diverge"
+        );
+        // PartialEq over PerformanceReport covers every remaining field.
+        assert_eq!(kernel, scalar);
+    }
+
+    #[test]
+    fn kernel_matches_scalar_on_the_paper_grid() {
+        let mut configs = Vec::new();
+        for scenario in [Scenario::Case1, Scenario::Case2] {
+            for arch in [Architecture::NonBlocking, Architecture::Blocking] {
+                for &c in &PAPER_CLUSTER_COUNTS {
+                    configs.push(
+                        SystemConfig::paper_preset(scenario, c, arch)
+                            .unwrap()
+                            .with_message_bytes(1024),
+                    );
+                }
+            }
+        }
+        let batch = BatchKernel::new(&configs).solve();
+        for (cfg, lane) in configs.iter().zip(&batch) {
+            let (scalar, sstats) = batch::evaluate_one(cfg, None, None).unwrap();
+            let (kernel, kstats) = lane.as_ref().unwrap();
+            assert_bitwise_eq(kernel, &scalar);
+            assert_eq!(kstats.solver_iterations, sstats.solver_iterations);
+        }
+    }
+
+    #[test]
+    fn kernel_matches_scalar_on_a_lambda_grid() {
+        let base = cfg(16, Architecture::Blocking);
+        let service = ServiceTimes::compute(&base).unwrap();
+        let lambdas: Vec<f64> = (0..64).map(|i| 1e-6 * 1.12f64.powi(i)).collect();
+        let configs: Vec<SystemConfig> = lambdas.iter().map(|&l| base.with_lambda(l)).collect();
+        let lanes = BatchKernel::with_service(&configs, &service).solve();
+        for (cfg, lane) in configs.iter().zip(&lanes) {
+            let (scalar, _) = batch::evaluate_one(cfg, Some(&service), None).unwrap();
+            let (kernel, _) = lane.as_ref().unwrap();
+            assert_bitwise_eq(kernel, &scalar);
+        }
+    }
+
+    #[test]
+    fn kernel_matches_scalar_through_backoff_and_overload() {
+        // Deep saturation exercises the back-off retreat; the kernel
+        // must walk the identical path.
+        for lambda in [2.5e-3, 2.5e-2] {
+            let config = cfg(256, Architecture::Blocking).with_lambda(lambda);
+            let lane = BatchKernel::new(std::slice::from_ref(&config)).solve().remove(0);
+            let (scalar, _) = batch::evaluate_one(&config, None, None).unwrap();
+            assert_bitwise_eq(&lane.unwrap().0, &scalar);
+        }
+    }
+
+    #[test]
+    fn kernel_matches_scalar_across_service_models() {
+        for model in [
+            ServiceTimeModel::Deterministic,
+            ServiceTimeModel::Erlang(4),
+            ServiceTimeModel::HyperExponential(4.0),
+        ] {
+            let config = cfg(8, Architecture::NonBlocking).with_service_model(model);
+            let lane = BatchKernel::new(std::slice::from_ref(&config)).solve().remove(0);
+            let (scalar, _) = batch::evaluate_one(&config, None, None).unwrap();
+            assert_bitwise_eq(&lane.unwrap().0, &scalar);
+        }
+    }
+
+    #[test]
+    fn error_lanes_match_the_scalar_errors_in_place() {
+        let good = cfg(4, Architecture::NonBlocking);
+        let bad = good.with_lambda(-1.0);
+        let lanes = BatchKernel::new(&[good, bad, good]).solve();
+        assert!(lanes[0].is_ok());
+        assert!(lanes[2].is_ok());
+        let scalar_err = batch::evaluate_one(&bad, None, None).unwrap_err();
+        assert_eq!(lanes[1].as_ref().unwrap_err(), &scalar_err);
+    }
+
+    #[test]
+    fn evaluate_batch_is_chunking_invariant() {
+        let configs: Vec<SystemConfig> =
+            PAPER_CLUSTER_COUNTS.iter().map(|&c| cfg(c, Architecture::NonBlocking)).collect();
+        let one = evaluate_batch(&configs, 1);
+        for workers in [2, 3, 8, 32] {
+            let many = evaluate_batch(&configs, workers);
+            assert_eq!(one.len(), many.len());
+            for (a, b) in one.iter().zip(&many) {
+                assert_eq!(a.as_ref().unwrap().0, b.as_ref().unwrap().0, "workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn evaluate_batch_handles_empty_input() {
+        assert!(evaluate_batch(&[], 8).is_empty());
+    }
+
+    #[test]
+    fn lane_stats_report_exact_iterations_and_positive_time() {
+        let configs = [cfg(8, Architecture::NonBlocking)];
+        let lanes = BatchKernel::new(&configs).solve();
+        let (report, stats) = lanes[0].as_ref().unwrap();
+        assert_eq!(stats.solver_iterations, report.equilibrium.solver_iterations);
+        assert!(stats.eval_time_us > 0.0);
+    }
+}

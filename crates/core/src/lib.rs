@@ -31,6 +31,11 @@
 //! * [`rates`] — the traffic equations (eqs. 1–5).
 //! * [`service`] — per-centre service times from the topology models.
 //! * [`solver`] — the effective-rate fixed point (eqs. 6–7).
+//! * [`kernel`] — the batched structure-of-arrays fixed-point kernel
+//!   advancing whole sweeps in lockstep, bit-identical to the scalar
+//!   solver.
+//! * [`sensitivity`] — central finite-difference derivatives of the
+//!   mean latency with respect to λ, message size and population.
 //! * [`latency`] — latency composition (eqs. 9, 15–16).
 //! * [`model`] — the one-call facade: [`model::AnalyticalModel`].
 //! * [`cluster_of_clusters`] — the heterogeneous-processor
@@ -70,6 +75,7 @@ pub mod cluster_of_clusters;
 pub mod config;
 pub mod error;
 pub mod json;
+pub mod kernel;
 pub mod latency;
 pub mod metrics;
 pub mod model;
@@ -78,6 +84,7 @@ pub mod qna;
 pub mod rates;
 pub mod routing;
 pub mod scenario;
+pub mod sensitivity;
 pub mod service;
 pub mod solver;
 pub mod sweep;

@@ -213,6 +213,81 @@ impl ValueHistogram {
     }
 }
 
+/// Thread-local accumulator for recording many values into one
+/// [`ValueHistogram`] with a bounded number of atomic operations.
+///
+/// Recording into a shared histogram costs four atomic read-modify-
+/// writes per value; a hot loop recording per item (the batched
+/// kernel records one iteration count and one bracket ratio per lane)
+/// pays that bus traffic hundreds of times per call. `HistogramBatch`
+/// buckets values in plain integers and [`flush_into`] merges them
+/// with one atomic per touched bucket plus three for the aggregates —
+/// the destination ends in exactly the state the equivalent sequence
+/// of [`ValueHistogram::record`] calls would produce.
+///
+/// [`flush_into`]: HistogramBatch::flush_into
+#[derive(Debug)]
+pub struct HistogramBatch {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for HistogramBatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HistogramBatch {
+    /// Creates an empty accumulator.
+    pub const fn new() -> Self {
+        HistogramBatch { buckets: [0; HISTOGRAM_BUCKETS], count: 0, sum: 0, max: 0 }
+    }
+
+    /// Accumulates one value ([`ValueHistogram::record`] semantics,
+    /// minus the enabled check, which [`flush_into`] applies once).
+    ///
+    /// [`flush_into`]: HistogramBatch::flush_into
+    pub fn record(&mut self, value: u64) {
+        let idx = if value == 0 { 0 } else { 64 - value.leading_zeros() as usize };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Accumulates a non-negative float with
+    /// [`ValueHistogram::record_f64`]'s rounding and rejection rules.
+    pub fn record_f64(&mut self, value: f64) {
+        if value.is_finite() && value >= 0.0 {
+            self.record(value.round().min(u64::MAX as f64) as u64);
+        }
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Merges the accumulated values into `target` (no-op while
+    /// recording is disabled, like the per-value path).
+    pub fn flush_into(&self, target: &ValueHistogram) {
+        if !enabled() || self.count == 0 {
+            return;
+        }
+        for (local, shared) in self.buckets.iter().zip(&target.buckets) {
+            if *local > 0 {
+                shared.fetch_add(*local, Ordering::Relaxed);
+            }
+        }
+        target.count.fetch_add(self.count, Ordering::Relaxed);
+        target.sum.fetch_add(self.sum, Ordering::Relaxed);
+        target.max.fetch_max(self.max, Ordering::Relaxed);
+    }
+}
+
 /// One non-empty bucket of a [`HistogramSnapshot`]: the closed value
 /// range `[lo, hi]` and its observation count.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -55,13 +55,24 @@ impl AnalyticalModel {
         seed: Option<f64>,
     ) -> Result<PerformanceReport, ModelError> {
         let equilibrium = solver::solve_with_service_seeded(config, service_times, seed)?;
+        Ok(Self::report_from_equilibrium(config, service_times, equilibrium))
+    }
+
+    /// Assembles the report from a converged equilibrium. Shared with
+    /// the batched kernel ([`crate::kernel`]) so the two evaluation
+    /// paths build bit-identical reports.
+    pub(crate) fn report_from_equilibrium(
+        config: &SystemConfig,
+        service_times: &ServiceTimes,
+        equilibrium: Equilibrium,
+    ) -> PerformanceReport {
         let latency = LatencyReport::from_equilibrium(&equilibrium);
-        Ok(PerformanceReport {
+        PerformanceReport {
             service_times: *service_times,
             equilibrium,
             latency,
             throughput_per_us: config.total_nodes() as f64 * equilibrium.lambda_eff,
-        })
+        }
     }
 }
 

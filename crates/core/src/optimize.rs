@@ -7,7 +7,7 @@
 //! [`NetworkTechnology::PRESETS`] catalogue, switch port count `Pr`,
 //! and blocking vs. non-blocking architecture — under one caller-fixed
 //! [`Workload`], evaluates every surviving point through
-//! [`batch::par_map`], and reduces the result to a Pareto frontier of
+//! the batched kernel ([`crate::kernel`]), and reduces the result to a Pareto frontier of
 //! mean latency vs. a pluggable [`CostModel`].
 //!
 //! The pipeline keeps *binding-constraint diagnostics*: every point
@@ -22,10 +22,11 @@
 //! served `POST /v1/optimize` endpoint and the examples all return
 //! identical frontiers for identical specs.
 
-use crate::batch::{self, BatchOptions};
+use crate::batch::BatchOptions;
 use crate::config::SystemConfig;
 use crate::error::ModelError;
 use crate::json::json_num;
+use crate::model::PerformanceReport;
 use crate::scenario::{Scenario, PAPER_LAMBDA_PER_US, PAPER_TOTAL_NODES};
 use crate::service::ServiceTimes;
 use crate::solver;
@@ -542,11 +543,14 @@ pub fn optimize_with(
         }
     }
 
-    // Evaluate every surviving point through the batch engine.
+    // Evaluate every surviving point through the batched kernel
+    // (bit-identical to the scalar per-point path).
     let configs: Vec<SystemConfig> = candidates.iter().map(|c| c.design.config).collect();
-    let results = batch::par_map(&configs, options.resolved_workers(), |cfg| {
-        batch::evaluate_one(cfg, None, None).map(|(report, _stats)| report)
-    });
+    let results: Vec<Result<PerformanceReport, ModelError>> =
+        crate::kernel::evaluate_batch(&configs, options.resolved_workers())
+            .into_iter()
+            .map(|r| r.map(|(report, _stats)| report))
+            .collect();
 
     // SLO post-filter.
     let mut feasible_points: Vec<EvaluatedDesign> = Vec::new();
@@ -641,6 +645,59 @@ pub fn frontier_row(point: &EvaluatedDesign) -> Vec<String> {
     ]
 }
 
+/// Latency derivatives of one frontier point, from
+/// [`frontier_sensitivity`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierSensitivity {
+    /// The design key ([`Design::key`]) this row annotates.
+    pub key: String,
+    /// `∂T_W/∂λ` at the workload's operating point (µs²) — how
+    /// fragile the design's latency is to offered-load growth.
+    pub dlatency_dlambda: f64,
+    /// `∂T_W/∂M` — µs per payload byte.
+    pub dlatency_dbyte: f64,
+    /// The design's closed-form saturation rate (msg/µs/processor).
+    pub saturation_lambda: f64,
+    /// Offered-rate headroom `saturation_lambda − λ`.
+    pub lambda_headroom: f64,
+    /// Largest λ keeping mean latency within `slo_latency_us`
+    /// (Newton-polished, [`crate::sensitivity::lambda_for_latency`]);
+    /// `None` when no SLO was given or no rate fits.
+    pub max_lambda_at_slo: Option<f64>,
+}
+
+/// Annotates every frontier point of `outcome` with its latency
+/// derivatives — the "which knob moves latency fastest" follow-up to
+/// an optimization run. Rows are in frontier order (ascending cost).
+///
+/// When `slo_latency_us` is given, each row also carries the largest
+/// per-processor rate that still meets that SLO, so a planner can read
+/// growth headroom straight off the frontier instead of re-running the
+/// optimizer at hypothetical future loads. All probe evaluations run
+/// through the batched kernel.
+pub fn frontier_sensitivity(
+    outcome: &OptimizeOutcome,
+    slo_latency_us: Option<f64>,
+) -> Result<Vec<FrontierSensitivity>, OptimizeError> {
+    let mut rows = Vec::with_capacity(outcome.frontier.len());
+    for point in &outcome.frontier {
+        let s = crate::sensitivity::evaluate(&point.design.config)?;
+        let max_lambda_at_slo = match slo_latency_us {
+            Some(budget) => crate::sensitivity::lambda_for_latency(&point.design.config, budget)?,
+            None => None,
+        };
+        rows.push(FrontierSensitivity {
+            key: point.design.key(),
+            dlatency_dlambda: s.dlatency_dlambda,
+            dlatency_dbyte: s.dlatency_dbyte,
+            saturation_lambda: s.saturation_lambda,
+            lambda_headroom: s.lambda_headroom,
+            max_lambda_at_slo,
+        });
+    }
+    Ok(rows)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -687,6 +744,25 @@ mod tests {
         let err =
             optimize(&spec(Constraints::default(), space), BatchOptions::sequential()).unwrap_err();
         assert!(matches!(err, OptimizeError::UnknownTechnology(_)));
+    }
+
+    #[test]
+    fn frontier_sensitivity_annotates_every_point() {
+        let outcome =
+            optimize(&spec(Constraints::default(), small_space()), BatchOptions::sequential())
+                .unwrap();
+        let rows = frontier_sensitivity(&outcome, Some(30_000.0)).unwrap();
+        assert_eq!(rows.len(), outcome.frontier.len());
+        for (row, point) in rows.iter().zip(&outcome.frontier) {
+            assert_eq!(row.key, point.design.key());
+            assert_eq!(row.saturation_lambda.to_bits(), point.saturation_lambda.to_bits());
+            assert!(row.dlatency_dlambda > 0.0);
+            assert!(row.dlatency_dbyte > 0.0);
+            let at_slo = row.max_lambda_at_slo.expect("30 ms is feasible for every point");
+            assert!(at_slo > 0.0);
+        }
+        let bare = frontier_sensitivity(&outcome, None).unwrap();
+        assert!(bare.iter().all(|r| r.max_lambda_at_slo.is_none()));
     }
 
     #[test]

@@ -223,6 +223,20 @@ pub fn solve_with_service_seeded(
         metrics::histogram(keys::SOLVER_BACKOFF_STEPS).record(backoff_steps as u64);
     }
 
+    assemble_equilibrium(config, service, lambda_eff, total, sol.iterations)
+}
+
+/// Builds the converged [`Equilibrium`] from a solved effective rate.
+/// Shared by the scalar solver and the batched kernel
+/// ([`crate::kernel`]) so both paths assemble bit-identical results.
+pub(crate) fn assemble_equilibrium(
+    config: &SystemConfig,
+    service: &ServiceTimes,
+    lambda_eff: f64,
+    total_waiting: f64,
+    solver_iterations: usize,
+) -> Result<Equilibrium, ModelError> {
+    let lambda = config.lambda_per_us;
     let rates = TrafficRates::compute(config, lambda_eff);
     let make_center = |arrival: f64, service_us: f64| -> Result<CenterState, ModelError> {
         let dist = config.service_model.distribution(service_us);
@@ -247,9 +261,9 @@ pub fn solve_with_service_seeded(
         icn1: make_center(rates.icn1, service.icn1_us)?,
         ecn1: make_center(rates.ecn1_total, service.ecn1_us)?,
         icn2: make_center(rates.icn2, service.icn2_us)?,
-        total_waiting: total,
+        total_waiting,
         retained_fraction: lambda_eff / lambda,
-        solver_iterations: sol.iterations,
+        solver_iterations,
     })
 }
 

@@ -1,13 +1,13 @@
 //! Parameter sweeps — the x-axes of the paper's figures and of the
 //! design-space exploration the introduction motivates.
 //!
-//! All sweeps run on the shared [`crate::batch`] engine: shape sweeps
-//! (clusters, message size, switch ports, technology) evaluate their
-//! points on the bounded worker pool, while λ-sweeps stay sequential to
-//! exploit two serial optimisations — the λ-independent
-//! [`ServiceTimes`] are computed once per shape, and each point's
-//! bisection is warm-started from the neighbouring point's converged
-//! λ_eff.
+//! All sweeps run on the batched structure-of-arrays kernel
+//! ([`crate::kernel`]): shape sweeps (clusters, message size, switch
+//! ports, technology) evaluate their points through
+//! [`crate::batch::evaluate_many`] on the bounded worker pool, while
+//! λ-sweeps compute the λ-independent [`ServiceTimes`] once per shape
+//! and advance every point's bisection in lockstep lanes of a single
+//! kernel.
 
 use crate::batch::{self, BatchOptions, EvalStats};
 use crate::config::SystemConfig;
@@ -110,26 +110,22 @@ pub fn message_size_sweep_with(
 /// Sweeps the per-processor generation rate (λ) at a fixed shape —
 /// useful for locating the saturation knee.
 ///
-/// Runs sequentially on purpose: the λ-independent service times are
-/// computed once, and each point's bisection is warm-started from the
-/// previous point's converged λ_eff (a wild seed merely falls back to
-/// the cold-start bracket, so the result is the same to within the
-/// solver's 1e-13 relative convergence).
+/// The λ-independent service times are computed once for the shared
+/// shape, then one [`crate::kernel::BatchKernel`] advances every
+/// point's cold-start bisection in lockstep — each point is
+/// bit-identical to an independent `evaluate_one(cfg, Some(&service),
+/// None)` evaluation. (The former warm-started serial chain agreed
+/// with cold starts only to the solver's 1e-13 relative convergence;
+/// the kernel removes that slack along with the serial dependency.)
 pub fn lambda_sweep(
     base: &SystemConfig,
     lambdas_per_us: &[f64],
 ) -> Result<Vec<SweepPoint<f64>>, ModelError> {
     base.validate()?;
     let service = ServiceTimes::compute(base)?;
-    let mut out = Vec::with_capacity(lambdas_per_us.len());
-    let mut seed: Option<f64> = None;
-    for &l in lambdas_per_us {
-        let cfg = base.with_lambda(l);
-        let (report, stats) = batch::evaluate_one(&cfg, Some(&service), seed)?;
-        seed = Some(report.equilibrium.lambda_eff);
-        out.push(SweepPoint { x: l, report, stats });
-    }
-    Ok(out)
+    let configs: Vec<SystemConfig> = lambdas_per_us.iter().map(|&l| base.with_lambda(l)).collect();
+    let results = crate::kernel::BatchKernel::with_service(&configs, &service).solve();
+    collect_points(lambdas_per_us.to_vec(), results)
 }
 
 /// Sweeps the switch port count (design-space exploration: how big a
