@@ -346,13 +346,21 @@ struct OptimizeVerdict {
     evals_per_s: f64,
     min_eps: f64,
     evaluated: u64,
+    speedup: Option<f64>,
+    min_speedup: Option<f64>,
     pass: bool,
 }
 
 /// Validates an `hmcs-optimize-bench/1` document: the measured
-/// evaluations/second must meet the floor and the run must have
-/// evaluated at least one point.
-fn judge_optimize(doc: &JsonValue, min_eps: f64) -> Result<OptimizeVerdict, String> {
+/// evaluations/second must meet the floor, the run must have evaluated
+/// at least one point, and — when `--min-speedup` is given — the
+/// summary's pruned-vs-exhaustive `speedup` must meet its floor too
+/// (along with the recorded frontier bit-identity check).
+fn judge_optimize(
+    doc: &JsonValue,
+    min_eps: f64,
+    min_speedup: Option<f64>,
+) -> Result<OptimizeVerdict, String> {
     if doc.get("schema").and_then(JsonValue::as_str) != Some("hmcs-optimize-bench/1") {
         return Err("not an hmcs-optimize-bench/1 document".to_string());
     }
@@ -362,8 +370,20 @@ fn judge_optimize(doc: &JsonValue, min_eps: f64) -> Result<OptimizeVerdict, Stri
         .ok_or("missing numeric \"evals_per_s\"")?;
     let evaluated =
         doc.get("evaluated").and_then(JsonValue::as_u64).ok_or("missing integer \"evaluated\"")?;
-    let pass = evals_per_s >= min_eps && evaluated > 0;
-    Ok(OptimizeVerdict { evals_per_s, min_eps, evaluated, pass })
+    let speedup = doc.get("speedup").and_then(JsonValue::as_num);
+    let mut pass = evals_per_s >= min_eps && evaluated > 0;
+    if let Some(floor) = min_speedup {
+        let measured = speedup.ok_or("missing numeric \"speedup\" (--min-speedup given)")?;
+        let identical = doc.get("frontier_identical").and_then(|v| match v {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        });
+        if identical != Some(true) {
+            return Err("summary does not record \"frontier_identical\": true".to_string());
+        }
+        pass = pass && measured >= floor;
+    }
+    Ok(OptimizeVerdict { evals_per_s, min_eps, evaluated, speedup, min_speedup, pass })
 }
 
 /// Renders the committed `hmcs-optimize-gate/1` artefact with the
@@ -384,6 +404,12 @@ fn optimize_report_json(
     let _ = writeln!(out, "    \"min_evals_per_s\": {},", verdict.min_eps);
     let _ = writeln!(out, "    \"evals_per_s\": {},", verdict.evals_per_s);
     let _ = writeln!(out, "    \"evaluated\": {},", verdict.evaluated);
+    if let Some(speedup) = verdict.speedup {
+        let _ = writeln!(out, "    \"speedup\": {speedup},");
+    }
+    if let Some(min_speedup) = verdict.min_speedup {
+        let _ = writeln!(out, "    \"min_speedup\": {min_speedup},");
+    }
     let _ = writeln!(out, "    \"pass\": {}", verdict.pass);
     let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"optimize\": {}", summary_raw.trim());
@@ -395,6 +421,7 @@ fn optimize_main(args: Vec<String>) -> ExitCode {
     let mut summary_path: Option<String> = None;
     let mut out_path = "BENCH_OPTIMIZE.json".to_string();
     let mut min_eps: Option<f64> = None;
+    let mut min_speedup: Option<f64> = None;
     let mut meta: Vec<(String, String)> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -402,6 +429,10 @@ fn optimize_main(args: Vec<String>) -> ExitCode {
             "--out" => out_path = it.next().unwrap_or_else(|| usage()),
             "--min-eps" => {
                 min_eps = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()));
+            }
+            "--min-speedup" => {
+                min_speedup =
+                    Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()));
             }
             "--meta" => {
                 let kv = it.next().unwrap_or_else(|| usage());
@@ -428,7 +459,7 @@ fn optimize_main(args: Vec<String>) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let verdict = match judge_optimize(&doc, min_eps) {
+    let verdict = match judge_optimize(&doc, min_eps, min_speedup) {
         Ok(v) => v,
         Err(e) => {
             eprintln!("error: {e}");
@@ -441,11 +472,17 @@ fn optimize_main(args: Vec<String>) -> ExitCode {
         eprintln!("error: cannot write {out_path}: {e}");
         return ExitCode::from(2);
     }
+    let speedup_note = match (verdict.speedup, verdict.min_speedup) {
+        (Some(s), Some(floor)) => format!(", {s:.2}x pruning speedup (floor {floor:.2}x)"),
+        (Some(s), None) => format!(", {s:.2}x pruning speedup"),
+        _ => String::new(),
+    };
     println!(
-        "benchgate optimize: {:.0} evals/s (floor {:.0}), {} evaluation(s) — {}",
+        "benchgate optimize: {:.0} evals/s (floor {:.0}), {} evaluation(s){} — {}",
         verdict.evals_per_s,
         verdict.min_eps,
         verdict.evaluated,
+        speedup_note,
         if verdict.pass { "PASS" } else { "FAIL" }
     );
     println!("report written to {out_path}");
@@ -610,7 +647,7 @@ fn usage() -> ! {
          [--max-overhead-pct X] [--meta key=value]...\n\
          \x20      benchgate serve SUMMARY.json --min-rps X [--max-p99-us Y] \
          [--out PATH] [--meta key=value]...\n\
-         \x20      benchgate optimize SUMMARY.json --min-eps X \
+         \x20      benchgate optimize SUMMARY.json --min-eps X [--min-speedup Y] \
          [--out PATH] [--meta key=value]...\n\
          \x20      benchgate kernel ROWS.jsonl|REPORT.json --min-speedup X \
          [--out PATH] [--meta key=value]..."
@@ -810,27 +847,62 @@ mod tests {
         )
     }
 
+    fn pruned_summary(eps: f64, speedup: f64, identical: bool) -> String {
+        format!(
+            "{{\"schema\":\"hmcs-optimize-bench/1\",\"space_size\":21280,\"iterations\":5,\
+             \"evaluated\":9000,\"wall_s\":0.5,\"evals_per_s\":{eps},\"workers\":2,\
+             \"speedup\":{speedup},\"frontier_identical\":{identical}}}"
+        )
+    }
+
     #[test]
     fn optimize_gate_enforces_throughput_floor() {
         let doc = parse_json(&optimize_summary(400000.0, 5600)).unwrap();
-        let ok = judge_optimize(&doc, 100000.0).unwrap();
+        let ok = judge_optimize(&doc, 100000.0, None).unwrap();
         assert!(ok.pass);
         assert_eq!(ok.evaluated, 5600);
 
-        let slow = judge_optimize(&doc, 500000.0).unwrap();
+        let slow = judge_optimize(&doc, 500000.0, None).unwrap();
         assert!(!slow.pass, "throughput below the floor must fail");
 
         let empty = parse_json(&optimize_summary(400000.0, 0)).unwrap();
-        assert!(!judge_optimize(&empty, 1.0).unwrap().pass, "zero evaluations must fail");
+        assert!(!judge_optimize(&empty, 1.0, None).unwrap().pass, "zero evaluations must fail");
 
         let wrong_schema = parse_json(r#"{"schema":"hmcs-loadgen/1"}"#).unwrap();
-        assert!(judge_optimize(&wrong_schema, 1.0).is_err());
+        assert!(judge_optimize(&wrong_schema, 1.0, None).is_err());
+    }
+
+    #[test]
+    fn optimize_gate_enforces_pruning_speedup_and_bit_identity() {
+        let doc = parse_json(&pruned_summary(400000.0, 4.2, true)).unwrap();
+        let ok = judge_optimize(&doc, 100000.0, Some(3.0)).unwrap();
+        assert!(ok.pass);
+        assert_eq!(ok.speedup, Some(4.2));
+
+        let slow = judge_optimize(&doc, 100000.0, Some(5.0)).unwrap();
+        assert!(!slow.pass, "speedup below the floor must fail");
+
+        let drifted = parse_json(&pruned_summary(400000.0, 4.2, false)).unwrap();
+        assert!(
+            judge_optimize(&drifted, 100000.0, Some(3.0)).is_err(),
+            "a summary without frontier bit-identity must be rejected outright"
+        );
+
+        let legacy = parse_json(&optimize_summary(400000.0, 5600)).unwrap();
+        assert!(
+            judge_optimize(&legacy, 100000.0, Some(3.0)).is_err(),
+            "--min-speedup against a summary with no speedup field must be rejected"
+        );
+        assert!(
+            judge_optimize(&legacy, 100000.0, None).unwrap().pass,
+            "without --min-speedup the legacy summary still judges on evals/s alone"
+        );
     }
 
     #[test]
     fn optimize_report_embeds_the_summary_verbatim() {
-        let raw = optimize_summary(400000.0, 5600);
-        let verdict = judge_optimize(&parse_json(&raw).unwrap(), 100000.0).unwrap();
+        let raw = pruned_summary(400000.0, 4.2, true);
+        let verdict = judge_optimize(&parse_json(&raw).unwrap(), 100000.0, Some(3.0)).unwrap();
         let report = optimize_report_json(&verdict, &raw, &[("host".into(), "ci".into())]);
         let doc = parse_json(&report).expect("report is valid JSON");
         assert_eq!(doc.get("schema").and_then(JsonValue::as_str), Some("hmcs-optimize-gate/1"));
@@ -843,6 +915,14 @@ mod tests {
         assert_eq!(
             doc.get("gate").and_then(|g| g.get("min_evals_per_s")).and_then(JsonValue::as_num),
             Some(100000.0)
+        );
+        assert_eq!(
+            doc.get("gate").and_then(|g| g.get("speedup")).and_then(JsonValue::as_num),
+            Some(4.2)
+        );
+        assert_eq!(
+            doc.get("gate").and_then(|g| g.get("min_speedup")).and_then(JsonValue::as_num),
+            Some(3.0)
         );
     }
 

@@ -203,7 +203,7 @@ where
 }
 
 /// Cost of one model evaluation.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct EvalStats {
     /// Wall-clock evaluation time (µs).
     pub eval_time_us: f64,

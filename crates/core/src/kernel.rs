@@ -40,6 +40,7 @@ use crate::service::ServiceTimes;
 use crate::solver;
 use hmcs_queueing::fixed_point::SEEDED_REL_TOL;
 use hmcs_queueing::QueueingError;
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 /// Mirrors `SolverOptions::max_iterations` in the scalar solver: the
@@ -270,6 +271,65 @@ enum LaneState {
     Done,
     /// Preparation or solving failed; the error is in `errors[i]`.
     Failed,
+    /// A bounded solve certified mid-flight that this lane's latency
+    /// cannot beat its prune threshold; the certified lower bound is in
+    /// `pruned_lb[i]`.
+    Pruned,
+}
+
+/// Per-lane prune thresholds for [`BatchKernel::evaluate_bounded`].
+/// `f64::INFINITY` disables the corresponding bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaneBounds {
+    /// Prune the lane once its latency is certified strictly above this
+    /// SLO (the lane would be `above_slo` in an exhaustive pass).
+    pub slo_us: f64,
+    /// Prune the lane once its latency is certified at or above this
+    /// value (a strictly cheaper feasible design already achieved it,
+    /// so the lane would be Pareto-dominated in an exhaustive pass).
+    pub dominated_at_us: f64,
+}
+
+impl LaneBounds {
+    /// No bounds: the lane solves to completion like [`BatchKernel::solve`].
+    pub const NONE: LaneBounds =
+        LaneBounds { slo_us: f64::INFINITY, dominated_at_us: f64::INFINITY };
+}
+
+/// One lane's outcome from a bounded solve.
+// `Solved` dominates the size, but outcomes are consumed immediately from a
+// per-wave Vec on the optimizer hot path; boxing the report would add one
+// heap allocation per evaluated lane to shave bytes off pruned lanes.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum LaneOutcome {
+    /// The lane solved to completion, bit-identical to an unbounded solve.
+    Solved(PerformanceReport, EvalStats),
+    /// Preparation or solving failed, bit-identical to an unbounded solve.
+    Failed(ModelError),
+    /// The lane was abandoned after its mean latency was certified to be
+    /// at least `latency_lb_us`, which crossed a [`LaneBounds`] threshold.
+    Pruned {
+        /// A certified lower bound on the latency the full solve would
+        /// have reported.
+        latency_lb_us: f64,
+    },
+}
+
+/// Mean-sojourn form of [`center_l_fast`]: the M/G/1 sojourn `W = S +
+/// Wq` from precomputed moments, `f64::INFINITY` when unstable. Used by
+/// the mid-flight prune check, which needs latency (a sojourn mix)
+/// rather than population.
+#[inline]
+fn sojourn_fast(arrival: f64, mean: f64, m2: f64) -> f64 {
+    if arrival <= 0.0 {
+        return mean;
+    }
+    let rho = arrival * mean;
+    if rho >= 1.0 {
+        return f64::INFINITY;
+    }
+    mean + arrival * m2 / (2.0 * (1.0 - rho))
 }
 
 /// A batch of fixed-point solves advanced in lockstep.
@@ -279,7 +339,15 @@ enum LaneState {
 /// (one shared shape swept over λ), then call [`BatchKernel::solve`].
 /// Results come back in lane order, each lane bit-identical to
 /// [`crate::batch::evaluate_one`] on the same configuration.
-#[derive(Debug)]
+///
+/// A kernel is also a reusable *arena*: [`BatchKernel::reset`] rewinds
+/// every column to the exact state a fresh build would produce without
+/// releasing capacity, so steady-state callers ([`evaluate_batch`]'s
+/// worker pool, the optimizer's wave loop, the serve micro-batcher)
+/// solve batch after batch without touching the allocator. The
+/// convenience wrappers [`BatchKernel::evaluate`] /
+/// [`BatchKernel::evaluate_with_service`] are `reset` + solve-in-place.
+#[derive(Debug, Default)]
 pub struct BatchKernel {
     configs: Vec<SystemConfig>,
     service: Vec<ServiceTimes>,
@@ -287,6 +355,7 @@ pub struct BatchKernel {
     lambda: Vec<f64>,
     n: Vec<f64>,
     c: Vec<f64>,
+    p_ext: Vec<f64>,
     a_icn1: Vec<f64>,
     a_fwd: Vec<f64>,
     a_icn2: Vec<f64>,
@@ -307,6 +376,18 @@ pub struct BatchKernel {
     iterations: Vec<usize>,
     state: Vec<LaneState>,
     errors: Vec<Option<ModelError>>,
+    // --- bounded-solve thresholds and certificates ---
+    bound_active: bool,
+    thr_slo: Vec<f64>,
+    thr_dom: Vec<f64>,
+    pruned_lb: Vec<f64>,
+    // --- solve-scratch columns (endpoint residuals, midpoints,
+    //     convergence flags), retained across resets ---
+    f_los: Vec<f64>,
+    f_his: Vec<f64>,
+    mids: Vec<f64>,
+    fms: Vec<f64>,
+    convf: Vec<f64>,
 }
 
 impl BatchKernel {
@@ -325,33 +406,114 @@ impl BatchKernel {
     }
 
     fn build(configs: &[SystemConfig], shared: Option<&ServiceTimes>) -> Self {
+        let mut k = BatchKernel::default();
+        k.reset_impl(configs, shared);
+        k
+    }
+
+    /// Rewinds the arena to the state [`BatchKernel::new`] would build
+    /// for `configs`, reusing every column's capacity. Solving after a
+    /// reset is bit-identical to solving a freshly built kernel.
+    pub fn reset(&mut self, configs: &[SystemConfig]) {
+        self.reset_impl(configs, None);
+    }
+
+    /// [`BatchKernel::reset`] for the shared-service (λ-grid) case,
+    /// mirroring [`BatchKernel::with_service`].
+    pub fn reset_with_service(&mut self, configs: &[SystemConfig], shared: &ServiceTimes) {
+        self.reset_impl(configs, Some(shared));
+    }
+
+    /// `reset` + solve in place: one batch through a reusable arena.
+    pub fn evaluate(
+        &mut self,
+        configs: &[SystemConfig],
+    ) -> Vec<Result<(PerformanceReport, EvalStats), ModelError>> {
+        self.reset(configs);
+        self.solve_in_place()
+    }
+
+    /// `reset_with_service` + solve in place.
+    pub fn evaluate_with_service(
+        &mut self,
+        configs: &[SystemConfig],
+        shared: &ServiceTimes,
+    ) -> Vec<Result<(PerformanceReport, EvalStats), ModelError>> {
+        self.reset_with_service(configs, shared);
+        self.solve_in_place()
+    }
+
+    /// Bounded solve: lanes whose latency is certified (mid-flight, via
+    /// the monotone lower bound at the bracket's stable low edge) to
+    /// cross their [`LaneBounds`] threshold abandon the bisection early
+    /// and come back as [`LaneOutcome::Pruned`]. Lanes that solve to
+    /// completion are bit-identical to an unbounded solve: the check
+    /// only reads bracket state, never writes it.
+    ///
+    /// The certificate is conservative and float-safe: it only fires
+    /// once the bracket's high edge has moved strictly inside the
+    /// saturation clamp (so the final rate is provably `≥ lo` with no
+    /// back-off), and the bound carries a `1e-9` relative safety margin
+    /// against rounding, so a pruned lane's true latency provably
+    /// crosses the threshold.
+    pub fn evaluate_bounded(
+        &mut self,
+        configs: &[SystemConfig],
+        bounds: &[LaneBounds],
+    ) -> Vec<LaneOutcome> {
+        assert_eq!(configs.len(), bounds.len(), "one LaneBounds per lane");
+        self.reset(configs);
+        let mut any = false;
+        for (i, b) in bounds.iter().enumerate() {
+            self.thr_slo[i] = b.slo_us;
+            self.thr_dom[i] = b.dominated_at_us;
+            any |= b.slo_us.is_finite() || b.dominated_at_us.is_finite();
+        }
+        self.bound_active = any;
+        self.run()
+    }
+
+    fn reset_impl(&mut self, configs: &[SystemConfig], shared: Option<&ServiceTimes>) {
         let lanes = configs.len();
-        let mut k = BatchKernel {
-            configs: configs.to_vec(),
-            service: vec![ServiceTimes { icn1_us: 0.0, ecn1_us: 0.0, icn2_us: 0.0 }; lanes],
-            lambda: vec![0.0; lanes],
-            n: vec![0.0; lanes],
-            c: vec![0.0; lanes],
-            a_icn1: vec![0.0; lanes],
-            a_fwd: vec![0.0; lanes],
-            a_icn2: vec![0.0; lanes],
-            w_e1: vec![0.0; lanes],
-            mean_i1: vec![0.0; lanes],
-            m2_i1: vec![0.0; lanes],
-            mean_e1: vec![0.0; lanes],
-            m2_e1: vec![0.0; lanes],
-            mean_i2: vec![0.0; lanes],
-            m2_i2: vec![0.0; lanes],
-            hi0: vec![0.0; lanes],
-            lo: vec![0.0; lanes],
-            hi: vec![0.0; lanes],
-            flo: vec![0.0; lanes],
-            evals: vec![0; lanes],
-            value: vec![0.0; lanes],
-            iterations: vec![0; lanes],
-            state: vec![LaneState::Active; lanes],
-            errors: vec![None; lanes],
-        };
+        self.configs.clear();
+        self.configs.extend_from_slice(configs);
+        fn refill<T: Clone>(v: &mut Vec<T>, lanes: usize, zero: T) {
+            v.clear();
+            v.resize(lanes, zero);
+        }
+        refill(&mut self.service, lanes, ServiceTimes { icn1_us: 0.0, ecn1_us: 0.0, icn2_us: 0.0 });
+        for col in [
+            &mut self.lambda,
+            &mut self.n,
+            &mut self.c,
+            &mut self.p_ext,
+            &mut self.a_icn1,
+            &mut self.a_fwd,
+            &mut self.a_icn2,
+            &mut self.w_e1,
+            &mut self.mean_i1,
+            &mut self.m2_i1,
+            &mut self.mean_e1,
+            &mut self.m2_e1,
+            &mut self.mean_i2,
+            &mut self.m2_i2,
+            &mut self.hi0,
+            &mut self.lo,
+            &mut self.hi,
+            &mut self.flo,
+            &mut self.value,
+            &mut self.pruned_lb,
+        ] {
+            refill(col, lanes, 0.0);
+        }
+        refill(&mut self.evals, lanes, 0);
+        refill(&mut self.iterations, lanes, 0);
+        refill(&mut self.state, lanes, LaneState::Active);
+        refill(&mut self.errors, lanes, None);
+        self.bound_active = false;
+        refill(&mut self.thr_slo, lanes, f64::INFINITY);
+        refill(&mut self.thr_dom, lanes, f64::INFINITY);
+        let k = self;
         for (i, config) in configs.iter().enumerate() {
             if let Err(e) = config.validate() {
                 k.fail(i, e);
@@ -374,6 +536,7 @@ impl BatchKernel {
             let n0 = config.nodes_per_cluster as f64;
             let c = config.clusters as f64;
             k.c[i] = c;
+            k.p_ext[i] = p;
             // Traffic-equation coefficients (eqs. 1–5): the scalar path
             // computes `n0 * (1.0 - p) * x` etc. per probe; hoisting the
             // full left-associated prefix keeps the bits identical.
@@ -400,7 +563,6 @@ impl BatchKernel {
             k.hi0[i] = config.lambda_per_us.min(sat * (1.0 - 1e-12));
             k.hi[i] = k.hi0[i];
         }
-        k
     }
 
     fn fail(&mut self, i: usize, e: ModelError) {
@@ -432,8 +594,28 @@ impl BatchKernel {
     /// divided evenly over the lanes (the lockstep loop has no
     /// meaningful per-lane clock); `solver_iterations` is exact.
     pub fn solve(mut self) -> Vec<Result<(PerformanceReport, EvalStats), ModelError>> {
+        self.solve_in_place()
+    }
+
+    /// [`BatchKernel::solve`] without consuming the arena; only called
+    /// on a freshly built or freshly reset batch.
+    fn solve_in_place(&mut self) -> Vec<Result<(PerformanceReport, EvalStats), ModelError>> {
+        self.run()
+            .into_iter()
+            .map(|lane| match lane {
+                LaneOutcome::Solved(report, stats) => Ok((report, stats)),
+                LaneOutcome::Failed(e) => Err(e),
+                LaneOutcome::Pruned { .. } => {
+                    unreachable!("an unbounded solve never prunes a lane")
+                }
+            })
+            .collect()
+    }
+
+    fn run(&mut self) -> Vec<LaneOutcome> {
         let start = Instant::now();
         let lanes = self.configs.len();
+        let bound_active = self.bound_active;
 
         {
             // Distinct `&mut` slices of the bracket state: the disjoint
@@ -461,6 +643,26 @@ impl BatchKernel {
             let m2_i2 = &self.m2_i2[..lanes];
             let lambda = &self.lambda[..lanes];
             let n = &self.n[..lanes];
+            let hi0 = &self.hi0[..lanes];
+            let p_ext = &self.p_ext[..lanes];
+            let thr_slo = &self.thr_slo[..lanes];
+            let thr_dom = &self.thr_dom[..lanes];
+            let pruned_lb = &mut self.pruned_lb[..lanes];
+
+            // Scratch columns live in the arena so steady-state reuse
+            // stays allocation-free; every slot is overwritten by the
+            // probe passes before it is read.
+            for scratch in
+                [&mut self.f_los, &mut self.f_his, &mut self.mids, &mut self.fms, &mut self.convf]
+            {
+                scratch.clear();
+                scratch.resize(lanes, 0.0);
+            }
+            let f_los = &mut self.f_los[..lanes];
+            let f_his = &mut self.f_his[..lanes];
+            let mids = &mut self.mids[..lanes];
+            let fms = &mut self.fms[..lanes];
+            let convf = &mut self.convf[..lanes];
 
             // Endpoint probes — the head of the scalar `bisect_seeded`
             // with no seed (the path every golden artefact takes) —
@@ -468,15 +670,13 @@ impl BatchKernel {
             // main passes. Lanes that failed preparation hold a
             // degenerate `lo == hi == 0` bracket: their probes compute
             // garbage that the triage below never reads.
-            let mut f_los = vec![0.0f64; lanes];
-            let mut f_his = vec![0.0f64; lanes];
             probe_pass(
-                &mut f_los, lo, a_icn1, a_fwd, a_icn2, c, w_e1, mean_i1, m2_i1, mean_e1, m2_e1,
-                mean_i2, m2_i2, lambda, n,
+                f_los, lo, a_icn1, a_fwd, a_icn2, c, w_e1, mean_i1, m2_i1, mean_e1, m2_e1, mean_i2,
+                m2_i2, lambda, n,
             );
             probe_pass(
-                &mut f_his, hi, a_icn1, a_fwd, a_icn2, c, w_e1, mean_i1, m2_i1, mean_e1, m2_e1,
-                mean_i2, m2_i2, lambda, n,
+                f_his, hi, a_icn1, a_fwd, a_icn2, c, w_e1, mean_i1, m2_i1, mean_e1, m2_e1, mean_i2,
+                m2_i2, lambda, n,
             );
 
             // Triage: the scalar head's decision order per lane.
@@ -527,14 +727,14 @@ impl BatchKernel {
             //     solver's per-iteration decision order — max-evals
             //     failure, relative convergence, exact root — on the
             //     recorded verdicts. Only state transitions happen
-            //     here, at most once per lane per pass.
-            let mut mids = vec![0.0f64; lanes];
-            let mut fms = vec![0.0f64; lanes];
-            let mut convf = vec![0.0f64; lanes];
+            //     here, at most once per lane per pass. In bounded
+            //     solves the sweep ends with the prune certificate
+            //     check; it reads bracket state without writing it, so
+            //     surviving lanes keep the unbounded bit pattern.
             while active_count > 0 {
                 lockstep_pass(
-                    lo, hi, flo, &mut mids, &mut fms, &mut convf, a_icn1, a_fwd, a_icn2, c, w_e1,
-                    mean_i1, m2_i1, mean_e1, m2_e1, mean_i2, m2_i2, lambda, n,
+                    lo, hi, flo, mids, fms, convf, a_icn1, a_fwd, a_icn2, c, w_e1, mean_i1, m2_i1,
+                    mean_e1, m2_e1, mean_i2, m2_i2, lambda, n,
                 );
                 for i in 0..lanes {
                     if state[i] != LaneState::Active {
@@ -575,6 +775,41 @@ impl BatchKernel {
                         lo[i] = mids[i];
                         hi[i] = mids[i];
                         active_count -= 1;
+                        continue;
+                    }
+                    if !bound_active {
+                        continue;
+                    }
+                    // Prune certificate. Valid only once the high edge
+                    // sits strictly inside the saturation clamp: then
+                    // every rate in `[lo, hi]` is stable with margin
+                    // (no back-off can fire), the final `lambda_eff`
+                    // lands in `[lo, hi]`, and mean latency is
+                    // monotone increasing in the effective rate — so
+                    // the sojourn mix at `lo` lower-bounds the latency
+                    // the completed solve would report. The `1e-6` /
+                    // `1e-9` margins keep the certificate sound under
+                    // floating-point rounding.
+                    let t_slo = thr_slo[i];
+                    let t_dom = thr_dom[i];
+                    if (t_slo.is_finite() || t_dom.is_finite()) && hi[i] <= hi0[i] * (1.0 - 1e-6) {
+                        let x = lo[i];
+                        let icn1 = a_icn1[i] * x;
+                        let icn2 = a_icn2[i] * x;
+                        let ecn1_total = a_fwd[i] * x + icn2 / c[i];
+                        let w_i1 = sojourn_fast(icn1, mean_i1[i], m2_i1[i]);
+                        let w_ecn1 = sojourn_fast(ecn1_total, mean_e1[i], m2_e1[i]);
+                        let w_i2 = sojourn_fast(icn2, mean_i2[i], m2_i2[i]);
+                        let p = p_ext[i];
+                        let t_lo = (1.0 - p) * w_i1 + p * (w_i2 + 2.0 * w_ecn1);
+                        let certified = t_lo * (1.0 - 1e-9);
+                        if certified > t_slo || certified >= t_dom {
+                            state[i] = LaneState::Pruned;
+                            pruned_lb[i] = certified;
+                            lo[i] = 0.0;
+                            hi[i] = 0.0;
+                            active_count -= 1;
+                        }
                     }
                 }
             }
@@ -593,12 +828,20 @@ impl BatchKernel {
         let mut bracket_batch = metrics::HistogramBatch::new();
         let mut backoff_activations = 0u64;
         let mut backoff_batch = metrics::HistogramBatch::new();
-        let mut out: Vec<Result<(PerformanceReport, EvalStats), ModelError>> =
-            Vec::with_capacity(lanes);
+        let mut out: Vec<LaneOutcome> = Vec::with_capacity(lanes);
         for i in 0..lanes {
-            if self.state[i] == LaneState::Failed {
-                out.push(Err(self.errors[i].clone().expect("failed lane carries its error")));
-                continue;
+            match self.state[i] {
+                LaneState::Failed => {
+                    out.push(LaneOutcome::Failed(
+                        self.errors[i].clone().expect("failed lane carries its error"),
+                    ));
+                    continue;
+                }
+                LaneState::Pruned => {
+                    out.push(LaneOutcome::Pruned { latency_lb_us: self.pruned_lb[i] });
+                    continue;
+                }
+                LaneState::Active | LaneState::Done => {}
             }
             // `solver::back_off_to_stable` with its stability probe and
             // the subsequent eq.-6 evaluation fused: the probe at each
@@ -621,7 +864,7 @@ impl BatchKernel {
                 }
             }
             let Some(total) = total else {
-                out.push(Err(ModelError::SolverFailed { residual: f64::INFINITY }));
+                out.push(LaneOutcome::Failed(ModelError::SolverFailed { residual: f64::INFINITY }));
                 continue;
             };
             solves += 1;
@@ -648,9 +891,9 @@ impl BatchKernel {
                     );
                     let stats =
                         EvalStats { eval_time_us: 0.0, solver_iterations: self.iterations[i] };
-                    out.push(Ok((report, stats)));
+                    out.push(LaneOutcome::Solved(report, stats));
                 }
-                Err(e) => out.push(Err(e)),
+                Err(e) => out.push(LaneOutcome::Failed(e)),
             }
         }
         if solves > 0 {
@@ -666,14 +909,64 @@ impl BatchKernel {
         let per_lane_us =
             if lanes == 0 { 0.0 } else { start.elapsed().as_secs_f64() * 1e6 / lanes as f64 };
         let mut eval_time_batch = metrics::HistogramBatch::new();
-        for r in out.iter_mut().flatten() {
-            r.1.eval_time_us = per_lane_us;
-            eval_time_batch.record_f64(per_lane_us);
+        for lane in out.iter_mut() {
+            if let LaneOutcome::Solved(_, stats) = lane {
+                stats.eval_time_us = per_lane_us;
+                eval_time_batch.record_f64(per_lane_us);
+            }
         }
         if !eval_time_batch.is_empty() {
             eval_time_batch.flush_into(metrics::histogram(keys::BATCH_EVAL_TIME_US));
         }
         out
+    }
+}
+
+/// Process-wide arena cache: finished workers park their
+/// [`BatchKernel`] here and the next batch's workers pick them back
+/// up, so steady-state serving and optimizer loops stop paying the
+/// ~28-column rebuild allocation per call. Bounded by the peak number
+/// of concurrent workers ever live.
+struct ArenaPool {
+    arenas: Mutex<Vec<BatchKernel>>,
+}
+
+impl ArenaPool {
+    fn take(&self) -> BatchKernel {
+        self.arenas.lock().expect("arena pool poisoned").pop().unwrap_or_default()
+    }
+
+    fn put(&self, kernel: BatchKernel) {
+        self.arenas.lock().expect("arena pool poisoned").push(kernel);
+    }
+}
+
+fn arena_pool() -> &'static ArenaPool {
+    static POOL: OnceLock<ArenaPool> = OnceLock::new();
+    POOL.get_or_init(|| ArenaPool { arenas: Mutex::new(Vec::new()) })
+}
+
+/// Checked-out arena that returns itself to the pool on drop (worker
+/// panic included).
+struct PooledKernel {
+    kernel: Option<BatchKernel>,
+}
+
+impl PooledKernel {
+    fn checkout() -> Self {
+        PooledKernel { kernel: Some(arena_pool().take()) }
+    }
+
+    fn get(&mut self) -> &mut BatchKernel {
+        self.kernel.as_mut().expect("pooled kernel present until drop")
+    }
+}
+
+impl Drop for PooledKernel {
+    fn drop(&mut self) {
+        if let Some(kernel) = self.kernel.take() {
+            arena_pool().put(kernel);
+        }
     }
 }
 
@@ -683,7 +976,9 @@ impl BatchKernel {
 /// This is the engine behind [`crate::batch::evaluate_many`]: results
 /// arrive in input order and every lane is bit-identical to the scalar
 /// [`crate::batch::evaluate_one`] — chunking cannot change bits
-/// because lanes never exchange information.
+/// because lanes never exchange information. Each worker solves its
+/// block in a pooled arena ([`BatchKernel::reset`] reuse), so repeated
+/// calls are allocation-free once the pool is warm.
 pub fn evaluate_batch(
     configs: &[SystemConfig],
     workers: usize,
@@ -694,13 +989,43 @@ pub fn evaluate_batch(
     let workers = workers.max(1).min(configs.len());
     let chunk = configs.len().div_ceil(workers);
     let chunks: Vec<&[SystemConfig]> = configs.chunks(chunk).collect();
-    // `par_map` counts one item per chunk; top the batch-items counter
-    // up to the per-configuration count the scalar path reported so
-    // operator dashboards keep their meaning.
+    // `par_map_init` counts one item per chunk; top the batch-items
+    // counter up to the per-configuration count the scalar path
+    // reported so operator dashboards keep their meaning.
     if metrics::enabled() && configs.len() > chunks.len() {
         metrics::counter(keys::BATCH_ITEMS).add((configs.len() - chunks.len()) as u64);
     }
-    let nested = batch::par_map(&chunks, workers, |block| BatchKernel::new(block).solve());
+    let nested = batch::par_map_init(&chunks, workers, PooledKernel::checkout, |arena, block| {
+        arena.get().evaluate(block)
+    });
+    nested.into_iter().flatten().collect()
+}
+
+/// [`evaluate_batch`] with per-lane prune thresholds: the bounded
+/// analogue used by the optimizer's gradient-guided pass. `bounds`
+/// must be lane-aligned with `configs`. Lanes that survive are
+/// bit-identical to [`evaluate_batch`]; pruned lanes carry their
+/// certified latency lower bound.
+pub fn evaluate_batch_bounded(
+    configs: &[SystemConfig],
+    bounds: &[LaneBounds],
+    workers: usize,
+) -> Vec<LaneOutcome> {
+    assert_eq!(configs.len(), bounds.len(), "one LaneBounds per lane");
+    if configs.is_empty() {
+        return Vec::new();
+    }
+    let workers = workers.max(1).min(configs.len());
+    let chunk = configs.len().div_ceil(workers);
+    let chunks: Vec<(&[SystemConfig], &[LaneBounds])> =
+        configs.chunks(chunk).zip(bounds.chunks(chunk)).collect();
+    if metrics::enabled() && configs.len() > chunks.len() {
+        metrics::counter(keys::BATCH_ITEMS).add((configs.len() - chunks.len()) as u64);
+    }
+    let nested =
+        batch::par_map_init(&chunks, workers, PooledKernel::checkout, |arena, &(block, bb)| {
+            arena.get().evaluate_bounded(block, bb)
+        });
     nested.into_iter().flatten().collect()
 }
 
@@ -834,5 +1159,121 @@ mod tests {
         let (report, stats) = lanes[0].as_ref().unwrap();
         assert_eq!(stats.solver_iterations, report.equilibrium.solver_iterations);
         assert!(stats.eval_time_us > 0.0);
+    }
+
+    #[test]
+    fn one_arena_cycled_through_batches_matches_fresh_builds() {
+        // Grow, shrink, and re-grow one arena across batches with
+        // error lanes in the mix: every pass must be bit-identical to
+        // a fresh build of the same batch.
+        let mut arena = BatchKernel::default();
+        let batches: Vec<Vec<SystemConfig>> = vec![
+            PAPER_CLUSTER_COUNTS.iter().map(|&c| cfg(c, Architecture::NonBlocking)).collect(),
+            vec![cfg(4, Architecture::Blocking).with_lambda(-1.0)],
+            vec![
+                cfg(256, Architecture::Blocking).with_lambda(2.5e-2),
+                cfg(2, Architecture::NonBlocking),
+                cfg(16, Architecture::Blocking).with_lambda(-1.0),
+                cfg(16, Architecture::Blocking),
+            ],
+            Vec::new(),
+            PAPER_CLUSTER_COUNTS.iter().map(|&c| cfg(c, Architecture::Blocking)).collect(),
+        ];
+        for batch_cfgs in &batches {
+            let reused = arena.evaluate(batch_cfgs);
+            let fresh = BatchKernel::new(batch_cfgs).solve();
+            assert_eq!(reused.len(), fresh.len());
+            for (a, b) in reused.iter().zip(&fresh) {
+                match (a, b) {
+                    (Ok((ra, sa)), Ok((rb, sb))) => {
+                        assert_bitwise_eq(ra, rb);
+                        assert_eq!(sa.solver_iterations, sb.solver_iterations);
+                    }
+                    (Err(ea), Err(eb)) => assert_eq!(ea, eb),
+                    _ => panic!("reused arena and fresh build disagree on lane outcome"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arena_reuse_matches_fresh_builds_on_the_shared_service_path() {
+        let base = cfg(16, Architecture::Blocking);
+        let service = ServiceTimes::compute(&base).unwrap();
+        let mut arena = BatchKernel::default();
+        for count in [7usize, 64, 3] {
+            let configs: Vec<SystemConfig> =
+                (0..count).map(|i| base.with_lambda(1e-6 * 1.3f64.powi(i as i32))).collect();
+            let reused = arena.evaluate_with_service(&configs, &service);
+            let fresh = BatchKernel::with_service(&configs, &service).solve();
+            for (a, b) in reused.iter().zip(&fresh) {
+                assert_bitwise_eq(&a.as_ref().unwrap().0, &b.as_ref().unwrap().0);
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_solve_without_bounds_matches_the_unbounded_solve() {
+        let configs: Vec<SystemConfig> =
+            PAPER_CLUSTER_COUNTS.iter().map(|&c| cfg(c, Architecture::Blocking)).collect();
+        let bounds = vec![LaneBounds::NONE; configs.len()];
+        let outcomes = BatchKernel::default().evaluate_bounded(&configs, &bounds);
+        let plain = BatchKernel::new(&configs).solve();
+        for (o, p) in outcomes.iter().zip(&plain) {
+            match (o, p) {
+                (LaneOutcome::Solved(ro, _), Ok((rp, _))) => assert_bitwise_eq(ro, rp),
+                (LaneOutcome::Failed(eo), Err(ep)) => assert_eq!(eo, ep),
+                _ => panic!("bounded solve without bounds changed a lane outcome"),
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_solve_certificates_are_sound_and_survivors_identical() {
+        // Heavily throttled lanes: their latency is far above the
+        // threshold, so the certificate must fire, and its certified
+        // bound must sit at or below the true latency. The unbounded
+        // lane in the same batch must keep its exact bits.
+        let throttled = cfg(256, Architecture::Blocking).with_lambda(2.5e-3);
+        let light = cfg(4, Architecture::NonBlocking);
+        let true_latency = BatchKernel::new(std::slice::from_ref(&throttled))
+            .solve()
+            .remove(0)
+            .unwrap()
+            .0
+            .latency
+            .mean_message_latency_us;
+        let threshold = true_latency * 0.5;
+        let configs = [throttled, light];
+        let bounds =
+            [LaneBounds { slo_us: f64::INFINITY, dominated_at_us: threshold }, LaneBounds::NONE];
+        let outcomes = BatchKernel::default().evaluate_bounded(&configs, &bounds);
+        match &outcomes[0] {
+            LaneOutcome::Pruned { latency_lb_us } => {
+                assert!(*latency_lb_us >= threshold, "prune fired below its threshold");
+                assert!(*latency_lb_us <= true_latency, "certificate overshot the true latency");
+            }
+            other => panic!("expected the throttled lane to prune, got {other:?}"),
+        }
+        let (light_report, _) = batch::evaluate_one(&configs[1], None, None).unwrap();
+        match &outcomes[1] {
+            LaneOutcome::Solved(report, _) => assert_bitwise_eq(report, &light_report),
+            other => panic!("expected the light lane to solve, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn evaluate_batch_bounded_is_chunking_invariant() {
+        let configs: Vec<SystemConfig> = PAPER_CLUSTER_COUNTS
+            .iter()
+            .map(|&c| cfg(c, Architecture::Blocking).with_lambda(1e-3))
+            .collect();
+        let bounds =
+            vec![LaneBounds { slo_us: 2e4, dominated_at_us: f64::INFINITY }; configs.len()];
+        let one = evaluate_batch_bounded(&configs, &bounds, 1);
+        for workers in [2, 3, 8] {
+            let many = evaluate_batch_bounded(&configs, &bounds, workers);
+            assert_eq!(one, many, "workers={workers}");
+        }
     }
 }

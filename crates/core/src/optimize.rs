@@ -172,6 +172,19 @@ impl DesignSpace {
         }
     }
 
+    /// A much larger space for stress-testing the optimizer: the same
+    /// cluster counts and technology presets as
+    /// [`DesignSpace::paper_default`], but a dense port axis — every
+    /// even port count in `[4, 192]` — so the cross product grows to
+    /// 7·4·4·95·2 = 21,280 points for 256 nodes. Intended for
+    /// [`optimize_pruned`], which skips points whose certified latency
+    /// lower bound cannot reach the frontier.
+    pub fn expanded(total_nodes: usize) -> Self {
+        let mut space = Self::paper_default(total_nodes);
+        space.switch_ports = (4..=192).step_by(2).collect();
+        space
+    }
+
     /// Number of points in the cross product.
     pub fn len(&self) -> usize {
         self.cluster_counts.len()
@@ -435,6 +448,13 @@ pub struct Diagnostics {
     /// Feasible points dominated by a cheaper-and-faster (or equal)
     /// design.
     pub dominated: usize,
+    /// Points skipped by [`optimize_pruned`] on a certified
+    /// latency lower bound (provably above the SLO or provably
+    /// dominated by an already-evaluated cheaper feasible point).
+    /// Always zero for the exhaustive [`optimize`] path. In pruned
+    /// runs `saturated + evaluated + failed + pruned ==
+    /// space_size - invalid` under `require_unsaturated`.
+    pub pruned: usize,
 }
 
 /// The result of one optimization run.
@@ -471,31 +491,38 @@ pub fn optimize(
     optimize_with(spec, &CatalogCostModel, options)
 }
 
-/// Runs the optimizer with a caller-supplied cost model: enumerate →
-/// pre-filter (budget, saturation) → batch-evaluate → SLO filter →
-/// Pareto reduction.
-pub fn optimize_with(
+/// One pre-filter survivor, in enumeration order.
+struct Candidate {
+    design: Design,
+    cost_usd: f64,
+    saturation_lambda: f64,
+    /// Zero-load mean latency `(1−p)·S_I1 + p·(S_I2 + 2·S_E1)`: every
+    /// M/G/1 sojourn is at least its service time, so this is a
+    /// provable lower bound on the latency any evaluation can report.
+    zero_load_us: f64,
+    /// Ordinal of the candidate's port family — designs sharing every
+    /// axis except the switch port count — computed from the
+    /// enumeration loop indices, so grouping by family is an array
+    /// index, not a hash.
+    family: usize,
+}
+
+/// Enumerate + pre-filter. Candidate order is the deterministic
+/// cross-product order; everything downstream preserves it.
+fn enumerate_candidates(
     spec: &OptimizeSpec,
     cost_model: &dyn CostModel,
-    options: BatchOptions,
-) -> Result<OptimizeOutcome, OptimizeError> {
-    spec.workload.validate()?;
-    spec.space.validate()?;
-    let mut diagnostics = Diagnostics::default();
-
-    // Enumerate + pre-filter. Candidate order is the deterministic
-    // cross-product order; everything downstream preserves it.
-    struct Candidate {
-        design: Design,
-        cost_usd: f64,
-        saturation_lambda: f64,
-    }
+    diagnostics: &mut Diagnostics,
+) -> Result<Vec<Candidate>, OptimizeError> {
     let mut candidates: Vec<Candidate> = Vec::new();
-    for &clusters in &spec.space.cluster_counts {
-        for &intra in &spec.space.intra {
-            for &inter in &spec.space.inter {
+    let (intra_n, inter_n, arch_n) =
+        (spec.space.intra.len(), spec.space.inter.len(), spec.space.architectures.len());
+    for (ci, &clusters) in spec.space.cluster_counts.iter().enumerate() {
+        for (ii, &intra) in spec.space.intra.iter().enumerate() {
+            for (ji, &inter) in spec.space.inter.iter().enumerate() {
                 for &ports in &spec.space.switch_ports {
-                    for &architecture in &spec.space.architectures {
+                    for (ai, &architecture) in spec.space.architectures.iter().enumerate() {
+                        let family = ((ci * intra_n + ii) * inter_n + ji) * arch_n + ai;
                         let design = match Design::build(
                             &spec.workload,
                             clusters,
@@ -521,6 +548,12 @@ pub fn optimize_with(
                             }
                         };
                         let saturation_lambda = solver::saturation_lambda(&design.config, &service);
+                        let p = crate::routing::external_probability(
+                            design.config.clusters,
+                            design.config.nodes_per_cluster,
+                        );
+                        let zero_load_us = (1.0 - p) * service.icn1_us
+                            + p * (service.icn2_us + 2.0 * service.ecn1_us);
                         let mut keep = true;
                         if let Some(budget) = spec.constraints.budget_usd {
                             if cost_usd > budget {
@@ -535,57 +568,28 @@ pub fn optimize_with(
                             keep = false;
                         }
                         if keep {
-                            candidates.push(Candidate { design, cost_usd, saturation_lambda });
+                            candidates.push(Candidate {
+                                design,
+                                cost_usd,
+                                saturation_lambda,
+                                zero_load_us,
+                                family,
+                            });
                         }
                     }
                 }
             }
         }
     }
+    Ok(candidates)
+}
 
-    // Evaluate every surviving point through the batched kernel
-    // (bit-identical to the scalar per-point path).
-    let configs: Vec<SystemConfig> = candidates.iter().map(|c| c.design.config).collect();
-    let results: Vec<Result<PerformanceReport, ModelError>> =
-        crate::kernel::evaluate_batch(&configs, options.resolved_workers())
-            .into_iter()
-            .map(|r| r.map(|(report, _stats)| report))
-            .collect();
-
-    // SLO post-filter.
-    let mut feasible_points: Vec<EvaluatedDesign> = Vec::new();
-    let mut evaluated = 0usize;
-    for (candidate, result) in candidates.iter().zip(results) {
-        let report = match result {
-            Ok(r) => r,
-            Err(_) => {
-                diagnostics.failed += 1;
-                continue;
-            }
-        };
-        evaluated += 1;
-        let latency_us = report.latency.mean_message_latency_us;
-        // NaN latencies must count as infeasible, hence is_none_or
-        // rather than a bare `latency > slo` comparison.
-        let meets_slo = spec.constraints.slo_latency_us.is_none_or(|slo| latency_us <= slo);
-        if !meets_slo {
-            diagnostics.above_slo += 1;
-            continue;
-        }
-        feasible_points.push(EvaluatedDesign {
-            design: candidate.design,
-            cost_usd: candidate.cost_usd,
-            latency_us,
-            throughput_per_us: report.throughput_per_us,
-            retained_fraction: report.equilibrium.retained_fraction,
-            bottleneck_utilization: report.equilibrium.bottleneck_utilization(),
-            saturation_lambda: candidate.saturation_lambda,
-        });
-    }
-    let feasible = feasible_points.len();
-
-    // Pareto staircase: stable sort by (cost, latency) — ties keep
-    // enumeration order — then keep strictly improving latency.
+/// Pareto staircase: stable sort by (cost, latency) — ties keep
+/// enumeration order — then keep strictly improving latency.
+fn pareto_reduce(
+    mut feasible_points: Vec<EvaluatedDesign>,
+    diagnostics: &mut Diagnostics,
+) -> Vec<EvaluatedDesign> {
     feasible_points.sort_by(|a, b| {
         a.cost_usd.total_cmp(&b.cost_usd).then(a.latency_us.total_cmp(&b.latency_us))
     });
@@ -599,6 +603,378 @@ pub fn optimize_with(
             diagnostics.dominated += 1;
         }
     }
+    frontier
+}
+
+/// Builds an [`EvaluatedDesign`] from a candidate and its solved
+/// report, applies the SLO filter, and files the point under the right
+/// counter. Shared verbatim by the exhaustive and pruned paths so
+/// their feasible sets (and hence frontiers) are built from identical
+/// bits.
+fn absorb_result(
+    spec: &OptimizeSpec,
+    candidate: &Candidate,
+    enum_idx: usize,
+    result: Result<PerformanceReport, ModelError>,
+    diagnostics: &mut Diagnostics,
+    evaluated: &mut usize,
+    feasible_points: &mut Vec<(usize, EvaluatedDesign)>,
+) {
+    let report = match result {
+        Ok(r) => r,
+        Err(_) => {
+            diagnostics.failed += 1;
+            return;
+        }
+    };
+    *evaluated += 1;
+    let latency_us = report.latency.mean_message_latency_us;
+    // NaN latencies must count as infeasible, hence is_none_or
+    // rather than a bare `latency > slo` comparison.
+    let meets_slo = spec.constraints.slo_latency_us.is_none_or(|slo| latency_us <= slo);
+    if !meets_slo {
+        diagnostics.above_slo += 1;
+        return;
+    }
+    feasible_points.push((
+        enum_idx,
+        EvaluatedDesign {
+            design: candidate.design,
+            cost_usd: candidate.cost_usd,
+            latency_us,
+            throughput_per_us: report.throughput_per_us,
+            retained_fraction: report.equilibrium.retained_fraction,
+            bottleneck_utilization: report.equilibrium.bottleneck_utilization(),
+            saturation_lambda: candidate.saturation_lambda,
+        },
+    ));
+}
+
+/// Runs the optimizer with a caller-supplied cost model: enumerate →
+/// pre-filter (budget, saturation) → batch-evaluate → SLO filter →
+/// Pareto reduction.
+pub fn optimize_with(
+    spec: &OptimizeSpec,
+    cost_model: &dyn CostModel,
+    options: BatchOptions,
+) -> Result<OptimizeOutcome, OptimizeError> {
+    spec.workload.validate()?;
+    spec.space.validate()?;
+    let mut diagnostics = Diagnostics::default();
+    let candidates = enumerate_candidates(spec, cost_model, &mut diagnostics)?;
+
+    // Evaluate every surviving point through the batched kernel
+    // (bit-identical to the scalar per-point path).
+    let configs: Vec<SystemConfig> = candidates.iter().map(|c| c.design.config).collect();
+    let results = crate::kernel::evaluate_batch(&configs, options.resolved_workers());
+
+    let mut feasible_points: Vec<(usize, EvaluatedDesign)> = Vec::new();
+    let mut evaluated = 0usize;
+    for (i, (candidate, result)) in candidates.iter().zip(results).enumerate() {
+        absorb_result(
+            spec,
+            candidate,
+            i,
+            result.map(|(report, _stats)| report),
+            &mut diagnostics,
+            &mut evaluated,
+            &mut feasible_points,
+        );
+    }
+    let feasible = feasible_points.len();
+    let frontier =
+        pareto_reduce(feasible_points.into_iter().map(|(_, p)| p).collect(), &mut diagnostics);
+
+    Ok(OptimizeOutcome { space_size: spec.space.len(), evaluated, feasible, frontier, diagnostics })
+}
+
+/// Runs the pruned optimizer with the built-in [`CatalogCostModel`].
+pub fn optimize_pruned(
+    spec: &OptimizeSpec,
+    options: BatchOptions,
+) -> Result<OptimizeOutcome, OptimizeError> {
+    optimize_pruned_with(spec, &CatalogCostModel, options)
+}
+
+/// Relative safety margin applied to certified latency lower bounds
+/// before they are compared against a prune threshold. The zero-load
+/// bound is assembled from [`ServiceTimes`] while the solver assembles
+/// sojourns from distribution means that can differ by a few ulp
+/// (Erlang moment round-trip), so the margin absorbs that slack while
+/// staying far below any physically meaningful latency difference.
+const PRUNE_MARGIN: f64 = 1e-9;
+
+/// Sliding dominance staircase over the feasible points evaluated so
+/// far: `(cost, latency)` pairs with non-decreasing cost and strictly
+/// decreasing latency. `best_latency_cheaper(c)` answers "what is the
+/// best latency achieved by any evaluated feasible point strictly
+/// cheaper than `c`?" — the threshold below which a certified latency
+/// lower bound proves a point can never reach the frontier.
+#[derive(Default)]
+struct DominanceMap {
+    points: Vec<(f64, f64)>,
+}
+
+impl DominanceMap {
+    fn best_latency_cheaper(&self, cost: f64) -> f64 {
+        let k = self.points.partition_point(|e| e.0 < cost);
+        if k == 0 {
+            f64::INFINITY
+        } else {
+            self.points[k - 1].1
+        }
+    }
+
+    fn insert(&mut self, cost: f64, latency: f64) {
+        if !cost.is_finite() || !latency.is_finite() {
+            return;
+        }
+        let k = self.points.partition_point(|e| e.0 < cost);
+        // A cheaper (or equal-cost) point with no worse latency already
+        // answers every query this one could.
+        if k > 0 && self.points[k - 1].1 <= latency {
+            return;
+        }
+        if k < self.points.len() && self.points[k].0 == cost && self.points[k].1 <= latency {
+            return;
+        }
+        let mut end = k;
+        while end < self.points.len() && self.points[end].1 >= latency {
+            end += 1;
+        }
+        self.points.splice(k..end, [(cost, latency)]);
+    }
+}
+
+/// Runs the optimizer with gradient-guided pruning: identical
+/// enumeration and pre-filters to [`optimize_with`], but instead of
+/// evaluating every survivor it
+///
+/// 1. solves a coarse port-grid probe (lowest / median / highest port
+///    count) per design family through one kernel batch,
+/// 2. orders the remaining candidates by the family's probed latency,
+///    extrapolated down the port axis by the probed d-latency/d-ports
+///    gradient and tie-broken by saturation headroom and cost, and
+/// 3. walks them in fixed-size waves through
+///    [`crate::kernel::evaluate_batch_bounded`], handing each lane the
+///    SLO and the best latency among *already evaluated* feasible
+///    points that are strictly cheaper.
+///
+/// A lane is skipped only on a *certified* latency lower bound — the
+/// zero-load service latency before any evaluation, or the in-kernel
+/// bracket bound once bisection has provably separated from
+/// saturation — so every skipped point provably could not have joined
+/// the frontier. Probe/wave ordering is pure guidance: it affects how
+/// many points get pruned (`diagnostics.pruned`), never the result.
+///
+/// The returned frontier (and therefore [`OptimizeOutcome::
+/// cheapest_feasible`]) is bit-identical to the exhaustive
+/// [`optimize_with`] frontier: surviving lanes run the exact scalar
+/// FP schedule, the feasible set is rebuilt in enumeration order, and
+/// dominated points never shape the Pareto staircase. `evaluated`,
+/// `above_slo`, and `dominated` count only the points actually
+/// evaluated, so they are smaller than their exhaustive counterparts;
+/// the difference is `diagnostics.pruned`.
+pub fn optimize_pruned_with(
+    spec: &OptimizeSpec,
+    cost_model: &dyn CostModel,
+    options: BatchOptions,
+) -> Result<OptimizeOutcome, OptimizeError> {
+    spec.workload.validate()?;
+    spec.space.validate()?;
+    let mut diagnostics = Diagnostics::default();
+    let candidates = enumerate_candidates(spec, cost_model, &mut diagnostics)?;
+    let workers = options.resolved_workers();
+    let slo = spec.constraints.slo_latency_us.unwrap_or(f64::INFINITY);
+
+    let n = candidates.len();
+    let mut evaluated = 0usize;
+    let mut feasible_points: Vec<(usize, EvaluatedDesign)> = Vec::new();
+    let mut dominance = DominanceMap::default();
+    let mut decided = vec![false; n];
+
+    // Group candidates into port families (indexed by the enumeration
+    // ordinal — no hashing) and pick the coarse probe grid: lowest,
+    // median, and highest port count per family.
+    let family_count = spec.space.cluster_counts.len()
+        * spec.space.intra.len()
+        * spec.space.inter.len()
+        * spec.space.architectures.len();
+    let mut families: Vec<Vec<usize>> = vec![Vec::new(); family_count];
+    for (i, candidate) in candidates.iter().enumerate() {
+        families[candidate.family].push(i);
+    }
+    for members in &mut families {
+        members.sort_by_key(|&i| (candidates[i].design.config.switch.ports(), i));
+    }
+    let mut probe_idx: Vec<usize> = Vec::new();
+    for members in &families {
+        if members.is_empty() {
+            continue;
+        }
+        for j in [0, members.len() / 2, members.len() - 1] {
+            probe_idx.push(members[j]);
+        }
+    }
+    probe_idx.sort_unstable();
+    probe_idx.dedup();
+
+    // Solve the probes in one unbounded kernel batch. Probe results
+    // are real evaluations: they are absorbed, never re-solved.
+    let probe_configs: Vec<SystemConfig> =
+        probe_idx.iter().map(|&i| candidates[i].design.config).collect();
+    let probe_results = crate::kernel::evaluate_batch(&probe_configs, workers);
+    let mut solved_latency: Vec<Option<f64>> = vec![None; n];
+    for (&i, result) in probe_idx.iter().zip(probe_results) {
+        decided[i] = true;
+        let result = result.map(|(report, _stats)| report);
+        if let Ok(report) = &result {
+            solved_latency[i] = Some(report.latency.mean_message_latency_us);
+        }
+        absorb_result(
+            spec,
+            &candidates[i],
+            i,
+            result,
+            &mut diagnostics,
+            &mut evaluated,
+            &mut feasible_points,
+        );
+    }
+    for (_, point) in &feasible_points {
+        dominance.insert(point.cost_usd, point.latency_us);
+    }
+
+    // Gradient guidance: per family, take the best probed latency and
+    // extrapolate it down the port axis with the probed d-latency/
+    // d-ports slope to get an optimistic estimate of the family's best
+    // latency. Evaluating likely-low-latency families first tightens
+    // the dominance map early, which is what makes later waves prune.
+    let mut family_rank: Vec<(f64, f64)> = vec![(f64::INFINITY, f64::INFINITY); family_count];
+    for (f, members) in families.iter().enumerate() {
+        if members.is_empty() {
+            continue;
+        }
+        let probed: Vec<(f64, f64)> = members
+            .iter()
+            .filter_map(|&i| {
+                solved_latency[i]
+                    .map(|lat| (f64::from(candidates[i].design.config.switch.ports()), lat))
+            })
+            .collect();
+        let best = probed.iter().map(|&(_, lat)| lat).fold(f64::INFINITY, f64::min);
+        let optimistic = match (probed.first(), probed.last()) {
+            (Some(&(p0, l0)), Some(&(p1, l1))) if p1 > p0 => {
+                let gradient = (l1 - l0) / (p1 - p0);
+                let span = f64::from(
+                    candidates[*members.last().expect("family is non-empty")]
+                        .design
+                        .config
+                        .switch
+                        .ports()
+                        - candidates[members[0]].design.config.switch.ports(),
+                );
+                best - gradient.abs() * span
+            }
+            _ => best,
+        };
+        let headroom = members
+            .iter()
+            .map(|&i| candidates[i].saturation_lambda - spec.workload.lambda_per_us)
+            .fold(f64::NEG_INFINITY, f64::max);
+        family_rank[f] = (optimistic, -headroom);
+    }
+
+    // Families are walked best-rank-first; within a family, members go
+    // cheapest-first so the dominance staircase tightens before the
+    // expensive end of the port axis is reached. Every tie ends at a
+    // distinct ordinal or enumeration index, so the unstable sorts are
+    // fully deterministic.
+    let mut family_order: Vec<usize> =
+        (0..family_count).filter(|&f| !families[f].is_empty()).collect();
+    family_order.sort_unstable_by(|&a, &b| {
+        family_rank[a]
+            .0
+            .total_cmp(&family_rank[b].0)
+            .then(family_rank[a].1.total_cmp(&family_rank[b].1))
+            .then(a.cmp(&b))
+    });
+    let mut pending: Vec<usize> = Vec::with_capacity(n);
+    for &f in &family_order {
+        let start = pending.len();
+        pending.extend(families[f].iter().copied().filter(|&i| !decided[i]));
+        pending[start..].sort_unstable_by(|&a, &b| {
+            candidates[a].cost_usd.total_cmp(&candidates[b].cost_usd).then(a.cmp(&b))
+        });
+    }
+
+    // Walk the remaining candidates in fixed-size waves. The wave size
+    // is deliberately independent of the worker count so the prune
+    // decisions — and hence the whole outcome — are identical for
+    // sequential and parallel runs.
+    const WAVE: usize = 1024;
+    let mut wave_idx: Vec<usize> = Vec::with_capacity(WAVE);
+    let mut wave_configs: Vec<SystemConfig> = Vec::with_capacity(WAVE);
+    let mut wave_bounds: Vec<crate::kernel::LaneBounds> = Vec::with_capacity(WAVE);
+    // Feasible points below this index are already in the dominance
+    // map (the probe seed); each wave folds in only what it appended.
+    let mut folded = feasible_points.len();
+    for wave in pending.chunks(WAVE) {
+        wave_idx.clear();
+        wave_configs.clear();
+        wave_bounds.clear();
+        for &i in wave {
+            let candidate = &candidates[i];
+            let dominated_at_us = dominance.best_latency_cheaper(candidate.cost_usd);
+            let certified = candidate.zero_load_us * (1.0 - PRUNE_MARGIN);
+            // Static prune: the zero-load service latency already
+            // proves the point is above the SLO or strictly dominated.
+            if certified > slo || certified >= dominated_at_us {
+                diagnostics.pruned += 1;
+                continue;
+            }
+            wave_idx.push(i);
+            wave_configs.push(candidate.design.config);
+            wave_bounds.push(crate::kernel::LaneBounds { slo_us: slo, dominated_at_us });
+        }
+        let outcomes = crate::kernel::evaluate_batch_bounded(&wave_configs, &wave_bounds, workers);
+        for (&i, outcome) in wave_idx.iter().zip(outcomes) {
+            match outcome {
+                crate::kernel::LaneOutcome::Pruned { .. } => diagnostics.pruned += 1,
+                crate::kernel::LaneOutcome::Solved(report, _stats) => absorb_result(
+                    spec,
+                    &candidates[i],
+                    i,
+                    Ok(report),
+                    &mut diagnostics,
+                    &mut evaluated,
+                    &mut feasible_points,
+                ),
+                crate::kernel::LaneOutcome::Failed(error) => absorb_result(
+                    spec,
+                    &candidates[i],
+                    i,
+                    Err(error),
+                    &mut diagnostics,
+                    &mut evaluated,
+                    &mut feasible_points,
+                ),
+            }
+        }
+        // Fold this wave's new feasible points into the dominance map
+        // for the next wave.
+        for (_, point) in &feasible_points[folded..] {
+            dominance.insert(point.cost_usd, point.latency_us);
+        }
+        folded = feasible_points.len();
+    }
+
+    // Rebuild the feasible set in enumeration order so the stable
+    // Pareto sort sees exactly the order the exhaustive path does.
+    feasible_points.sort_by_key(|&(i, _)| i);
+    let feasible = feasible_points.len();
+    let frontier =
+        pareto_reduce(feasible_points.into_iter().map(|(_, p)| p).collect(), &mut diagnostics);
 
     Ok(OptimizeOutcome { space_size: spec.space.len(), evaluated, feasible, frontier, diagnostics })
 }
@@ -908,5 +1284,85 @@ mod tests {
         let row = frontier_row(&outcome.frontier[0]);
         assert_eq!(row.len(), FRONTIER_COLUMNS.len());
         assert!(row[0].starts_with('C'));
+    }
+
+    fn assert_frontiers_bit_identical(pruned: &OptimizeOutcome, exhaustive: &OptimizeOutcome) {
+        assert_eq!(pruned.frontier.len(), exhaustive.frontier.len());
+        for (a, b) in pruned.frontier.iter().zip(&exhaustive.frontier) {
+            assert_eq!(a.design, b.design);
+            assert_eq!(a.cost_usd.to_bits(), b.cost_usd.to_bits());
+            assert_eq!(a.latency_us.to_bits(), b.latency_us.to_bits());
+            assert_eq!(a.throughput_per_us.to_bits(), b.throughput_per_us.to_bits());
+            assert_eq!(a.retained_fraction.to_bits(), b.retained_fraction.to_bits());
+            assert_eq!(a.bottleneck_utilization.to_bits(), b.bottleneck_utilization.to_bits());
+            assert_eq!(a.saturation_lambda.to_bits(), b.saturation_lambda.to_bits());
+        }
+        assert_eq!(pruned.space_size, exhaustive.space_size);
+        assert_eq!(pruned.feasible, pruned.frontier.len() + pruned.diagnostics.dominated);
+    }
+
+    #[test]
+    fn pruned_frontier_is_bit_identical_on_the_paper_space() {
+        let constraints = Constraints {
+            slo_latency_us: Some(30_000.0),
+            budget_usd: None,
+            require_unsaturated: true,
+        };
+        let request = OptimizeSpec::paper_default(constraints);
+        let exhaustive = optimize(&request, BatchOptions::sequential()).unwrap();
+        let pruned = optimize_pruned(&request, BatchOptions::sequential()).unwrap();
+        assert_frontiers_bit_identical(&pruned, &exhaustive);
+        assert!(pruned.diagnostics.pruned > 0, "paper space should prune some points");
+        assert!(pruned.evaluated < exhaustive.evaluated);
+        let d = pruned.diagnostics;
+        assert_eq!(
+            d.saturated + pruned.evaluated + d.failed + d.pruned,
+            pruned.space_size - d.invalid
+        );
+        assert_eq!(exhaustive.diagnostics.pruned, 0);
+    }
+
+    #[test]
+    fn pruned_frontier_is_bit_identical_without_an_slo() {
+        // No SLO: only dominance prunes. The frontier must still match.
+        let request = OptimizeSpec::paper_default(Constraints::default());
+        let exhaustive = optimize(&request, BatchOptions::sequential()).unwrap();
+        let pruned = optimize_pruned(&request, BatchOptions::sequential()).unwrap();
+        assert_frontiers_bit_identical(&pruned, &exhaustive);
+    }
+
+    #[test]
+    fn pruned_parallel_matches_sequential_bitwise() {
+        let constraints = Constraints { slo_latency_us: Some(20_000.0), ..Constraints::default() };
+        let request = OptimizeSpec::paper_default(constraints);
+        let sequential = optimize_pruned(&request, BatchOptions::sequential()).unwrap();
+        for workers in [2, 8] {
+            let parallel = optimize_pruned(&request, BatchOptions::with_workers(workers)).unwrap();
+            assert_eq!(sequential, parallel);
+        }
+    }
+
+    #[test]
+    fn expanded_space_prunes_most_of_the_dense_port_axis() {
+        // 64 nodes keeps the runtime down: 5·4·4·95·2 = 3040 points.
+        let mut wl = Workload::paper_default();
+        wl.total_nodes = 64;
+        let constraints = Constraints {
+            slo_latency_us: Some(30_000.0),
+            budget_usd: None,
+            require_unsaturated: true,
+        };
+        let space = DesignSpace::expanded(64);
+        assert_eq!(space.len(), 5 * 4 * 4 * 95 * 2);
+        let request = OptimizeSpec { workload: wl, constraints, space };
+        let exhaustive = optimize(&request, BatchOptions::with_workers(4)).unwrap();
+        let pruned = optimize_pruned(&request, BatchOptions::with_workers(4)).unwrap();
+        assert_frontiers_bit_identical(&pruned, &exhaustive);
+        assert!(
+            pruned.diagnostics.pruned * 2 > pruned.evaluated,
+            "dense port axis should mostly prune: pruned {} evaluated {}",
+            pruned.diagnostics.pruned,
+            pruned.evaluated
+        );
     }
 }

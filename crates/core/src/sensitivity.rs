@@ -346,15 +346,31 @@ mod tests {
     }
 
     #[test]
-    fn newton_lambda_agrees_with_the_bisection_planner() {
+    fn newton_lambda_agrees_with_a_serial_bisection_oracle() {
+        // `sweep::max_lambda_within_latency` now delegates here, so the
+        // cross-check keeps its own independent oracle: a plain serial
+        // bisection on per-point scalar evaluations.
         let base = cfg(16);
         let budget = 5_000.0;
         let newton = lambda_for_latency(&base, budget).unwrap().unwrap();
-        let bisect = crate::sweep::max_lambda_within_latency(&base, budget, 1e-8, 1e-2, 60)
-            .unwrap()
-            .unwrap();
-        let rel = (newton - bisect).abs() / bisect;
-        assert!(rel < 1e-3, "newton {newton} vs bisection {bisect}: rel {rel}");
+        let latency_at = |lam: f64| {
+            AnalyticalModel::evaluate(&base.with_lambda(lam))
+                .unwrap()
+                .latency
+                .mean_message_latency_us
+        };
+        let (mut lo, mut hi) = (1e-8, 1e-2);
+        assert!(latency_at(lo) <= budget && latency_at(hi) > budget);
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if latency_at(mid) <= budget {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let rel = (newton - lo).abs() / lo;
+        assert!(rel < 1e-3, "newton {newton} vs bisection {lo}: rel {rel}");
     }
 
     #[test]

@@ -167,43 +167,34 @@ pub fn technology_sweep(
 }
 
 /// Finds the largest per-processor rate (messages/µs) whose predicted
-/// mean latency stays at or below `latency_budget_us`, by bisection over
-/// `[lo, hi]`. Returns `None` when even `lo` violates the budget.
+/// mean latency stays at or below `latency_budget_us`, clamped to the
+/// caller's `[lo, hi]` search window. Returns `None` when `lo` already
+/// violates the budget.
 ///
 /// Capacity-planning helper: "how much traffic can this design absorb
-/// within an SLO?" Service times are computed once and every probe
-/// warm-starts from the previous probe's converged λ_eff.
+/// within an SLO?" Since PR 9 this delegates to the Newton-polished
+/// [`crate::sensitivity::lambda_for_latency`] probe — one
+/// implementation of "max λ within SLO" shared with the optimizer —
+/// and clamps its answer to the window: latency is monotone in the
+/// offered rate, so a crossing above `hi` means `hi` itself fits and a
+/// crossing below `lo` means even `lo` violates the budget.
+/// `iterations` is kept for signature compatibility with the former
+/// serial bisection; the Newton polish converges to a `1e-12` relative
+/// bracket regardless.
 pub fn max_lambda_within_latency(
     base: &SystemConfig,
     latency_budget_us: f64,
     lo: f64,
     hi: f64,
-    iterations: u32,
+    _iterations: u32,
 ) -> Result<Option<f64>, ModelError> {
     base.validate()?;
-    let service = ServiceTimes::compute(base)?;
-    let mut seed: Option<f64> = None;
-    let mut latency_at = |lam: f64| -> Result<f64, ModelError> {
-        let (report, _) = batch::evaluate_one(&base.with_lambda(lam), Some(&service), seed)?;
-        seed = Some(report.equilibrium.lambda_eff);
-        Ok(report.latency.mean_message_latency_us)
-    };
-    if latency_at(lo)? > latency_budget_us {
-        return Ok(None);
+    match crate::sensitivity::lambda_for_latency(base, latency_budget_us)? {
+        None => Ok(None),
+        Some(best) if best < lo => Ok(None),
+        Some(best) if best > hi => Ok(Some(hi)),
+        Some(best) => Ok(Some(best)),
     }
-    let (mut lo, mut hi) = (lo, hi);
-    if latency_at(hi)? <= latency_budget_us {
-        return Ok(Some(hi));
-    }
-    for _ in 0..iterations {
-        let mid = 0.5 * (lo + hi);
-        if latency_at(mid)? <= latency_budget_us {
-            lo = mid;
-        } else {
-            hi = mid;
-        }
-    }
-    Ok(Some(lo))
 }
 
 #[cfg(test)]
@@ -382,6 +373,28 @@ mod tests {
             SystemConfig::paper_preset(Scenario::Case1, 16, Architecture::NonBlocking).unwrap();
         // Budget below the zero-load service time: impossible.
         let none = max_lambda_within_latency(&base, 1.0, 1e-9, 1e-3, 40).unwrap();
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn capacity_planning_is_the_newton_probe_clamped_to_the_window() {
+        // One implementation of "max λ within SLO": the planner must
+        // return exactly the Newton-polished probe's answer when the
+        // crossing is inside the window, and the window edge when it
+        // is not.
+        let base =
+            SystemConfig::paper_preset(Scenario::Case1, 16, Architecture::NonBlocking).unwrap();
+        let budget = 5_000.0;
+        let newton = crate::sensitivity::lambda_for_latency(&base, budget).unwrap().unwrap();
+        let planned = max_lambda_within_latency(&base, budget, 1e-8, 1e-2, 60).unwrap().unwrap();
+        assert_eq!(planned.to_bits(), newton.to_bits(), "planner diverged from the probe");
+        // Window entirely below the crossing → the feasible edge.
+        let clamped =
+            max_lambda_within_latency(&base, budget, 1e-8, newton * 0.5, 60).unwrap().unwrap();
+        assert_eq!(clamped.to_bits(), (newton * 0.5).to_bits());
+        // Window entirely above the crossing → infeasible.
+        let none =
+            max_lambda_within_latency(&base, budget, newton * 2.0, newton * 4.0, 60).unwrap();
         assert!(none.is_none());
     }
 }

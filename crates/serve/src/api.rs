@@ -28,7 +28,6 @@ use hmcs_core::optimize::{self, Constraints, DesignSpace, OptimizeError, Optimiz
 use hmcs_core::scenario::{Scenario, PAPER_LAMBDA_PER_US, PAPER_TOTAL_NODES};
 use hmcs_core::service::ServiceTimes;
 use hmcs_core::solver;
-use hmcs_core::sweep::{self, SweepPoint};
 use hmcs_topology::transmission::Architecture;
 
 /// Hard cap on sweep points per request; larger sweeps must be split
@@ -265,11 +264,67 @@ fn evaluation_failure(config: &SystemConfig, e: ModelError) -> ApiError {
     ApiError { status: 422, code: "evaluation_failed", message: e.to_string(), data: Vec::new() }
 }
 
+/// Result of one kernel lane, as produced by
+/// [`hmcs_core::kernel::evaluate_batch`] — the unit the server's
+/// micro-batcher transports between requests and the shared window
+/// solve.
+pub type PointResult = Result<(PerformanceReport, hmcs_core::batch::EvalStats), ModelError>;
+
 /// Evaluates one config and renders the response document.
 pub fn evaluate_response(config: &SystemConfig) -> Result<String, ApiError> {
-    let (report, _stats) =
-        batch::evaluate_one(config, None, None).map_err(|e| evaluation_failure(config, e))?;
+    evaluate_response_from(config, batch::evaluate_one(config, None, None))
+}
+
+/// Renders the evaluate response from an already-solved kernel lane.
+/// The kernel's lanes are bit-identical to [`batch::evaluate_one`]
+/// (same FP schedule, same error variants), so a response assembled
+/// from a shared micro-batch window is byte-identical to the unbatched
+/// [`evaluate_response`].
+pub fn evaluate_response_from(
+    config: &SystemConfig,
+    result: PointResult,
+) -> Result<String, ApiError> {
+    let (report, _stats) = result.map_err(|e| evaluation_failure(config, e))?;
     Ok(render_evaluate(config, &report))
+}
+
+/// Builds the per-point configs a sweep evaluates, mirroring the
+/// constructions in [`hmcs_core::sweep`] exactly (same shape errors for
+/// non-divisor cluster counts, same field substitutions), so that
+/// solving them through any per-item kernel batch reproduces the
+/// sweep's points bit for bit.
+pub fn sweep_configs(
+    config: &SystemConfig,
+    spec: &SweepSpec,
+) -> Result<Vec<SystemConfig>, ApiError> {
+    let failed = |e: ModelError| evaluation_failure(config, e);
+    match spec {
+        SweepSpec::Lambda(values) => {
+            config.validate().map_err(failed)?;
+            Ok(values.iter().map(|&l| config.with_lambda(l)).collect())
+        }
+        SweepSpec::Clusters(values) => {
+            let total = config.total_nodes();
+            values
+                .iter()
+                .map(|&c| {
+                    if c == 0 || !total.is_multiple_of(c) {
+                        return Err(failed(ModelError::InvalidConfig {
+                            name: "cluster_counts",
+                            reason: "every cluster count must divide the total node count",
+                        }));
+                    }
+                    let mut cfg = *config;
+                    cfg.clusters = c;
+                    cfg.nodes_per_cluster = total / c;
+                    Ok(cfg)
+                })
+                .collect()
+        }
+        SweepSpec::MessageBytes(values) => {
+            Ok(values.iter().map(|&m| config.with_message_bytes(m)).collect())
+        }
+    }
 }
 
 /// Runs the requested sweep **sequentially** (the worker pool provides
@@ -277,38 +332,36 @@ pub fn evaluate_response(config: &SystemConfig) -> Result<String, ApiError> {
 /// inside each request would oversubscribe the host) and renders the
 /// response document.
 pub fn sweep_response(config: &SystemConfig, spec: &SweepSpec) -> Result<String, ApiError> {
+    let configs = sweep_configs(config, spec)?;
+    let results = batch::evaluate_many(&configs, BatchOptions::sequential());
+    sweep_response_from(config, spec, results)
+}
+
+/// Renders the sweep response from already-solved kernel lanes, one
+/// per [`sweep_configs`] point in order. This is the reassembly half of
+/// the serving micro-batch: the window solves every gathered point in
+/// one kernel call, and each sweep request renders its own slice. The
+/// first failed lane aborts the whole sweep with the same error the
+/// in-process [`hmcs_core::sweep`] functions would surface.
+pub fn sweep_response_from(
+    config: &SystemConfig,
+    spec: &SweepSpec,
+    results: Vec<PointResult>,
+) -> Result<String, ApiError> {
     let failed = |e: ModelError| evaluation_failure(config, e);
-    let (parameter, points): (&str, Vec<(f64, PerformanceReport)>) = match spec {
-        SweepSpec::Lambda(values) => (
-            "lambda",
-            sweep::lambda_sweep(config, values)
-                .map_err(failed)?
-                .into_iter()
-                .map(|SweepPoint { x, report, .. }| (x, report))
-                .collect(),
-        ),
-        SweepSpec::Clusters(values) => (
-            "clusters",
-            sweep::cluster_sweep_with(
-                config,
-                config.total_nodes(),
-                values,
-                BatchOptions::sequential(),
-            )
-            .map_err(failed)?
-            .into_iter()
-            .map(|SweepPoint { x, report, .. }| (x as f64, report))
-            .collect(),
-        ),
-        SweepSpec::MessageBytes(values) => (
-            "message_bytes",
-            sweep::message_size_sweep_with(config, values, BatchOptions::sequential())
-                .map_err(failed)?
-                .into_iter()
-                .map(|SweepPoint { x, report, .. }| (x as f64, report))
-                .collect(),
-        ),
+    let (parameter, xs): (&str, Vec<f64>) = match spec {
+        SweepSpec::Lambda(values) => ("lambda", values.clone()),
+        SweepSpec::Clusters(values) => ("clusters", values.iter().map(|&c| c as f64).collect()),
+        SweepSpec::MessageBytes(values) => {
+            ("message_bytes", values.iter().map(|&m| m as f64).collect())
+        }
     };
+    debug_assert_eq!(xs.len(), results.len(), "one lane per sweep point");
+    let points: Vec<(f64, PerformanceReport)> = xs
+        .into_iter()
+        .zip(results)
+        .map(|(x, r)| r.map(|(report, _stats)| (x, report)).map_err(failed))
+        .collect::<Result<_, _>>()?;
 
     let mut out = String::with_capacity(256 + points.len() * 160);
     out.push_str("{\"schema\":\"hmcs-serve-sweep/1\",\"parameter\":");
@@ -379,25 +432,42 @@ pub fn render_evaluate(config: &SystemConfig, report: &PerformanceReport) -> Str
     out
 }
 
-/// The canonical coalescing key for an optimize request. Like
-/// [`evaluate_key`], `Debug` formatting is injective on the spec's
-/// bits (floats print as shortest round-tripping decimals).
-pub fn optimize_key(spec: &OptimizeSpec) -> String {
-    format!("optimize/{spec:?}")
+/// An optimize request: the spec plus whether to run the
+/// gradient-pruned walk instead of the exhaustive one. The two produce
+/// bit-identical frontiers; `prune` only changes how much of the space
+/// is actually solved (reported in the `pruned` diagnostic).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizeRequest {
+    /// The parsed optimization spec.
+    pub spec: OptimizeSpec,
+    /// Run [`optimize::optimize_pruned`] instead of the exhaustive
+    /// [`optimize::optimize`].
+    pub prune: bool,
 }
 
-/// Parses a `POST /v1/optimize` body into an [`OptimizeSpec`] over the
-/// paper's preset design space.
+/// The canonical coalescing key for an optimize request. Like
+/// [`evaluate_key`], `Debug` formatting is injective on the spec's
+/// bits (floats print as shortest round-tripping decimals). `prune`
+/// participates in the key: pruned and exhaustive runs return the same
+/// frontier but different work-accounting diagnostics, so their
+/// documents must not coalesce.
+pub fn optimize_key(request: &OptimizeRequest) -> String {
+    format!("optimize/prune={}/{:?}", request.prune, request.spec)
+}
+
+/// Parses a `POST /v1/optimize` body into an [`OptimizeRequest`] over
+/// the paper's preset design space.
 ///
 /// Accepted fields: `slo_ms` (number, > 0), `budget_usd` (number, > 0),
-/// `require_unsaturated` (boolean) and `workload` (object with
-/// `scenario`, `total_nodes`, `message_bytes`, `lambda_per_us`). All
-/// are optional; the defaults are the paper's Case-1 workload with no
-/// constraints.
-pub fn parse_optimize(body: &str) -> Result<OptimizeSpec, ApiError> {
+/// `require_unsaturated` (boolean), `prune` (boolean — walk the space
+/// with certified-lower-bound pruning; same frontier, less work) and
+/// `workload` (object with `scenario`, `total_nodes`, `message_bytes`,
+/// `lambda_per_us`). All are optional; the defaults are the paper's
+/// Case-1 workload with no constraints, exhaustively evaluated.
+pub fn parse_optimize(body: &str) -> Result<OptimizeRequest, ApiError> {
     let value = parse_json(body).map_err(|e| ApiError::bad_request("invalid_json", e))?;
     let obj = as_request_object(&value)?;
-    check_fields(obj, &["slo_ms", "budget_usd", "require_unsaturated", "workload"])?;
+    check_fields(obj, &["slo_ms", "budget_usd", "require_unsaturated", "prune", "workload"])?;
 
     let slo_ms = get_f64(obj, "slo_ms")?;
     if let Some(v) = slo_ms {
@@ -415,6 +485,7 @@ pub fn parse_optimize(body: &str) -> Result<OptimizeSpec, ApiError> {
         }
     }
     let require_unsaturated = get_bool(obj, "require_unsaturated")?.unwrap_or(false);
+    let prune = get_bool(obj, "prune")?.unwrap_or(false);
 
     let mut workload = Workload::paper_default();
     match obj.iter().find(|(k, _)| k == "workload") {
@@ -447,22 +518,31 @@ pub fn parse_optimize(body: &str) -> Result<OptimizeSpec, ApiError> {
     }
 
     let space = DesignSpace::paper_default(workload.total_nodes);
-    Ok(OptimizeSpec {
-        workload,
-        constraints: Constraints {
-            slo_latency_us: slo_ms.map(|v| v * 1000.0),
-            budget_usd,
-            require_unsaturated,
+    Ok(OptimizeRequest {
+        spec: OptimizeSpec {
+            workload,
+            constraints: Constraints {
+                slo_latency_us: slo_ms.map(|v| v * 1000.0),
+                budget_usd,
+                require_unsaturated,
+            },
+            space,
         },
-        space,
+        prune,
     })
 }
 
 /// Runs the optimizer **sequentially** (same reasoning as
 /// [`sweep_response`]: the worker pool already provides request-level
-/// parallelism) and renders the response document.
-pub fn optimize_response(spec: &OptimizeSpec) -> Result<String, ApiError> {
-    let outcome = optimize::optimize(spec, BatchOptions::sequential()).map_err(|e| match e {
+/// parallelism) and renders the response document. With
+/// `request.prune` the certified-pruning walk runs instead; its
+/// frontier is bit-identical, only the work-accounting diagnostics
+/// (`evaluated`, `above_slo`, `dominated`, `pruned`) reflect the
+/// skipped points.
+pub fn optimize_response(request: &OptimizeRequest) -> Result<String, ApiError> {
+    let spec = &request.spec;
+    let run = if request.prune { optimize::optimize_pruned } else { optimize::optimize };
+    let outcome = run(spec, BatchOptions::sequential()).map_err(|e| match e {
         OptimizeError::Model(inner) => ApiError {
             status: 422,
             code: "evaluation_failed",
@@ -509,6 +589,8 @@ pub fn optimize_response(spec: &OptimizeSpec) -> Result<String, ApiError> {
     out.push_str(&d.above_slo.to_string());
     out.push_str(",\"dominated\":");
     out.push_str(&d.dominated.to_string());
+    out.push_str(",\"pruned\":");
+    out.push_str(&d.pruned.to_string());
     out.push_str("},\"frontier\":[");
     for (i, point) in outcome.frontier.iter().enumerate() {
         if i > 0 {
@@ -895,6 +977,12 @@ mod tests {
         let opt = parse_optimize(r#"{"slo_ms":30}"#).unwrap();
         let opt2 = parse_optimize(r#"{"slo_ms":25}"#).unwrap();
         assert_ne!(optimize_key(&opt), optimize_key(&opt2));
+        let pruned = parse_optimize(r#"{"slo_ms":30,"prune":true}"#).unwrap();
+        assert_ne!(
+            optimize_key(&opt),
+            optimize_key(&pruned),
+            "pruned runs report different diagnostics, so they must not coalesce"
+        );
     }
 
     #[test]
@@ -960,25 +1048,27 @@ mod tests {
 
     #[test]
     fn optimize_parses_defaults_and_rejects_bad_fields() {
-        let spec = parse_optimize(r#"{}"#).unwrap();
-        assert_eq!(spec.workload.total_nodes, PAPER_TOTAL_NODES);
-        assert_eq!(spec.workload.lambda_per_us, PAPER_LAMBDA_PER_US);
-        assert_eq!(spec.constraints.slo_latency_us, None);
-        assert_eq!(spec.constraints.budget_usd, None);
-        assert!(!spec.constraints.require_unsaturated);
-        assert_eq!(spec.space.len(), 1120);
+        let request = parse_optimize(r#"{}"#).unwrap();
+        assert_eq!(request.spec.workload.total_nodes, PAPER_TOTAL_NODES);
+        assert_eq!(request.spec.workload.lambda_per_us, PAPER_LAMBDA_PER_US);
+        assert_eq!(request.spec.constraints.slo_latency_us, None);
+        assert_eq!(request.spec.constraints.budget_usd, None);
+        assert!(!request.spec.constraints.require_unsaturated);
+        assert!(!request.prune, "pruning is opt-in");
+        assert_eq!(request.spec.space.len(), 1120);
 
-        let spec = parse_optimize(
-            r#"{"slo_ms":30,"budget_usd":60000,"require_unsaturated":true,
+        let request = parse_optimize(
+            r#"{"slo_ms":30,"budget_usd":60000,"require_unsaturated":true,"prune":true,
                 "workload":{"scenario":"case2","total_nodes":64,
                             "message_bytes":512,"lambda_per_us":1e-5}}"#,
         )
         .unwrap();
-        assert_eq!(spec.constraints.slo_latency_us, Some(30_000.0));
-        assert_eq!(spec.constraints.budget_usd, Some(60_000.0));
-        assert!(spec.constraints.require_unsaturated);
-        assert_eq!(spec.workload.total_nodes, 64);
-        assert_eq!(spec.workload.message_bytes, 512);
+        assert_eq!(request.spec.constraints.slo_latency_us, Some(30_000.0));
+        assert_eq!(request.spec.constraints.budget_usd, Some(60_000.0));
+        assert!(request.spec.constraints.require_unsaturated);
+        assert!(request.prune);
+        assert_eq!(request.spec.workload.total_nodes, 64);
+        assert_eq!(request.spec.workload.message_bytes, 512);
 
         let err = parse_optimize(r#"{"slo_ms":-1}"#).unwrap_err();
         assert_eq!(err.code, "invalid_field");
@@ -994,8 +1084,8 @@ mod tests {
     fn optimize_response_rejects_unusable_workloads_as_400() {
         // A prime node count has no divisors in [2, N/2]: the design
         // space is empty and the spec is rejected up front.
-        let spec = parse_optimize(r#"{"workload":{"total_nodes":7}}"#).unwrap();
-        let err = optimize_response(&spec).unwrap_err();
+        let request = parse_optimize(r#"{"workload":{"total_nodes":7}}"#).unwrap();
+        let err = optimize_response(&request).unwrap_err();
         assert_eq!(err.status, 400);
         assert_eq!(err.code, "invalid_config");
     }

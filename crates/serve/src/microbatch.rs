@@ -5,14 +5,23 @@
 //! distinct evaluate points arriving close together in time. The first
 //! arrival becomes the batch *leader*: it waits one small gather
 //! window, takes every request that joined meanwhile, and runs the
-//! whole batch through a single batch-engine call (`batch::par_map`
-//! at the call site) — turning N independent model evaluations into
-//! one fan-out with shared scheduling overhead. Followers block on a
-//! per-item slot and receive exactly their own result.
+//! whole flattened batch through a single batch-engine call (one
+//! `kernel::evaluate_batch` solve at the call site) — turning N
+//! independent model evaluations into one fan-out with shared
+//! scheduling overhead. Followers block on a per-group slot and
+//! receive exactly their own results.
+//!
+//! Submissions are *groups* of items ([`Batcher::submit_many`]): a
+//! `/v1/evaluate` request contributes a group of one config, a
+//! `/v1/sweep` request contributes one config per sweep point, and all
+//! groups sharing a window are solved in one flattened kernel batch.
+//! Each submitter gets back its own slice of the results, in its own
+//! input order.
 //!
 //! Because the batch function is required to be a pure per-item map
-//! (the server passes `par_map`, whose output is bit-identical to the
-//! sequential path by construction), batching changes scheduling only,
+//! (the server passes `kernel::evaluate_batch`, whose lanes are
+//! bit-identical to the scalar path and invariant under batch
+//! composition by construction), batching changes scheduling only,
 //! never bytes.
 //!
 //! Requests arriving while a leader is computing start a *new* gather
@@ -29,7 +38,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 struct SlotState<V> {
-    value: Option<V>,
+    value: Option<Vec<V>>,
     abandoned: bool,
 }
 
@@ -49,11 +58,11 @@ impl<V> Slot<V> {
 
 struct Gather<T, V> {
     gathering: bool,
-    pending: Vec<(T, Arc<Slot<V>>)>,
+    pending: Vec<(Vec<T>, Arc<Slot<V>>)>,
 }
 
-/// The boxed batch computation: a pure per-item map over the gathered
-/// items (`batch::par_map` in the server).
+/// The boxed batch computation: a pure per-item map over the flattened
+/// gathered items (`kernel::evaluate_batch` in the server).
 type BatchFn<T, V> = Box<dyn Fn(&[T]) -> Vec<V> + Send + Sync>;
 
 /// Groups temporally close distinct items into one batched computation.
@@ -86,7 +95,7 @@ impl<V> Drop for AbandonGuard<'_, V> {
 impl<T, V> Batcher<T, V> {
     /// Creates a batcher gathering arrivals for `window` per batch.
     /// `compute` must map each input item to its output positionally —
-    /// a pure per-item function, typically `batch::par_map`.
+    /// a pure per-item function, typically `kernel::evaluate_batch`.
     pub fn new(window: Duration, compute: impl Fn(&[T]) -> Vec<V> + Send + Sync + 'static) -> Self {
         Batcher {
             window,
@@ -95,21 +104,35 @@ impl<T, V> Batcher<T, V> {
         }
     }
 
-    /// Submits one item. The caller either leads a batch (gather,
-    /// compute, distribute) or follows one (block until the leader
-    /// delivers, at most `wait_budget`). Returns `None` when the wait
-    /// budget lapses or the leader panicked.
+    /// Submits one item. Equivalent to a [`Batcher::submit_many`] group
+    /// of one. Returns `None` when the wait budget lapses or the leader
+    /// panicked.
     pub fn submit(&self, item: T, wait_budget: Duration) -> Option<V> {
-        let item = {
+        let mut values = self.submit_many(vec![item], wait_budget)?;
+        debug_assert_eq!(values.len(), 1, "one result per submitted item");
+        values.pop()
+    }
+
+    /// Submits a group of items that travel through the gather window
+    /// together. The caller either leads a batch (gather, flatten every
+    /// pending group into one `compute` call, distribute each group its
+    /// own slice) or follows one (block until the leader delivers, at
+    /// most `wait_budget`). Returns the group's results in input order,
+    /// or `None` when the wait budget lapses or the leader panicked.
+    pub fn submit_many(&self, items: Vec<T>, wait_budget: Duration) -> Option<Vec<V>> {
+        if items.is_empty() {
+            return Some(Vec::new());
+        }
+        let group = {
             let mut state = self.state.lock().expect("batcher poisoned");
             if state.gathering {
                 let slot = Arc::new(Slot::empty());
-                state.pending.push((item, Arc::clone(&slot)));
+                state.pending.push((items, Arc::clone(&slot)));
                 drop(state);
                 return follow(&slot, wait_budget);
             }
             state.gathering = true;
-            item
+            items
         };
 
         // Leader: hold the gather window open, then take the batch.
@@ -121,40 +144,46 @@ impl<T, V> Batcher<T, V> {
             state.gathering = false;
             std::mem::take(&mut state.pending)
         };
-        let mut items = Vec::with_capacity(followers.len() + 1);
+        // Flatten leader + follower groups into one batch; remember
+        // each follower's group length to slice the results back out.
+        let leader_len = group.len();
+        let mut flat = group;
         let mut slots = Vec::with_capacity(followers.len());
-        items.push(item);
-        for (follower_item, slot) in followers {
-            items.push(follower_item);
+        let mut group_lens = Vec::with_capacity(followers.len());
+        for (follower_items, slot) in followers {
+            group_lens.push(follower_items.len());
+            flat.extend(follower_items);
             slots.push(slot);
         }
 
         let mut guard = AbandonGuard { slots: &slots, completed: false };
-        let mut values = (self.compute)(&items);
-        assert_eq!(values.len(), items.len(), "batch compute must be a per-item map");
+        let values = (self.compute)(&flat);
+        assert_eq!(values.len(), flat.len(), "batch compute must be a per-item map");
         metrics::counter(keys::BATCH_BATCHES).incr();
-        metrics::counter(keys::BATCH_BATCHED_ITEMS).add(items.len() as u64);
+        metrics::counter(keys::BATCH_BATCHED_ITEMS).add(flat.len() as u64);
 
-        // Deliver follower results in reverse so pops stay O(1); the
-        // leader's own value is index 0.
-        for slot in slots.iter().rev() {
-            let value = values.pop().expect("one value per item");
+        // The leader's own results are the head of the flattened batch;
+        // each follower receives the next `group_len` values.
+        let mut values = values.into_iter();
+        let leader_values: Vec<V> = values.by_ref().take(leader_len).collect();
+        for (&group_len, slot) in group_lens.iter().zip(&slots) {
+            let group_values: Vec<V> = values.by_ref().take(group_len).collect();
             let mut slot_state = slot.state.lock().expect("batch slot poisoned");
-            slot_state.value = Some(value);
+            slot_state.value = Some(group_values);
             drop(slot_state);
             slot.ready.notify_all();
         }
         guard.completed = true;
-        values.pop()
+        Some(leader_values)
     }
 
     /// Items currently waiting in an open gather window (tests only).
     pub fn pending_len(&self) -> usize {
-        self.state.lock().expect("batcher poisoned").pending.len()
+        self.state.lock().expect("batcher poisoned").pending.iter().map(|(g, _)| g.len()).sum()
     }
 }
 
-fn follow<V>(slot: &Slot<V>, wait_budget: Duration) -> Option<V> {
+fn follow<V>(slot: &Slot<V>, wait_budget: Duration) -> Option<Vec<V>> {
     let deadline = Instant::now() + wait_budget;
     let mut state = slot.state.lock().expect("batch slot poisoned");
     loop {
@@ -219,6 +248,46 @@ mod tests {
         assert_eq!(got, (0..N as u32).map(|i| i * 10).collect::<Vec<_>>());
         // Everyone arrived inside the 200 ms window, so one batch ran.
         assert_eq!(calls.load(Ordering::SeqCst), 1, "distinct items must share one batch");
+        assert_eq!(batcher.pending_len(), 0);
+    }
+
+    #[test]
+    fn mixed_groups_share_one_computation_and_get_their_own_slices() {
+        const GROUPS: usize = 4;
+        let calls = Arc::new(AtomicUsize::new(0));
+        let batcher: Arc<Batcher<u32, u32>> = {
+            let calls = Arc::clone(&calls);
+            Arc::new(Batcher::new(Duration::from_millis(200), move |items: &[u32]| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                items.iter().map(|x| x * 10).collect()
+            }))
+        };
+        let barrier = Arc::new(Barrier::new(GROUPS));
+        // Group g submits g+1 items (sizes 1..=4), like one evaluate
+        // request and three sweeps of growing size sharing a window.
+        let handles: Vec<_> = (0..GROUPS as u32)
+            .map(|g| {
+                let (batcher, barrier) = (Arc::clone(&batcher), Arc::clone(&barrier));
+                std::thread::spawn(move || {
+                    let group: Vec<u32> = (0..=g).map(|k| g * 100 + k).collect();
+                    barrier.wait();
+                    (group.clone(), batcher.submit_many(group, Duration::from_secs(10)))
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (group, result) = handle.join().unwrap();
+            let expected: Vec<u32> = group.iter().map(|x| x * 10).collect();
+            assert_eq!(result.unwrap(), expected, "each group gets its own slice in order");
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "groups share one flattened batch");
+        assert_eq!(batcher.pending_len(), 0);
+    }
+
+    #[test]
+    fn empty_group_returns_immediately() {
+        let batcher = Batcher::new(Duration::from_millis(200), |items: &[u32]| items.to_vec());
+        assert_eq!(batcher.submit_many(Vec::new(), Duration::from_secs(1)), Some(Vec::new()));
         assert_eq!(batcher.pending_len(), 0);
     }
 

@@ -25,13 +25,19 @@
 //!
 //! ## Micro-batching
 //!
-//! With a non-zero [`ServerConfig::batch_window`], *distinct* evaluate
-//! points arriving within the window are gathered by a
-//! [`microbatch::Batcher`] and run through one `batch::par_map` call
-//! (identical concurrent requests are still deduplicated upstream by
-//! the [`Coalescer`], so batches contain distinct points only).
-//! `par_map` is bit-identical to the sequential path, so batching
-//! never changes response bytes — only scheduling.
+//! With a non-zero [`ServerConfig::batch_window`], *distinct* model
+//! evaluations arriving within the window are gathered by a
+//! [`microbatch::Batcher`] and solved in **one**
+//! [`hmcs_core::kernel::evaluate_batch`] call per window: a
+//! `/v1/evaluate` request contributes its single config, a `/v1/sweep`
+//! request contributes one config per sweep point, and every gathered
+//! lane advances in lockstep through the same SoA kernel solve on the
+//! server's own worker count. Each request then renders its own slice
+//! of the lane results (identical concurrent requests are still
+//! deduplicated upstream by the [`Coalescer`], so batches contain
+//! distinct points only). Kernel lanes are bit-identical to the scalar
+//! path and invariant under batch composition, so batching never
+//! changes response bytes — only scheduling.
 //!
 //! ## Shutdown
 //!
@@ -45,8 +51,9 @@ use crate::http::{self, Request, Response};
 use crate::microbatch::Batcher;
 use crate::queue::Bounded;
 use crate::{api, keys};
-use hmcs_core::batch::{self, BatchOptions};
+use hmcs_core::batch::BatchOptions;
 use hmcs_core::config::SystemConfig;
+use hmcs_core::kernel;
 use hmcs_core::metrics;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -119,7 +126,7 @@ struct Shared {
     config: ServerConfig,
     queue: Bounded<Job>,
     coalescer: Coalescer<Response>,
-    batcher: Option<Batcher<SystemConfig, Response>>,
+    batcher: Option<Batcher<SystemConfig, api::PointResult>>,
     shutdown: AtomicBool,
 }
 
@@ -144,12 +151,12 @@ impl Server {
         } else {
             config.workers
         };
+        // The window's one kernel solve runs on the *configured*
+        // worker count (a zero `config.workers` already resolved to
+        // the pool policy above), not a separately-resolved default.
         let batcher = (!config.batch_window.is_zero()).then(|| {
-            let par_workers = BatchOptions::default().resolved_workers();
             Batcher::new(config.batch_window, move |configs: &[SystemConfig]| {
-                batch::par_map(configs, par_workers, |config| {
-                    response_of(api::evaluate_response(config))
-                })
+                kernel::evaluate_batch(configs, worker_count)
             })
         });
         let shared = Arc::new(Shared {
@@ -458,9 +465,10 @@ fn route(request: &Request, remaining: Duration, shared: &Shared) -> Response {
                 }
                 let key = api::evaluate_key(&config);
                 Ok((key, move || match &shared.batcher {
-                    Some(batcher) => batcher
-                        .submit(config, remaining)
-                        .unwrap_or_else(|| wait_exhausted(shared, "batch_timeout")),
+                    Some(batcher) => match batcher.submit(config, remaining) {
+                        Some(result) => response_of(api::evaluate_response_from(&config, result)),
+                        None => wait_exhausted(shared, "batch_timeout"),
+                    },
                     None => response_of(api::evaluate_response(&config)),
                 }))
             })
@@ -473,15 +481,28 @@ fn route(request: &Request, remaining: Duration, shared: &Shared) -> Response {
                     api::check_sweep_unsaturated(&config, &spec)?;
                 }
                 let key = api::sweep_key(&config, &spec);
-                Ok((key, move || response_of(api::sweep_response(&config, &spec))))
+                Ok((key, move || match &shared.batcher {
+                    // A sweep contributes one config per point to the
+                    // shared window, then reassembles its own slice.
+                    Some(batcher) => match api::sweep_configs(&config, &spec) {
+                        Ok(configs) => match batcher.submit_many(configs, remaining) {
+                            Some(results) => {
+                                response_of(api::sweep_response_from(&config, &spec, results))
+                            }
+                            None => wait_exhausted(shared, "batch_timeout"),
+                        },
+                        Err(e) => error_response(e),
+                    },
+                    None => response_of(api::sweep_response(&config, &spec)),
+                }))
             })
         }
         ("POST", "/v1/optimize") => {
             metrics::counter(keys::REQ_OPTIMIZE).incr();
             coalesced(shared, remaining, request, |body| {
-                let spec = api::parse_optimize(body)?;
-                let key = api::optimize_key(&spec);
-                Ok((key, move || response_of(api::optimize_response(&spec))))
+                let request = api::parse_optimize(body)?;
+                let key = api::optimize_key(&request);
+                Ok((key, move || response_of(api::optimize_response(&request))))
             })
         }
         (

@@ -609,6 +609,66 @@ fn micro_batching_groups_distinct_points_with_bit_identical_results() {
 }
 
 #[test]
+fn mixed_evaluate_and_sweep_requests_share_one_kernel_solve_bit_identically() {
+    let _guard = serialise();
+
+    // Reference pass: the same requests served without micro-batching.
+    // Every document is a pure function of the analytical report, so
+    // the batched bodies must come back *byte*-identical.
+    let evaluate_bodies =
+        [r#"{"clusters":4}"#, r#"{"clusters":64,"message_bytes":4096,"scenario":"case2"}"#];
+    let sweep_body = r#"{"clusters":16,"parameter":"clusters","values":[2,8,32,128]}"#;
+
+    let reference = Server::start(test_config()).unwrap();
+    let ref_addr = reference.local_addr();
+    let mut expected: Vec<String> = evaluate_bodies
+        .iter()
+        .map(|b| body_of(&post(ref_addr, "/v1/evaluate", b)).to_owned())
+        .collect();
+    expected.push(body_of(&post(ref_addr, "/v1/sweep", sweep_body)).to_owned());
+    reference.shutdown();
+
+    // Batched pass: two evaluate points and four sweep lanes land in
+    // the same 300 ms gather window, so all six configs flow through a
+    // shared `kernel::evaluate_batch` solve.
+    let server = Server::start(ServerConfig {
+        workers: 8,
+        batch_window: Duration::from_millis(300),
+        ..test_config()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+    let batches_before = metrics::counter(keys::BATCH_BATCHES).get();
+    let items_before = metrics::counter(keys::BATCH_BATCHED_ITEMS).get();
+
+    let handles: Vec<_> = evaluate_bodies
+        .iter()
+        .map(|&body| thread::spawn(move || post(addr, "/v1/evaluate", body)))
+        .chain(std::iter::once(thread::spawn(move || post(addr, "/v1/sweep", sweep_body))))
+        .collect();
+    let responses: Vec<String> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    for (response, expected_body) in responses.iter().zip(&expected) {
+        assert_eq!(status_of(response), 200, "{response}");
+        assert_eq!(
+            body_of(response),
+            expected_body,
+            "micro-batched responses must be byte-identical to unbatched ones"
+        );
+    }
+
+    let batches = metrics::counter(keys::BATCH_BATCHES).get() - batches_before;
+    let items = metrics::counter(keys::BATCH_BATCHED_ITEMS).get() - items_before;
+    assert_eq!(items, 6, "both evaluate points and all four sweep lanes flow through the batcher");
+    assert!(batches >= 1);
+    assert!(
+        batches < 3,
+        "evaluate and sweep windows must share kernel solves ({batches} batches for {items} items)"
+    );
+    server.shutdown();
+}
+
+#[test]
 fn strict_saturated_workloads_get_structured_422s_and_lenient_ones_succeed() {
     let _guard = serialise();
     let server = Server::start(test_config()).unwrap();
@@ -711,7 +771,7 @@ fn served_optimize_is_bit_identical_to_in_process_optimization() {
 
     // In-process reference: the same body through the same parser and
     // the library optimizer.
-    let spec = hmcs_serve::api::parse_optimize(body).unwrap();
+    let spec = hmcs_serve::api::parse_optimize(body).unwrap().spec;
     let direct =
         hmcs_core::optimize::optimize(&spec, hmcs_core::batch::BatchOptions::sequential()).unwrap();
 

@@ -208,6 +208,52 @@ proptest! {
         }
     }
 
+    /// The gradient-pruned optimizer returns a frontier bitwise equal
+    /// to the exhaustive one on seeded random spaces (densified along
+    /// the port axis so pruning actually engages), and attributes
+    /// every certificate-skipped point to `diagnostics.pruned`.
+    #[test]
+    fn pruned_optimize_matches_exhaustive_bitwise(spec in any_spec()) {
+        let mut spec = spec;
+        spec.space.switch_ports = (4..=32).step_by(4).collect();
+        let exhaustive = optimize::optimize(&spec, BatchOptions::sequential()).unwrap();
+        let pruned = optimize::optimize_pruned(&spec, BatchOptions::sequential()).unwrap();
+
+        prop_assert_eq!(exhaustive.frontier.len(), pruned.frontier.len());
+        for (a, b) in exhaustive.frontier.iter().zip(&pruned.frontier) {
+            prop_assert_eq!(a.design.key(), b.design.key());
+            prop_assert_eq!(a.cost_usd.to_bits(), b.cost_usd.to_bits());
+            prop_assert_eq!(a.latency_us.to_bits(), b.latency_us.to_bits());
+            prop_assert_eq!(a.throughput_per_us.to_bits(), b.throughput_per_us.to_bits());
+            prop_assert_eq!(a.retained_fraction.to_bits(), b.retained_fraction.to_bits());
+            prop_assert_eq!(
+                a.bottleneck_utilization.to_bits(),
+                b.bottleneck_utilization.to_bits()
+            );
+            prop_assert_eq!(a.saturation_lambda.to_bits(), b.saturation_lambda.to_bits());
+        }
+
+        // Pruning only ever removes work, never adds results.
+        prop_assert_eq!(exhaustive.diagnostics.pruned, 0);
+        prop_assert!(pruned.evaluated <= exhaustive.evaluated);
+        prop_assert!(pruned.feasible <= exhaustive.feasible);
+        prop_assert_eq!(
+            pruned.feasible,
+            pruned.frontier.len() + pruned.diagnostics.dominated
+        );
+        prop_assert_eq!(
+            pruned.evaluated + pruned.diagnostics.failed + pruned.diagnostics.pruned,
+            exhaustive.evaluated + exhaustive.diagnostics.failed
+        );
+        match (exhaustive.cheapest_feasible(), pruned.cheapest_feasible()) {
+            (Some(a), Some(b)) => {
+                prop_assert_eq!(a.cost_usd.to_bits(), b.cost_usd.to_bits());
+                prop_assert_eq!(a.latency_us.to_bits(), b.latency_us.to_bits());
+            }
+            (a, b) => prop_assert_eq!(a.is_none(), b.is_none()),
+        }
+    }
+
     /// Parallel and sequential optimization agree bitwise, so the
     /// served (sequential) frontier equals the artefact (parallel) one.
     #[test]
