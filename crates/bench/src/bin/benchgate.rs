@@ -493,6 +493,141 @@ fn optimize_main(args: Vec<String>) -> ExitCode {
     }
 }
 
+/// The topology-pipeline verdict extracted from an
+/// `hmcs-topology-bench/1` summary (written by `reproduce topology
+/// --topo-bench`).
+#[derive(Debug, Clone, PartialEq)]
+struct TopologyVerdict {
+    cases: u64,
+    max_nodes: u64,
+    min_nodes: u64,
+    roundtrip_failures: u64,
+    agreement_failures: u64,
+    pass: bool,
+}
+
+/// Validates an `hmcs-topology-bench/1` document: the run must cover
+/// at least one case, recover every planted partition (zero round-trip
+/// failures), agree with the analytical model in every case, and its
+/// largest matrix must reach the `--min-nodes` scale floor.
+fn judge_topology(doc: &JsonValue, min_nodes: u64) -> Result<TopologyVerdict, String> {
+    if doc.get("schema").and_then(JsonValue::as_str) != Some("hmcs-topology-bench/1") {
+        return Err("not an hmcs-topology-bench/1 document".to_string());
+    }
+    let int = |k: &str| -> Result<u64, String> {
+        doc.get(k).and_then(JsonValue::as_u64).ok_or_else(|| format!("missing integer {k:?}"))
+    };
+    let cases = int("cases")?;
+    let max_nodes = int("max_nodes")?;
+    let roundtrip_failures = int("roundtrip_failures")?;
+    let agreement_failures = int("agreement_failures")?;
+    let pass =
+        cases > 0 && roundtrip_failures == 0 && agreement_failures == 0 && max_nodes >= min_nodes;
+    Ok(TopologyVerdict {
+        cases,
+        max_nodes,
+        min_nodes,
+        roundtrip_failures,
+        agreement_failures,
+        pass,
+    })
+}
+
+/// Renders the committed `hmcs-topology-gate/1` artefact with the
+/// validated summary embedded verbatim.
+fn topology_report_json(
+    verdict: &TopologyVerdict,
+    summary_raw: &str,
+    meta: &[(String, String)],
+) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": \"hmcs-topology-gate/1\",");
+    let meta_items: Vec<String> =
+        meta.iter().map(|(k, v)| format!("{}: {}", json_escape(k), json_escape(v))).collect();
+    let _ = writeln!(out, "  \"meta\": {{{}}},", meta_items.join(", "));
+    let _ = writeln!(out, "  \"gate\": {{");
+    let _ = writeln!(out, "    \"cases\": {},", verdict.cases);
+    let _ = writeln!(out, "    \"max_nodes\": {},", verdict.max_nodes);
+    let _ = writeln!(out, "    \"min_nodes\": {},", verdict.min_nodes);
+    let _ = writeln!(out, "    \"roundtrip_failures\": {},", verdict.roundtrip_failures);
+    let _ = writeln!(out, "    \"agreement_failures\": {},", verdict.agreement_failures);
+    let _ = writeln!(out, "    \"pass\": {}", verdict.pass);
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"topology\": {}", summary_raw.trim());
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn topology_main(args: Vec<String>) -> ExitCode {
+    let mut summary_path: Option<String> = None;
+    let mut out_path = "BENCH_TOPOLOGY.json".to_string();
+    let mut min_nodes: Option<u64> = None;
+    let mut meta: Vec<(String, String)> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out_path = it.next().unwrap_or_else(|| usage()),
+            "--min-nodes" => {
+                min_nodes = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()));
+            }
+            "--meta" => {
+                let kv = it.next().unwrap_or_else(|| usage());
+                let (k, v) = kv.split_once('=').unwrap_or_else(|| usage());
+                meta.push((k.to_string(), v.to_string()));
+            }
+            _ if summary_path.is_none() && !arg.starts_with('-') => summary_path = Some(arg),
+            _ => usage(),
+        }
+    }
+    let (Some(summary_path), Some(min_nodes)) = (summary_path, min_nodes) else { usage() };
+
+    let raw = match std::fs::read_to_string(&summary_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: cannot read {summary_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let doc = match parse_json(&raw) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {summary_path} is not valid JSON: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let verdict = match judge_topology(&doc, min_nodes) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = topology_report_json(&verdict, &raw, &meta);
+    if let Err(e) = write_atomic(std::path::Path::new(&out_path), report.as_bytes()) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        return ExitCode::from(2);
+    }
+    println!(
+        "benchgate topology: {} case(s), largest {} nodes (floor {}), {} round-trip / {} \
+         agreement failure(s) — {}",
+        verdict.cases,
+        verdict.max_nodes,
+        verdict.min_nodes,
+        verdict.roundtrip_failures,
+        verdict.agreement_failures,
+        if verdict.pass { "PASS" } else { "FAIL" }
+    );
+    println!("report written to {out_path}");
+    if verdict.pass {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 /// The kernel-speedup verdict: the batched SoA kernel's mean time on
 /// the `kernel_grid` bench versus the scalar per-point path's.
 #[derive(Debug, Clone, PartialEq)]
@@ -650,6 +785,8 @@ fn usage() -> ! {
          \x20      benchgate optimize SUMMARY.json --min-eps X [--min-speedup Y] \
          [--out PATH] [--meta key=value]...\n\
          \x20      benchgate kernel ROWS.jsonl|REPORT.json --min-speedup X \
+         [--out PATH] [--meta key=value]...\n\
+         \x20      benchgate topology SUMMARY.json --min-nodes N \
          [--out PATH] [--meta key=value]..."
     );
     std::process::exit(2)
@@ -668,6 +805,10 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("kernel") {
         args.remove(0);
         return kernel_main(args);
+    }
+    if args.first().map(String::as_str) == Some("topology") {
+        args.remove(0);
+        return topology_main(args);
     }
     let mut rows_path: Option<String> = None;
     let mut manifests: Option<String> = None;
@@ -975,6 +1116,53 @@ mod tests {
         assert_eq!(
             doc.get("meta").and_then(|m| m.get("host")).and_then(JsonValue::as_str),
             Some("ci")
+        );
+    }
+
+    fn topology_summary(
+        max_nodes: u64,
+        roundtrip_failures: u64,
+        agreement_failures: u64,
+    ) -> String {
+        format!(
+            "{{\"schema\":\"hmcs-topology-bench/1\",\"cases\":2,\"total_nodes\":10256,\
+             \"max_nodes\":{max_nodes},\"shards\":24,\"messages\":200000,\
+             \"roundtrip_failures\":{roundtrip_failures},\
+             \"agreement_failures\":{agreement_failures},\"identify_wall_s\":0.02,\
+             \"identify_nodes_per_s\":500000.0,\"sim_wall_s\":1.2,\"workers\":4}}\n"
+        )
+    }
+
+    #[test]
+    fn topology_gate_enforces_scale_and_failure_counts() {
+        let ok =
+            judge_topology(&parse_json(&topology_summary(10000, 0, 0)).unwrap(), 10000).unwrap();
+        assert!(ok.pass);
+        let small =
+            judge_topology(&parse_json(&topology_summary(9999, 0, 0)).unwrap(), 10000).unwrap();
+        assert!(!small.pass, "largest case under the node floor must fail");
+        let missed =
+            judge_topology(&parse_json(&topology_summary(10000, 1, 0)).unwrap(), 10000).unwrap();
+        assert!(!missed.pass, "a round-trip failure must fail the gate");
+        let drifted =
+            judge_topology(&parse_json(&topology_summary(10000, 0, 1)).unwrap(), 10000).unwrap();
+        assert!(!drifted.pass, "an agreement failure must fail the gate");
+        let wrong_schema = parse_json("{\"schema\": \"other/1\"}").unwrap();
+        assert!(judge_topology(&wrong_schema, 1).is_err());
+    }
+
+    #[test]
+    fn topology_report_embeds_the_summary_verbatim() {
+        let raw = topology_summary(10000, 0, 0);
+        let verdict = judge_topology(&parse_json(&raw).unwrap(), 10000).unwrap();
+        let report = topology_report_json(&verdict, &raw, &[("host".into(), "ci".into())]);
+        let doc = parse_json(&report).expect("report is valid JSON");
+        assert_eq!(doc.get("schema").and_then(JsonValue::as_str), Some("hmcs-topology-gate/1"));
+        assert_eq!(doc.get("gate").and_then(|g| g.get("pass")), Some(&JsonValue::Bool(true)));
+        assert_eq!(
+            doc.get("topology").and_then(|t| t.get("schema")).and_then(JsonValue::as_str),
+            Some("hmcs-topology-bench/1"),
+            "the topology summary rides along inside the report"
         );
     }
 }

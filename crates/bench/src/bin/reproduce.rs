@@ -36,7 +36,8 @@ use hmcs_bench::manifest;
 use hmcs_bench::report::{
     eval_stats_line, ms, opt_ms, ratio, render_table, write_atomic, write_csv,
 };
-use hmcs_bench::{claims, differential, golden};
+use hmcs_bench::topology::{self, TopologyOptions};
+use hmcs_bench::{claims, differential, golden, identfuzz};
 use hmcs_core::batch::BatchOptions;
 use hmcs_core::json::json_num;
 use hmcs_core::optimize::{self, Constraints, DesignSpace, OptimizeSpec, Workload};
@@ -51,11 +52,13 @@ use std::process::ExitCode;
 struct Cli {
     artefacts: Vec<String>,
     opts: RunOptions,
+    budget: SimBudget,
     csv_dir: Option<PathBuf>,
     print_metrics: bool,
     slo_ms: Option<f64>,
     budget_usd: Option<f64>,
     opt_bench: Option<PathBuf>,
+    topo_bench: Option<PathBuf>,
 }
 
 enum Command {
@@ -65,6 +68,8 @@ enum Command {
     Check { candidate: PathBuf, golden: PathBuf },
     /// Differential model-vs-simulation fuzzing.
     Fuzz(differential::FuzzOptions),
+    /// Seeded round-trip fuzzing of the cluster-identification pass.
+    IdentFuzz(identfuzz::IdentFuzzOptions),
 }
 
 fn metrics_env_requested() -> bool {
@@ -87,6 +92,7 @@ fn parse_args() -> Result<Command, String> {
     let mut slo_ms: Option<f64> = None;
     let mut budget_usd: Option<f64> = None;
     let mut opt_bench: Option<PathBuf> = None;
+    let mut topo_bench: Option<PathBuf> = None;
     let mut print_metrics = metrics_env_requested();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -147,6 +153,9 @@ fn parse_args() -> Result<Command, String> {
             "--opt-bench" => {
                 opt_bench = Some(PathBuf::from(args.next().ok_or("--opt-bench needs a path")?));
             }
+            "--topo-bench" => {
+                topo_bench = Some(PathBuf::from(args.next().ok_or("--topo-bench needs a path")?));
+            }
             "--metrics" => print_metrics = true,
             "--help" | "-h" => {
                 println!("{}", HELP);
@@ -178,13 +187,23 @@ fn parse_args() -> Result<Command, String> {
                 budget,
             }));
         }
+        Some("identfuzz") => {
+            if artefacts.len() > 1 {
+                return Err("usage: reproduce identfuzz [--cases N] [--seed N]".to_string());
+            }
+            let defaults = identfuzz::IdentFuzzOptions::default();
+            return Ok(Command::IdentFuzz(identfuzz::IdentFuzzOptions {
+                cases: fuzz_cases.unwrap_or(defaults.cases),
+                seed: opts.seed,
+            }));
+        }
         _ => {}
     }
     if golden_dir.is_some() {
         return Err("--golden only applies to `reproduce check`".to_string());
     }
     if fuzz_cases.is_some() {
-        return Err("--cases only applies to `reproduce fuzz`".to_string());
+        return Err("--cases only applies to `reproduce fuzz`/`identfuzz`".to_string());
     }
     if artefacts.is_empty() {
         return Err("no artefact given; try --help".to_string());
@@ -192,23 +211,28 @@ fn parse_args() -> Result<Command, String> {
     Ok(Command::Emit(Cli {
         artefacts,
         opts,
+        budget,
         csv_dir,
         print_metrics,
         slo_ms,
         budget_usd,
         opt_bench,
+        topo_bench,
     }))
 }
 
 const HELP: &str = "reproduce — regenerate the ICPPW'05 paper's tables and figures\n\
   artefacts: table1 table2 fig4 fig5 fig6 fig7 figs claims optimize sensitivity\n\
-             ablation-accounting ablation-hops ablation-service packet coc bounds all\n\
+             ablation-accounting ablation-hops ablation-service packet coc bounds\n\
+             topology all\n\
   checking:  check DIR [--golden GDIR]   diff DIR against the goldens (default results/)\n\
              fuzz [--cases N] [--seed N] differential model-vs-sim fuzzing\n\
+             identfuzz [--cases N] [--seed N] latency-matrix identify round-trip fuzzing\n\
   options:   --messages N --warmup N --seed N --lambda-literal --no-sim --csv DIR\n\
              --metrics (or HMCS_METRICS=1); HMCS_SIM_BUDGET=ci shrinks sim budgets\n\
   optimize:  --slo-ms X (default 30) --budget-usd Y (default 60000)\n\
-             --opt-bench PATH (write an hmcs-optimize-bench/1 throughput summary)";
+             --opt-bench PATH (write an hmcs-optimize-bench/1 throughput summary)\n\
+  topology:  --topo-bench PATH (write an hmcs-topology-bench/1 pipeline summary)";
 
 /// Writes `manifest_<artefact>.json` beside the CSVs (no-op without
 /// `--csv`): run provenance, options, λ-unit mode and the metrics
@@ -820,6 +844,179 @@ fn write_optimize_bench(path: &Path, spec: &OptimizeSpec) -> Result<(), String> 
     Ok(())
 }
 
+/// The latency-matrix topology artefact: generate → identify → fit →
+/// analytic-vs-sharded-simulation agreement, including the 10k-node
+/// scale case. Writes three CSVs: `topology_matrix.csv` (deterministic
+/// identification columns), `topology_partition.csv` (the identified
+/// partition fingerprint, one row per cluster) and
+/// `topology_agreement.csv` (the differential validation).
+fn emit_topology(cli: &Cli) -> Result<(), String> {
+    let options = TopologyOptions { seed: cli.opts.seed, budget: cli.budget };
+    let results = topology::run_topology(&options).map_err(|e| e.to_string())?;
+
+    let matrix_headers = [
+        "case",
+        "nodes",
+        "planted",
+        "identified",
+        "roundtrip",
+        "threshold_us",
+        "intra_median_us",
+        "inter_median_us",
+        "residual",
+    ];
+    let opt_num = |v: Option<f64>| v.map_or("-".to_string(), json_num);
+    let matrix_rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.case.name.to_string(),
+                r.nodes.to_string(),
+                r.planted_clusters.to_string(),
+                r.identified_clusters.to_string(),
+                u8::from(r.roundtrip).to_string(),
+                opt_num(r.threshold_us),
+                json_num(r.intra_median_us),
+                opt_num(r.inter_median_us),
+                json_num(r.residual_score),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "topology — latency-matrix cluster identification round-trip",
+            &matrix_headers,
+            &matrix_rows
+        )
+    );
+
+    let partition_headers = ["key", "case", "cluster", "size", "lead"];
+    let partition_rows: Vec<Vec<String>> = results
+        .iter()
+        .flat_map(|r| {
+            r.cluster_sizes.iter().zip(&r.cluster_leads).enumerate().map(|(c, (size, lead))| {
+                vec![
+                    format!("{}/{c}", r.case.name),
+                    r.case.name.to_string(),
+                    c.to_string(),
+                    size.to_string(),
+                    lead.to_string(),
+                ]
+            })
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table("topology — identified partitions", &partition_headers, &partition_rows)
+    );
+
+    let agreement_headers = [
+        "case",
+        "nodes",
+        "shards",
+        "analysis (ms)",
+        "sim (ms)",
+        "ci95 (ms)",
+        "agrees",
+        "boundary_out_frac",
+        "boundary_in_per_msg",
+    ];
+    let agreement_rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.case.name.to_string(),
+                r.nodes.to_string(),
+                r.shards.to_string(),
+                json_num(r.analysis_ms),
+                json_num(r.sim_ms),
+                json_num(r.ci95_ms),
+                u8::from(r.agrees).to_string(),
+                json_num(r.boundary_out_frac()),
+                json_num(r.boundary_in_per_msg()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "topology — analytic vs sharded-simulation agreement",
+            &agreement_headers,
+            &agreement_rows
+        )
+    );
+    for r in &results {
+        println!(
+            "  {}: identify {:.2}s, sharded sim {:.2}s ({} messages across {} shards)",
+            r.case.name, r.identify_wall_s, r.sim_wall_s, r.messages, r.shards
+        );
+    }
+    println!();
+
+    if let Some(dir) = &cli.csv_dir {
+        write_csv(&dir.join("topology_matrix.csv"), &matrix_headers, &matrix_rows)
+            .map_err(|e| e.to_string())?;
+        write_csv(&dir.join("topology_partition.csv"), &partition_headers, &partition_rows)
+            .map_err(|e| e.to_string())?;
+        write_csv(&dir.join("topology_agreement.csv"), &agreement_headers, &agreement_rows)
+            .map_err(|e| e.to_string())?;
+    }
+    emit_manifest(cli, "topology", None)?;
+    if let Some(path) = &cli.topo_bench {
+        write_topology_bench(path, &results)?;
+    }
+    Ok(())
+}
+
+/// Writes an `hmcs-topology-bench/1` summary for
+/// `benchgate topology`: pipeline scale, round-trip and agreement
+/// outcomes, and identification throughput.
+fn write_topology_bench(
+    path: &Path,
+    results: &[hmcs_bench::topology::TopologyCaseResult],
+) -> Result<(), String> {
+    let total_nodes: usize = results.iter().map(|r| r.nodes).sum();
+    let max_nodes = results.iter().map(|r| r.nodes).max().unwrap_or(0);
+    let shards: usize = results.iter().map(|r| r.shards).sum();
+    let messages: u64 = results.iter().map(|r| r.messages).sum();
+    let roundtrip_failures = results.iter().filter(|r| !r.roundtrip).count();
+    let agreement_failures = results.iter().filter(|r| !r.agrees).count();
+    let identify_wall_s: f64 = results.iter().map(|r| r.identify_wall_s).sum();
+    let sim_wall_s: f64 = results.iter().map(|r| r.sim_wall_s).sum();
+    let workers = BatchOptions::default().resolved_workers();
+    let body = format!(
+        "{{\"schema\":\"hmcs-topology-bench/1\",\"cases\":{},\"total_nodes\":{},\
+         \"max_nodes\":{},\"shards\":{},\"messages\":{},\"roundtrip_failures\":{},\
+         \"agreement_failures\":{},\"identify_wall_s\":{},\"identify_nodes_per_s\":{},\
+         \"sim_wall_s\":{},\"workers\":{}}}\n",
+        results.len(),
+        total_nodes,
+        max_nodes,
+        shards,
+        messages,
+        roundtrip_failures,
+        agreement_failures,
+        json_num(identify_wall_s),
+        json_num(total_nodes as f64 / identify_wall_s.max(1e-9)),
+        json_num(sim_wall_s),
+        workers,
+    );
+    write_atomic(path, body.as_bytes()).map_err(|e| format!("{}: {e}", path.display()))?;
+    println!(
+        "topology bench: {} nodes over {} case(s), {} round-trip / {} agreement failure(s), \
+         identify {:.2}s + sharded sim {:.2}s -> {}",
+        total_nodes,
+        results.len(),
+        roundtrip_failures,
+        agreement_failures,
+        identify_wall_s,
+        sim_wall_s,
+        path.display()
+    );
+    Ok(())
+}
+
 /// Creates the `--csv` directory up front and proves it is writable,
 /// so a bad path fails with one clean message instead of a mid-run
 /// error after minutes of simulation.
@@ -854,6 +1051,12 @@ fn run_fuzz(options: differential::FuzzOptions) -> Result<bool, String> {
     Ok(report.disagreements.is_empty())
 }
 
+fn run_identfuzz(options: identfuzz::IdentFuzzOptions) -> Result<bool, String> {
+    let report = identfuzz::run_identfuzz(options).map_err(|e| e.to_string())?;
+    print!("{}", identfuzz::render(&report));
+    Ok(report.failures.is_empty())
+}
+
 fn run(cli: &Cli) -> Result<(), String> {
     if let Some(dir) = &cli.csv_dir {
         prepare_csv_dir(dir)?;
@@ -880,6 +1083,7 @@ fn run(cli: &Cli) -> Result<(), String> {
             "bounds" => emit_bounds(cli)?,
             "optimize" => emit_optimize(cli)?,
             "sensitivity" => emit_sensitivity(cli)?,
+            "topology" => emit_topology(cli)?,
             "all" => {
                 emit_tables(cli)?;
                 emit_table2(cli)?;
@@ -895,6 +1099,7 @@ fn run(cli: &Cli) -> Result<(), String> {
                 emit_bounds(cli)?;
                 emit_optimize(cli)?;
                 emit_sensitivity(cli)?;
+                emit_topology(cli)?;
             }
             other => return Err(format!("unknown artefact {other}; try --help")),
         }
@@ -917,6 +1122,7 @@ fn main() -> ExitCode {
         Command::Emit(cli) => run(&cli).map(|()| true),
         Command::Check { candidate, golden } => run_check(&candidate, &golden),
         Command::Fuzz(options) => run_fuzz(options),
+        Command::IdentFuzz(options) => run_identfuzz(options),
     };
     match outcome {
         Ok(true) => ExitCode::SUCCESS,

@@ -119,6 +119,8 @@ struct Csvs {
     bounds: Table,
     coc: Table,
     packet: Table,
+    topo_matrix: Table,
+    topo_agreement: Table,
 }
 
 fn load(dir: &Path) -> Result<Csvs, String> {
@@ -135,6 +137,8 @@ fn load(dir: &Path) -> Result<Csvs, String> {
         bounds: read("bounds")?,
         coc: read("coc_validation")?,
         packet: read("packet_validation")?,
+        topo_matrix: read("topology_matrix")?,
+        topo_agreement: read("topology_agreement")?,
     })
 }
 
@@ -361,6 +365,45 @@ pub fn evaluate_dir(dir: &Path) -> Result<Vec<ClaimResult>, String> {
             (worst <= 10.0, format!("worst err {worst:.1}% ≤ 10%"))
         }),
     );
+    // --- topology pipeline --------------------------------------------
+    push(
+        "topology-roundtrip",
+        "cluster identification recovers every planted partition bit-exactly, up to 10k nodes",
+        (|| {
+            let roundtrip = column(&csvs.topo_matrix, "topology_matrix", "roundtrip")?;
+            let nodes = column(&csvs.topo_matrix, "topology_matrix", "nodes")?;
+            let failures = roundtrip.iter().filter(|&&r| r != 1.0).count();
+            let max_nodes = nodes.iter().cloned().fold(0.0, f64::max);
+            let ok = failures == 0 && max_nodes >= 10_000.0;
+            Ok((
+                ok,
+                format!(
+                    "{failures} of {} cases failed, largest {max_nodes:.0} nodes",
+                    roundtrip.len()
+                ),
+            ))
+        })(),
+    );
+    push(
+        "topology-agreement",
+        "the fitted config's analytical latency matches the sharded simulation in every case",
+        (|| {
+            let agrees = column(&csvs.topo_agreement, "topology_agreement", "agrees")?;
+            let analysis = column(&csvs.topo_agreement, "topology_agreement", "analysis (ms)")?;
+            let sim = column(&csvs.topo_agreement, "topology_agreement", "sim (ms)")?;
+            let failures = agrees.iter().filter(|&&a| a != 1.0).count();
+            let worst = analysis
+                .iter()
+                .zip(&sim)
+                .map(|(a, s)| (a - s).abs() / s.abs().max(1e-12))
+                .fold(0.0, f64::max);
+            Ok((
+                failures == 0,
+                format!("{failures} disagreements, worst gap {:.2}%", worst * 100.0),
+            ))
+        })(),
+    );
+
     push(
         "packet-vs-flow",
         "packet-level sim yields positive latencies below the flow-level sim (no store-and-forward inflation)",

@@ -174,16 +174,24 @@ pub fn sample_case(seed: u64, index: u32) -> CaseSpec {
     }
 }
 
-/// Allowed fractional model-error band for a spec, on top of the
-/// replication CI. Heavier load and non-exponential service widen the
-/// band: QNA is exact for M/M/1 stages but approximate for GI/G/1, and
-/// finite runs near saturation carry more transient bias.
-fn error_band(spec: &CaseSpec) -> f64 {
-    let mut band = 0.06 + 0.12 * spec.utilization;
-    if spec.service_model != ServiceTimeModel::Exponential {
+/// Allowed fractional model-error band on top of the replication CI,
+/// for a system at `utilization` (fraction of the saturation rate) with
+/// (`exponential`) or without exponential service. Heavier load and
+/// non-exponential service widen the band: QNA is exact for M/M/1
+/// stages but approximate for GI/G/1, and finite runs near saturation
+/// carry more transient bias. Shared by the fuzzer and the topology
+/// pipeline's analysis-vs-sharded-sim validation.
+pub fn agreement_band(utilization: f64, exponential: bool) -> f64 {
+    let mut band = 0.06 + 0.12 * utilization;
+    if !exponential {
         band += 0.05;
     }
     band
+}
+
+/// [`agreement_band`] of a sampled spec.
+fn error_band(spec: &CaseSpec) -> f64 {
+    agreement_band(spec.utilization, spec.service_model == ServiceTimeModel::Exponential)
 }
 
 /// Runs the differential check on one concrete configuration.

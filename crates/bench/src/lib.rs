@@ -19,6 +19,12 @@
 //!   generated artefacts.
 //! * [`differential`] — seeded model-vs-simulation fuzzing with greedy
 //!   shrinking of any disagreement to a minimal regression test.
+//! * [`identfuzz`] — seeded round-trip fuzzing of the latency-matrix
+//!   cluster-identification pass (generate → identify must recover the
+//!   planted partition), with the same shrink-to-regression-test flow.
+//! * [`topology`] — the latency-matrix pipeline artefact: generate →
+//!   identify → fit → analytic vs sharded-simulation agreement at
+//!   10k nodes.
 //!
 //! The `reproduce` binary drives everything:
 //!
@@ -39,6 +45,8 @@ pub mod claims;
 pub mod differential;
 pub mod experiments;
 pub mod golden;
+pub mod identfuzz;
 pub mod manifest;
 pub mod report;
 pub mod simcache;
+pub mod topology;

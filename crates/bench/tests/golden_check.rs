@@ -28,7 +28,7 @@ fn temp_dir(name: &str) -> PathBuf {
 fn check_passes_on_committed_goldens() {
     // Acceptance: `reproduce check results/` must pass on a clean tree.
     // Diffing the goldens against themselves exercises the whole spec
-    // (all 18 artefacts parse, every column resolves a tolerance) and
+    // (all 21 artefacts parse, every column resolves a tolerance) and
     // the claims registry does real content checks on the data.
     let output = reproduce().args(["check", "results"]).output().unwrap();
     let stdout = String::from_utf8_lossy(&output.stdout);
@@ -37,8 +37,8 @@ fn check_passes_on_committed_goldens() {
         "check failed on clean tree:\n{stdout}\n{}",
         String::from_utf8_lossy(&output.stderr)
     );
-    assert!(stdout.contains("golden check: 18 artefact(s), 0 diff(s) — PASS"), "{stdout}");
-    assert!(stdout.contains("claims: 18 evaluated, 0 failed — PASS"), "{stdout}");
+    assert!(stdout.contains("golden check: 21 artefact(s), 0 diff(s) — PASS"), "{stdout}");
+    assert!(stdout.contains("claims: 20 evaluated, 0 failed — PASS"), "{stdout}");
 }
 
 #[test]

@@ -1,6 +1,7 @@
 //! Error type for the analytical model.
 
 use hmcs_queueing::QueueingError;
+use hmcs_topology::latmatrix::MatrixError;
 use hmcs_topology::TopologyError;
 use std::fmt;
 
@@ -19,6 +20,8 @@ pub enum ModelError {
     Queueing(QueueingError),
     /// A topology could not be constructed.
     Topology(TopologyError),
+    /// A latency matrix could not be parsed or generated.
+    Matrix(MatrixError),
     /// The effective-rate fixed point could not be solved.
     SolverFailed {
         /// Residual at the last iterate.
@@ -34,6 +37,7 @@ impl fmt::Display for ModelError {
             }
             ModelError::Queueing(e) => write!(f, "queueing error: {e}"),
             ModelError::Topology(e) => write!(f, "topology error: {e}"),
+            ModelError::Matrix(e) => write!(f, "latency-matrix error: {e}"),
             ModelError::SolverFailed { residual } => {
                 write!(f, "effective-rate solver failed (residual {residual:e})")
             }
@@ -46,6 +50,7 @@ impl std::error::Error for ModelError {
         match self {
             ModelError::Queueing(e) => Some(e),
             ModelError::Topology(e) => Some(e),
+            ModelError::Matrix(e) => Some(e),
             _ => None,
         }
     }
@@ -63,6 +68,12 @@ impl From<TopologyError> for ModelError {
     }
 }
 
+impl From<MatrixError> for ModelError {
+    fn from(e: MatrixError) -> Self {
+        ModelError::Matrix(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -73,6 +84,8 @@ mod tests {
         assert!(format!("{q}").contains("rho"));
         let t: ModelError = TopologyError::InvalidParameter { name: "x", reason: "y" }.into();
         assert!(format!("{t}").contains("topology"));
+        let m: ModelError = MatrixError::TooSmall { nodes: 1 }.into();
+        assert!(format!("{m}").contains("matrix"));
         let c = ModelError::InvalidConfig { name: "clusters", reason: "must divide N" };
         assert!(format!("{c}").contains("clusters"));
         let s = ModelError::SolverFailed { residual: 1e-3 };

@@ -37,6 +37,10 @@
 //! * [`sensitivity`] — central finite-difference derivatives of the
 //!   mean latency with respect to λ, message size and population.
 //! * [`latency`] — latency composition (eqs. 9, 15–16).
+//! * [`identify`] — the inverse of the paper's setup: partition a
+//!   measured latency matrix into logical clusters by a latency-gap
+//!   threshold and fit `(C, N₀, effective technologies)` with a
+//!   non-HMCS residual report.
 //! * [`model`] — the one-call facade: [`model::AnalyticalModel`].
 //! * [`cluster_of_clusters`] — the heterogeneous-processor
 //!   generalisation the paper lists as future work.
@@ -74,6 +78,7 @@ pub mod batch;
 pub mod cluster_of_clusters;
 pub mod config;
 pub mod error;
+pub mod identify;
 pub mod json;
 pub mod kernel;
 pub mod latency;

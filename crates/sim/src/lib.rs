@@ -28,6 +28,12 @@
 //! simulator instance across the replications it claims, and the
 //! summary is identical for any worker count.
 //!
+//! [`shard`] scales the flow-level model to 10k–100k-node systems by
+//! simulating one cluster per shard (exact local traffic, Poisson
+//! background for the shared ICN2) over the same worker pool,
+//! optionally modulated by a measured
+//! [`hmcs_topology::latmatrix::LatencySource`].
+//!
 //! ```
 //! use hmcs_core::config::SystemConfig;
 //! use hmcs_core::scenario::Scenario;
@@ -53,6 +59,7 @@ pub mod multiserver;
 pub mod packet;
 pub mod replication;
 pub mod result;
+pub mod shard;
 
 pub use config::SimConfig;
 pub use result::SimResult;

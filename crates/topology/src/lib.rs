@@ -11,6 +11,10 @@
 //!   stage count (eq. 12), switch count (eq. 13 / Proposition 1),
 //!   explicit graph construction, up/down hop counts, and the full
 //!   bisection bandwidth property (Theorem 1).
+//! * [`latmatrix`] — the empirical latency-matrix source: a seeded
+//!   synthetic WAN/LAN generator with planted clusters, a strict CSV
+//!   importer, and the [`latmatrix::LatencySource`] sampling trait the
+//!   cluster-identification pass and the sharded simulator consume.
 //! * [`kary_ncube`] — k-ary n-cubes (rings, tori, hypercubes), the
 //!   direct-network family of the paper's ref. [20], provided for the
 //!   technology-heterogeneity future-work extension.
@@ -48,11 +52,13 @@ pub mod error;
 pub mod fat_tree;
 pub mod graph;
 pub mod kary_ncube;
+pub mod latmatrix;
 pub mod linear_array;
 pub mod switch;
 pub mod technology;
 pub mod transmission;
 
 pub use error::TopologyError;
+pub use latmatrix::{LatencyMatrix, LatencySource};
 pub use switch::SwitchFabric;
 pub use technology::NetworkTechnology;
